@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet test race bench figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper figure against the default environment.
+figures:
+	$(GO) run ./cmd/mcfigures
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/datacenter
+	$(GO) run ./examples/baselines
+	$(GO) run ./examples/streaming
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,266 @@
+// Benchmarks regenerating every figure of the paper's evaluation section
+// (one Benchmark per table/figure; the figure generators print the same
+// rows/series the paper reports), plus micro-benchmarks for the hot paths
+// of the model itself.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package mcorr_test
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"mcorr"
+	"mcorr/internal/core"
+	"mcorr/internal/eval"
+	"mcorr/internal/manager"
+	"mcorr/internal/mathx"
+	"mcorr/internal/simulator"
+	"mcorr/internal/timeseries"
+)
+
+// benchEnv is the shared small-scale reproduction environment (3 groups ×
+// 6 machines × 30 days). Built once; figure generators only read from it.
+var (
+	benchEnvOnce sync.Once
+	benchEnvVal  *eval.Env
+	benchEnvErr  error
+)
+
+func benchEnv(b *testing.B) *eval.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnvVal, benchEnvErr = eval.NewEnv(eval.EnvConfig{Seed: 2008, Machines: 6, Days: 30})
+	})
+	if benchEnvErr != nil {
+		b.Fatalf("env: %v", benchEnvErr)
+	}
+	return benchEnvVal
+}
+
+// benchFigure runs one figure generator per iteration and fails on error.
+func benchFigure(b *testing.B, run func(*eval.Env) (*eval.Figure, error)) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig, err := run(env)
+		if err != nil {
+			b.Fatalf("figure: %v", err)
+		}
+		if err := fig.Render(io.Discard); err != nil {
+			b.Fatalf("render: %v", err)
+		}
+	}
+}
+
+// --- One benchmark per paper table/figure -------------------------------
+
+func BenchmarkFig01RawSeries(b *testing.B) { benchFigure(b, eval.Fig01RawSeries) }
+
+func BenchmarkFig02ScatterShapes(b *testing.B) { benchFigure(b, eval.Fig02ScatterShapes) }
+
+func BenchmarkFig05PriorMatrix(b *testing.B) {
+	benchFigure(b, func(*eval.Env) (*eval.Figure, error) { return eval.Fig05PriorMatrix() })
+}
+
+func BenchmarkFig07GridAdapt(b *testing.B) {
+	benchFigure(b, func(*eval.Env) (*eval.Figure, error) { return eval.Fig07GridAdapt() })
+}
+
+func BenchmarkFig09Posterior(b *testing.B) {
+	benchFigure(b, func(*eval.Env) (*eval.Figure, error) { return eval.Fig09Posterior() })
+}
+
+func BenchmarkClosenessCensus(b *testing.B) { benchFigure(b, eval.ClosenessCensus) }
+
+func BenchmarkFig11Fitness(b *testing.B) {
+	benchFigure(b, func(*eval.Env) (*eval.Figure, error) { return eval.Fig11Fitness() })
+}
+
+func BenchmarkFig12ProblemDetermination(b *testing.B) {
+	benchFigure(b, func(e *eval.Env) (*eval.Figure, error) { return eval.Fig12ProblemDetermination(e, 15) })
+}
+
+func BenchmarkFig13aOfflineVsAdaptive(b *testing.B) {
+	benchFigure(b, func(e *eval.Env) (*eval.Figure, error) { return eval.Fig13aOfflineVsAdaptive(e, 12) })
+}
+
+func BenchmarkFig13bUpdateTime(b *testing.B) {
+	benchFigure(b, func(e *eval.Env) (*eval.Figure, error) { return eval.Fig13bUpdateTime(e, 12, 5) })
+}
+
+func BenchmarkFig14Localization(b *testing.B) {
+	benchFigure(b, func(e *eval.Env) (*eval.Figure, error) { return eval.Fig14Localization(e, 4, 5, 12) })
+}
+
+func BenchmarkFig15Periodic(b *testing.B) {
+	benchFigure(b, func(e *eval.Env) (*eval.Figure, error) { return eval.Fig15Periodic(e, 12) })
+}
+
+func BenchmarkFig16TrainingSize(b *testing.B) {
+	benchFigure(b, func(e *eval.Env) (*eval.Figure, error) { return eval.Fig16TrainingSize(e, 12) })
+}
+
+func BenchmarkBaselineComparison(b *testing.B) { benchFigure(b, eval.BaselineComparison) }
+
+func BenchmarkAblation(b *testing.B) { benchFigure(b, eval.Ablation) }
+
+// --- Micro-benchmarks of the model's hot paths --------------------------
+
+// corrWalk produces a correlated random walk for model benchmarks.
+func corrWalk(seed int64, n int) []mathx.Point2 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]mathx.Point2, n)
+	x := 50.0
+	for i := range pts {
+		x = mathx.Clamp(x+rng.NormFloat64()*2, 0, 100)
+		pts[i] = mathx.Point2{X: x, Y: 2*x + rng.NormFloat64()*3}
+	}
+	return pts
+}
+
+// BenchmarkModelTrain measures building M = (G, V) from 8 days of samples.
+func BenchmarkModelTrain(b *testing.B) {
+	history := corrWalk(1, 8*timeseries.SamplesPerDay)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Train(history, core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelStepAdaptive measures the paper's online update + score
+// path per sample (Figure 13(b)'s unit of work for one pair).
+func BenchmarkModelStepAdaptive(b *testing.B) {
+	model, err := core.Train(corrWalk(2, 4*timeseries.SamplesPerDay), core.Config{Adaptive: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := corrWalk(3, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Step(stream[i%len(stream)])
+	}
+}
+
+// BenchmarkModelStepOffline measures pure scoring without updates.
+func BenchmarkModelStepOffline(b *testing.B) {
+	model, err := core.Train(corrWalk(4, 4*timeseries.SamplesPerDay), core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := corrWalk(5, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Step(stream[i%len(stream)])
+	}
+}
+
+// BenchmarkGridBuild measures the MAFIA-style discretization.
+func BenchmarkGridBuild(b *testing.B) {
+	history := corrWalk(6, 8*timeseries.SamplesPerDay)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildGrid(history, core.GridConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkManagerStep measures one synchronized row through a fleet of
+// pair models (12 measurements → 66 models).
+func BenchmarkManagerStep(b *testing.B) {
+	ds, _, err := simulator.Generate(simulator.GroupConfig{Name: "Z", Machines: 2, Days: 2, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	day1 := timeseries.MonitoringStart.AddDate(0, 0, 1)
+	mgr, err := manager.New(ds.Slice(timeseries.MonitoringStart, day1), manager.Config{
+		Model: core.Config{Adaptive: true, Grid: core.GridConfig{MaxIntervals: 12}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := ds.IDs()
+	rows := make([]manager.Row, timeseries.SamplesPerDay)
+	for k := range rows {
+		tm := day1.Add(time.Duration(k) * timeseries.SampleStep)
+		vals := make(map[timeseries.MeasurementID]float64, len(ids))
+		for _, id := range ids {
+			s := ds.Get(id)
+			if idx, ok := s.IndexOf(tm); ok {
+				vals[id] = s.Values[idx]
+			}
+		}
+		rows[k] = manager.Row{Time: tm, Values: vals}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mgr.Step(rows[i%len(rows)])
+	}
+}
+
+// BenchmarkCollectorThroughput measures samples/sec through the real TCP
+// pipeline (agent encode → socket → server decode → store).
+func BenchmarkCollectorThroughput(b *testing.B) {
+	store, err := mcorr.NewStore(time.Millisecond, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := mcorr.NewCollectorServer(store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	agent, err := mcorr.DialCollector(addr.String(), "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer agent.Close()
+	const batchSize = 256
+	batch := make([]mcorr.Sample, batchSize)
+	id := mcorr.MeasurementID{Machine: "bench", Metric: "cpu"}
+	epoch := timeseries.MonitoringStart
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			batch[j] = mcorr.Sample{
+				ID:    id,
+				Time:  epoch.Add(time.Duration(i*batchSize+j) * time.Millisecond),
+				Value: float64(j),
+			}
+		}
+		if err := agent.Send(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(batchSize * 40) // approximate wire bytes per batch... per op
+}
+
+// BenchmarkSimulatorDay measures generating one machine-day of all six
+// metrics.
+func BenchmarkSimulatorDay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := simulator.Generate(simulator.GroupConfig{
+			Name: "Z", Machines: 1, Days: 1, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFaultKindSweep(b *testing.B) { benchFigure(b, eval.FaultKindSweep) }
+
+func BenchmarkTimeConditionedExtension(b *testing.B) {
+	benchFigure(b, func(e *eval.Env) (*eval.Figure, error) { return eval.TimeConditionedExtension(e, 8) })
+}

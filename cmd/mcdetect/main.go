@@ -1,0 +1,205 @@
+// Command mcdetect trains the transition-probability model fleet on the
+// first part of a monitoring CSV and runs problem determination and
+// localization on the rest, printing the system fitness timeline, alarms
+// and the machine ranking.
+//
+// Usage:
+//
+//	mcdetect -data group.csv -train-days 8 -adaptive -threshold 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"time"
+
+	"mcorr/internal/alarm"
+	"mcorr/internal/core"
+	"mcorr/internal/eval"
+	"mcorr/internal/manager"
+	"mcorr/internal/simulator"
+	"mcorr/internal/timeseries"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mcdetect:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dataPath  = flag.String("data", "", "monitoring CSV (from mcgen)")
+		trainDays = flag.Int("train-days", 8, "days of the file used as training history")
+		adaptive  = flag.Bool("adaptive", true, "update models online during the test run")
+		threshold = flag.Float64("threshold", 0.5, "measurement fitness alarm threshold")
+		sysThresh = flag.Float64("system-threshold", 0.8, "system fitness alarm threshold")
+		delta     = flag.Float64("delta", 0, "pair transition-probability alarm threshold (0 = off)")
+		maxMeas   = flag.Int("max-measurements", 40, "cap on monitored measurements (highest variance kept)")
+		holdoff   = flag.Duration("holdoff", time.Hour, "alarm dedup holdoff")
+		saveTo    = flag.String("save-models", "", "after the run, save the trained manager (all pair models) to this file")
+		loadFrom  = flag.String("load-models", "", "skip training and restore a manager saved by -save-models")
+		truthPath = flag.String("truth", "", "ground-truth JSON (from mcgen) to score detection against")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		return fmt.Errorf("-data is required")
+	}
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ds, err := timeseries.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	ids := ds.IDs()
+	if len(ids) == 0 {
+		return fmt.Errorf("empty dataset")
+	}
+	start := ds.Get(ids[0]).Start
+	end := ds.Get(ids[0]).End()
+	for _, id := range ids {
+		s := ds.Get(id)
+		if s.Start.Before(start) {
+			start = s.Start
+		}
+		if s.End().After(end) {
+			end = s.End()
+		}
+	}
+	trainEnd := start.AddDate(0, 0, *trainDays)
+	if !trainEnd.Before(end) {
+		return fmt.Errorf("training window (%d days) covers the whole file", *trainDays)
+	}
+
+	memory := &alarm.MemorySink{}
+	logSink := &alarm.LogSink{Logger: log.New(os.Stdout, "ALARM ", 0)}
+	sink := alarm.NewDeduper(alarm.Multi{memory, logSink}, *holdoff)
+
+	var mgr *manager.Manager
+	var watched *timeseries.Dataset
+	if *loadFrom != "" {
+		mf, err := os.Open(*loadFrom)
+		if err != nil {
+			return err
+		}
+		mgr, err = manager.LoadManager(mf, sink)
+		if cerr := mf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		watched = eval.Subset(ds, mgr.IDs())
+		fmt.Printf("restored %d pair models from %s\n", len(mgr.Pairs()), *loadFrom)
+	} else {
+		selected := eval.SelectMeasurements(ds, start, trainEnd, eval.SelectionCriteria{Max: *maxMeas, MinCV: 0.01})
+		if len(selected) < 2 {
+			return fmt.Errorf("fewer than 2 measurements pass the variance filter")
+		}
+		watched = eval.Subset(ds, selected)
+		fmt.Printf("training on %s .. %s (%d measurements, %d pairs)\n",
+			start.Format(time.RFC3339), trainEnd.Format(time.RFC3339),
+			len(selected), len(selected)*(len(selected)-1)/2)
+		mgr, err = manager.New(watched.Slice(start, trainEnd), manager.Config{
+			Model:                core.Config{Adaptive: *adaptive, Grid: core.GridConfig{MaxIntervals: 12}},
+			MeasurementThreshold: *threshold,
+			SystemThreshold:      *sysThresh,
+			ProbDelta:            *delta,
+			Sink:                 sink,
+			TrackPairMeans:       true,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("detecting on %s .. %s (adaptive=%v)\n", trainEnd.Format(time.RFC3339), end.Format(time.RFC3339), *adaptive)
+	started := time.Now()
+	reports, err := mgr.Run(watched.Slice(trainEnd, end), trainEnd, end)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(started)
+
+	timeline := eval.SystemTimeline(reports)
+	fmt.Printf("\nprocessed %d rows in %v (%v per row)\n", len(reports), elapsed.Round(time.Millisecond),
+		(elapsed / time.Duration(max(1, len(reports)))).Round(time.Microsecond))
+	fmt.Printf("mean system fitness Q = %.4f\n", mgr.SystemMean())
+	if len(timeline) > 0 {
+		fmt.Printf("Q timeline: %s\n", eval.Sparkline(eval.Downsample(eval.Scores(timeline), 96), 0, 1))
+	}
+	lowest := math.Inf(1)
+	var lowestAt time.Time
+	for _, s := range timeline {
+		if s.Score < lowest {
+			lowest, lowestAt = s.Score, s.Time
+		}
+	}
+	if !math.IsInf(lowest, 1) {
+		fmt.Printf("lowest Q = %.4f at %s\n", lowest, lowestAt.Format(time.RFC3339))
+	}
+
+	loc := mgr.Localize()
+	fmt.Println("\nmachines ranked by average fitness (worst first):")
+	for i, ms := range loc.Machines {
+		fmt.Printf("  %2d. %-16s Q=%.4f (%d measurements)\n", i+1, ms.Machine, ms.Score, ms.Measurements)
+		if i >= 9 {
+			fmt.Printf("  ... %d more\n", len(loc.Machines)-10)
+			break
+		}
+	}
+	if *truthPath != "" {
+		tf, err := os.Open(*truthPath)
+		if err != nil {
+			return err
+		}
+		gt, err := simulator.LoadGroundTruth(tf)
+		if cerr := tf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		m := eval.EvaluateDetection(timeline, gt, *sysThresh)
+		fmt.Printf("\ndetection vs ground truth (system Q < %.2f): %d/%d events detected, mean delay %v, false-alarm rate %.3f\n",
+			*sysThresh, m.Detected, m.Events, m.MeanDelay, m.FalseAlarmRate)
+	}
+
+	if worst := mgr.WorstPairs(5); len(worst) > 0 {
+		fmt.Println("\nworst links (mean Q^{a,b}, the paper's pair-level drill-down):")
+		for _, ps := range worst {
+			fmt.Printf("  %-60s Q=%.4f (%d samples)\n", ps.Pair.String(), ps.Score, ps.Samples)
+		}
+	}
+	fmt.Printf("\nalarms: %d (deduped, holdoff %v)\n", memory.Len(), *holdoff)
+
+	if *saveTo != "" {
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			return err
+		}
+		err = mgr.Save(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("saved %d pair models to %s\n", len(mgr.Pairs()), *saveTo)
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,108 @@
+// Command mcfigures regenerates every figure of the paper's evaluation
+// section against the simulated environment, printing numeric tables and
+// shape checks, and optionally writing per-table CSV files.
+//
+// Usage:
+//
+//	mcfigures                 # all figures, default environment
+//	mcfigures -fig fig12      # one figure
+//	mcfigures -csv out/       # also write CSVs
+//	mcfigures -list           # list figure IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mcorr/internal/eval"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mcfigures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		figID    = flag.String("fig", "all", "figure ID to run, or 'all'")
+		seed     = flag.Int64("seed", 2008, "environment seed")
+		machines = flag.Int("machines", 12, "machines per group")
+		csvDir   = flag.String("csv", "", "directory for per-table CSV output")
+		report   = flag.String("report", "", "write a markdown paper-vs-measured report to this file")
+		list     = flag.Bool("list", false, "list figure IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, g := range eval.Generators() {
+			fmt.Printf("%-10s %s\n", g.ID, g.Description)
+		}
+		return nil
+	}
+
+	fmt.Fprintf(os.Stderr, "mcfigures: generating environment (3 groups x %d machines x 30 days, seed %d)...\n", *machines, *seed)
+	env, err := eval.NewEnv(eval.EnvConfig{Seed: *seed, Machines: *machines})
+	if err != nil {
+		return err
+	}
+
+	var figures []*eval.Figure
+	if *figID == "all" {
+		figures, err = eval.RunAll(env, os.Stdout)
+		if err != nil {
+			return err
+		}
+	} else {
+		fig, err := eval.RunFigure(env, *figID)
+		if err != nil {
+			return err
+		}
+		if err := fig.Render(os.Stdout); err != nil {
+			return err
+		}
+		figures = []*eval.Figure{fig}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		for _, fig := range figures {
+			for i, tab := range fig.Tables {
+				name := fmt.Sprintf("%s_%d.csv", fig.ID, i)
+				f, err := os.Create(filepath.Join(*csvDir, name))
+				if err != nil {
+					return err
+				}
+				err = tab.WriteCSV(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "mcfigures: CSVs written to %s\n", *csvDir)
+	}
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			return err
+		}
+		err = eval.WriteMarkdownReport(f, eval.ReportTitle(time.Now()), env, figures)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "mcfigures: report written to %s\n", *report)
+	}
+	return nil
+}

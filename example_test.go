@@ -1,0 +1,146 @@
+package mcorr_test
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mcorr"
+)
+
+// ExampleFitnessFromRow reproduces the paper's Figure-11 worked example:
+// the fitness score of each possible destination cell given one transition
+// distribution.
+func ExampleFitnessFromRow() {
+	// Transition probabilities out of the current cell (2×3 grid).
+	row := []float64{0.1116, 0.2422, 0.2095, 0.2538, 0.1734, 0.0094}
+	for h := range row {
+		fmt.Printf("c%d: rank %d, fitness %.4f\n",
+			h+1, mcorr.RankInRow(row, h), mcorr.FitnessFromRow(row, h))
+	}
+	// Output:
+	// c1: rank 5, fitness 0.3333
+	// c2: rank 2, fitness 0.8333
+	// c3: rank 3, fitness 0.6667
+	// c4: rank 1, fitness 1.0000
+	// c5: rank 4, fitness 0.5000
+	// c6: rank 6, fitness 0.1667
+}
+
+// ExampleTrainModel trains on a perfectly deterministic correlated pair
+// and shows that a normal continuation scores high fitness while a
+// correlation-breaking jump scores low.
+func ExampleTrainModel() {
+	// History: x ramps up and down; y = 2x. Deterministic, so the output
+	// is stable.
+	var history []mcorr.Point
+	for cycle := 0; cycle < 40; cycle++ {
+		for i := 0; i < 50; i++ {
+			x := float64(i)
+			if cycle%2 == 1 {
+				x = float64(49 - i)
+			}
+			history = append(history, mcorr.Point{X: x, Y: 2 * x})
+		}
+	}
+	model, err := mcorr.TrainModel(history, mcorr.ModelConfig{})
+	if err != nil {
+		fmt.Println("train:", err)
+		return
+	}
+
+	model.Step(mcorr.Point{X: 20, Y: 40})
+	normal := model.Step(mcorr.Point{X: 21, Y: 42}) // follows the pattern
+	model.Reset()
+	model.Step(mcorr.Point{X: 20, Y: 40})
+	broken := model.Step(mcorr.Point{X: 48, Y: 2}) // x high, y low: breaks y=2x
+
+	fmt.Printf("normal step:  fitness > 0.9? %v\n", normal.Fitness > 0.9)
+	fmt.Printf("broken step:  fitness < 0.3? %v\n", broken.Fitness < 0.3)
+	// Output:
+	// normal step:  fitness > 0.9? true
+	// broken step:  fitness < 0.3? true
+}
+
+// ExampleModel_Explain shows the paper's human-debugging output: the
+// measurement ranges of the expected versus observed cells.
+func ExampleModel_Explain() {
+	var history []mcorr.Point
+	for cycle := 0; cycle < 40; cycle++ {
+		for i := 0; i < 50; i++ {
+			x := float64(i)
+			if cycle%2 == 1 {
+				x = float64(49 - i)
+			}
+			history = append(history, mcorr.Point{X: x, Y: 2 * x})
+		}
+	}
+	model, err := mcorr.TrainModel(history, mcorr.ModelConfig{})
+	if err != nil {
+		fmt.Println("train:", err)
+		return
+	}
+	model.Step(mcorr.Point{X: 20, Y: 40})
+	ex, ok := model.Explain(mcorr.Point{X: 21, Y: 42}, 1)
+	if !ok {
+		fmt.Println("nothing to explain")
+		return
+	}
+	fmt.Printf("observed cell rank %d, fitness %.2f, in grid: %v\n",
+		ex.Observed.Rank, ex.Fitness, !ex.OutOfGrid)
+	fmt.Printf("ranges are finite: %v\n",
+		!math.IsInf(ex.Observed.XLo, 0) && !math.IsInf(ex.Observed.YHi, 0))
+	// Output:
+	// observed cell rank 1, fitness 1.00, in grid: true
+	// ranges are finite: true
+}
+
+// ExampleNewMonitor wires the streaming glue: samples arrive measurement
+// by measurement; complete rows are scored automatically.
+func ExampleNewMonitor() {
+	start := time.Date(2008, time.May, 29, 0, 0, 0, 0, time.UTC)
+	step := 6 * time.Minute
+	idA := mcorr.MeasurementID{Machine: "srv-1", Metric: "netIn"}
+	idB := mcorr.MeasurementID{Machine: "srv-1", Metric: "cpu"}
+
+	// One day of deterministic history for both measurements.
+	history := mcorr.NewDataset()
+	sa, _ := mcorr.NewSeries(idA, start, step)
+	sb, _ := mcorr.NewSeries(idB, start, step)
+	for i := 0; i < 240; i++ {
+		load := 50 + 40*math.Sin(float64(i)/240*2*math.Pi)
+		sa.Append(load * 100)
+		sb.Append(load)
+	}
+	history.Add(sa)
+	history.Add(sb)
+
+	mon, err := mcorr.NewMonitor(history, mcorr.ManagerConfig{})
+	if err != nil {
+		fmt.Println("monitor:", err)
+		return
+	}
+	// Stream three new rows.
+	day2 := start.AddDate(0, 0, 1)
+	var scored int
+	for i := 0; i < 3; i++ {
+		tm := day2.Add(time.Duration(i) * step)
+		load := 50 + 40*math.Sin(float64(240+i)/240*2*math.Pi)
+		reports, err := mon.Ingest(
+			mcorr.Sample{ID: idA, Time: tm, Value: load * 100},
+			mcorr.Sample{ID: idB, Time: tm, Value: load},
+		)
+		if err != nil {
+			fmt.Println("ingest:", err)
+			return
+		}
+		for _, r := range reports {
+			if r.ScoredPairs > 0 {
+				scored++
+			}
+		}
+	}
+	fmt.Printf("rows with scored links: %d of 3\n", scored)
+	// Output:
+	// rows with scored links: 2 of 3
+}

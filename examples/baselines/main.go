@@ -1,0 +1,134 @@
+// Baselines: why model transitions instead of static shapes? This example
+// pits the paper's transition-probability model against the two prior-work
+// detectors it improves upon — linear invariants (Jiang et al.) and
+// Gaussian-mixture ellipses (Guo et al.) — on a temporal anomaly that
+// leaves every individual sample looking perfectly normal.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mcorr/internal/baseline"
+	"mcorr/internal/core"
+	"mcorr/internal/mathx"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// system emits a two-regime pair: a batch job toggles the machine between
+// a light profile (y ≈ 0.5x) and a heavy one (y ≈ 4x).
+func system(rng *rand.Rand, n int) []mathx.Point2 {
+	pts := make([]mathx.Point2, n)
+	x, heavy := 50.0, false
+	for i := range pts {
+		if rng.Float64() < 0.01 {
+			heavy = !heavy
+		}
+		x = clamp(x+rng.NormFloat64()*2, 5, 100)
+		y := 0.5 * x
+		if heavy {
+			y = 4 * x
+		}
+		pts[i] = mathx.Point2{X: x, Y: y + rng.NormFloat64()}
+	}
+	return pts
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(7))
+	history := system(rng, 5000)
+
+	model, err := core.Train(history, core.Config{})
+	if err != nil {
+		return err
+	}
+	li, err := baseline.TrainLinearInvariant(history, baseline.LinearConfig{})
+	if err != nil {
+		return err
+	}
+	gmm, err := baseline.TrainGMMEllipse(history, baseline.GMMEllipseConfig{Seed: 3})
+	if err != nil {
+		return err
+	}
+	detectors := []baseline.PairDetector{
+		&baseline.TransitionAdapter{Model: model}, li, gmm,
+	}
+
+	fmt.Printf("trained on %d points; linear invariant R²=%.3f (valid=%v); transition grid: %d cells\n\n",
+		len(history), li.R2(), li.Valid(), model.NumCells())
+
+	// Scenario 1: normal continuation — everyone should stay quiet.
+	normal := system(rand.New(rand.NewSource(8)), 400)
+	baselineScore := make(map[string]float64)
+	fmt.Println("scenario 1: normal continuation")
+	for _, d := range detectors {
+		d.Reset()
+		s := baseline.MeanScore(d, normal)
+		baselineScore[d.Name()] = s
+		fmt.Printf("  %-24s mean score %.3f\n", d.Name(), s)
+	}
+
+	// Scenario 2: flapping — the system oscillates between two perfectly
+	// valid operating points every sample. Marginals: normal. Scatter:
+	// on the learned manifold. Transitions: absurd.
+	flap := make([]mathx.Point2, 400)
+	for i := range flap {
+		if i%2 == 0 {
+			flap[i] = mathx.Point2{X: 10, Y: 5 + rng.NormFloat64()}
+		} else {
+			flap[i] = mathx.Point2{X: 95, Y: 47.5 + rng.NormFloat64()}
+		}
+	}
+	fmt.Println("\nscenario 2: flapping between two valid states (temporal anomaly)")
+	for _, d := range detectors {
+		d.Reset()
+		score := baseline.MeanScore(d, flap)
+		// A detector "sees" the fault when its score drops well below
+		// its own normal-operation level.
+		verdict := "BLIND"
+		if score < baselineScore[d.Name()]-0.15 {
+			verdict = "detects it"
+		}
+		fmt.Printf("  %-24s mean score %.3f (normal %.3f)  -> %s\n",
+			d.Name(), score, baselineScore[d.Name()], verdict)
+	}
+
+	// Scenario 3: an off-manifold outlier — the classic spatial anomaly
+	// every detector should catch (the transition model and GMM clearly;
+	// the linear invariant only because its residual explodes too).
+	outlier := append(system(rand.New(rand.NewSource(9)), 50),
+		mathx.Point2{X: 50, Y: 350})
+	fmt.Println("\nscenario 3: spatial outlier far off the manifold (last point)")
+	for _, d := range detectors {
+		d.Reset()
+		var last float64
+		var ok bool
+		for _, p := range outlier {
+			last, ok = d.Step(p)
+		}
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-24s final-point score %.3f\n", d.Name(), last)
+	}
+
+	fmt.Println("\ntakeaway: only the transition-probability model sees both spatial AND temporal anomalies —")
+	fmt.Println("the paper's argument for modeling correlations across observation time.")
+	return nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

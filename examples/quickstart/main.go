@@ -1,0 +1,96 @@
+// Quickstart: train the paper's transition-probability model on one pair
+// of correlated measurements, stream new observations through it, and
+// catch the moment their correlation breaks.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mcorr"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// History: two measurements driven by the same workload. Think
+	// "requests per second" and "CPU utilization" sampled every 6
+	// minutes for a week (≈1680 points).
+	var history []mcorr.Point
+	load := 50.0
+	for i := 0; i < 1680; i++ {
+		load = clamp(load+rng.NormFloat64()*3, 5, 100)
+		history = append(history, observe(load, rng))
+	}
+
+	// Train the model M = (G, V): an adaptive grid over the 2-D space
+	// plus a Bayesian transition matrix between its cells.
+	model, err := mcorr.TrainModel(history, mcorr.ModelConfig{Adaptive: true})
+	if err != nil {
+		log.Fatalf("train: %v", err)
+	}
+	fmt.Printf("trained model: %d grid cells\n\n", model.NumCells())
+
+	// Online phase: normal samples score high fitness...
+	fmt.Println("normal operation:")
+	for i := 0; i < 5; i++ {
+		load = clamp(load+rng.NormFloat64()*3, 5, 100)
+		report(model.Step(observe(load, rng)))
+	}
+
+	// ...then the CPU decouples from the load (a runaway process):
+	// each value alone looks plausible, but the *joint* transition is
+	// wildly improbable, so the fitness score collapses.
+	fmt.Println("\nfault injected (CPU decoupled from load):")
+	var faulty mcorr.Point
+	for i := 0; i < 5; i++ {
+		load = clamp(load+rng.NormFloat64()*3, 5, 100)
+		p := observe(load, rng)
+		p.Y = 95 + rng.NormFloat64() // pegged CPU, independent of load
+		if i == 0 {
+			// Ask the model to explain the first faulty observation in
+			// measurement units — the paper's human-debugging output.
+			if ex, ok := model.Explain(p, 1); ok {
+				fmt.Printf("  explain: pair was in %s, expected %s (p=%.3f)\n",
+					ex.From, ex.Expected[0], ex.Expected[0].Prob)
+			}
+			faulty = p
+		}
+		report(model.Step(p))
+	}
+	fmt.Printf("\n(the faulty observation was %+v — plausible alone, impossible jointly)\n", faulty)
+}
+
+// observe derives the two correlated measurements from the load.
+func observe(load float64, rng *rand.Rand) mcorr.Point {
+	return mcorr.Point{
+		X: load*120 + rng.NormFloat64()*80,           // network octets/s
+		Y: 100*(1-1/(1+load/40)) + rng.NormFloat64(), // CPU %, saturating
+	}
+}
+
+func report(res mcorr.StepResult) {
+	switch {
+	case res.OutOfGrid:
+		// The point left the learned operating region entirely: the
+		// paper assigns it probability 0 and fitness 0.
+		fmt.Println("  outside the learned operating region (P=0, fitness=0)  ANOMALY")
+	case !res.Scored:
+		fmt.Println("  (warming up)")
+	case res.Fitness < 0.5:
+		fmt.Printf("  fitness=%.3f  P(transition)=%.4f  ANOMALY\n", res.Fitness, res.Prob)
+	default:
+		fmt.Printf("  fitness=%.3f  P(transition)=%.4f  ok\n", res.Fitness, res.Prob)
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

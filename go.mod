@@ -1,0 +1,3 @@
+module mcorr
+
+go 1.22

@@ -1,0 +1,269 @@
+// Package alarm carries problem notifications from the detection layer to
+// operators: typed alarms with severities and scopes, pluggable sinks, and
+// a deduplicating wrapper that suppresses repeats of the same alarm within
+// a holdoff window (one real problem spans many consecutive samples).
+package alarm
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mcorr/internal/timeseries"
+)
+
+// Severity grades an alarm.
+type Severity int
+
+const (
+	// SeverityInfo is advisory (mild score dip).
+	SeverityInfo Severity = iota + 1
+	// SeverityWarning needs operator attention.
+	SeverityWarning
+	// SeverityCritical indicates a likely ongoing problem.
+	SeverityCritical
+)
+
+// String returns the severity's name.
+func (s Severity) String() string {
+	switch s {
+	case SeverityInfo:
+		return "info"
+	case SeverityWarning:
+		return "warning"
+	case SeverityCritical:
+		return "critical"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Scope says which level of the paper's three-level fitness hierarchy the
+// alarm came from.
+type Scope int
+
+const (
+	// ScopePair is one measurement pair (Q^{a,b}).
+	ScopePair Scope = iota + 1
+	// ScopeMeasurement is one measurement (Q^a).
+	ScopeMeasurement
+	// ScopeSystem is the whole system (Q).
+	ScopeSystem
+)
+
+// String returns the scope's name.
+func (s Scope) String() string {
+	switch s {
+	case ScopePair:
+		return "pair"
+	case ScopeMeasurement:
+		return "measurement"
+	case ScopeSystem:
+		return "system"
+	default:
+		return fmt.Sprintf("Scope(%d)", int(s))
+	}
+}
+
+// Alarm is one problem notification.
+type Alarm struct {
+	Time     time.Time
+	Severity Severity
+	Scope    Scope
+	// Measurement is set for ScopeMeasurement and ScopePair.
+	Measurement timeseries.MeasurementID
+	// Peer is the second measurement for ScopePair.
+	Peer timeseries.MeasurementID
+	// Score is the fitness (or probability) that breached the threshold.
+	Score float64
+	// Threshold is the configured limit that was breached.
+	Threshold float64
+	// Message is a human-readable summary.
+	Message string
+}
+
+// Key returns a deduplication key: alarms with equal keys describe the
+// same ongoing condition.
+func (a Alarm) Key() string {
+	return fmt.Sprintf("%s|%s|%s|%s", a.Scope, a.Severity, a.Measurement, a.Peer)
+}
+
+// String renders the alarm for logs.
+func (a Alarm) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] %s %s score=%.4f thr=%.4f", a.Severity, a.Time.Format(time.RFC3339), a.Scope, a.Score, a.Threshold)
+	if a.Scope != ScopeSystem {
+		fmt.Fprintf(&b, " %s", a.Measurement)
+	}
+	if a.Scope == ScopePair {
+		fmt.Fprintf(&b, "~%s", a.Peer)
+	}
+	if a.Message != "" {
+		fmt.Fprintf(&b, ": %s", a.Message)
+	}
+	return b.String()
+}
+
+// Sink consumes alarms. Implementations must be safe for concurrent use.
+type Sink interface {
+	Publish(Alarm)
+}
+
+// MemorySink records alarms for inspection (tests, reports).
+type MemorySink struct {
+	mu     sync.Mutex
+	alarms []Alarm
+}
+
+var _ Sink = (*MemorySink)(nil)
+
+// Publish implements Sink.
+func (m *MemorySink) Publish(a Alarm) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.alarms = append(m.alarms, a)
+}
+
+// Alarms returns a copy of the recorded alarms in publish order.
+func (m *MemorySink) Alarms() []Alarm {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Alarm(nil), m.alarms...)
+}
+
+// Len returns the number of recorded alarms.
+func (m *MemorySink) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.alarms)
+}
+
+// Clear discards recorded alarms.
+func (m *MemorySink) Clear() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.alarms = nil
+}
+
+// ByMachine groups the recorded alarms by the machine of their primary
+// measurement and returns counts sorted by machine name.
+func (m *MemorySink) ByMachine() []MachineCount {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	counts := make(map[string]int)
+	for _, a := range m.alarms {
+		if a.Scope != ScopeSystem {
+			counts[a.Measurement.Machine]++
+		}
+	}
+	out := make([]MachineCount, 0, len(counts))
+	for machine, n := range counts {
+		out = append(out, MachineCount{Machine: machine, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Machine < out[j].Machine })
+	return out
+}
+
+// MachineCount is an alarm tally for one machine.
+type MachineCount struct {
+	Machine string
+	Count   int
+}
+
+// LogSink writes alarms to a standard logger.
+type LogSink struct {
+	Logger *log.Logger
+}
+
+var _ Sink = (*LogSink)(nil)
+
+// Publish implements Sink.
+func (l *LogSink) Publish(a Alarm) {
+	if l.Logger != nil {
+		l.Logger.Print(a.String())
+	}
+}
+
+// ChannelSink forwards alarms to a channel, dropping when full so a slow
+// consumer can never stall detection.
+type ChannelSink struct {
+	C chan Alarm
+	// Dropped counts alarms discarded because C was full.
+	mu      sync.Mutex
+	dropped int
+}
+
+// NewChannelSink returns a sink with the given buffer capacity.
+func NewChannelSink(capacity int) *ChannelSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ChannelSink{C: make(chan Alarm, capacity)}
+}
+
+var _ Sink = (*ChannelSink)(nil)
+
+// Publish implements Sink.
+func (c *ChannelSink) Publish(a Alarm) {
+	select {
+	case c.C <- a:
+	default:
+		c.mu.Lock()
+		c.dropped++
+		c.mu.Unlock()
+	}
+}
+
+// Dropped returns how many alarms were discarded.
+func (c *ChannelSink) Dropped() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Multi fans an alarm out to several sinks.
+type Multi []Sink
+
+var _ Sink = (Multi)(nil)
+
+// Publish implements Sink.
+func (m Multi) Publish(a Alarm) {
+	for _, s := range m {
+		s.Publish(a)
+	}
+}
+
+// Deduper suppresses alarms whose Key repeats within Holdoff of the last
+// published instance — one ongoing problem produces one alarm per holdoff
+// window rather than one per sample.
+type Deduper struct {
+	Next    Sink
+	Holdoff time.Duration
+
+	mu   sync.Mutex
+	last map[string]time.Time
+}
+
+// NewDeduper wraps next with a holdoff window.
+func NewDeduper(next Sink, holdoff time.Duration) *Deduper {
+	return &Deduper{Next: next, Holdoff: holdoff, last: make(map[string]time.Time)}
+}
+
+var _ Sink = (*Deduper)(nil)
+
+// Publish implements Sink. Suppression is keyed on Alarm.Key and uses the
+// alarm's own timestamp, so it works for replayed historical streams too.
+func (d *Deduper) Publish(a Alarm) {
+	d.mu.Lock()
+	last, seen := d.last[a.Key()]
+	if seen && a.Time.Sub(last) < d.Holdoff {
+		d.mu.Unlock()
+		return
+	}
+	d.last[a.Key()] = a.Time
+	d.mu.Unlock()
+	d.Next.Publish(a)
+}

@@ -1,0 +1,251 @@
+package alarm
+
+import (
+	"bytes"
+	"log"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mcorr/internal/timeseries"
+)
+
+var (
+	idA = timeseries.MeasurementID{Machine: "m1", Metric: "cpu"}
+	idB = timeseries.MeasurementID{Machine: "m2", Metric: "net"}
+	t0  = timeseries.TestStart
+)
+
+func mkAlarm(tm time.Time, scope Scope, sev Severity) Alarm {
+	return Alarm{
+		Time: tm, Severity: sev, Scope: scope,
+		Measurement: idA, Peer: idB, Score: 0.12, Threshold: 0.5,
+		Message: "fitness collapsed",
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if SeverityInfo.String() != "info" || SeverityWarning.String() != "warning" || SeverityCritical.String() != "critical" {
+		t.Error("severity names wrong")
+	}
+	if Severity(9).String() == "" {
+		t.Error("unknown severity should render")
+	}
+	if ScopePair.String() != "pair" || ScopeMeasurement.String() != "measurement" || ScopeSystem.String() != "system" {
+		t.Error("scope names wrong")
+	}
+	if Scope(9).String() == "" {
+		t.Error("unknown scope should render")
+	}
+}
+
+func TestAlarmString(t *testing.T) {
+	s := mkAlarm(t0, ScopePair, SeverityCritical).String()
+	for _, want := range []string{"critical", "pair", "cpu@m1", "net@m2", "0.1200", "fitness collapsed"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	sys := mkAlarm(t0, ScopeSystem, SeverityInfo).String()
+	if strings.Contains(sys, "cpu@m1") {
+		t.Error("system alarm should not name a measurement")
+	}
+}
+
+func TestAlarmKeyStableAcrossTimeAndScore(t *testing.T) {
+	a := mkAlarm(t0, ScopePair, SeverityWarning)
+	b := mkAlarm(t0.Add(time.Hour), ScopePair, SeverityWarning)
+	b.Score = 0.01
+	if a.Key() != b.Key() {
+		t.Error("same condition should share a key")
+	}
+	c := mkAlarm(t0, ScopeMeasurement, SeverityWarning)
+	if a.Key() == c.Key() {
+		t.Error("different scopes should differ")
+	}
+}
+
+func TestMemorySink(t *testing.T) {
+	var m MemorySink
+	m.Publish(mkAlarm(t0, ScopeSystem, SeverityInfo))
+	m.Publish(mkAlarm(t0, ScopeMeasurement, SeverityWarning))
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	got := m.Alarms()
+	got[0].Score = 99 // must not affect the sink's copy
+	if m.Alarms()[0].Score == 99 {
+		t.Error("Alarms should return a copy")
+	}
+	m.Clear()
+	if m.Len() != 0 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestMemorySinkByMachine(t *testing.T) {
+	var m MemorySink
+	a := mkAlarm(t0, ScopeMeasurement, SeverityWarning) // machine m1
+	m.Publish(a)
+	m.Publish(a)
+	b := mkAlarm(t0, ScopePair, SeverityWarning)
+	b.Measurement = idB // machine m2
+	m.Publish(b)
+	m.Publish(mkAlarm(t0, ScopeSystem, SeverityInfo)) // no machine
+	got := m.ByMachine()
+	if len(got) != 2 || got[0].Machine != "m1" || got[0].Count != 2 || got[1].Machine != "m2" || got[1].Count != 1 {
+		t.Errorf("ByMachine = %+v", got)
+	}
+}
+
+func TestLogSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := &LogSink{Logger: log.New(&buf, "", 0)}
+	s.Publish(mkAlarm(t0, ScopePair, SeverityCritical))
+	if !strings.Contains(buf.String(), "critical") {
+		t.Errorf("log output = %q", buf.String())
+	}
+	// Nil logger must not panic.
+	(&LogSink{}).Publish(mkAlarm(t0, ScopePair, SeverityInfo))
+}
+
+func TestChannelSinkDropsWhenFull(t *testing.T) {
+	c := NewChannelSink(2)
+	for i := 0; i < 5; i++ {
+		c.Publish(mkAlarm(t0, ScopeSystem, SeverityInfo))
+	}
+	if len(c.C) != 2 {
+		t.Errorf("buffered = %d", len(c.C))
+	}
+	if c.Dropped() != 3 {
+		t.Errorf("Dropped = %d", c.Dropped())
+	}
+	// Zero capacity is clamped to 1.
+	if cap(NewChannelSink(0).C) != 1 {
+		t.Error("capacity clamp failed")
+	}
+}
+
+func TestMulti(t *testing.T) {
+	var a, b MemorySink
+	Multi{&a, &b}.Publish(mkAlarm(t0, ScopeSystem, SeverityInfo))
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Error("Multi should fan out")
+	}
+}
+
+func TestDeduperSuppressesWithinHoldoff(t *testing.T) {
+	var m MemorySink
+	d := NewDeduper(&m, time.Hour)
+	base := mkAlarm(t0, ScopePair, SeverityWarning)
+	d.Publish(base)
+	repeat := base
+	repeat.Time = t0.Add(10 * time.Minute)
+	d.Publish(repeat) // suppressed
+	later := base
+	later.Time = t0.Add(2 * time.Hour)
+	d.Publish(later) // past holdoff
+	other := base
+	other.Severity = SeverityCritical // different key
+	other.Time = t0.Add(time.Minute)
+	d.Publish(other)
+	if m.Len() != 3 {
+		t.Errorf("published = %d, want 3", m.Len())
+	}
+}
+
+func TestDeduperConcurrent(t *testing.T) {
+	var m MemorySink
+	d := NewDeduper(&m, time.Hour)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.Publish(mkAlarm(t0, ScopePair, SeverityWarning))
+		}()
+	}
+	wg.Wait()
+	if m.Len() != 1 {
+		t.Errorf("published = %d, want exactly 1", m.Len())
+	}
+}
+
+func TestEscalatorPassThrough(t *testing.T) {
+	var m MemorySink
+	e := NewEscalator(&m, 0, time.Hour) // disabled
+	e.Publish(mkAlarm(t0, ScopePair, SeverityWarning))
+	if m.Len() != 1 {
+		t.Errorf("published = %d", m.Len())
+	}
+}
+
+func TestEscalatorEscalatesRepeats(t *testing.T) {
+	var m MemorySink
+	e := NewEscalator(&m, 3, time.Hour)
+	for i := 0; i < 3; i++ {
+		a := mkAlarm(t0.Add(time.Duration(i)*10*time.Minute), ScopePair, SeverityWarning)
+		e.Publish(a)
+	}
+	// 3 originals + 1 escalated critical.
+	alarms := m.Alarms()
+	if len(alarms) != 4 {
+		t.Fatalf("published = %d, want 4", len(alarms))
+	}
+	last := alarms[3]
+	if last.Severity != SeverityCritical || !strings.Contains(last.Message, "escalated") {
+		t.Errorf("escalated alarm = %+v", last)
+	}
+	// Further repeats within the window do not re-escalate.
+	e.Publish(mkAlarm(t0.Add(35*time.Minute), ScopePair, SeverityWarning))
+	if m.Len() != 5 {
+		t.Errorf("published = %d, want 5 (no second escalation)", m.Len())
+	}
+	// After the window passes, the condition can escalate again.
+	for i := 0; i < 3; i++ {
+		e.Publish(mkAlarm(t0.Add(2*time.Hour+time.Duration(i)*5*time.Minute), ScopePair, SeverityWarning))
+	}
+	alarms = m.Alarms()
+	crit := 0
+	for _, a := range alarms {
+		if a.Severity == SeverityCritical {
+			crit++
+		}
+	}
+	if crit != 2 {
+		t.Errorf("critical alarms = %d, want 2", crit)
+	}
+}
+
+func TestEscalatorSeparateKeys(t *testing.T) {
+	var m MemorySink
+	e := NewEscalator(&m, 2, time.Hour)
+	a := mkAlarm(t0, ScopePair, SeverityWarning)
+	b := mkAlarm(t0, ScopeMeasurement, SeverityWarning) // different key
+	e.Publish(a)
+	e.Publish(b)
+	if m.Len() != 2 {
+		t.Errorf("different keys should not escalate: %d", m.Len())
+	}
+}
+
+func TestEscalatorOldAlarmsExpire(t *testing.T) {
+	var m MemorySink
+	e := NewEscalator(&m, 2, 30*time.Minute)
+	e.Publish(mkAlarm(t0, ScopePair, SeverityWarning))
+	e.Publish(mkAlarm(t0.Add(time.Hour), ScopePair, SeverityWarning)) // outside window
+	if m.Len() != 2 {
+		t.Errorf("expired repeats should not escalate: %d", m.Len())
+	}
+}
+
+func TestEscalatorIgnoresCritical(t *testing.T) {
+	var m MemorySink
+	e := NewEscalator(&m, 2, time.Hour)
+	e.Publish(mkAlarm(t0, ScopeSystem, SeverityCritical))
+	e.Publish(mkAlarm(t0.Add(time.Minute), ScopeSystem, SeverityCritical))
+	if m.Len() != 2 {
+		t.Errorf("critical alarms must not re-escalate: %d", m.Len())
+	}
+}

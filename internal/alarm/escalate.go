@@ -1,0 +1,71 @@
+package alarm
+
+import (
+	"sync"
+	"time"
+)
+
+// Escalator is a sink wrapper implementing a simple escalation policy:
+// alarms pass through unchanged, and when the same condition (Alarm.Key)
+// fires Count times within Window, one escalated copy at SeverityCritical
+// is published as well. A condition escalates at most once per Window.
+//
+// Place the Escalator *before* any Deduper so it sees every raw alarm.
+type Escalator struct {
+	Next   Sink
+	Count  int
+	Window time.Duration
+
+	mu    sync.Mutex
+	seen  map[string][]time.Time
+	fired map[string]time.Time
+}
+
+// NewEscalator wraps next: count alarms with one key within window
+// escalate. count < 2 disables escalation (pure pass-through).
+func NewEscalator(next Sink, count int, window time.Duration) *Escalator {
+	return &Escalator{
+		Next:  next,
+		Count: count, Window: window,
+		seen:  make(map[string][]time.Time),
+		fired: make(map[string]time.Time),
+	}
+}
+
+var _ Sink = (*Escalator)(nil)
+
+// Publish implements Sink.
+func (e *Escalator) Publish(a Alarm) {
+	e.Next.Publish(a)
+	if e.Count < 2 || a.Severity >= SeverityCritical {
+		return
+	}
+	key := a.Key()
+	e.mu.Lock()
+	times := append(e.seen[key], a.Time)
+	// Drop entries older than the window (alarm streams are in time
+	// order per condition).
+	cut := 0
+	for cut < len(times) && a.Time.Sub(times[cut]) >= e.Window {
+		cut++
+	}
+	times = times[cut:]
+	e.seen[key] = times
+	escalate := len(times) >= e.Count
+	if escalate {
+		if last, ok := e.fired[key]; ok && a.Time.Sub(last) < e.Window {
+			escalate = false
+		}
+	}
+	if escalate {
+		e.fired[key] = a.Time
+		e.seen[key] = nil
+	}
+	e.mu.Unlock()
+	if escalate {
+		esc := a
+		esc.Severity = SeverityCritical
+		esc.Message = "escalated: repeated condition — " + a.Message
+		e.Next.Publish(esc)
+	}
+}

@@ -1,0 +1,206 @@
+package collector
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mcorr/internal/timeseries"
+	"mcorr/internal/tsdb"
+)
+
+// Agent ships samples from one machine to a collector server over a single
+// TCP connection. Methods are safe for concurrent use.
+type Agent struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	name   string
+	closed bool
+	sent   int
+}
+
+// Dial connects to the server at addr and introduces the agent by name.
+func Dial(addr, name string) (*Agent, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("agent dial %s: %w", addr, err)
+	}
+	a := &Agent{conn: conn, name: name}
+	if err := WriteFrame(conn, Frame{Type: MsgHello, Payload: []byte(name)}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("agent hello: %w", err)
+	}
+	return a, nil
+}
+
+// NewAgentConn wraps an existing connection (e.g. one end of net.Pipe in
+// tests) as an agent, sending the hello frame.
+func NewAgentConn(conn net.Conn, name string) (*Agent, error) {
+	a := &Agent{conn: conn, name: name}
+	if err := WriteFrame(conn, Frame{Type: MsgHello, Payload: []byte(name)}); err != nil {
+		return nil, fmt.Errorf("agent hello: %w", err)
+	}
+	return a, nil
+}
+
+// Name returns the agent's name.
+func (a *Agent) Name() string { return a.name }
+
+// Sent returns the number of samples successfully acknowledged.
+func (a *Agent) Sent() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sent
+}
+
+// Send ships one batch of samples and waits for the server's ack. Batches
+// larger than MaxBatch are split transparently.
+func (a *Agent) Send(batch []tsdb.Sample) error {
+	for len(batch) > 0 {
+		n := len(batch)
+		if n > MaxBatch {
+			n = MaxBatch
+		}
+		if err := a.sendOne(batch[:n]); err != nil {
+			return err
+		}
+		batch = batch[n:]
+	}
+	return nil
+}
+
+func (a *Agent) sendOne(batch []tsdb.Sample) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return errors.New("agent: closed")
+	}
+	payload, err := EncodeSamples(batch)
+	if err != nil {
+		return fmt.Errorf("agent encode: %w", err)
+	}
+	if err := WriteFrame(a.conn, Frame{Type: MsgSamples, Payload: payload}); err != nil {
+		return fmt.Errorf("agent send: %w", err)
+	}
+	f, err := ReadFrame(a.conn)
+	if err != nil {
+		return fmt.Errorf("agent await ack: %w", err)
+	}
+	if f.Type != MsgAck {
+		return fmt.Errorf("agent: expected ack, got %s", f.Type)
+	}
+	n, err := DecodeAck(f.Payload)
+	if err != nil {
+		return fmt.Errorf("agent decode ack: %w", err)
+	}
+	if n != len(batch) {
+		return fmt.Errorf("agent: server accepted %d of %d samples", n, len(batch))
+	}
+	a.sent += n
+	return nil
+}
+
+// Heartbeat sends a keepalive stamped with t.
+func (a *Agent) Heartbeat(t time.Time) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return errors.New("agent: closed")
+	}
+	return WriteFrame(a.conn, Frame{Type: MsgHeartbeat, Payload: EncodeHeartbeat(t)})
+}
+
+// StartHeartbeats sends a heartbeat every interval from a background
+// goroutine until the returned stop function is called or a send fails.
+// The stop function blocks until the loop has exited and is safe to call
+// more than once. Interval ≤ 0 selects 30 seconds.
+func (a *Agent) StartHeartbeats(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-t.C:
+				if err := a.Heartbeat(now); err != nil {
+					return // connection gone; the loop must not spin
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-stopped
+	}
+}
+
+// Close sends a bye frame and closes the connection.
+func (a *Agent) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil
+	}
+	a.closed = true
+	_ = WriteFrame(a.conn, Frame{Type: MsgBye})
+	return a.conn.Close()
+}
+
+// Replay streams every sample of a machine's slice of a dataset to the
+// server in time order, batching samplesPerBatch at a time — used to
+// simulate a live agent from generated history.
+func (a *Agent) Replay(ds *timeseries.Dataset, machine string, samplesPerBatch int) error {
+	if samplesPerBatch <= 0 {
+		samplesPerBatch = 256
+	}
+	var batch []tsdb.Sample
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := a.Send(batch)
+		batch = batch[:0]
+		return err
+	}
+	// Collect the machine's series.
+	var series []*timeseries.Series
+	for _, id := range ds.IDs() {
+		if id.Machine == machine {
+			series = append(series, ds.Get(id))
+		}
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("agent replay: no measurements for machine %q", machine)
+	}
+	// Interleave by time so the store sees in-order appends per series.
+	maxLen := 0
+	for _, s := range series {
+		if s.Len() > maxLen {
+			maxLen = s.Len()
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		for _, s := range series {
+			if i >= s.Len() {
+				continue
+			}
+			batch = append(batch, tsdb.Sample{ID: s.ID, Time: s.TimeAt(i), Value: s.Values[i]})
+			if len(batch) >= samplesPerBatch {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return flush()
+}

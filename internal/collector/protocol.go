@@ -1,0 +1,238 @@
+// Package collector implements the monitoring-data pipeline between
+// machines and the analysis side: a compact length-prefixed binary protocol
+// over TCP, an Agent that batches and ships samples from a machine, and a
+// Server that receives them into a sink (normally a tsdb.Store).
+//
+// The paper's infrastructure streamed measurements from ~50 servers per
+// company at a 6-minute sampling rate; this package is the stand-in that
+// exercises the same online code path with real sockets.
+package collector
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"mcorr/internal/timeseries"
+	"mcorr/internal/tsdb"
+)
+
+// Protocol constants.
+const (
+	// Magic opens every frame.
+	Magic uint32 = 0x4d434f52 // "MCOR"
+	// Version is the protocol version byte.
+	Version byte = 1
+	// MaxFrameSize bounds a frame payload; larger frames are rejected to
+	// protect the server from malformed or hostile peers.
+	MaxFrameSize = 1 << 20
+	// MaxBatch bounds samples per data frame.
+	MaxBatch = 4096
+)
+
+// MsgType identifies a frame's payload.
+type MsgType byte
+
+const (
+	// MsgHello introduces an agent (payload: agent name).
+	MsgHello MsgType = iota + 1
+	// MsgSamples carries a batch of samples.
+	MsgSamples
+	// MsgHeartbeat is a keepalive (payload: unix-nano timestamp).
+	MsgHeartbeat
+	// MsgBye announces a graceful disconnect (no payload).
+	MsgBye
+	// MsgAck confirms receipt of a samples frame (payload: count).
+	MsgAck
+)
+
+// String returns the message type's name.
+func (m MsgType) String() string {
+	switch m {
+	case MsgHello:
+		return "hello"
+	case MsgSamples:
+		return "samples"
+	case MsgHeartbeat:
+		return "heartbeat"
+	case MsgBye:
+		return "bye"
+	case MsgAck:
+		return "ack"
+	default:
+		return fmt.Sprintf("MsgType(%d)", byte(m))
+	}
+}
+
+// Protocol errors.
+var (
+	ErrBadMagic   = errors.New("collector: bad frame magic")
+	ErrBadVersion = errors.New("collector: unsupported protocol version")
+	ErrFrameSize  = errors.New("collector: frame exceeds size limit")
+	ErrTruncated  = errors.New("collector: truncated payload")
+)
+
+// Frame is one protocol message.
+type Frame struct {
+	Type    MsgType
+	Payload []byte
+}
+
+// WriteFrame serializes a frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxFrameSize {
+		return fmt.Errorf("write %s frame of %d bytes: %w", f.Type, len(f.Payload), ErrFrameSize)
+	}
+	var hdr [10]byte
+	binary.BigEndian.PutUint32(hdr[0:4], Magic)
+	hdr[4] = Version
+	hdr[5] = byte(f.Type)
+	binary.BigEndian.PutUint32(hdr[6:10], uint32(len(f.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("write frame header: %w", err)
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return fmt.Errorf("write frame payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame from r, enforcing the size limit.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [10]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err // io.EOF propagates untouched for clean close
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != Magic {
+		return Frame{}, ErrBadMagic
+	}
+	if hdr[4] != Version {
+		return Frame{}, fmt.Errorf("version %d: %w", hdr[4], ErrBadVersion)
+	}
+	n := binary.BigEndian.Uint32(hdr[6:10])
+	if n > MaxFrameSize {
+		return Frame{}, fmt.Errorf("payload of %d bytes: %w", n, ErrFrameSize)
+	}
+	f := Frame{Type: MsgType(hdr[5])}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return Frame{}, fmt.Errorf("read %d-byte payload: %w", n, ErrTruncated)
+		}
+	}
+	return f, nil
+}
+
+// EncodeSamples serializes a batch of samples into a MsgSamples payload.
+// Layout: uint32 count, then per sample: string machine, string metric,
+// int64 unix-nano, float64 value; strings are uint16 length + bytes.
+func EncodeSamples(batch []tsdb.Sample) ([]byte, error) {
+	if len(batch) > MaxBatch {
+		return nil, fmt.Errorf("encode %d samples: exceeds batch limit %d", len(batch), MaxBatch)
+	}
+	buf := make([]byte, 4, 4+len(batch)*40)
+	binary.BigEndian.PutUint32(buf, uint32(len(batch)))
+	for _, s := range batch {
+		var err error
+		if buf, err = appendString(buf, s.ID.Machine); err != nil {
+			return nil, err
+		}
+		if buf, err = appendString(buf, s.ID.Metric); err != nil {
+			return nil, err
+		}
+		buf = binary.BigEndian.AppendUint64(buf, uint64(s.Time.UnixNano()))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(s.Value))
+	}
+	if len(buf) > MaxFrameSize {
+		return nil, fmt.Errorf("encoded batch of %d bytes: %w", len(buf), ErrFrameSize)
+	}
+	return buf, nil
+}
+
+func appendString(buf []byte, s string) ([]byte, error) {
+	if len(s) > math.MaxUint16 {
+		return nil, fmt.Errorf("string of %d bytes exceeds limit", len(s))
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...), nil
+}
+
+// DecodeSamples parses a MsgSamples payload.
+func DecodeSamples(payload []byte) ([]tsdb.Sample, error) {
+	if len(payload) < 4 {
+		return nil, ErrTruncated
+	}
+	count := binary.BigEndian.Uint32(payload[:4])
+	if count > MaxBatch {
+		return nil, fmt.Errorf("batch of %d samples exceeds limit %d", count, MaxBatch)
+	}
+	p := payload[4:]
+	out := make([]tsdb.Sample, 0, count)
+	for i := uint32(0); i < count; i++ {
+		machine, rest, err := readString(p)
+		if err != nil {
+			return nil, fmt.Errorf("sample %d machine: %w", i, err)
+		}
+		metric, rest, err := readString(rest)
+		if err != nil {
+			return nil, fmt.Errorf("sample %d metric: %w", i, err)
+		}
+		if len(rest) < 16 {
+			return nil, fmt.Errorf("sample %d body: %w", i, ErrTruncated)
+		}
+		ns := int64(binary.BigEndian.Uint64(rest[:8]))
+		val := math.Float64frombits(binary.BigEndian.Uint64(rest[8:16]))
+		out = append(out, tsdb.Sample{
+			ID:    timeseries.MeasurementID{Machine: machine, Metric: metric},
+			Time:  time.Unix(0, ns).UTC(),
+			Value: val,
+		})
+		p = rest[16:]
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes: %w", len(p), ErrTruncated)
+	}
+	return out, nil
+}
+
+func readString(p []byte) (string, []byte, error) {
+	if len(p) < 2 {
+		return "", nil, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(p[:2]))
+	if len(p) < 2+n {
+		return "", nil, ErrTruncated
+	}
+	return string(p[2 : 2+n]), p[2+n:], nil
+}
+
+// EncodeHeartbeat serializes a heartbeat payload.
+func EncodeHeartbeat(t time.Time) []byte {
+	return binary.BigEndian.AppendUint64(nil, uint64(t.UnixNano()))
+}
+
+// DecodeHeartbeat parses a heartbeat payload.
+func DecodeHeartbeat(payload []byte) (time.Time, error) {
+	if len(payload) != 8 {
+		return time.Time{}, ErrTruncated
+	}
+	return time.Unix(0, int64(binary.BigEndian.Uint64(payload))).UTC(), nil
+}
+
+// EncodeAck serializes a sample-count acknowledgment.
+func EncodeAck(n int) []byte {
+	return binary.BigEndian.AppendUint32(nil, uint32(n))
+}
+
+// DecodeAck parses an acknowledgment payload.
+func DecodeAck(payload []byte) (int, error) {
+	if len(payload) != 4 {
+		return 0, ErrTruncated
+	}
+	return int(binary.BigEndian.Uint32(payload)), nil
+}

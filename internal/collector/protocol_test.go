@@ -1,0 +1,299 @@
+package collector
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mcorr/internal/timeseries"
+	"mcorr/internal/tsdb"
+)
+
+func sampleBatch(n int) []tsdb.Sample {
+	out := make([]tsdb.Sample, n)
+	for i := range out {
+		out[i] = tsdb.Sample{
+			ID:    timeseries.MeasurementID{Machine: "srv-01", Metric: "cpu"},
+			Time:  timeseries.MonitoringStart.Add(time.Duration(i) * timeseries.SampleStep),
+			Value: float64(i) * 1.5,
+		}
+	}
+	return out
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := Frame{Type: MsgHello, Payload: []byte("agent-7")}
+	if err := WriteFrame(&buf, want); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if got.Type != want.Type || !bytes.Equal(got.Payload, want.Payload) {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: MsgBye}); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if got.Type != MsgBye || len(got.Payload) != 0 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestReadFrameBadMagic(t *testing.T) {
+	raw := make([]byte, 10)
+	copy(raw, "XXXX")
+	if _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReadFrameBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: MsgBye}); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 99
+	if _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestReadFrameOversize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: MsgSamples, Payload: []byte("x")}); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	raw := buf.Bytes()
+	raw[6], raw[7], raw[8], raw[9] = 0xff, 0xff, 0xff, 0xff
+	if _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrFrameSize) {
+		t.Errorf("err = %v, want ErrFrameSize", err)
+	}
+}
+
+func TestReadFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: MsgHello, Payload: []byte("abcdef")}); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	raw := buf.Bytes()[:12] // header + 2 of 6 payload bytes
+	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Error("truncated payload: want error")
+	}
+}
+
+func TestWriteFrameOversize(t *testing.T) {
+	big := Frame{Type: MsgSamples, Payload: make([]byte, MaxFrameSize+1)}
+	if err := WriteFrame(&bytes.Buffer{}, big); !errors.Is(err, ErrFrameSize) {
+		t.Errorf("err = %v, want ErrFrameSize", err)
+	}
+}
+
+func TestSamplesRoundTrip(t *testing.T) {
+	want := sampleBatch(10)
+	want[3].Value = math.Inf(1)
+	want[4].Value = -12345.678
+	payload, err := EncodeSamples(want)
+	if err != nil {
+		t.Fatalf("EncodeSamples: %v", err)
+	}
+	got, err := DecodeSamples(payload)
+	if err != nil {
+		t.Fatalf("DecodeSamples: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d samples", len(got))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || !got[i].Time.Equal(want[i].Time) || got[i].Value != want[i].Value {
+			t.Errorf("sample %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSamplesRoundTripNaN(t *testing.T) {
+	batch := sampleBatch(1)
+	batch[0].Value = math.NaN()
+	payload, _ := EncodeSamples(batch)
+	got, err := DecodeSamples(payload)
+	if err != nil {
+		t.Fatalf("DecodeSamples: %v", err)
+	}
+	if !math.IsNaN(got[0].Value) {
+		t.Error("NaN should survive the wire")
+	}
+}
+
+func TestEncodeSamplesTooMany(t *testing.T) {
+	if _, err := EncodeSamples(sampleBatch(MaxBatch + 1)); err == nil {
+		t.Error("oversized batch: want error")
+	}
+}
+
+func TestEncodeSamplesLongString(t *testing.T) {
+	batch := sampleBatch(1)
+	batch[0].ID.Machine = strings.Repeat("m", math.MaxUint16+1)
+	if _, err := EncodeSamples(batch); err == nil {
+		t.Error("oversized string: want error")
+	}
+}
+
+func TestDecodeSamplesMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0, 0},                   // short count
+		{0, 0, 0, 1},             // count 1 with no body
+		{0, 0, 0, 1, 0, 3, 'a'},  // string longer than payload
+		{0xff, 0xff, 0xff, 0xff}, // absurd count
+	}
+	for i, c := range cases {
+		if _, err := DecodeSamples(c); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+	// Trailing garbage after a valid batch.
+	payload, _ := EncodeSamples(sampleBatch(1))
+	payload = append(payload, 0xde, 0xad)
+	if _, err := DecodeSamples(payload); err == nil {
+		t.Error("trailing bytes: want error")
+	}
+}
+
+// Property: encode/decode is the identity on arbitrary batches.
+func TestSamplesRoundTripProperty(t *testing.T) {
+	f := func(machines []string, values []float64) bool {
+		n := len(values)
+		if n > 50 {
+			n = 50
+		}
+		batch := make([]tsdb.Sample, n)
+		for i := 0; i < n; i++ {
+			m := "m"
+			if len(machines) > 0 {
+				m = machines[i%len(machines)]
+				if len(m) > 100 {
+					m = m[:100]
+				}
+			}
+			batch[i] = tsdb.Sample{
+				ID:    timeseries.MeasurementID{Machine: m, Metric: "x"},
+				Time:  timeseries.MonitoringStart.Add(time.Duration(i) * time.Second),
+				Value: values[i],
+			}
+		}
+		payload, err := EncodeSamples(batch)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeSamples(payload)
+		if err != nil || len(got) != len(batch) {
+			return false
+		}
+		for i := range batch {
+			same := got[i].Value == batch[i].Value ||
+				(math.IsNaN(got[i].Value) && math.IsNaN(batch[i].Value))
+			if got[i].ID != batch[i].ID || !got[i].Time.Equal(batch[i].Time) || !same {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	now := time.Unix(1214300000, 123456789).UTC()
+	got, err := DecodeHeartbeat(EncodeHeartbeat(now))
+	if err != nil {
+		t.Fatalf("DecodeHeartbeat: %v", err)
+	}
+	if !got.Equal(now) {
+		t.Errorf("heartbeat = %v, want %v", got, now)
+	}
+	if _, err := DecodeHeartbeat([]byte{1, 2}); err == nil {
+		t.Error("short heartbeat: want error")
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	n, err := DecodeAck(EncodeAck(512))
+	if err != nil || n != 512 {
+		t.Errorf("ack = %d, %v", n, err)
+	}
+	if _, err := DecodeAck(nil); err == nil {
+		t.Error("short ack: want error")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	for m, want := range map[MsgType]string{
+		MsgHello: "hello", MsgSamples: "samples", MsgHeartbeat: "heartbeat",
+		MsgBye: "bye", MsgAck: "ack",
+	} {
+		if m.String() != want {
+			t.Errorf("%d = %q", byte(m), m.String())
+		}
+	}
+	if MsgType(99).String() == "" {
+		t.Error("unknown type should render")
+	}
+}
+
+// Property: arbitrary bytes never panic the decoders; they either parse or
+// return an error.
+func TestDecodersNeverPanicProperty(t *testing.T) {
+	f := func(raw []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = DecodeSamples(raw)
+		_, _ = DecodeHeartbeat(raw)
+		_, _ = DecodeAck(raw)
+		_, _ = ReadFrame(bytes.NewReader(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a valid frame with arbitrary payload round-trips bit-exactly.
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(kind byte, payload []byte) bool {
+		if len(payload) > MaxFrameSize {
+			payload = payload[:MaxFrameSize]
+		}
+		var buf bytes.Buffer
+		want := Frame{Type: MsgType(kind), Payload: payload}
+		if err := WriteFrame(&buf, want); err != nil {
+			return false
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Type == want.Type && bytes.Equal(got.Payload, want.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

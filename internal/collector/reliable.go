@@ -1,0 +1,177 @@
+package collector
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mcorr/internal/tsdb"
+)
+
+// ReliableConfig tunes a ReliableAgent.
+type ReliableConfig struct {
+	// MaxAttempts bounds connection attempts per Send (0 = 5).
+	MaxAttempts int
+	// Backoff is the initial delay between attempts, doubling each retry
+	// (0 = 100ms).
+	Backoff time.Duration
+	// MaxBackoff caps the delay (0 = 5s).
+	MaxBackoff time.Duration
+	// BufferLimit bounds the number of samples queued while the server
+	// is unreachable; beyond it the oldest samples are dropped (0 = 65536).
+	BufferLimit int
+	// Sleep is the delay function, replaceable in tests (nil = time.Sleep).
+	Sleep func(time.Duration)
+}
+
+func (c ReliableConfig) withDefaults() ReliableConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 5
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.BufferLimit <= 0 {
+		c.BufferLimit = 65536
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	return c
+}
+
+// ReliableAgent wraps the plain Agent with reconnection, exponential
+// backoff, and a bounded resend buffer: samples accepted by Send are
+// delivered once a connection can be (re-)established, in order, with the
+// oldest dropped first under prolonged outages. Safe for concurrent use.
+type ReliableAgent struct {
+	addr string
+	name string
+	cfg  ReliableConfig
+
+	mu      sync.Mutex
+	agent   *Agent
+	pending []tsdb.Sample
+	dropped int
+	closed  bool
+}
+
+// NewReliableAgent returns a reliable agent for the given server address.
+// No connection is attempted until the first Send.
+func NewReliableAgent(addr, name string, cfg ReliableConfig) *ReliableAgent {
+	return &ReliableAgent{addr: addr, name: name, cfg: cfg.withDefaults()}
+}
+
+// Dropped reports how many samples were discarded due to the buffer limit.
+func (r *ReliableAgent) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Pending reports how many samples await delivery.
+func (r *ReliableAgent) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+// Send queues the batch and attempts delivery of everything pending. It
+// returns nil when the queue is fully drained; otherwise the samples stay
+// buffered for the next Send and the last connection error is returned.
+func (r *ReliableAgent) Send(batch []tsdb.Sample) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return errors.New("reliable agent: closed")
+	}
+	r.pending = append(r.pending, batch...)
+	if over := len(r.pending) - r.cfg.BufferLimit; over > 0 {
+		r.pending = append(r.pending[:0], r.pending[over:]...)
+		r.dropped += over
+	}
+	r.mu.Unlock()
+	return r.flush()
+}
+
+// Flush attempts delivery of everything pending without queueing new data.
+func (r *ReliableAgent) Flush() error { return r.flush() }
+
+func (r *ReliableAgent) flush() error {
+	backoff := r.cfg.Backoff
+	var lastErr error
+	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
+		r.mu.Lock()
+		if len(r.pending) == 0 {
+			r.mu.Unlock()
+			return nil
+		}
+		if r.agent == nil {
+			agent, err := Dial(r.addr, r.name)
+			if err != nil {
+				r.mu.Unlock()
+				lastErr = err
+				r.cfg.Sleep(backoff)
+				backoff *= 2
+				if backoff > r.cfg.MaxBackoff {
+					backoff = r.cfg.MaxBackoff
+				}
+				continue
+			}
+			r.agent = agent
+		}
+		agent := r.agent
+		toSend := append([]tsdb.Sample(nil), r.pending...)
+		r.mu.Unlock()
+
+		if err := agent.Send(toSend); err != nil {
+			lastErr = err
+			r.mu.Lock()
+			// The connection is suspect: drop it and retry from scratch.
+			_ = agent.Close()
+			if r.agent == agent {
+				r.agent = nil
+			}
+			r.mu.Unlock()
+			r.cfg.Sleep(backoff)
+			backoff *= 2
+			if backoff > r.cfg.MaxBackoff {
+				backoff = r.cfg.MaxBackoff
+			}
+			continue
+		}
+		r.mu.Lock()
+		// Remove exactly what was sent; new samples may have arrived.
+		if len(toSend) <= len(r.pending) {
+			r.pending = append(r.pending[:0], r.pending[len(toSend):]...)
+		} else {
+			r.pending = r.pending[:0]
+		}
+		r.mu.Unlock()
+	}
+	if lastErr == nil {
+		lastErr = errors.New("reliable agent: delivery incomplete")
+	}
+	return fmt.Errorf("reliable agent: %w", lastErr)
+}
+
+// Close stops the agent; pending samples are discarded.
+func (r *ReliableAgent) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	r.pending = nil
+	if r.agent != nil {
+		err := r.agent.Close()
+		r.agent = nil
+		return err
+	}
+	return nil
+}

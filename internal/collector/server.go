@@ -1,0 +1,278 @@
+package collector
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"mcorr/internal/tsdb"
+)
+
+// Sink receives decoded sample batches. tsdb.Store satisfies it.
+type Sink interface {
+	AppendBatch([]tsdb.Sample) error
+}
+
+var _ Sink = (*tsdb.Store)(nil)
+
+// ServerStats is a snapshot of server counters.
+type ServerStats struct {
+	Connections int // currently open
+	TotalConns  int
+	Samples     int
+	Heartbeats  int
+	Errors      int
+}
+
+// AgentStatus is the server's view of one connected agent — the ops
+// surface for "which machines are reporting, and how recently".
+type AgentStatus struct {
+	Name        string
+	Remote      string
+	ConnectedAt time.Time
+	LastFrame   time.Time
+	Samples     int
+}
+
+// Server accepts agent connections and feeds their samples into a sink.
+// Construct with NewServer, start with Serve, stop with Close.
+type Server struct {
+	sink   Sink
+	logger *log.Logger
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]*AgentStatus
+	closed   bool
+	stats    ServerStats
+	wg       sync.WaitGroup
+	readIdle time.Duration
+}
+
+// NewServer returns a server delivering to sink. logger may be nil to
+// discard diagnostics.
+func NewServer(sink Sink, logger *log.Logger) (*Server, error) {
+	if sink == nil {
+		return nil, errors.New("collector: nil sink")
+	}
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &Server{
+		sink:     sink,
+		logger:   logger,
+		conns:    make(map[net.Conn]*AgentStatus),
+		readIdle: 2 * time.Minute,
+	}, nil
+}
+
+// SetIdleTimeout changes the per-read idle timeout (default 2 minutes).
+// Must be called before Serve.
+func (s *Server) SetIdleTimeout(d time.Duration) { s.readIdle = d }
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts serving in the
+// background. It returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("collector listen %s: %w", addr, err)
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.Serve(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections on ln until Close is called. It returns the
+// first accept error after shutdown begins (nil for a clean close).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("collector: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("collector accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		now := time.Now()
+		s.conns[conn] = &AgentStatus{
+			Remote:      conn.RemoteAddr().String(),
+			ConnectedAt: now,
+			LastFrame:   now,
+		}
+		s.stats.Connections++
+		s.stats.TotalConns++
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// handle runs one agent connection to completion.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.stats.Connections--
+		s.mu.Unlock()
+	}()
+	agent := conn.RemoteAddr().String()
+	for {
+		if s.readIdle > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.readIdle))
+		}
+		f, err := ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.countError()
+				s.logger.Printf("collector: %s: read: %v", agent, err)
+			}
+			return
+		}
+		s.touch(conn, "", 0)
+		switch f.Type {
+		case MsgHello:
+			agent = string(f.Payload)
+			s.touch(conn, agent, 0)
+			s.logger.Printf("collector: hello from %s", agent)
+		case MsgHeartbeat:
+			if _, err := DecodeHeartbeat(f.Payload); err != nil {
+				s.countError()
+				s.logger.Printf("collector: %s: bad heartbeat: %v", agent, err)
+				return
+			}
+			s.mu.Lock()
+			s.stats.Heartbeats++
+			s.mu.Unlock()
+		case MsgSamples:
+			batch, err := DecodeSamples(f.Payload)
+			if err != nil {
+				s.countError()
+				s.logger.Printf("collector: %s: bad samples: %v", agent, err)
+				return
+			}
+			if err := s.sink.AppendBatch(batch); err != nil {
+				s.countError()
+				s.logger.Printf("collector: %s: sink: %v", agent, err)
+				// Sink errors (e.g. stale samples) are reported but do
+				// not kill the connection; the ack carries 0.
+				if err := WriteFrame(conn, Frame{Type: MsgAck, Payload: EncodeAck(0)}); err != nil {
+					return
+				}
+				continue
+			}
+			s.mu.Lock()
+			s.stats.Samples += len(batch)
+			s.mu.Unlock()
+			s.touch(conn, "", len(batch))
+			if err := WriteFrame(conn, Frame{Type: MsgAck, Payload: EncodeAck(len(batch))}); err != nil {
+				s.countError()
+				return
+			}
+		case MsgBye:
+			s.logger.Printf("collector: bye from %s", agent)
+			return
+		default:
+			s.countError()
+			s.logger.Printf("collector: %s: unexpected frame %s", agent, f.Type)
+			return
+		}
+	}
+}
+
+// touch updates a connection's liveness record.
+func (s *Server) touch(conn net.Conn, name string, samples int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.conns[conn]
+	if !ok {
+		return
+	}
+	st.LastFrame = time.Now()
+	if name != "" {
+		st.Name = name
+	}
+	st.Samples += samples
+}
+
+// AgentStatuses snapshots the currently connected agents, sorted by name
+// then remote address.
+func (s *Server) AgentStatuses() []AgentStatus {
+	s.mu.Lock()
+	out := make([]AgentStatus, 0, len(s.conns))
+	for _, st := range s.conns {
+		out = append(out, *st)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Remote < out[j].Remote
+	})
+	return out
+}
+
+func (s *Server) countError() {
+	s.mu.Lock()
+	s.stats.Errors++
+	s.mu.Unlock()
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close stops accepting, closes every live connection, and waits for the
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDiagnosticsPriorOnly(t *testing.T) {
+	g, err := UniformGrid(0, 3, 3, 0, 3, 3)
+	if err != nil {
+		t.Fatalf("UniformGrid: %v", err)
+	}
+	m, err := NewModelFromGrid(g, Config{})
+	if err != nil {
+		t.Fatalf("NewModelFromGrid: %v", err)
+	}
+	d := m.Diagnostics()
+	if d.Cells != 9 || d.GridX != 3 || d.GridY != 3 {
+		t.Errorf("dims = %+v", d)
+	}
+	if d.Observed != 0 {
+		t.Errorf("Observed = %d", d.Observed)
+	}
+	// The closeness prior is broad: entropy near (but below) uniform.
+	if d.MeanRowEntropy <= 0 || d.MeanRowEntropy >= d.MaxRowEntropy {
+		t.Errorf("prior entropy %.3f vs max %.3f", d.MeanRowEntropy, d.MaxRowEntropy)
+	}
+	// Self transition is the modal prior entry but under 50%.
+	if d.SelfMass < 0.17 || d.SelfMass > 0.25 {
+		t.Errorf("prior self-mass = %.3f", d.SelfMass)
+	}
+	if d.PeakedRows != 0 {
+		t.Errorf("prior should have no peaked rows, got %.2f", d.PeakedRows)
+	}
+	if !strings.Contains(d.String(), "grid 3x3 (9 cells)") {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestDiagnosticsSharpenWithTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	history := corrStream(rng, 3000)
+	m, err := Train(history, Config{})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	d := m.Diagnostics()
+	if d.Observed == 0 {
+		t.Fatal("training should have observed transitions")
+	}
+	// Compare with an untrained model on the same grid: training must
+	// reduce entropy and raise confidence.
+	fresh, err := NewModelFromGrid(m.Grid().Clone(), Config{})
+	if err != nil {
+		t.Fatalf("NewModelFromGrid: %v", err)
+	}
+	f := fresh.Diagnostics()
+	if !(d.MeanRowEntropy < f.MeanRowEntropy) {
+		t.Errorf("trained entropy %.3f should be below prior %.3f", d.MeanRowEntropy, f.MeanRowEntropy)
+	}
+	if !(d.PeakedRows > f.PeakedRows) {
+		t.Errorf("trained peaked rows %.3f should exceed prior %.3f", d.PeakedRows, f.PeakedRows)
+	}
+	if math.IsNaN(d.SelfMass) || d.SelfMass <= 0 {
+		t.Errorf("self-mass = %.3f", d.SelfMass)
+	}
+}

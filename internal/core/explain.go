@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mcorr/internal/mathx"
+)
+
+// CellInfo describes one grid cell in measurement units — the
+// "problematic measurement ranges" the paper highlights as the model's
+// debugging output (§6 walks through exactly such ranges for Group B).
+type CellInfo struct {
+	Index    int
+	XLo, XHi float64
+	YLo, YHi float64
+	// Prob is the transition probability into this cell from the
+	// explanation's source cell.
+	Prob float64
+	// Rank is the paper's π(c): 1 = most likely destination.
+	Rank int
+}
+
+// String renders the cell as its value ranges, like the paper's
+// "[22588,45128] & [102940,137220]".
+func (c CellInfo) String() string {
+	return fmt.Sprintf("[%.6g,%.6g] & [%.6g,%.6g]", c.XLo, c.XHi, c.YLo, c.YHi)
+}
+
+// Explanation is the model's human-readable account of one observation.
+type Explanation struct {
+	// From is the cell the model believed the pair was in (the previous
+	// observation's cell).
+	From CellInfo
+	// Observed is the cell the new observation actually landed in, with
+	// its transition probability and rank. Zero-valued (and OutOfGrid
+	// set) when the point fell outside the grid.
+	Observed CellInfo
+	// Fitness is the rank-based score of the observed transition.
+	Fitness float64
+	// Expected lists the k most probable destination cells — what the
+	// model thought should happen next.
+	Expected []CellInfo
+	// OutOfGrid reports that the observation left the learned region
+	// entirely.
+	OutOfGrid bool
+}
+
+// Explain describes what the model expects next and how the observation p
+// compares, WITHOUT advancing or mutating the model. It returns ok=false
+// when the model has no current position (nothing to explain). k bounds
+// the Expected list.
+func (m *Model) Explain(p mathx.Point2, k int) (Explanation, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.armed {
+		return Explanation{}, false
+	}
+	if k <= 0 {
+		k = 3
+	}
+	row, err := m.tm.RowInto(m.row, m.prev)
+	if err != nil {
+		return Explanation{}, false
+	}
+	m.row = row
+
+	var ex Explanation
+	ex.From = m.cellInfoLocked(m.prev, row)
+
+	// Top-k destinations by probability (ties by index, like the rank).
+	idx := make([]int, len(row))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return row[idx[a]] > row[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	for _, j := range idx[:k] {
+		ex.Expected = append(ex.Expected, m.cellInfoLocked(j, row))
+	}
+
+	cell, ok := m.grid.Locate(p)
+	if !ok {
+		ex.OutOfGrid = true
+		return ex, true
+	}
+	ex.Observed = m.cellInfoLocked(cell, row)
+	ex.Fitness = FitnessFromRow(row, cell)
+	return ex, true
+}
+
+// cellInfoLocked builds a CellInfo under the model lock.
+func (m *Model) cellInfoLocked(cell int, row []float64) CellInfo {
+	xlo, xhi, ylo, yhi := m.grid.CellBounds(cell)
+	return CellInfo{
+		Index: cell,
+		XLo:   xlo, XHi: xhi, YLo: ylo, YHi: yhi,
+		Prob: row[cell],
+		Rank: RankInRow(row, cell),
+	}
+}

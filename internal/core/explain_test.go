@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mcorr/internal/mathx"
+)
+
+func TestExplainBeforeAnyStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	m, err := Train(corrStream(rng, 500), Config{})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if _, ok := m.Explain(mathx.Point2{X: 50, Y: 100}, 3); ok {
+		t.Error("Explain with no position should report ok=false")
+	}
+}
+
+func TestExplainNormalObservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	m, err := Train(corrStream(rng, 2000), Config{})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	m.Step(mathx.Point2{X: 50, Y: 100})
+	before := m.Stats()
+	ex, ok := m.Explain(mathx.Point2{X: 51, Y: 102}, 4)
+	if !ok {
+		t.Fatal("Explain failed")
+	}
+	if m.Stats() != before {
+		t.Error("Explain must not mutate the model")
+	}
+	// The source cell contains the previous observation.
+	if !(ex.From.XLo <= 50 && 50 < ex.From.XHi && ex.From.YLo <= 100 && 100 < ex.From.YHi) {
+		t.Errorf("From cell %s does not contain (50, 100)", ex.From)
+	}
+	// The observed cell contains the new observation and has a valid rank.
+	if !(ex.Observed.XLo <= 51 && 51 < ex.Observed.XHi) {
+		t.Errorf("Observed cell %s does not contain x=51", ex.Observed)
+	}
+	if ex.Observed.Rank < 1 || ex.Observed.Rank > m.NumCells() {
+		t.Errorf("rank = %d", ex.Observed.Rank)
+	}
+	if ex.Fitness <= 0 || ex.Fitness > 1 {
+		t.Errorf("fitness = %g", ex.Fitness)
+	}
+	// Expected list: k entries, sorted by decreasing probability, ranks
+	// 1..k.
+	if len(ex.Expected) != 4 {
+		t.Fatalf("expected list = %d", len(ex.Expected))
+	}
+	for i, c := range ex.Expected {
+		if c.Rank != i+1 {
+			t.Errorf("expected[%d].Rank = %d", i, c.Rank)
+		}
+		if i > 0 && c.Prob > ex.Expected[i-1].Prob {
+			t.Error("expected list not sorted by probability")
+		}
+	}
+	if ex.OutOfGrid {
+		t.Error("normal observation should be in grid")
+	}
+}
+
+func TestExplainOutOfGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	m, err := Train(corrStream(rng, 1000), Config{})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	m.Step(mathx.Point2{X: 50, Y: 100})
+	ex, ok := m.Explain(mathx.Point2{X: 1e9, Y: 1e9}, 2)
+	if !ok || !ex.OutOfGrid {
+		t.Fatalf("Explain = %+v, %v", ex, ok)
+	}
+	if len(ex.Expected) != 2 {
+		t.Errorf("expected list = %d", len(ex.Expected))
+	}
+}
+
+func TestExplainDefaultK(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	m, err := Train(corrStream(rng, 1000), Config{})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	m.Step(mathx.Point2{X: 50, Y: 100})
+	ex, ok := m.Explain(mathx.Point2{X: 50, Y: 100}, 0)
+	if !ok || len(ex.Expected) != 3 {
+		t.Errorf("default k: %d entries, %v", len(ex.Expected), ok)
+	}
+}
+
+func TestCellInfoString(t *testing.T) {
+	c := CellInfo{XLo: 22588, XHi: 45128, YLo: 102940, YHi: 137220}
+	s := c.String()
+	// The paper's §6 narrative format: "[22588,45128] & [102940,137220]".
+	if !strings.Contains(s, "[22588,45128]") || !strings.Contains(s, "[102940,137220]") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,32 @@
+package core
+
+// RankInRow returns the paper's ranking function π(c_h): the 1-based rank
+// of cell h when the row's cells are ordered by decreasing transition
+// probability. Ties are broken deterministically by cell index, so equal
+// probabilities at lower indices rank ahead of h.
+func RankInRow(row []float64, h int) int {
+	rank := 1
+	ph := row[h]
+	for j, p := range row {
+		if p > ph || (p == ph && j < h) {
+			rank++
+		}
+	}
+	return rank
+}
+
+// FitnessFromRow computes the paper's pairwise fitness score
+//
+//	Q = 1 − (π(c_h) − 1) / s
+//
+// where row is the transition distribution out of the previous cell, h is
+// the cell the new observation actually landed in, and s = len(row). The
+// best-predicted cell scores 1; the worst scores 1/s; callers assign 0 to
+// observations that fall outside the grid entirely.
+func FitnessFromRow(row []float64, h int) float64 {
+	s := len(row)
+	if s == 0 {
+		return 0
+	}
+	return 1 - float64(RankInRow(row, h)-1)/float64(s)
+}

@@ -1,0 +1,454 @@
+// Package core implements the paper's contribution: a grid-based transition
+// probability model for the pairwise correlation of two system measurements.
+//
+// The two-dimensional measurement space is partitioned into a Grid of
+// rectangular cells adapted to the data density (a MAFIA-style merge of
+// fine-grained units, §4.1 of the paper). A TransitionMatrix over the cells
+// models P(c_i → c_j) with a spatial-closeness prior updated by Bayesian
+// multiplicative (log-additive) updates on every observed transition
+// (§4.2). A Model ties the two together and produces, for every new
+// observation, the transition probability and the rank-based fitness score
+// Q = 1 − (π(c_h) − 1)/s used for problem determination (§5).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"mcorr/internal/mathx"
+)
+
+// ErrNoData is returned when a grid or model is built from an empty sample.
+var ErrNoData = errors.New("core: no data")
+
+// GridConfig controls the MAFIA-style adaptive discretization of one
+// dimension. The zero value selects the documented defaults.
+type GridConfig struct {
+	// Units is the number of fine-grained equal-width units each dimension
+	// is split into before merging (the paper's unit length z, "much
+	// smaller than the actual interval size"). Default 100.
+	Units int
+	// SimilarityTau merges adjacent units whose counts differ by at most
+	// this fraction of the larger count. Default 0.4.
+	SimilarityTau float64
+	// DensityFraction: units whose count is below this fraction of the
+	// mean unit count are considered sparse, and adjacent sparse units are
+	// merged regardless of similarity. Default 0.25.
+	DensityFraction float64
+	// MaxIntervals caps the intervals per dimension; beyond it the most
+	// similar adjacent intervals are merged. Default 20.
+	MaxIntervals int
+	// MinIntervals is the resolution floor: when the similarity merge
+	// collapses a smooth marginal into fewer intervals, the axis is
+	// rebuilt with equal-frequency (quantile) intervals instead, keeping
+	// dense regions finely resolved. Default 6.
+	MinIntervals int
+	// EqualSplit is the number of equal-width intervals used when the data
+	// looks uniformly distributed (the paper's fallback). Default 10.
+	EqualSplit int
+	// UniformCV is the coefficient-of-variation threshold below which the
+	// unit counts are declared equal-distributed. Default 0.2.
+	UniformCV float64
+}
+
+func (c GridConfig) withDefaults() GridConfig {
+	if c.Units <= 0 {
+		c.Units = 100
+	}
+	if c.SimilarityTau <= 0 {
+		c.SimilarityTau = 0.4
+	}
+	if c.DensityFraction <= 0 {
+		c.DensityFraction = 0.25
+	}
+	if c.MaxIntervals <= 0 {
+		c.MaxIntervals = 20
+	}
+	if c.MinIntervals <= 0 {
+		c.MinIntervals = 6
+	}
+	if c.MinIntervals > c.MaxIntervals {
+		c.MinIntervals = c.MaxIntervals
+	}
+	if c.EqualSplit <= 0 {
+		c.EqualSplit = 10
+	}
+	if c.UniformCV <= 0 {
+		c.UniformCV = 0.2
+	}
+	return c
+}
+
+// Axis is the discretization of one dimension into contiguous half-open
+// intervals [Edges[i], Edges[i+1]).
+type Axis struct {
+	// Edges holds the interval boundaries in ascending order;
+	// len(Edges) == intervals + 1.
+	Edges []float64
+	// AvgWidth is the average interval width computed at initialization
+	// (the paper's r_avg, used to bound online growth).
+	AvgWidth float64
+}
+
+// Intervals returns the number of intervals on the axis.
+func (a *Axis) Intervals() int { return len(a.Edges) - 1 }
+
+// Lo returns the inclusive lower bound of the axis.
+func (a *Axis) Lo() float64 { return a.Edges[0] }
+
+// Hi returns the exclusive upper bound of the axis.
+func (a *Axis) Hi() float64 { return a.Edges[len(a.Edges)-1] }
+
+// Locate returns the interval index containing v and whether v lies within
+// the axis bounds.
+func (a *Axis) Locate(v float64) (int, bool) {
+	if math.IsNaN(v) || v < a.Lo() || v >= a.Hi() {
+		return 0, false
+	}
+	// Find the first edge greater than v; v's interval precedes it.
+	i := sort.SearchFloat64s(a.Edges, v)
+	if i < len(a.Edges) && a.Edges[i] == v {
+		return i, true // v sits exactly on edge i: interval i = [v, next)
+	}
+	return i - 1, true
+}
+
+// Interval returns the bounds [lo, hi) of interval i.
+func (a *Axis) Interval(i int) (lo, hi float64) { return a.Edges[i], a.Edges[i+1] }
+
+// clone returns a deep copy of the axis.
+func (a *Axis) clone() Axis {
+	edges := make([]float64, len(a.Edges))
+	copy(edges, a.Edges)
+	return Axis{Edges: edges, AvgWidth: a.AvgWidth}
+}
+
+// buildAxis discretizes one dimension of the history data. Non-finite
+// samples (monitoring gaps) are ignored.
+func buildAxis(values []float64, cfg GridConfig) (Axis, error) {
+	finite := values[:0:0]
+	for _, v := range values {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			finite = append(finite, v)
+		}
+	}
+	values = finite
+	if len(values) == 0 {
+		return Axis{}, ErrNoData
+	}
+	lo, hi := mathx.MinMax(values)
+	if math.IsNaN(lo) {
+		return Axis{}, fmt.Errorf("axis bounds: %w", ErrNoData)
+	}
+	if hi <= lo {
+		// Constant dimension: a single unit-wide interval around the value.
+		w := math.Max(1e-9, math.Abs(lo)*1e-6)
+		return Axis{Edges: []float64{lo, lo + w}, AvgWidth: w}, nil
+	}
+	// Pad the upper bound so the maximum observation is strictly inside.
+	span := hi - lo
+	hi += span * 1e-9
+	if hi == lo+span { // padding vanished in rounding
+		hi = math.Nextafter(hi, math.Inf(1))
+	}
+
+	// Count points per fine unit.
+	counts := make([]float64, cfg.Units)
+	for _, v := range values {
+		u := int(float64(cfg.Units) * (v - lo) / (hi - lo))
+		if u >= cfg.Units {
+			u = cfg.Units - 1
+		}
+		counts[u]++
+	}
+
+	// Equal-distributed data: plain equal-width split.
+	if cv := countCV(counts); cv < cfg.UniformCV {
+		edges := mathx.Linspace(lo, hi, cfg.EqualSplit+1)
+		return Axis{Edges: edges, AvgWidth: (hi - lo) / float64(cfg.EqualSplit)}, nil
+	}
+
+	meanCount := mathx.Mean(counts)
+	sparse := cfg.DensityFraction * meanCount
+
+	// Merge adjacent units into intervals (MAFIA): extend the current
+	// interval while the next unit's count is similar to the current
+	// unit's, or both are sparse.
+	unitW := (hi - lo) / float64(cfg.Units)
+	type iv struct {
+		lo, hi float64
+		count  float64
+	}
+	// massBreak bounds how much probability mass one interval may absorb:
+	// without it a smooth unimodal histogram (adjacent counts always
+	// similar) would chain-merge into a single interval.
+	massBreak := 2 * float64(len(values)) / float64(cfg.EqualSplit)
+	var ivs []iv
+	cur := iv{lo: lo, hi: lo + unitW, count: counts[0]}
+	prev := counts[0]
+	for u := 1; u < cfg.Units; u++ {
+		c := counts[u]
+		bigger := math.Max(c, prev)
+		similar := bigger == 0 || math.Abs(c-prev) <= cfg.SimilarityTau*bigger
+		bothSparse := c <= sparse && prev <= sparse
+		if (similar || bothSparse) && cur.count+c <= massBreak {
+			cur.hi = lo + float64(u+1)*unitW
+			cur.count += c
+		} else {
+			ivs = append(ivs, cur)
+			cur = iv{lo: cur.hi, hi: lo + float64(u+1)*unitW, count: c}
+		}
+		prev = c
+	}
+	cur.hi = hi // absorb any float drift at the top edge
+	ivs = append(ivs, cur)
+
+	// Cap the interval count by merging the most similar adjacent pair
+	// (by density) until within budget.
+	for len(ivs) > cfg.MaxIntervals {
+		best, bestDiff := 0, math.Inf(1)
+		for i := 0; i+1 < len(ivs); i++ {
+			d1 := ivs[i].count / (ivs[i].hi - ivs[i].lo)
+			d2 := ivs[i+1].count / (ivs[i+1].hi - ivs[i+1].lo)
+			if diff := math.Abs(d1 - d2); diff < bestDiff {
+				bestDiff, best = diff, i
+			}
+		}
+		ivs[best].hi = ivs[best+1].hi
+		ivs[best].count += ivs[best+1].count
+		ivs = append(ivs[:best+1], ivs[best+2:]...)
+	}
+
+	// Too coarse an axis cannot rank transitions usefully; rebuild with
+	// equal-frequency intervals (dense regions get more cells, the
+	// paper's stated goal of the adaptive partitioning).
+	if len(ivs) < cfg.MinIntervals {
+		if ax, ok := quantileAxis(values, cfg.EqualSplit, lo, hi); ok {
+			return ax, nil
+		}
+		edges := mathx.Linspace(lo, hi, cfg.EqualSplit+1)
+		return Axis{Edges: edges, AvgWidth: (hi - lo) / float64(cfg.EqualSplit)}, nil
+	}
+
+	edges := make([]float64, 0, len(ivs)+1)
+	edges = append(edges, ivs[0].lo)
+	for _, v := range ivs {
+		edges = append(edges, v.hi)
+	}
+	return Axis{Edges: edges, AvgWidth: (hi - lo) / float64(len(ivs))}, nil
+}
+
+// quantileAxis splits the axis at the k/n-quantiles of the data (duplicate
+// quantiles collapse), reporting ok=false when fewer than two distinct
+// intervals result.
+func quantileAxis(values []float64, n int, lo, hi float64) (Axis, bool) {
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	edges := []float64{lo}
+	for k := 1; k < n; k++ {
+		q := sorted[k*len(sorted)/n]
+		if q > edges[len(edges)-1] && q < hi {
+			edges = append(edges, q)
+		}
+	}
+	edges = append(edges, hi)
+	if len(edges) < 3 {
+		return Axis{}, false
+	}
+	return Axis{Edges: edges, AvgWidth: (hi - lo) / float64(len(edges)-1)}, true
+}
+
+// countCV returns the coefficient of variation of the unit counts.
+func countCV(counts []float64) float64 {
+	m := mathx.Mean(counts)
+	if m == 0 {
+		return 0
+	}
+	sd := mathx.StdDev(counts)
+	if math.IsNaN(sd) {
+		return 0
+	}
+	return sd / m
+}
+
+// Grid is the two-dimensional grid structure G = {c_1, ..., c_s}: the cross
+// product of the two axes' intervals. Cells are numbered row-major:
+// cell(i, j) = i·ny + j where i indexes the X axis and j the Y axis.
+type Grid struct {
+	X, Y Axis
+}
+
+// BuildGrid discretizes the history data into a grid, one axis per
+// dimension.
+func BuildGrid(pts []mathx.Point2, cfg GridConfig) (*Grid, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("build grid: %w", ErrNoData)
+	}
+	cfg = cfg.withDefaults()
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i], ys[i] = p.X, p.Y
+	}
+	ax, err := buildAxis(xs, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("x axis: %w", err)
+	}
+	ay, err := buildAxis(ys, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("y axis: %w", err)
+	}
+	return &Grid{X: ax, Y: ay}, nil
+}
+
+// UniformGrid returns a grid with nx×ny equal cells over the given bounds —
+// used by tests and for reproducing the paper's worked examples.
+func UniformGrid(xlo, xhi float64, nx int, ylo, yhi float64, ny int) (*Grid, error) {
+	if nx < 1 || ny < 1 || xhi <= xlo || yhi <= ylo {
+		return nil, fmt.Errorf("uniform grid %dx%d over [%g,%g)x[%g,%g): invalid", nx, ny, xlo, xhi, ylo, yhi)
+	}
+	return &Grid{
+		X: Axis{Edges: mathx.Linspace(xlo, xhi, nx+1), AvgWidth: (xhi - xlo) / float64(nx)},
+		Y: Axis{Edges: mathx.Linspace(ylo, yhi, ny+1), AvgWidth: (yhi - ylo) / float64(ny)},
+	}, nil
+}
+
+// NumCells returns s, the total number of grid cells.
+func (g *Grid) NumCells() int { return g.X.Intervals() * g.Y.Intervals() }
+
+// Dims returns the number of intervals along each axis.
+func (g *Grid) Dims() (nx, ny int) { return g.X.Intervals(), g.Y.Intervals() }
+
+// CellIndex converts (xi, yi) interval coordinates to a cell index.
+func (g *Grid) CellIndex(xi, yi int) int { return xi*g.Y.Intervals() + yi }
+
+// CellCoords converts a cell index back to (xi, yi) interval coordinates.
+func (g *Grid) CellCoords(cell int) (xi, yi int) {
+	ny := g.Y.Intervals()
+	return cell / ny, cell % ny
+}
+
+// Locate returns the cell containing p and whether p lies inside the grid.
+func (g *Grid) Locate(p mathx.Point2) (int, bool) {
+	xi, ok := g.X.Locate(p.X)
+	if !ok {
+		return 0, false
+	}
+	yi, ok := g.Y.Locate(p.Y)
+	if !ok {
+		return 0, false
+	}
+	return g.CellIndex(xi, yi), true
+}
+
+// CellBounds returns the rectangle of cell index c as ([xlo,xhi), [ylo,yhi)).
+func (g *Grid) CellBounds(c int) (xlo, xhi, ylo, yhi float64) {
+	xi, yi := g.CellCoords(c)
+	xlo, xhi = g.X.Interval(xi)
+	ylo, yhi = g.Y.Interval(yi)
+	return xlo, xhi, ylo, yhi
+}
+
+// Clone returns a deep copy of the grid.
+func (g *Grid) Clone() *Grid {
+	return &Grid{X: g.X.clone(), Y: g.Y.clone()}
+}
+
+// Growth describes how a grid was extended by GrowToInclude: how many
+// intervals were prepended/appended on each axis. It is what a
+// TransitionMatrix needs to remap its state.
+type Growth struct {
+	XLow, XHigh int
+	YLow, YHigh int
+}
+
+// Grew reports whether any interval was added.
+func (gr Growth) Grew() bool { return gr.XLow+gr.XHigh+gr.YLow+gr.YHigh > 0 }
+
+// GrowToInclude extends the grid so p becomes an interior point, but only
+// when p is within lambda·AvgWidth of the existing boundary on every
+// violated axis (the paper's distribution-evolution rule; anything farther
+// is an outlier and the grid is left unchanged). New intervals have width
+// AvgWidth. It returns the applied growth; a zero Growth with ok=false
+// means p was rejected as an outlier.
+func (g *Grid) GrowToInclude(p mathx.Point2, lambda float64) (Growth, bool) {
+	needX, okX := axisGrowth(&g.X, p.X, lambda)
+	if !okX {
+		return Growth{}, false
+	}
+	needY, okY := axisGrowth(&g.Y, p.Y, lambda)
+	if !okY {
+		return Growth{}, false
+	}
+	var gr Growth
+	gr.XLow, gr.XHigh = applyAxisGrowth(&g.X, needX)
+	gr.YLow, gr.YHigh = applyAxisGrowth(&g.Y, needY)
+	return gr, gr.Grew()
+}
+
+// axisGrowth computes how many intervals (negative = prepend) axis a needs
+// to contain v, and whether v is close enough to the boundary to allow it.
+func axisGrowth(a *Axis, v float64, lambda float64) (int, bool) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, false
+	}
+	switch {
+	case v >= a.Hi():
+		if v > a.Hi()+lambda*a.AvgWidth {
+			return 0, false
+		}
+		k := int(math.Floor((v-a.Hi())/a.AvgWidth)) + 1
+		return k, true
+	case v < a.Lo():
+		if v < a.Lo()-lambda*a.AvgWidth {
+			return 0, false
+		}
+		k := int(math.Floor((a.Lo()-v)/a.AvgWidth)) + 1
+		return -k, true
+	default:
+		return 0, true
+	}
+}
+
+// applyAxisGrowth appends (k > 0) or prepends (k < 0) |k| intervals of
+// width AvgWidth and returns (prepended, appended).
+func applyAxisGrowth(a *Axis, k int) (low, high int) {
+	switch {
+	case k > 0:
+		for i := 0; i < k; i++ {
+			a.Edges = append(a.Edges, a.Hi()+a.AvgWidth)
+		}
+		return 0, k
+	case k < 0:
+		n := -k
+		pre := make([]float64, n, n+len(a.Edges))
+		for i := 0; i < n; i++ {
+			pre[i] = a.Lo() - float64(n-i)*a.AvgWidth
+		}
+		a.Edges = append(pre, a.Edges...)
+		return n, 0
+	default:
+		return 0, 0
+	}
+}
+
+// String renders the grid's interval boundaries, e.g. for the paper's
+// Figure 7/8 style output.
+func (g *Grid) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "grid %dx%d (%d cells)\n", g.X.Intervals(), g.Y.Intervals(), g.NumCells())
+	b.WriteString("x:")
+	for _, e := range g.X.Edges {
+		fmt.Fprintf(&b, " %.6g", e)
+	}
+	b.WriteString("\ny:")
+	for _, e := range g.Y.Edges {
+		fmt.Fprintf(&b, " %.6g", e)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

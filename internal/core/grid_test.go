@@ -1,0 +1,363 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mcorr/internal/mathx"
+)
+
+func TestAxisLocate(t *testing.T) {
+	a := Axis{Edges: []float64{0, 1, 3, 7}, AvgWidth: 7.0 / 3}
+	cases := []struct {
+		v    float64
+		want int
+		ok   bool
+	}{
+		{0, 0, true}, {0.5, 0, true}, {1, 1, true}, {2.9, 1, true},
+		{3, 2, true}, {6.999, 2, true}, {7, 0, false}, {-0.1, 0, false},
+		{math.NaN(), 0, false},
+	}
+	for _, c := range cases {
+		got, ok := a.Locate(c.v)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("Locate(%g) = %d, %v; want %d, %v", c.v, got, ok, c.want, c.ok)
+		}
+	}
+	if a.Intervals() != 3 || a.Lo() != 0 || a.Hi() != 7 {
+		t.Error("axis accessors wrong")
+	}
+	lo, hi := a.Interval(1)
+	if lo != 1 || hi != 3 {
+		t.Errorf("Interval(1) = [%g, %g)", lo, hi)
+	}
+}
+
+func TestBuildGridEmpty(t *testing.T) {
+	if _, err := BuildGrid(nil, GridConfig{}); err == nil {
+		t.Error("empty data: want error")
+	}
+}
+
+func TestBuildGridBimodalSplitsDenseRegions(t *testing.T) {
+	// Two tight clusters far apart: the axis must separate them, giving
+	// more resolution to dense areas than one equal-width bin would.
+	rng := rand.New(rand.NewSource(1))
+	var pts []mathx.Point2
+	for i := 0; i < 500; i++ {
+		pts = append(pts, mathx.Point2{X: rng.NormFloat64() * 0.5, Y: rng.NormFloat64() * 0.5})
+		pts = append(pts, mathx.Point2{X: 100 + rng.NormFloat64()*0.5, Y: 100 + rng.NormFloat64()*0.5})
+	}
+	g, err := BuildGrid(pts, GridConfig{})
+	if err != nil {
+		t.Fatalf("BuildGrid: %v", err)
+	}
+	if g.X.Intervals() < 2 || g.Y.Intervals() < 2 {
+		t.Fatalf("bimodal data produced %dx%d grid", g.X.Intervals(), g.Y.Intervals())
+	}
+	// Every training point must be inside the grid.
+	for _, p := range pts {
+		if _, ok := g.Locate(p); !ok {
+			t.Fatalf("training point %+v outside grid", p)
+		}
+	}
+}
+
+func TestBuildGridUniformFallsBackToEqualSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]mathx.Point2, 20000)
+	for i := range pts {
+		pts[i] = mathx.Point2{X: rng.Float64(), Y: rng.Float64()}
+	}
+	g, err := BuildGrid(pts, GridConfig{EqualSplit: 7})
+	if err != nil {
+		t.Fatalf("BuildGrid: %v", err)
+	}
+	if g.X.Intervals() != 7 || g.Y.Intervals() != 7 {
+		t.Fatalf("uniform data should equal-split into 7x7, got %dx%d", g.X.Intervals(), g.Y.Intervals())
+	}
+	// Equal widths.
+	w0 := g.X.Edges[1] - g.X.Edges[0]
+	for i := 1; i < g.X.Intervals(); i++ {
+		if !mathx.AlmostEqual(g.X.Edges[i+1]-g.X.Edges[i], w0, 1e-9) {
+			t.Error("equal split should have equal widths")
+		}
+	}
+}
+
+func TestBuildGridRespectsMaxIntervals(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]mathx.Point2, 5000)
+	for i := range pts {
+		// Highly multi-modal data tempting many intervals.
+		m := float64(i % 10 * 10)
+		pts[i] = mathx.Point2{X: m + rng.NormFloat64(), Y: m + rng.NormFloat64()}
+	}
+	g, err := BuildGrid(pts, GridConfig{MaxIntervals: 6})
+	if err != nil {
+		t.Fatalf("BuildGrid: %v", err)
+	}
+	if g.X.Intervals() > 6 || g.Y.Intervals() > 6 {
+		t.Errorf("grid %dx%d exceeds MaxIntervals 6", g.X.Intervals(), g.Y.Intervals())
+	}
+}
+
+func TestBuildGridConstantDimension(t *testing.T) {
+	pts := []mathx.Point2{{X: 5, Y: 1}, {X: 5, Y: 2}, {X: 5, Y: 3}}
+	g, err := BuildGrid(pts, GridConfig{})
+	if err != nil {
+		t.Fatalf("BuildGrid: %v", err)
+	}
+	if _, ok := g.Locate(mathx.Point2{X: 5, Y: 2}); !ok {
+		t.Error("constant dimension should still contain its value")
+	}
+}
+
+func TestGridCellRoundTrip(t *testing.T) {
+	g, err := UniformGrid(0, 4, 4, 0, 5, 5)
+	if err != nil {
+		t.Fatalf("UniformGrid: %v", err)
+	}
+	if g.NumCells() != 20 {
+		t.Fatalf("NumCells = %d", g.NumCells())
+	}
+	for c := 0; c < g.NumCells(); c++ {
+		xi, yi := g.CellCoords(c)
+		if g.CellIndex(xi, yi) != c {
+			t.Fatalf("coords round trip failed at %d", c)
+		}
+	}
+	xlo, xhi, ylo, yhi := g.CellBounds(g.CellIndex(2, 3))
+	if xlo != 2 || xhi != 3 || ylo != 3 || yhi != 4 {
+		t.Errorf("CellBounds = [%g,%g)x[%g,%g)", xlo, xhi, ylo, yhi)
+	}
+}
+
+func TestUniformGridValidation(t *testing.T) {
+	if _, err := UniformGrid(0, 0, 3, 0, 1, 3); err == nil {
+		t.Error("empty x range: want error")
+	}
+	if _, err := UniformGrid(0, 1, 0, 0, 1, 3); err == nil {
+		t.Error("zero intervals: want error")
+	}
+}
+
+// Property: every point inside the bounds lands in exactly one cell whose
+// bounds contain it.
+func TestGridLocatePartitionProperty(t *testing.T) {
+	g, err := UniformGrid(0, 10, 7, -5, 5, 9)
+	if err != nil {
+		t.Fatalf("UniformGrid: %v", err)
+	}
+	f := func(xr, yr uint16) bool {
+		p := mathx.Point2{
+			X: float64(xr) / 65535 * 9.999,
+			Y: float64(yr)/65535*9.999 - 5,
+		}
+		c, ok := g.Locate(p)
+		if !ok {
+			return false
+		}
+		xlo, xhi, ylo, yhi := g.CellBounds(c)
+		return p.X >= xlo && p.X < xhi && p.Y >= ylo && p.Y < yhi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrowToInclude(t *testing.T) {
+	g, err := UniformGrid(0, 10, 5, 0, 10, 5) // AvgWidth 2 on both axes
+	if err != nil {
+		t.Fatalf("UniformGrid: %v", err)
+	}
+	// A point just above the X bound: one interval appended.
+	gr, grew := g.GrowToInclude(mathx.Point2{X: 11, Y: 5}, 3)
+	if !grew || gr.XHigh != 1 || gr.XLow+gr.YLow+gr.YHigh != 0 {
+		t.Fatalf("growth = %+v, grew=%v", gr, grew)
+	}
+	if g.X.Intervals() != 6 || g.X.Hi() != 12 {
+		t.Errorf("x axis after growth: %d intervals, hi %g", g.X.Intervals(), g.X.Hi())
+	}
+	if _, ok := g.Locate(mathx.Point2{X: 11, Y: 5}); !ok {
+		t.Error("grown grid should contain the point")
+	}
+	// A point below both bounds: prepends shift indices.
+	gr, grew = g.GrowToInclude(mathx.Point2{X: -3, Y: -1}, 3)
+	if !grew || gr.XLow != 2 || gr.YLow != 1 {
+		t.Fatalf("low growth = %+v, grew=%v", gr, grew)
+	}
+	if _, ok := g.Locate(mathx.Point2{X: -3, Y: -1}); !ok {
+		t.Error("grown grid should contain the low point")
+	}
+	// A point far outside is rejected as an outlier and nothing changes.
+	before := g.NumCells()
+	gr, grew = g.GrowToInclude(mathx.Point2{X: 1e6, Y: 5}, 3)
+	if grew || gr.Grew() {
+		t.Error("far point should be rejected")
+	}
+	if g.NumCells() != before {
+		t.Error("rejected growth must not mutate the grid")
+	}
+	// NaN and Inf are rejected.
+	if _, grew := g.GrowToInclude(mathx.Point2{X: math.NaN(), Y: 5}, 3); grew {
+		t.Error("NaN should be rejected")
+	}
+	if _, grew := g.GrowToInclude(mathx.Point2{X: math.Inf(1), Y: 5}, 3); grew {
+		t.Error("Inf should be rejected")
+	}
+}
+
+func TestGrowToIncludeBoundaryExactlyAtLambda(t *testing.T) {
+	g, _ := UniformGrid(0, 10, 5, 0, 10, 5) // AvgWidth 2
+	// lambda=3 allows up to 10 + 3*2 = 16.
+	if _, grew := g.GrowToInclude(mathx.Point2{X: 16, Y: 5}, 3); !grew {
+		t.Error("point at the lambda boundary should be accepted")
+	}
+	g2, _ := UniformGrid(0, 10, 5, 0, 10, 5)
+	if _, grew := g2.GrowToInclude(mathx.Point2{X: 16.01, Y: 5}, 3); grew {
+		t.Error("point past the lambda boundary should be rejected")
+	}
+}
+
+func TestGridCloneIndependent(t *testing.T) {
+	g, _ := UniformGrid(0, 10, 5, 0, 10, 5)
+	c := g.Clone()
+	if _, grew := c.GrowToInclude(mathx.Point2{X: 11, Y: 5}, 3); !grew {
+		t.Fatal("clone growth failed")
+	}
+	if g.X.Intervals() != 5 {
+		t.Error("growing the clone mutated the original")
+	}
+}
+
+func TestGridString(t *testing.T) {
+	g, _ := UniformGrid(0, 2, 2, 0, 2, 2)
+	s := g.String()
+	if !strings.Contains(s, "grid 2x2 (4 cells)") || !strings.Contains(s, "x: 0 1 2") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Property: growth never loses points — anything locatable before growth
+// is locatable after, in a cell with identical bounds.
+func TestGrowthPreservesExistingCellsProperty(t *testing.T) {
+	f := func(px, py uint8, gx, gy uint8) bool {
+		g, err := UniformGrid(0, 10, 5, 0, 10, 5)
+		if err != nil {
+			return false
+		}
+		p := mathx.Point2{X: float64(px) / 255 * 9.99, Y: float64(py) / 255 * 9.99}
+		before, ok := g.Locate(p)
+		if !ok {
+			return false
+		}
+		bx1, bx2, by1, by2 := g.CellBounds(before)
+		grow := mathx.Point2{X: 10 + float64(gx%30)/10, Y: -float64(gy%30) / 10}
+		g.GrowToInclude(grow, 3)
+		after, ok := g.Locate(p)
+		if !ok {
+			return false
+		}
+		ax1, ax2, ay1, ay2 := g.CellBounds(after)
+		return bx1 == ax1 && bx2 == ax2 && by1 == ay1 && by2 == ay2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildGridQuantileFallbackOnSmoothData(t *testing.T) {
+	// A smooth unimodal marginal: adjacent histogram units are always
+	// "similar", so the MAFIA merge alone would collapse the axis; the
+	// MinIntervals floor must kick in with quantile intervals.
+	rng := rand.New(rand.NewSource(6))
+	pts := make([]mathx.Point2, 8000)
+	for i := range pts {
+		pts[i] = mathx.Point2{X: rng.NormFloat64(), Y: rng.NormFloat64()}
+	}
+	g, err := BuildGrid(pts, GridConfig{MinIntervals: 8, EqualSplit: 10})
+	if err != nil {
+		t.Fatalf("BuildGrid: %v", err)
+	}
+	if g.X.Intervals() < 8 || g.Y.Intervals() < 8 {
+		t.Fatalf("smooth data grid = %dx%d, want >= 8 per axis", g.X.Intervals(), g.Y.Intervals())
+	}
+	// Quantile intervals: the middle intervals (dense region) are
+	// narrower than the outermost ones.
+	edges := g.X.Edges
+	n := len(edges) - 1
+	inner := edges[n/2+1] - edges[n/2]
+	outer := edges[1] - edges[0]
+	if inner >= outer {
+		t.Errorf("dense-region interval (%g) should be narrower than tail interval (%g)", inner, outer)
+	}
+}
+
+func TestQuantileAxisDedupOnDiscreteData(t *testing.T) {
+	// Heavily repeated values: duplicate quantiles must collapse rather
+	// than produce empty or inverted intervals.
+	var vals []float64
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, 5) // 50% mass at one value
+		if i%2 == 0 {
+			vals = append(vals, float64(i%10))
+		}
+	}
+	ax, ok := quantileAxis(vals, 10, 0, 10)
+	if !ok {
+		t.Fatal("quantileAxis should succeed")
+	}
+	for i := 0; i+1 < len(ax.Edges); i++ {
+		if !(ax.Edges[i] < ax.Edges[i+1]) {
+			t.Fatalf("edges not strictly increasing: %v", ax.Edges)
+		}
+	}
+}
+
+func TestQuantileAxisAllEqualFails(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = 7
+	}
+	if _, ok := quantileAxis(vals, 10, 7, 7.1); ok {
+		t.Error("constant data should not produce a quantile axis")
+	}
+}
+
+// Property: every axis BuildGrid produces has strictly increasing edges
+// and the advertised average width.
+func TestBuildGridEdgesMonotoneProperty(t *testing.T) {
+	f := func(seed int64, uniform bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]mathx.Point2, 500)
+		for i := range pts {
+			if uniform {
+				pts[i] = mathx.Point2{X: rng.Float64(), Y: rng.Float64()}
+			} else {
+				pts[i] = mathx.Point2{X: rng.NormFloat64(), Y: rng.ExpFloat64()}
+			}
+		}
+		g, err := BuildGrid(pts, GridConfig{})
+		if err != nil {
+			return false
+		}
+		for _, ax := range []Axis{g.X, g.Y} {
+			for i := 0; i+1 < len(ax.Edges); i++ {
+				if !(ax.Edges[i] < ax.Edges[i+1]) {
+					return false
+				}
+			}
+			if ax.AvgWidth <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

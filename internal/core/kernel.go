@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// KernelKind selects the spatial-closeness kernel used for the prior
+// distribution and the per-observation likelihood (paper §4.2: transition
+// probability decreases exponentially with cell distance).
+type KernelKind int
+
+const (
+	// KernelHarmonic is the paper's kernel, recovered exactly from the
+	// published Figure 5 matrix: weight(Δx, Δy) = 2 / (w^Δx + w^Δy),
+	// i.e. the reciprocal of the mean per-axis decay.
+	KernelHarmonic KernelKind = iota + 1
+	// KernelProduct decays with the Manhattan distance:
+	// weight(Δx, Δy) = w^−(Δx+Δy). Ablation alternative.
+	KernelProduct
+	// KernelUniform gives every cell equal weight — it removes the
+	// spatial-closeness assumption entirely (ablation control).
+	KernelUniform
+)
+
+// String returns the kernel's name.
+func (k KernelKind) String() string {
+	switch k {
+	case KernelHarmonic:
+		return "harmonic"
+	case KernelProduct:
+		return "product"
+	case KernelUniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("KernelKind(%d)", int(k))
+	}
+}
+
+// Kernel evaluates spatial-closeness weights between cells of an nx×ny
+// grid. It precomputes the per-axis decay powers so evaluation is two table
+// lookups.
+type Kernel struct {
+	kind KernelKind
+	w    float64
+	powX []float64 // w^d for d = 0..nx-1
+	powY []float64
+	// logTab caches log(Weight(dx, dy)) as logTab[dx*ny + dy]; it is the
+	// hot path of every matrix update.
+	logTab []float64
+	tabNX  int
+	tabNY  int
+	logW   float64
+}
+
+// NewKernel returns a kernel over an nx×ny grid with decay rate w > 1
+// (the paper's w; 2 reproduces Figure 5 exactly).
+func NewKernel(kind KernelKind, w float64, nx, ny int) (*Kernel, error) {
+	switch kind {
+	case KernelHarmonic, KernelProduct, KernelUniform:
+	default:
+		return nil, fmt.Errorf("unknown kernel kind %d", int(kind))
+	}
+	if w <= 1 && kind != KernelUniform {
+		return nil, fmt.Errorf("kernel decay w = %g: must be > 1", w)
+	}
+	if nx < 1 || ny < 1 {
+		return nil, fmt.Errorf("kernel over %dx%d grid: empty", nx, ny)
+	}
+	k := &Kernel{kind: kind, w: w, logW: math.Log(w)}
+	k.resize(nx, ny)
+	return k, nil
+}
+
+// resize extends the power and log tables to cover an nx×ny grid.
+func (k *Kernel) resize(nx, ny int) {
+	k.powX = powTable(k.w, nx, k.powX)
+	k.powY = powTable(k.w, ny, k.powY)
+	if k.tabNX >= nx && k.tabNY >= ny {
+		return
+	}
+	if nx < k.tabNX {
+		nx = k.tabNX
+	}
+	if ny < k.tabNY {
+		ny = k.tabNY
+	}
+	k.tabNX, k.tabNY = nx, ny
+	k.logTab = make([]float64, nx*ny)
+	for dx := 0; dx < nx; dx++ {
+		for dy := 0; dy < ny; dy++ {
+			k.logTab[dx*ny+dy] = k.logWeightSlow(dx, dy)
+		}
+	}
+}
+
+func powTable(w float64, n int, old []float64) []float64 {
+	if len(old) >= n {
+		return old
+	}
+	t := make([]float64, n)
+	t[0] = 1
+	for i := 1; i < n; i++ {
+		t[i] = t[i-1] * w
+	}
+	return t
+}
+
+// Kind returns the kernel kind.
+func (k *Kernel) Kind() KernelKind { return k.kind }
+
+// W returns the decay rate.
+func (k *Kernel) W() float64 { return k.w }
+
+// Weight returns the unnormalized closeness weight for per-axis cell
+// distances (dx, dy); the weight is 1 at distance zero and decays with
+// distance for the non-uniform kernels.
+func (k *Kernel) Weight(dx, dy int) float64 {
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	switch k.kind {
+	case KernelUniform:
+		return 1
+	case KernelProduct:
+		return 1 / (k.powX[dx] * k.powY[dy])
+	default: // KernelHarmonic
+		return 2 / (k.powX[dx] + k.powY[dy])
+	}
+}
+
+// LogWeight returns log(Weight(dx, dy)) via the cached table.
+func (k *Kernel) LogWeight(dx, dy int) float64 {
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return k.logTab[dx*k.tabNY+dy]
+}
+
+func (k *Kernel) logWeightSlow(dx, dy int) float64 {
+	switch k.kind {
+	case KernelUniform:
+		return 0
+	case KernelProduct:
+		return -float64(dx+dy) * k.logW
+	default:
+		return math.Log(2 / (k.powX[dx] + k.powY[dy]))
+	}
+}
+
+// StepPenalty returns the log-weight drop per one-cell step away, used to
+// extrapolate posterior mass onto freshly grown cells.
+func (k *Kernel) StepPenalty() float64 {
+	if k.kind == KernelUniform {
+		return 0
+	}
+	return k.logW
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mcorr/internal/mathx"
+)
+
+func TestKernelKindString(t *testing.T) {
+	if KernelHarmonic.String() != "harmonic" || KernelProduct.String() != "product" || KernelUniform.String() != "uniform" {
+		t.Error("kernel names wrong")
+	}
+	if KernelKind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestNewKernelValidation(t *testing.T) {
+	if _, err := NewKernel(KernelKind(42), 2, 3, 3); err == nil {
+		t.Error("unknown kind: want error")
+	}
+	if _, err := NewKernel(KernelHarmonic, 1, 3, 3); err == nil {
+		t.Error("w <= 1: want error")
+	}
+	if _, err := NewKernel(KernelHarmonic, 2, 0, 3); err == nil {
+		t.Error("empty grid: want error")
+	}
+	// Uniform kernel ignores w entirely.
+	if _, err := NewKernel(KernelUniform, 0, 2, 2); err != nil {
+		t.Errorf("uniform kernel with w=0: %v", err)
+	}
+}
+
+func TestHarmonicKernelWeights(t *testing.T) {
+	k, err := NewKernel(KernelHarmonic, 2, 3, 3)
+	if err != nil {
+		t.Fatalf("NewKernel: %v", err)
+	}
+	cases := []struct {
+		dx, dy int
+		want   float64
+	}{
+		{0, 0, 1},
+		{1, 0, 2.0 / 3},
+		{0, 1, 2.0 / 3},
+		{1, 1, 0.5},
+		{2, 0, 0.4},
+		{2, 1, 1.0 / 3},
+		{2, 2, 0.25},
+		{-1, -1, 0.5}, // distances are absolute
+	}
+	for _, c := range cases {
+		if got := k.Weight(c.dx, c.dy); !mathx.AlmostEqual(got, c.want, 1e-12) {
+			t.Errorf("Weight(%d,%d) = %g, want %g", c.dx, c.dy, got, c.want)
+		}
+		if got := k.LogWeight(c.dx, c.dy); !mathx.AlmostEqual(got, math.Log(c.want), 1e-12) {
+			t.Errorf("LogWeight(%d,%d) = %g", c.dx, c.dy, got)
+		}
+	}
+	if k.W() != 2 || k.Kind() != KernelHarmonic {
+		t.Error("accessors wrong")
+	}
+	if k.StepPenalty() != math.Log(2) {
+		t.Errorf("StepPenalty = %g", k.StepPenalty())
+	}
+}
+
+func TestProductKernel(t *testing.T) {
+	k, err := NewKernel(KernelProduct, 2, 4, 4)
+	if err != nil {
+		t.Fatalf("NewKernel: %v", err)
+	}
+	if got := k.Weight(1, 2); !mathx.AlmostEqual(got, 0.125, 1e-12) {
+		t.Errorf("product Weight(1,2) = %g, want 1/8", got)
+	}
+	if got := k.LogWeight(3, 0); !mathx.AlmostEqual(got, -3*math.Log(2), 1e-12) {
+		t.Errorf("product LogWeight(3,0) = %g", got)
+	}
+}
+
+func TestUniformKernel(t *testing.T) {
+	k, err := NewKernel(KernelUniform, 2, 3, 3)
+	if err != nil {
+		t.Fatalf("NewKernel: %v", err)
+	}
+	if k.Weight(0, 0) != 1 || k.Weight(2, 2) != 1 {
+		t.Error("uniform kernel should always weight 1")
+	}
+	if k.LogWeight(2, 1) != 0 || k.StepPenalty() != 0 {
+		t.Error("uniform log weights should be 0")
+	}
+}
+
+func TestKernelResizeGrowsTables(t *testing.T) {
+	k, err := NewKernel(KernelHarmonic, 2, 2, 2)
+	if err != nil {
+		t.Fatalf("NewKernel: %v", err)
+	}
+	k.resize(5, 6)
+	// Distance 4 on x needs powX[4] = 16.
+	if got := k.Weight(4, 0); !mathx.AlmostEqual(got, 2.0/17, 1e-12) {
+		t.Errorf("after resize Weight(4,0) = %g, want 2/17", got)
+	}
+}

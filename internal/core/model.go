@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"mcorr/internal/mathx"
+)
+
+// Config controls model construction and online behaviour. The zero value
+// selects the documented defaults (which reproduce the paper's setup).
+type Config struct {
+	// Grid configures the adaptive discretization.
+	Grid GridConfig
+	// Kernel selects the spatial-closeness kernel; default KernelHarmonic
+	// (the paper's, recovered from Figure 5).
+	Kernel KernelKind
+	// DecayW is the kernel decay rate w; default 2.
+	DecayW float64
+	// Lambda bounds online grid growth to Lambda average interval widths
+	// beyond the current boundary (the paper's λ); default 3. A negative
+	// value disables growth entirely (every out-of-grid point is an
+	// outlier).
+	Lambda float64
+	// Adaptive enables online updating (grid growth + matrix updates) as
+	// points are observed. Offline models only score.
+	Adaptive bool
+	// UpdateRule selects the matrix update rule; default UpdateKernelBayes.
+	UpdateRule UpdateRule
+	// DirichletStrength is the prior pseudo-count mass per row when
+	// UpdateRule is UpdateDirichlet; default 10.
+	DirichletStrength float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Kernel == 0 {
+		c.Kernel = KernelHarmonic
+	}
+	if c.DecayW == 0 {
+		c.DecayW = 2
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 3
+	}
+	if c.UpdateRule == 0 {
+		c.UpdateRule = UpdateKernelBayes
+	}
+	if c.DirichletStrength == 0 {
+		c.DirichletStrength = 10
+	}
+	return c
+}
+
+// StepResult reports what the model concluded about one new observation.
+type StepResult struct {
+	// Scored is false when no transition could be evaluated: the very
+	// first observation, or the observation following an out-of-grid
+	// outlier (the Markov chain restarts).
+	Scored bool
+	// Prob is P(x_t → x_{t+1}), the transition probability the paper
+	// thresholds against δ. Zero for out-of-grid outliers.
+	Prob float64
+	// Fitness is the rank-based score Q ∈ [0, 1]; zero for outliers.
+	Fitness float64
+	// OutOfGrid reports that the observation fell outside the grid and
+	// was rejected as an outlier (too far to grow the boundary).
+	OutOfGrid bool
+	// Cell is the grid cell the observation landed in, −1 when OutOfGrid.
+	Cell int
+	// Grown reports that the grid was extended to accommodate the
+	// observation (adaptive models only).
+	Grown bool
+}
+
+// Stats summarizes a model's online history.
+type Stats struct {
+	Observations int // points seen by Step
+	Scored       int // transitions scored
+	Outliers     int // out-of-grid rejections
+	Growths      int // grid extensions
+	Updates      int // matrix updates applied
+}
+
+// Model is the paper's pairwise correlation model M = (G, V): a grid over
+// the 2-D measurement space plus a transition probability matrix over its
+// cells. Build one with Train, then feed the online stream through Step.
+//
+// Model is safe for concurrent use.
+type Model struct {
+	mu    sync.Mutex
+	cfg   Config
+	grid  *Grid
+	tm    *TransitionMatrix
+	prev  int
+	armed bool // prev is valid
+	stats Stats
+	row   []float64 // scratch row buffer
+}
+
+// Train initializes the model from history data (the paper's snapshot of
+// past monitoring data): it builds the grid, fills the matrix with the
+// spatial-closeness prior, and replays every consecutive history
+// transition through the Bayesian update.
+func Train(history []mathx.Point2, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if len(history) == 0 {
+		return nil, fmt.Errorf("train: %w", ErrNoData)
+	}
+	grid, err := BuildGrid(history, cfg.Grid)
+	if err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+	nx, ny := grid.Dims()
+	kernel, err := NewKernel(cfg.Kernel, cfg.DecayW, nx, ny)
+	if err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+	tm, err := NewTransitionMatrix(grid, kernel, cfg.UpdateRule, cfg.DirichletStrength)
+	if err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+	m := &Model{cfg: cfg, grid: grid, tm: tm, prev: -1}
+	// Replay the history transitions (§4.2: "the updating procedure starts
+	// from x_1 ... and is repeatedly executed").
+	prev, armed := -1, false
+	for _, p := range history {
+		cell, ok := grid.Locate(p)
+		if !ok {
+			// NaN or boundary artifacts: restart the chain.
+			armed = false
+			continue
+		}
+		if armed {
+			if err := tm.Observe(prev, cell); err != nil {
+				return nil, fmt.Errorf("train replay: %w", err)
+			}
+			m.stats.Updates++
+		}
+		prev, armed = cell, true
+	}
+	return m, nil
+}
+
+// NewModelFromGrid builds a model over a caller-supplied grid with only the
+// prior in its matrix — used by tests and by the paper's worked examples.
+func NewModelFromGrid(grid *Grid, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	nx, ny := grid.Dims()
+	kernel, err := NewKernel(cfg.Kernel, cfg.DecayW, nx, ny)
+	if err != nil {
+		return nil, err
+	}
+	tm, err := NewTransitionMatrix(grid, kernel, cfg.UpdateRule, cfg.DirichletStrength)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{cfg: cfg, grid: grid, tm: tm, prev: -1}, nil
+}
+
+// Step feeds one online observation through the model. It returns the
+// transition probability and fitness score for the implied transition, and
+// — when the model is adaptive — updates the matrix (and grows the grid if
+// the point lies just beyond it).
+func (m *Model) Step(p mathx.Point2) StepResult {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Observations++
+
+	cell, ok := m.grid.Locate(p)
+	var grown bool
+	if !ok && m.cfg.Adaptive {
+		if gr, grew := m.grid.GrowToInclude(p, m.cfg.Lambda); grew {
+			// Growth cannot fail here: the matrix dims track the grid.
+			if err := m.tm.Grow(m.grid, gr); err != nil {
+				// Inconsistent internal state would be a bug; surface it
+				// loudly in the result rather than panicking.
+				m.armed = false
+				return StepResult{OutOfGrid: true, Cell: -1}
+			}
+			grown = true
+			m.stats.Growths++
+			cell, ok = m.grid.Locate(p)
+		}
+	}
+	if !ok {
+		// Outlier: zero probability and fitness, no update (paper §4.2),
+		// and the chain restarts at the next in-grid point.
+		m.stats.Outliers++
+		res := StepResult{Scored: m.armed, OutOfGrid: true, Cell: -1}
+		m.armed = false
+		return res
+	}
+
+	res := StepResult{Cell: cell, Grown: grown}
+	if m.armed {
+		row, err := m.tm.RowInto(m.row, m.prev)
+		if err == nil {
+			m.row = row
+			res.Scored = true
+			res.Prob = row[cell]
+			res.Fitness = FitnessFromRow(row, cell)
+			m.stats.Scored++
+		}
+		if m.cfg.Adaptive {
+			if err := m.tm.Observe(m.prev, cell); err == nil {
+				m.stats.Updates++
+			}
+		}
+	}
+	m.prev, m.armed = cell, true
+	return res
+}
+
+// Score evaluates the transition from the model's current position to p
+// without mutating anything — the pure "offline" read used when comparing
+// models. It returns ok=false when no transition can be scored.
+func (m *Model) Score(p mathx.Point2) (prob, fitness float64, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.armed {
+		return 0, 0, false
+	}
+	cell, in := m.grid.Locate(p)
+	if !in {
+		return 0, 0, true // a scoreable observation with zero probability
+	}
+	row, err := m.tm.RowInto(m.row, m.prev)
+	if err != nil {
+		return 0, 0, false
+	}
+	m.row = row
+	return row[cell], FitnessFromRow(row, cell), true
+}
+
+// Reset clears the Markov chain position (e.g. across a data gap) without
+// touching the learned matrix.
+func (m *Model) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.armed = false
+}
+
+// SetAdaptive switches online updating on or off.
+func (m *Model) SetAdaptive(adaptive bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cfg.Adaptive = adaptive
+}
+
+// Adaptive reports whether online updating is enabled.
+func (m *Model) Adaptive() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cfg.Adaptive
+}
+
+// Grid returns the model's grid. The returned value is shared; callers
+// must not mutate it.
+func (m *Model) Grid() *Grid {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.grid
+}
+
+// Matrix returns the model's transition matrix. The returned value is
+// shared; callers must not mutate it concurrently with Step.
+func (m *Model) Matrix() *TransitionMatrix {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tm
+}
+
+// NumCells returns s, the current number of grid cells.
+func (m *Model) NumCells() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tm.NumCells()
+}
+
+// Stats returns a snapshot of the model's online counters.
+func (m *Model) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// TransitionProbability returns P(c_i → c_j) for explicit cells.
+func (m *Model) TransitionProbability(i, j int) (float64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tm.Prob(i, j)
+}
+
+// MeanFitness replays pts through a read-only scoring pass (no updates)
+// and returns the average fitness — a quick offline quality measure.
+func (m *Model) MeanFitness(pts []mathx.Point2) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prev, armed := -1, false
+	var sum float64
+	var n int
+	for _, p := range pts {
+		cell, ok := m.grid.Locate(p)
+		if !ok {
+			if armed {
+				n++ // scored as 0
+			}
+			armed = false
+			continue
+		}
+		if armed {
+			row, err := m.tm.RowInto(m.row, prev)
+			if err == nil {
+				m.row = row
+				sum += FitnessFromRow(row, cell)
+				n++
+			}
+		}
+		prev, armed = cell, true
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// fig5Want is the transition probability matrix published in Figure 5 of
+// the paper (percentages over a 3×3 grid, cells c1..c9 row-major).
+var fig5Want = [9][9]float64{
+	{21.98, 14.65, 8.79, 14.65, 10.99, 7.33, 8.79, 7.33, 5.49},
+	{13.16, 19.74, 13.16, 9.87, 13.16, 9.87, 6.58, 7.89, 6.58},
+	{8.79, 14.65, 21.98, 7.33, 10.99, 14.65, 5.49, 7.33, 8.79},
+	{13.16, 9.87, 6.58, 19.74, 13.16, 7.89, 13.16, 9.87, 6.58},
+	{8.82, 11.76, 8.82, 11.76, 17.65, 11.76, 8.82, 11.76, 8.82},
+	{6.58, 9.87, 13.16, 7.89, 13.16, 19.74, 6.58, 9.87, 13.16},
+	{8.79, 7.33, 5.49, 14.65, 10.99, 7.33, 21.98, 14.65, 8.79},
+	{6.58, 7.89, 6.58, 9.87, 13.16, 9.87, 13.16, 19.74, 13.16},
+	{5.49, 7.33, 8.79, 7.33, 10.99, 14.65, 8.79, 14.65, 21.98},
+}
+
+// TestFig5ExactPriorMatrix checks that the harmonic kernel with w=2
+// reproduces the paper's published 9×9 prior transition matrix to the
+// two decimal places printed in Figure 5.
+func TestFig5ExactPriorMatrix(t *testing.T) {
+	grid, err := UniformGrid(0, 3, 3, 0, 3, 3)
+	if err != nil {
+		t.Fatalf("UniformGrid: %v", err)
+	}
+	kernel, err := NewKernel(KernelHarmonic, 2, 3, 3)
+	if err != nil {
+		t.Fatalf("NewKernel: %v", err)
+	}
+	tm, err := NewTransitionMatrix(grid, kernel, UpdateKernelBayes, 0)
+	if err != nil {
+		t.Fatalf("NewTransitionMatrix: %v", err)
+	}
+	for i := 0; i < 9; i++ {
+		row, err := tm.RowInto(nil, i)
+		if err != nil {
+			t.Fatalf("RowInto(%d): %v", i, err)
+		}
+		for j := 0; j < 9; j++ {
+			gotPct := math.Round(row[j]*10000) / 100
+			if math.Abs(gotPct-fig5Want[i][j]) > 0.011 {
+				t.Errorf("V[%d][%d] = %.2f%%, paper says %.2f%%", i+1, j+1, gotPct, fig5Want[i][j])
+			}
+		}
+	}
+}
+
+// TestFig5DirichletPriorMatchesToo: the Dirichlet variant shares the same
+// prior shape before any observations.
+func TestFig5DirichletPriorMatchesToo(t *testing.T) {
+	grid, _ := UniformGrid(0, 3, 3, 0, 3, 3)
+	kernel, _ := NewKernel(KernelHarmonic, 2, 3, 3)
+	tm, err := NewTransitionMatrix(grid, kernel, UpdateDirichlet, 25)
+	if err != nil {
+		t.Fatalf("NewTransitionMatrix: %v", err)
+	}
+	row, err := tm.RowInto(nil, 4) // center cell c5
+	if err != nil {
+		t.Fatalf("RowInto: %v", err)
+	}
+	want := []float64{8.82, 11.76, 8.82, 11.76, 17.65, 11.76, 8.82, 11.76, 8.82}
+	for j, w := range want {
+		if math.Abs(row[j]*100-w) > 0.011 {
+			t.Errorf("Dirichlet prior V[5][%d] = %.2f%%, want %.2f%%", j+1, row[j]*100, w)
+		}
+	}
+}
+
+// TestFig11ExactFitness reproduces the worked fitness-score example of
+// Figure 11: a 6-cell row with the published probabilities must yield the
+// published scores for every possible destination cell.
+func TestFig11ExactFitness(t *testing.T) {
+	row := []float64{0.1116, 0.2422, 0.2095, 0.2538, 0.1734, 0.0094}
+	wantRank := []int{5, 2, 3, 1, 4, 6}
+	wantFitness := []float64{0.3333, 0.8333, 0.6667, 1.0000, 0.5000, 0.1667}
+	for h := range row {
+		if got := RankInRow(row, h); got != wantRank[h] {
+			t.Errorf("rank(c%d) = %d, paper says %d", h+1, got, wantRank[h])
+		}
+		if got := FitnessFromRow(row, h); math.Abs(got-wantFitness[h]) > 5e-5 {
+			t.Errorf("fitness(c%d) = %.4f, paper says %.4f", h+1, got, wantFitness[h])
+		}
+	}
+}
+
+// TestFig4TransitionDistribution: row c5 of the 3×3 prior is a valid
+// discrete distribution peaked at c5 with its four edge-neighbors next —
+// the shape sketched in Figure 4.
+func TestFig4TransitionDistribution(t *testing.T) {
+	grid, _ := UniformGrid(0, 3, 3, 0, 3, 3)
+	kernel, _ := NewKernel(KernelHarmonic, 2, 3, 3)
+	tm, _ := NewTransitionMatrix(grid, kernel, UpdateKernelBayes, 0)
+	row, err := tm.RowInto(nil, 4)
+	if err != nil {
+		t.Fatalf("RowInto: %v", err)
+	}
+	var sum float64
+	for _, p := range row {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("row sums to %g", sum)
+	}
+	if RankInRow(row, 4) != 1 {
+		t.Error("self-transition should rank first")
+	}
+	for _, edge := range []int{1, 3, 5, 7} {
+		for _, corner := range []int{0, 2, 6, 8} {
+			if row[edge] <= row[corner] {
+				t.Errorf("edge neighbor %d (%.4f) should outrank corner %d (%.4f)", edge, row[edge], corner, row[corner])
+			}
+		}
+	}
+}

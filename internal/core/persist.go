@@ -1,0 +1,101 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// modelSnapshot is the gob wire form of a Model. All learned state is
+// captured: the grid edges, the matrix weights, the update rule, and the
+// Markov chain position, so a restored model continues exactly where the
+// saved one stopped.
+type modelSnapshot struct {
+	Version int
+	Config  Config
+
+	XEdges, YEdges       []float64
+	XAvgWidth, YAvgWidth float64
+	NX, NY               int
+	Weights              []float64
+	Observed             int
+	Strength             float64
+	Prev                 int
+	Armed                bool
+	ModelStats           Stats
+}
+
+// snapshotVersion guards against loading snapshots from incompatible
+// releases.
+const snapshotVersion = 1
+
+// Save serializes the model (gob). The model may keep being used
+// concurrently; Save takes a consistent snapshot under the model lock.
+func (m *Model) Save(w io.Writer) error {
+	m.mu.Lock()
+	snap := modelSnapshot{
+		Version:    snapshotVersion,
+		Config:     m.cfg,
+		XEdges:     append([]float64(nil), m.grid.X.Edges...),
+		YEdges:     append([]float64(nil), m.grid.Y.Edges...),
+		XAvgWidth:  m.grid.X.AvgWidth,
+		YAvgWidth:  m.grid.Y.AvgWidth,
+		NX:         m.tm.nx,
+		NY:         m.tm.ny,
+		Weights:    append([]float64(nil), m.tm.weights...),
+		Observed:   m.tm.observed,
+		Strength:   m.tm.strength,
+		Prev:       m.prev,
+		Armed:      m.armed,
+		ModelStats: m.stats,
+	}
+	m.mu.Unlock()
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("model save: %w", err)
+	}
+	return nil
+}
+
+// LoadModel restores a model saved by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	var snap modelSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("model load: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("model load: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	if len(snap.XEdges) < 2 || len(snap.YEdges) < 2 {
+		return nil, fmt.Errorf("model load: degenerate grid (%d x %d edges)", len(snap.XEdges), len(snap.YEdges))
+	}
+	if snap.NX != len(snap.XEdges)-1 || snap.NY != len(snap.YEdges)-1 {
+		return nil, fmt.Errorf("model load: matrix dims %dx%d do not match grid %dx%d",
+			snap.NX, snap.NY, len(snap.XEdges)-1, len(snap.YEdges)-1)
+	}
+	n := snap.NX * snap.NY
+	if len(snap.Weights) != n*n {
+		return nil, fmt.Errorf("model load: %d weights for %d cells", len(snap.Weights), n)
+	}
+	cfg := snap.Config.withDefaults()
+	grid := &Grid{
+		X: Axis{Edges: snap.XEdges, AvgWidth: snap.XAvgWidth},
+		Y: Axis{Edges: snap.YEdges, AvgWidth: snap.YAvgWidth},
+	}
+	kernel, err := NewKernel(cfg.Kernel, cfg.DecayW, snap.NX, snap.NY)
+	if err != nil {
+		return nil, fmt.Errorf("model load: %w", err)
+	}
+	tm := &TransitionMatrix{
+		nx: snap.NX, ny: snap.NY, n: n,
+		kernel: kernel, rule: cfg.UpdateRule,
+		weights: snap.Weights, strength: snap.Strength, observed: snap.Observed,
+	}
+	return &Model{
+		cfg:   cfg,
+		grid:  grid,
+		tm:    tm,
+		prev:  snap.Prev,
+		armed: snap.Armed,
+		stats: snap.ModelStats,
+	}, nil
+}

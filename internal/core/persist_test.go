@@ -1,0 +1,125 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mcorr/internal/mathx"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	m, err := Train(corrStream(rng, 2000), Config{Adaptive: true})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	// Advance the chain so Prev/Armed state is non-trivial.
+	m.Step(mathx.Point2{X: 50, Y: 100})
+	m.Step(mathx.Point2{X: 52, Y: 104})
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	r, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatalf("LoadModel: %v", err)
+	}
+	if r.NumCells() != m.NumCells() {
+		t.Fatalf("cells %d != %d", r.NumCells(), m.NumCells())
+	}
+	if r.Stats() != m.Stats() {
+		t.Errorf("stats %+v != %+v", r.Stats(), m.Stats())
+	}
+	// Both models must behave identically from here: same deterministic
+	// stream produces identical results.
+	rng2 := rand.New(rand.NewSource(52))
+	for _, p := range corrStream(rng2, 300) {
+		a := m.Step(p)
+		b := r.Step(p)
+		if a != b {
+			t.Fatalf("diverged: %+v vs %+v at %+v", a, b, p)
+		}
+	}
+}
+
+func TestModelSaveLoadOfflineAndDirichlet(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	m, err := Train(corrStream(rng, 800), Config{UpdateRule: UpdateDirichlet})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	r, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatalf("LoadModel: %v", err)
+	}
+	if r.Matrix().Rule() != UpdateDirichlet {
+		t.Error("rule not preserved")
+	}
+	if r.Adaptive() {
+		t.Error("offline flag not preserved")
+	}
+	// Probabilities identical.
+	pa, err := m.TransitionProbability(0, 1)
+	if err != nil {
+		t.Fatalf("prob: %v", err)
+	}
+	pb, err := r.TransitionProbability(0, 1)
+	if err != nil {
+		t.Fatalf("prob: %v", err)
+	}
+	if pa != pb {
+		t.Errorf("P(0→1) %g != %g", pa, pb)
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	if _, err := LoadModel(bytes.NewBufferString("junk")); err == nil {
+		t.Error("garbage: want error")
+	}
+}
+
+func TestLoadModelRejectsCorruptSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	m, err := Train(corrStream(rng, 500), Config{})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	// Corrupt by truncation: gob decode fails cleanly.
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()/2])
+	if _, err := LoadModel(trunc); err == nil {
+		t.Error("truncated snapshot: want error")
+	}
+}
+
+func TestModelSaveGrownGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	m, err := Train(corrStream(rng, 1000), Config{Adaptive: true})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	// Grow the grid online, then round-trip.
+	g := m.Grid()
+	m.Step(mathx.Point2{X: g.X.Hi() + 0.2*g.X.AvgWidth, Y: 100})
+	cellsBefore := m.NumCells()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	r, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatalf("LoadModel: %v", err)
+	}
+	if r.NumCells() != cellsBefore {
+		t.Errorf("grown cells %d != %d", r.NumCells(), cellsBefore)
+	}
+}

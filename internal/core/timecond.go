@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mcorr/internal/mathx"
+)
+
+// TimeConditioned is an extension of the paper's model addressing its own
+// Figure-15/16 observation that peak hours are less predictable: instead
+// of one transition matrix, it keeps one matrix per time-of-day bucket
+// (all sharing a single grid), so "busy-hour dynamics" and "quiet-hour
+// dynamics" no longer compete for the same rows. The Markov chain position
+// is shared across buckets; only the matrix being read/updated switches.
+type TimeConditioned struct {
+	mu      sync.Mutex
+	cfg     Config
+	buckets int
+	grid    *Grid
+	mats    []*TransitionMatrix
+	prev    int
+	armed   bool
+	row     []float64
+}
+
+// TrainTimeConditioned builds a time-conditioned model from a regularly
+// sampled history starting at start with the given step. buckets divides
+// the day (e.g. 4 = six-hour quarters); it must divide evenly into 24
+// hours of steps is not required — bucketing is by wall-clock hour.
+func TrainTimeConditioned(history []mathx.Point2, start time.Time, step time.Duration, buckets int, cfg Config) (*TimeConditioned, error) {
+	if buckets < 1 || buckets > 24 {
+		return nil, fmt.Errorf("time-conditioned model with %d buckets: want 1..24", buckets)
+	}
+	if step <= 0 {
+		return nil, fmt.Errorf("time-conditioned model with step %v", step)
+	}
+	cfg = cfg.withDefaults()
+	if len(history) == 0 {
+		return nil, fmt.Errorf("train time-conditioned: %w", ErrNoData)
+	}
+	grid, err := BuildGrid(history, cfg.Grid)
+	if err != nil {
+		return nil, fmt.Errorf("train time-conditioned: %w", err)
+	}
+	nx, ny := grid.Dims()
+	tc := &TimeConditioned{cfg: cfg, buckets: buckets, grid: grid}
+	for b := 0; b < buckets; b++ {
+		kernel, err := NewKernel(cfg.Kernel, cfg.DecayW, nx, ny)
+		if err != nil {
+			return nil, fmt.Errorf("train time-conditioned: %w", err)
+		}
+		tm, err := NewTransitionMatrix(grid, kernel, cfg.UpdateRule, cfg.DirichletStrength)
+		if err != nil {
+			return nil, fmt.Errorf("train time-conditioned: %w", err)
+		}
+		tc.mats = append(tc.mats, tm)
+	}
+	// Replay the history, routing each transition to the bucket of its
+	// destination time.
+	prev, armed := -1, false
+	for i, p := range history {
+		cell, ok := grid.Locate(p)
+		if !ok {
+			armed = false
+			continue
+		}
+		if armed {
+			b := tc.bucketOf(start.Add(time.Duration(i) * step))
+			if err := tc.mats[b].Observe(prev, cell); err != nil {
+				return nil, fmt.Errorf("train time-conditioned: %w", err)
+			}
+		}
+		prev, armed = cell, true
+	}
+	return tc, nil
+}
+
+// Buckets returns the number of time-of-day buckets.
+func (tc *TimeConditioned) Buckets() int { return tc.buckets }
+
+// NumCells returns the shared grid's cell count.
+func (tc *TimeConditioned) NumCells() int { return tc.grid.NumCells() }
+
+func (tc *TimeConditioned) bucketOf(t time.Time) int {
+	return t.UTC().Hour() * tc.buckets / 24
+}
+
+// StepAt scores the observation p at wall-clock time t against the bucket
+// t falls into, and (when the model is adaptive) updates that bucket's
+// matrix. Grid growth is not performed by the time-conditioned variant;
+// out-of-grid points are outliers.
+func (tc *TimeConditioned) StepAt(t time.Time, p mathx.Point2) StepResult {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	cell, ok := tc.grid.Locate(p)
+	if !ok {
+		res := StepResult{Scored: tc.armed, OutOfGrid: true, Cell: -1}
+		tc.armed = false
+		return res
+	}
+	res := StepResult{Cell: cell}
+	if tc.armed {
+		tm := tc.mats[tc.bucketOf(t)]
+		row, err := tm.RowInto(tc.row, tc.prev)
+		if err == nil {
+			tc.row = row
+			res.Scored = true
+			res.Prob = row[cell]
+			res.Fitness = FitnessFromRow(row, cell)
+		}
+		if tc.cfg.Adaptive {
+			_ = tm.Observe(tc.prev, cell)
+		}
+	}
+	tc.prev, tc.armed = cell, true
+	return res
+}
+
+// Reset clears the shared chain position.
+func (tc *TimeConditioned) Reset() {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.armed = false
+}

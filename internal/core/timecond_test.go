@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mcorr/internal/mathx"
+)
+
+// diurnalStream emits a pair whose dynamics differ by time of day: calm
+// small-step motion at night, violent-but-regular swings at peak hours.
+// A single matrix must average the two regimes; per-bucket matrices can
+// learn each.
+func diurnalStream(rng *rand.Rand, start time.Time, step time.Duration, n int) []mathx.Point2 {
+	pts := make([]mathx.Point2, n)
+	x := 50.0
+	for i := range pts {
+		h := start.Add(time.Duration(i) * step).UTC().Hour()
+		sigma := 1.0
+		if h >= 12 && h < 18 {
+			sigma = 12 // peak hours: big regular jumps
+		}
+		x = mathx.Clamp(x+rng.NormFloat64()*sigma, 0, 100)
+		pts[i] = mathx.Point2{X: x, Y: 2*x + rng.NormFloat64()*2}
+	}
+	return pts
+}
+
+func TestTrainTimeConditionedValidation(t *testing.T) {
+	start := time.Date(2008, 5, 29, 0, 0, 0, 0, time.UTC)
+	if _, err := TrainTimeConditioned(nil, start, time.Minute, 4, Config{}); err == nil {
+		t.Error("empty history: want error")
+	}
+	pts := []mathx.Point2{{X: 1, Y: 1}, {X: 2, Y: 2}}
+	if _, err := TrainTimeConditioned(pts, start, 0, 4, Config{}); err == nil {
+		t.Error("zero step: want error")
+	}
+	if _, err := TrainTimeConditioned(pts, start, time.Minute, 0, Config{}); err == nil {
+		t.Error("0 buckets: want error")
+	}
+	if _, err := TrainTimeConditioned(pts, start, time.Minute, 25, Config{}); err == nil {
+		t.Error("25 buckets: want error")
+	}
+}
+
+func TestTimeConditionedBucketsRouting(t *testing.T) {
+	start := time.Date(2008, 5, 29, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(81))
+	history := diurnalStream(rng, start, 6*time.Minute, 8*240)
+	tc, err := TrainTimeConditioned(history, start, 6*time.Minute, 4, Config{})
+	if err != nil {
+		t.Fatalf("TrainTimeConditioned: %v", err)
+	}
+	if tc.Buckets() != 4 || tc.NumCells() == 0 {
+		t.Fatalf("buckets=%d cells=%d", tc.Buckets(), tc.NumCells())
+	}
+	// Quarter boundaries route as expected.
+	cases := map[int]int{0: 0, 5: 0, 6: 1, 11: 1, 12: 2, 17: 2, 18: 3, 23: 3}
+	for h, want := range cases {
+		if got := tc.bucketOf(start.Add(time.Duration(h) * time.Hour)); got != want {
+			t.Errorf("bucketOf(%dh) = %d, want %d", h, got, want)
+		}
+	}
+}
+
+// TestTimeConditionedBeatsPlainAtPeak is the extension's claim: with
+// regime-switching dynamics by time of day, conditioning the matrix on the
+// time bucket raises peak-hour fitness versus the paper's single matrix.
+func TestTimeConditionedBeatsPlainAtPeak(t *testing.T) {
+	start := time.Date(2008, 5, 29, 0, 0, 0, 0, time.UTC)
+	step := 6 * time.Minute
+	rng := rand.New(rand.NewSource(82))
+	history := diurnalStream(rng, start, step, 8*240)
+
+	plain, err := Train(history, Config{})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	cond, err := TrainTimeConditioned(history, start, step, 4, Config{})
+	if err != nil {
+		t.Fatalf("TrainTimeConditioned: %v", err)
+	}
+
+	testStart := start.AddDate(0, 0, 8)
+	stream := diurnalStream(rand.New(rand.NewSource(83)), testStart, step, 2*240)
+	var plainSum, condSum float64
+	var n int
+	for i, p := range stream {
+		tm := testStart.Add(time.Duration(i) * step)
+		if h := tm.UTC().Hour(); h < 12 || h >= 18 {
+			plain.Step(p)
+			cond.StepAt(tm, p)
+			continue // compare only the peak quarter
+		}
+		a := plain.Step(p)
+		b := cond.StepAt(tm, p)
+		if a.Scored && b.Scored {
+			plainSum += a.Fitness
+			condSum += b.Fitness
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no scored peak samples")
+	}
+	plainMean, condMean := plainSum/float64(n), condSum/float64(n)
+	if condMean <= plainMean {
+		t.Errorf("time-conditioned peak fitness %.4f should beat plain %.4f", condMean, plainMean)
+	}
+}
+
+func TestTimeConditionedOutlierAndReset(t *testing.T) {
+	start := time.Date(2008, 5, 29, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(84))
+	history := diurnalStream(rng, start, 6*time.Minute, 1000)
+	tc, err := TrainTimeConditioned(history, start, 6*time.Minute, 2, Config{})
+	if err != nil {
+		t.Fatalf("TrainTimeConditioned: %v", err)
+	}
+	tm := start.AddDate(0, 0, 5)
+	tc.StepAt(tm, mathx.Point2{X: 50, Y: 100})
+	out := tc.StepAt(tm.Add(6*time.Minute), mathx.Point2{X: 1e9, Y: 1e9})
+	if !out.OutOfGrid || !out.Scored || out.Fitness != 0 {
+		t.Errorf("outlier = %+v", out)
+	}
+	next := tc.StepAt(tm.Add(12*time.Minute), mathx.Point2{X: 50, Y: 100})
+	if next.Scored {
+		t.Error("chain should restart after an outlier")
+	}
+	tc.Reset()
+	again := tc.StepAt(tm.Add(18*time.Minute), mathx.Point2{X: 50, Y: 100})
+	if again.Scored {
+		t.Error("Reset should clear the chain")
+	}
+	if math.IsNaN(again.Fitness) {
+		t.Error("unscored fitness should be zero, not NaN")
+	}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mcorr/internal/mathx"
+)
+
+// UpdateRule selects how observed transitions update the matrix.
+type UpdateRule int
+
+const (
+	// UpdateKernelBayes is the paper's rule (Eq. 1–2): the posterior of a
+	// row is the prior multiplied, per observation, by a likelihood that
+	// peaks at the observed destination cell and decays with cell distance
+	// — implemented additively in log space.
+	UpdateKernelBayes UpdateRule = iota + 1
+	// UpdateDirichlet is the classical add-count smoothing ablation: the
+	// prior contributes pseudo-counts and each observation adds one count
+	// to the observed destination only.
+	UpdateDirichlet
+)
+
+// String returns the rule's name.
+func (r UpdateRule) String() string {
+	switch r {
+	case UpdateKernelBayes:
+		return "kernel-bayes"
+	case UpdateDirichlet:
+		return "dirichlet"
+	default:
+		return fmt.Sprintf("UpdateRule(%d)", int(r))
+	}
+}
+
+// TransitionMatrix is the paper's s×s matrix V with V[i][j] = P(c_i → c_j),
+// stored row-wise as unnormalized log weights (kernel-Bayes) or counts
+// (Dirichlet). Rows are normalized on read.
+//
+// TransitionMatrix is not safe for concurrent use; the Model guards it.
+type TransitionMatrix struct {
+	nx, ny int
+	n      int
+	kernel *Kernel
+	rule   UpdateRule
+	// weights holds n rows of n entries. For UpdateKernelBayes the
+	// entries are log weights (softmax-normalized on read); for
+	// UpdateDirichlet they are nonnegative pseudo-counts (sum-normalized
+	// on read).
+	weights []float64
+	// strength is the prior pseudo-count mass per row for UpdateDirichlet.
+	strength float64
+	observed int
+}
+
+// NewTransitionMatrix builds the prior matrix over the grid's cells using
+// the kernel's spatial-closeness weights. For the Dirichlet rule, strength
+// is the prior's total pseudo-count mass per row (≤ 0 selects 10).
+func NewTransitionMatrix(g *Grid, kernel *Kernel, rule UpdateRule, strength float64) (*TransitionMatrix, error) {
+	if kernel == nil {
+		return nil, fmt.Errorf("new transition matrix: nil kernel")
+	}
+	switch rule {
+	case UpdateKernelBayes, UpdateDirichlet:
+	default:
+		return nil, fmt.Errorf("new transition matrix: unknown update rule %d", int(rule))
+	}
+	if strength <= 0 {
+		strength = 10
+	}
+	nx, ny := g.Dims()
+	kernel.resize(nx, ny)
+	tm := &TransitionMatrix{nx: nx, ny: ny, n: nx * ny, kernel: kernel, rule: rule, strength: strength}
+	tm.weights = make([]float64, tm.n*tm.n)
+	for i := 0; i < tm.n; i++ {
+		tm.initPriorRow(tm.row(i), i)
+	}
+	return tm, nil
+}
+
+// row returns the backing slice of row i.
+func (tm *TransitionMatrix) row(i int) []float64 { return tm.weights[i*tm.n : (i+1)*tm.n] }
+
+// coords converts a cell index to (xi, yi) under the matrix's current dims.
+func (tm *TransitionMatrix) coords(c int) (int, int) { return c / tm.ny, c % tm.ny }
+
+// initPriorRow fills dst with the prior for transitions out of cell i.
+func (tm *TransitionMatrix) initPriorRow(dst []float64, i int) {
+	xi, yi := tm.coords(i)
+	if tm.rule == UpdateKernelBayes {
+		for j := range dst {
+			xj, yj := tm.coords(j)
+			dst[j] = tm.kernel.LogWeight(xi-xj, yi-yj)
+		}
+		return
+	}
+	// Dirichlet: normalized prior scaled to the pseudo-count mass.
+	var sum float64
+	for j := range dst {
+		xj, yj := tm.coords(j)
+		dst[j] = tm.kernel.Weight(xi-xj, yi-yj)
+		sum += dst[j]
+	}
+	for j := range dst {
+		dst[j] *= tm.strength / sum
+	}
+}
+
+// NumCells returns s, the matrix dimension.
+func (tm *TransitionMatrix) NumCells() int { return tm.n }
+
+// Observed returns how many transitions have been incorporated.
+func (tm *TransitionMatrix) Observed() int { return tm.observed }
+
+// Rule returns the matrix's update rule.
+func (tm *TransitionMatrix) Rule() UpdateRule { return tm.rule }
+
+// Observe incorporates one observed transition from cell i to cell h.
+func (tm *TransitionMatrix) Observe(i, h int) error {
+	if i < 0 || i >= tm.n || h < 0 || h >= tm.n {
+		return fmt.Errorf("observe transition %d→%d in %d-cell matrix: out of range", i, h, tm.n)
+	}
+	tm.observed++
+	row := tm.row(i)
+	if tm.rule == UpdateDirichlet {
+		row[h]++
+		return nil
+	}
+	// Kernel-Bayes: add the log likelihood, which peaks at h and decays
+	// with distance (paper Eq. 2), then re-center the row at zero so the
+	// log weights stay bounded over long streams.
+	xh, yh := tm.coords(h)
+	mx := math.Inf(-1)
+	for j := range row {
+		xj, yj := tm.coords(j)
+		row[j] += tm.kernel.LogWeight(xh-xj, yh-yj)
+		if row[j] > mx {
+			mx = row[j]
+		}
+	}
+	for j := range row {
+		row[j] -= mx
+	}
+	return nil
+}
+
+// RowInto writes the normalized transition distribution out of cell i into
+// dst (allocating when dst is too small) and returns it.
+func (tm *TransitionMatrix) RowInto(dst []float64, i int) ([]float64, error) {
+	if i < 0 || i >= tm.n {
+		return nil, fmt.Errorf("row %d of %d-cell matrix: out of range", i, tm.n)
+	}
+	if cap(dst) < tm.n {
+		dst = make([]float64, tm.n)
+	}
+	dst = dst[:tm.n]
+	copy(dst, tm.row(i))
+	if tm.rule == UpdateKernelBayes {
+		if _, err := mathx.SoftmaxInto(dst, dst); err != nil {
+			return nil, err
+		}
+		return dst, nil
+	}
+	mathx.Normalize(dst)
+	return dst, nil
+}
+
+// Prob returns P(c_i → c_j). It normalizes row i on the fly; use RowInto
+// when several entries of one row are needed.
+func (tm *TransitionMatrix) Prob(i, j int) (float64, error) {
+	row, err := tm.RowInto(nil, i)
+	if err != nil {
+		return 0, err
+	}
+	return row[j], nil
+}
+
+// Grow remaps the matrix after the grid grew from oldGrid dims to the
+// current dims of g, as described by gr. Existing transition mass is
+// preserved; new rows start at the prior; new columns of existing rows are
+// extrapolated from their nearest pre-existing cell with one kernel step
+// penalty per extra cell of distance (for the Dirichlet rule the clamped
+// cell's count is copied with geometric decay).
+func (tm *TransitionMatrix) Grow(g *Grid, gr Growth) error {
+	nx := tm.nx + gr.XLow + gr.XHigh
+	ny := tm.ny + gr.YLow + gr.YHigh
+	if gnx, gny := g.Dims(); gnx != nx || gny != ny {
+		return fmt.Errorf("grow to %dx%d but grid is %dx%d", nx, ny, gnx, gny)
+	}
+	if nx == tm.nx && ny == tm.ny {
+		return nil
+	}
+	tm.kernel.resize(nx, ny)
+	old := tm.weights
+	oldNx, oldNy, oldN := tm.nx, tm.ny, tm.n
+	tm.nx, tm.ny, tm.n = nx, ny, nx*ny
+	tm.weights = make([]float64, tm.n*tm.n)
+
+	penalty := tm.kernel.StepPenalty()
+	for i := 0; i < tm.n; i++ {
+		xi, yi := tm.coords(i)
+		oxi, oyi := xi-gr.XLow, yi-gr.YLow
+		dst := tm.row(i)
+		if oxi < 0 || oxi >= oldNx || oyi < 0 || oyi >= oldNy {
+			// Transitions out of a brand-new cell: fresh prior.
+			tm.initPriorRow(dst, i)
+			continue
+		}
+		src := old[(oxi*oldNy+oyi)*oldN : (oxi*oldNy+oyi+1)*oldN]
+		for j := 0; j < tm.n; j++ {
+			xj, yj := tm.coords(j)
+			oxj, oyj := xj-gr.XLow, yj-gr.YLow
+			cxj := clampInt(oxj, 0, oldNx-1)
+			cyj := clampInt(oyj, 0, oldNy-1)
+			extra := absInt(oxj-cxj) + absInt(oyj-cyj)
+			v := src[cxj*oldNy+cyj]
+			if tm.rule == UpdateKernelBayes {
+				dst[j] = v - float64(extra)*penalty
+			} else {
+				dst[j] = v * math.Exp(-float64(extra)*penalty)
+			}
+		}
+	}
+	return nil
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mcorr/internal/mathx"
+)
+
+func newTM(t *testing.T, nx, ny int, rule UpdateRule) (*Grid, *TransitionMatrix) {
+	t.Helper()
+	g, err := UniformGrid(0, float64(nx), nx, 0, float64(ny), ny)
+	if err != nil {
+		t.Fatalf("UniformGrid: %v", err)
+	}
+	k, err := NewKernel(KernelHarmonic, 2, nx, ny)
+	if err != nil {
+		t.Fatalf("NewKernel: %v", err)
+	}
+	tm, err := NewTransitionMatrix(g, k, rule, 0)
+	if err != nil {
+		t.Fatalf("NewTransitionMatrix: %v", err)
+	}
+	return g, tm
+}
+
+func TestNewTransitionMatrixValidation(t *testing.T) {
+	g, _ := UniformGrid(0, 2, 2, 0, 2, 2)
+	if _, err := NewTransitionMatrix(g, nil, UpdateKernelBayes, 0); err == nil {
+		t.Error("nil kernel: want error")
+	}
+	k, _ := NewKernel(KernelHarmonic, 2, 2, 2)
+	if _, err := NewTransitionMatrix(g, k, UpdateRule(9), 0); err == nil {
+		t.Error("bad rule: want error")
+	}
+}
+
+func TestUpdateRuleString(t *testing.T) {
+	if UpdateKernelBayes.String() != "kernel-bayes" || UpdateDirichlet.String() != "dirichlet" {
+		t.Error("rule names wrong")
+	}
+	if UpdateRule(7).String() == "" {
+		t.Error("unknown rule should render")
+	}
+}
+
+func TestRowsAreDistributions(t *testing.T) {
+	for _, rule := range []UpdateRule{UpdateKernelBayes, UpdateDirichlet} {
+		_, tm := newTM(t, 4, 3, rule)
+		for i := 0; i < tm.NumCells(); i++ {
+			row, err := tm.RowInto(nil, i)
+			if err != nil {
+				t.Fatalf("RowInto: %v", err)
+			}
+			var sum float64
+			for _, p := range row {
+				if p < 0 {
+					t.Fatalf("rule %v: negative probability", rule)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("rule %v row %d sums to %g", rule, i, sum)
+			}
+		}
+	}
+}
+
+func TestObserveShiftsMassTowardDestination(t *testing.T) {
+	for _, rule := range []UpdateRule{UpdateKernelBayes, UpdateDirichlet} {
+		_, tm := newTM(t, 3, 3, rule)
+		before, err := tm.Prob(4, 1)
+		if err != nil {
+			t.Fatalf("Prob: %v", err)
+		}
+		for n := 0; n < 20; n++ {
+			if err := tm.Observe(4, 1); err != nil {
+				t.Fatalf("Observe: %v", err)
+			}
+		}
+		after, err := tm.Prob(4, 1)
+		if err != nil {
+			t.Fatalf("Prob: %v", err)
+		}
+		if after <= before {
+			t.Errorf("rule %v: P(c5→c2) did not grow (%.4f → %.4f)", rule, before, after)
+		}
+		// The observed destination should now be the mode of the row.
+		row, _ := tm.RowInto(nil, 4)
+		if RankInRow(row, 1) != 1 {
+			t.Errorf("rule %v: destination should rank first after 20 observations", rule)
+		}
+		if tm.Observed() != 20 {
+			t.Errorf("Observed = %d", tm.Observed())
+		}
+	}
+}
+
+// TestFig9Fig10PriorVsPosterior mirrors the paper's Figures 9/10: the prior
+// peaks at the source cell; after repeatedly observing a transition to a
+// different cell, the posterior peak moves there.
+func TestFig9Fig10PriorVsPosterior(t *testing.T) {
+	_, tm := newTM(t, 4, 4, UpdateKernelBayes)
+	src := 9 // an interior cell (the paper's c12 analog)
+	row, _ := tm.RowInto(nil, src)
+	if RankInRow(row, src) != 1 {
+		t.Fatal("prior should peak at the source cell")
+	}
+	dst := 5 // a neighbor (the paper's c10 analog)
+	for n := 0; n < 50; n++ {
+		if err := tm.Observe(src, dst); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	row, _ = tm.RowInto(nil, src)
+	if RankInRow(row, dst) != 1 {
+		t.Error("posterior should peak at the frequently observed destination")
+	}
+}
+
+func TestObserveOtherRowsUntouched(t *testing.T) {
+	_, tm := newTM(t, 3, 3, UpdateKernelBayes)
+	before, _ := tm.RowInto(nil, 2)
+	beforeCopy := append([]float64(nil), before...)
+	for n := 0; n < 10; n++ {
+		tm.Observe(4, 1)
+	}
+	after, _ := tm.RowInto(nil, 2)
+	for j := range after {
+		if after[j] != beforeCopy[j] {
+			t.Fatal("observing row 4 mutated row 2")
+		}
+	}
+}
+
+func TestObserveAndRowErrors(t *testing.T) {
+	_, tm := newTM(t, 2, 2, UpdateKernelBayes)
+	if err := tm.Observe(-1, 0); err == nil {
+		t.Error("negative source: want error")
+	}
+	if err := tm.Observe(0, 4); err == nil {
+		t.Error("destination out of range: want error")
+	}
+	if _, err := tm.RowInto(nil, 4); err == nil {
+		t.Error("row out of range: want error")
+	}
+	if _, err := tm.Prob(9, 0); err == nil {
+		t.Error("prob out of range: want error")
+	}
+}
+
+func TestRowIntoReusesBuffer(t *testing.T) {
+	_, tm := newTM(t, 3, 3, UpdateKernelBayes)
+	buf := make([]float64, 9)
+	row, err := tm.RowInto(buf, 0)
+	if err != nil {
+		t.Fatalf("RowInto: %v", err)
+	}
+	if &row[0] != &buf[0] {
+		t.Error("RowInto should reuse a large-enough buffer")
+	}
+}
+
+func TestLongStreamStaysFinite(t *testing.T) {
+	// Thousands of updates must not underflow or produce NaNs thanks to
+	// the log-space re-centering.
+	_, tm := newTM(t, 5, 5, UpdateKernelBayes)
+	rng := rand.New(rand.NewSource(8))
+	cur := 0
+	for n := 0; n < 20000; n++ {
+		next := rng.Intn(25)
+		if err := tm.Observe(cur, next); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+		cur = next
+	}
+	for i := 0; i < 25; i++ {
+		row, err := tm.RowInto(nil, i)
+		if err != nil {
+			t.Fatalf("RowInto: %v", err)
+		}
+		var sum float64
+		for _, p := range row {
+			if math.IsNaN(p) || p < 0 {
+				t.Fatal("invalid probability after long stream")
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %g after long stream", i, sum)
+		}
+	}
+}
+
+func TestGrowPreservesLearnedMass(t *testing.T) {
+	g, tm := newTM(t, 3, 3, UpdateKernelBayes)
+	// Teach a strong 4→1 transition.
+	for n := 0; n < 30; n++ {
+		tm.Observe(4, 1)
+	}
+	// Grow one interval on the high X side: indices are unchanged
+	// (row-major with appended X rows), matrix becomes 12 cells.
+	gr, grew := g.GrowToInclude(mathx.Point2{X: 3.5, Y: 1}, 3)
+	if !grew {
+		t.Fatal("growth rejected")
+	}
+	if err := tm.Grow(g, gr); err != nil {
+		t.Fatalf("Grow: %v", err)
+	}
+	if tm.NumCells() != 12 {
+		t.Fatalf("NumCells = %d, want 12", tm.NumCells())
+	}
+	row, err := tm.RowInto(nil, 4)
+	if err != nil {
+		t.Fatalf("RowInto: %v", err)
+	}
+	if RankInRow(row, 1) != 1 {
+		t.Error("learned transition should survive growth")
+	}
+	// New cells exist with sane probabilities.
+	var sum float64
+	for _, p := range row {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("grown row sums to %g", sum)
+	}
+}
+
+func TestGrowWithLowSidePrependRemapsIndices(t *testing.T) {
+	g, tm := newTM(t, 3, 3, UpdateKernelBayes)
+	for n := 0; n < 30; n++ {
+		tm.Observe(4, 1) // (1,1) → (0,1) in old coords
+	}
+	gr, grew := g.GrowToInclude(mathx.Point2{X: -0.5, Y: -0.5}, 3)
+	if !grew || gr.XLow != 1 || gr.YLow != 1 {
+		t.Fatalf("growth = %+v", gr)
+	}
+	if err := tm.Grow(g, gr); err != nil {
+		t.Fatalf("Grow: %v", err)
+	}
+	// Old (1,1) is now (2,2) = 2*4+2 = 10; old (0,1) is now (1,2) = 6.
+	row, err := tm.RowInto(nil, 10)
+	if err != nil {
+		t.Fatalf("RowInto: %v", err)
+	}
+	if RankInRow(row, 6) != 1 {
+		t.Error("learned transition should follow the index remap")
+	}
+}
+
+func TestGrowDimensionMismatch(t *testing.T) {
+	g, tm := newTM(t, 3, 3, UpdateKernelBayes)
+	if err := tm.Grow(g, Growth{XHigh: 1}); err == nil {
+		t.Error("growth not applied to grid: want error")
+	}
+	// A no-op growth with matching grid succeeds.
+	if err := tm.Grow(g, Growth{}); err != nil {
+		t.Errorf("no-op grow: %v", err)
+	}
+}
+
+func TestGrowDirichlet(t *testing.T) {
+	g, _ := UniformGrid(0, 3, 3, 0, 3, 3)
+	k, _ := NewKernel(KernelHarmonic, 2, 3, 3)
+	tm, err := NewTransitionMatrix(g, k, UpdateDirichlet, 5)
+	if err != nil {
+		t.Fatalf("NewTransitionMatrix: %v", err)
+	}
+	for n := 0; n < 30; n++ {
+		tm.Observe(4, 1)
+	}
+	gr, grew := g.GrowToInclude(mathx.Point2{X: 3.5, Y: 1}, 3)
+	if !grew {
+		t.Fatal("growth rejected")
+	}
+	if err := tm.Grow(g, gr); err != nil {
+		t.Fatalf("Grow: %v", err)
+	}
+	row, err := tm.RowInto(nil, 4)
+	if err != nil {
+		t.Fatalf("RowInto: %v", err)
+	}
+	if RankInRow(row, 1) != 1 {
+		t.Error("Dirichlet counts should survive growth")
+	}
+}
+
+// Property: after arbitrary observation sequences, every row remains a
+// probability distribution.
+func TestRowsRemainDistributionsProperty(t *testing.T) {
+	f := func(seq []uint8, dirichlet bool) bool {
+		rule := UpdateKernelBayes
+		if dirichlet {
+			rule = UpdateDirichlet
+		}
+		g, err := UniformGrid(0, 3, 3, 0, 3, 3)
+		if err != nil {
+			return false
+		}
+		k, err := NewKernel(KernelHarmonic, 2, 3, 3)
+		if err != nil {
+			return false
+		}
+		tm, err := NewTransitionMatrix(g, k, rule, 0)
+		if err != nil {
+			return false
+		}
+		cur := 0
+		for _, b := range seq {
+			next := int(b) % 9
+			if err := tm.Observe(cur, next); err != nil {
+				return false
+			}
+			cur = next
+		}
+		for i := 0; i < 9; i++ {
+			row, err := tm.RowInto(nil, i)
+			if err != nil {
+				return false
+			}
+			var sum float64
+			for _, p := range row {
+				if p < 0 || math.IsNaN(p) {
+					return false
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

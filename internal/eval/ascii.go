@@ -1,0 +1,88 @@
+package eval
+
+import (
+	"math"
+	"strings"
+)
+
+// sparkBlocks are the eight block glyphs of a unicode sparkline.
+var sparkBlocks = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a unicode sparkline scaled to [lo, hi].
+// NaNs render as spaces. When lo == hi every value renders mid-scale.
+func Sparkline(values []float64, lo, hi float64) string {
+	var b strings.Builder
+	span := hi - lo
+	for _, v := range values {
+		switch {
+		case math.IsNaN(v):
+			b.WriteRune(' ')
+		case span <= 0:
+			b.WriteRune(sparkBlocks[len(sparkBlocks)/2])
+		default:
+			f := (v - lo) / span
+			if f < 0 {
+				f = 0
+			}
+			if f > 1 {
+				f = 1
+			}
+			i := int(f * float64(len(sparkBlocks)-1))
+			b.WriteRune(sparkBlocks[i])
+		}
+	}
+	return b.String()
+}
+
+// AutoSparkline renders values scaled to their own finite min/max.
+func AutoSparkline(values []float64) string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat(" ", len(values))
+	}
+	return Sparkline(values, lo, hi)
+}
+
+// Downsample reduces values to at most n points by averaging buckets
+// (NaNs skipped; all-NaN buckets stay NaN). Used to fit day-long series
+// into one terminal line.
+func Downsample(values []float64, n int) []float64 {
+	if n <= 0 || len(values) <= n {
+		out := make([]float64, len(values))
+		copy(out, values)
+		return out
+	}
+	out := make([]float64, n)
+	for i := range out {
+		lo := i * len(values) / n
+		hi := (i + 1) * len(values) / n
+		if hi == lo {
+			hi = lo + 1
+		}
+		var sum float64
+		var cnt int
+		for _, v := range values[lo:hi] {
+			if !math.IsNaN(v) {
+				sum += v
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			out[i] = math.NaN()
+		} else {
+			out[i] = sum / float64(cnt)
+		}
+	}
+	return out
+}

@@ -1,0 +1,440 @@
+package eval
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mcorr/internal/simulator"
+	"mcorr/internal/timeseries"
+)
+
+// testEnv builds one small shared environment for all eval tests (they
+// only read from it).
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = NewEnv(EnvConfig{Seed: 2024, Machines: 5, Days: 30})
+	})
+	if envErr != nil {
+		t.Fatalf("NewEnv: %v", envErr)
+	}
+	return envVal
+}
+
+// figure runs a generator and fails the test on error or WARNING notes.
+func figure(t *testing.T, f *Figure, err error) *Figure {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("figure: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := f.Render(&buf); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	if strings.Contains(buf.String(), "WARNING") {
+		t.Errorf("figure %s carries a warning:\n%s", f.ID, buf.String())
+	}
+	return f
+}
+
+func TestNewEnvShape(t *testing.T) {
+	env := testEnv(t)
+	if len(env.Groups) != 3 {
+		t.Fatalf("groups = %d", len(env.Groups))
+	}
+	for _, g := range env.Groups {
+		if g.Dataset.Len() != 5*len(simulator.AllMetrics) {
+			t.Errorf("group %s measurements = %d", g.Name, g.Dataset.Len())
+		}
+		if len(g.Truth.Faults) != 14 { // 1 event + 13 sick-machine days
+			t.Errorf("group %s faults = %d", g.Name, len(g.Truth.Faults))
+		}
+		if g.Dataset.Get(g.EventPair[0]) == nil || g.Dataset.Get(g.EventPair[1]) == nil {
+			t.Errorf("group %s event pair missing from dataset", g.Name)
+		}
+	}
+	if env.Group("B") == nil || env.Group("nope") != nil {
+		t.Error("Group lookup broken")
+	}
+	// Event timing mirrors the paper: A morning, B/C afternoon.
+	if h := env.Group("A").EventFault.Start.Hour(); h != 9 {
+		t.Errorf("group A event at %dh, want morning", h)
+	}
+	for _, name := range []string{"B", "C"} {
+		if h := env.Group(name).EventFault.Start.Hour(); h < 12 {
+			t.Errorf("group %s event at %dh, want afternoon", name, h)
+		}
+	}
+}
+
+func TestSelectMeasurements(t *testing.T) {
+	env := testEnv(t)
+	g := env.Group("A")
+	from, to := timeseries.TrainingSplit(2)
+	all := SelectMeasurements(g.Dataset, from, to, SelectionCriteria{})
+	if len(all) == 0 {
+		t.Fatal("no measurements selected")
+	}
+	capped := SelectMeasurements(g.Dataset, from, to, SelectionCriteria{Max: 5})
+	if len(capped) != 5 {
+		t.Errorf("capped = %d", len(capped))
+	}
+	nonlin := SelectMeasurements(g.Dataset, from, to, SelectionCriteria{ExcludeLinear: true})
+	if len(nonlin) >= len(all) {
+		t.Errorf("ExcludeLinear should drop the linear net in/out pairs (%d vs %d)", len(nonlin), len(all))
+	}
+	for _, id := range nonlin {
+		if id.Metric == simulator.MetricNetIn || id.Metric == simulator.MetricNetOut {
+			t.Errorf("linear measurement %s survived ExcludeLinear", id)
+		}
+	}
+}
+
+func TestSelectPerMachine(t *testing.T) {
+	env := testEnv(t)
+	g := env.Group("A")
+	from, to := timeseries.TrainingSplit(2)
+	ids := SelectPerMachine(g.Dataset, from, to, 2)
+	if len(ids) != 2*5 {
+		t.Fatalf("selected = %d, want 10", len(ids))
+	}
+	perMachine := map[string]int{}
+	for _, id := range ids {
+		perMachine[id.Machine]++
+	}
+	for m, n := range perMachine {
+		if n != 2 {
+			t.Errorf("machine %s has %d selections", m, n)
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	env := testEnv(t)
+	g := env.Group("A")
+	ids := g.Dataset.IDs()[:3]
+	sub := Subset(g.Dataset, ids)
+	if sub.Len() != 3 {
+		t.Errorf("subset = %d", sub.Len())
+	}
+	if Subset(g.Dataset, []timeseries.MeasurementID{{Machine: "nope"}}).Len() != 0 {
+		t.Error("unknown IDs should be skipped")
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("x", "1")
+	tab.AddRowf("y\t%.1f", 2.0)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"## demo", "a  b", "x  1", "y  2.0", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if !strings.HasPrefix(buf.String(), "a,b\nx,1\n") {
+		t.Errorf("csv = %q", buf.String())
+	}
+	// Quoting.
+	q := &Table{Columns: []string{"v"}}
+	q.AddRow(`say "hi", ok`)
+	buf.Reset()
+	if err := q.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"say ""hi"", ok"`) {
+		t.Errorf("csv quoting = %q", buf.String())
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 0.5, 1}, 0, 1)
+	if len([]rune(s)) != 3 {
+		t.Errorf("sparkline runes = %d", len([]rune(s)))
+	}
+	if !strings.HasPrefix(s, "▁") || !strings.HasSuffix(s, "█") {
+		t.Errorf("sparkline = %q", s)
+	}
+	if Sparkline([]float64{math.NaN()}, 0, 1) != " " {
+		t.Error("NaN should render as space")
+	}
+	if Sparkline([]float64{5}, 3, 3) == "" {
+		t.Error("degenerate scale should still render")
+	}
+	if AutoSparkline([]float64{math.NaN(), math.NaN()}) != "  " {
+		t.Error("all-NaN auto sparkline should be blank")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	v := []float64{1, 3, 5, 7}
+	d := Downsample(v, 2)
+	if len(d) != 2 || d[0] != 2 || d[1] != 6 {
+		t.Errorf("Downsample = %v", d)
+	}
+	same := Downsample(v, 10)
+	if len(same) != 4 {
+		t.Errorf("no-op downsample = %v", same)
+	}
+	same[0] = 99
+	if v[0] == 99 {
+		t.Error("Downsample should copy")
+	}
+	n := Downsample([]float64{math.NaN(), math.NaN(), 4, 4}, 2)
+	if !math.IsNaN(n[0]) || n[1] != 4 {
+		t.Errorf("NaN downsample = %v", n)
+	}
+}
+
+func TestQuarterMeansAndDailyMeans(t *testing.T) {
+	day := timeseries.TestStart
+	var tl []ScoredSample
+	for h := 0; h < 24; h++ {
+		tl = append(tl, ScoredSample{Time: day.Add(time.Duration(h) * time.Hour), Score: float64(h / 6)})
+	}
+	qm := QuarterMeans(tl)
+	for q := 0; q < 4; q++ {
+		if qm[q] != float64(q) {
+			t.Errorf("quarter %d = %g", q, qm[q])
+		}
+	}
+	tl = append(tl, ScoredSample{Time: day.AddDate(0, 0, 1), Score: 10})
+	days, means := DailyMeans(tl)
+	if len(days) != 2 || means[1] != 10 {
+		t.Errorf("daily means = %v %v", days, means)
+	}
+	var empty [4]float64 = QuarterMeans(nil)
+	for _, v := range empty {
+		if !math.IsNaN(v) {
+			t.Error("empty quarters should be NaN")
+		}
+	}
+}
+
+func TestEvaluateDetection(t *testing.T) {
+	day := timeseries.TestStart
+	truth := &simulator.GroundTruth{Faults: []simulator.Fault{{
+		ID: "f", Machine: "m", Kind: simulator.FaultLevelShift,
+		Start: day.Add(2 * time.Hour), End: day.Add(3 * time.Hour),
+	}}}
+	var tl []ScoredSample
+	for i := 0; i < 60; i++ {
+		tm := day.Add(time.Duration(i) * 6 * time.Minute)
+		score := 0.95
+		if truth.Faults[0].ActiveAt(tm) {
+			score = 0.2
+		}
+		tl = append(tl, ScoredSample{Time: tm, Score: score})
+	}
+	m := EvaluateDetection(tl, truth, 0.5)
+	if m.Events != 1 || m.Detected != 1 {
+		t.Errorf("events/detected = %d/%d", m.Events, m.Detected)
+	}
+	if m.Recall() != 1 {
+		t.Errorf("recall = %g", m.Recall())
+	}
+	if m.FalseAlarmRate != 0 {
+		t.Errorf("false alarms = %g", m.FalseAlarmRate)
+	}
+	if m.MeanDelay != 0 {
+		t.Errorf("delay = %v", m.MeanDelay)
+	}
+	if m.FaultMean >= m.NormalMean {
+		t.Error("fault mean should be below normal mean")
+	}
+	// Empty timeline.
+	if z := EvaluateDetection(nil, truth, 0.5); z.Events != 0 || z.Recall() != 1 {
+		t.Errorf("empty detection = %+v", z)
+	}
+}
+
+func TestFig05AndFig11AreExact(t *testing.T) {
+	f5raw, err := Fig05PriorMatrix()
+	f5 := figure(t, f5raw, err)
+	if len(f5.Tables[0].Rows) != 9 {
+		t.Error("fig5 should have 9 rows")
+	}
+	if !strings.Contains(f5.Notes[0], "0.00") {
+		t.Errorf("fig5 deviation note = %q, want ~zero deviation", f5.Notes[0])
+	}
+	f11raw, err := Fig11Fitness()
+	f11 := figure(t, f11raw, err)
+	if !strings.Contains(f11.Notes[0], "0.000") {
+		t.Errorf("fig11 deviation note = %q", f11.Notes[0])
+	}
+}
+
+func TestFig01(t *testing.T) {
+	fraw, err := Fig01RawSeries(testEnv(t))
+	f := figure(t, fraw, err)
+	if len(f.Tables[0].Rows) != 2 {
+		t.Error("fig1 should show two measurements")
+	}
+}
+
+func TestFig02(t *testing.T) {
+	fraw, err := Fig02ScatterShapes(testEnv(t))
+	f := figure(t, fraw, err)
+	rows := f.Tables[0].Rows
+	if rows[0][3] != "linear" {
+		t.Errorf("same-machine in/out should classify linear, got %q", rows[0][3])
+	}
+}
+
+func TestFig07(t *testing.T) {
+	fraw, err := Fig07GridAdapt()
+	figure(t, fraw, err)
+}
+
+func TestFig09(t *testing.T) {
+	fraw, err := Fig09Posterior()
+	figure(t, fraw, err)
+}
+
+func TestClosenessCensus(t *testing.T) {
+	fraw, err := ClosenessCensus(testEnv(t))
+	f := figure(t, fraw, err)
+	if len(f.Tables[0].Rows) == 0 {
+		t.Error("census should have distance rows")
+	}
+}
+
+func TestFig12(t *testing.T) {
+	fraw, err := Fig12ProblemDetermination(testEnv(t), 15)
+	figure(t, fraw, err)
+}
+
+func TestFig13a(t *testing.T) {
+	fraw, err := Fig13aOfflineVsAdaptive(testEnv(t), 10)
+	figure(t, fraw, err)
+}
+
+func TestFig13b(t *testing.T) {
+	fraw, err := Fig13bUpdateTime(testEnv(t), 10, 2)
+	f := figure(t, fraw, err)
+	if len(f.Tables[0].Rows) != 3 {
+		t.Error("fig13b should have one row per training size")
+	}
+}
+
+func TestFig14(t *testing.T) {
+	fraw, err := Fig14Localization(testEnv(t), 4, 5, 10)
+	figure(t, fraw, err)
+}
+
+func TestFig15(t *testing.T) {
+	fraw, err := Fig15Periodic(testEnv(t), 10)
+	figure(t, fraw, err)
+}
+
+func TestFig16(t *testing.T) {
+	fraw, err := Fig16TrainingSize(testEnv(t), 10)
+	figure(t, fraw, err)
+}
+
+func TestBaselineComparison(t *testing.T) {
+	fraw, err := BaselineComparison(testEnv(t))
+	f := figure(t, fraw, err)
+	if len(f.Tables[0].Rows) != 6 { // 2 scenarios × 3 detectors
+		t.Errorf("baseline rows = %d", len(f.Tables[0].Rows))
+	}
+}
+
+func TestAblation(t *testing.T) {
+	fraw, err := Ablation(testEnv(t))
+	f := figure(t, fraw, err)
+	if len(f.Tables[0].Rows) != 10 {
+		t.Errorf("ablation rows = %d", len(f.Tables[0].Rows))
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	ids := GeneratorIDs()
+	if len(ids) != 17 {
+		t.Errorf("generators = %d", len(ids))
+	}
+	if _, err := RunFigure(testEnv(t), "nope"); err == nil {
+		t.Error("unknown figure: want error")
+	}
+	f, err := RunFigure(testEnv(t), "fig11")
+	if err != nil || f.ID != "fig11" {
+		t.Errorf("RunFigure = %v, %v", f, err)
+	}
+}
+
+func TestFaultKindSweep(t *testing.T) {
+	fraw, err := FaultKindSweep(testEnv(t))
+	f := figure(t, fraw, err)
+	if len(f.Tables[0].Rows) != len(simulator.FaultKinds()) {
+		t.Errorf("rows = %d, want one per fault kind", len(f.Tables[0].Rows))
+	}
+}
+
+func TestWriteMarkdownReport(t *testing.T) {
+	f5, err := Fig05PriorMatrix()
+	if err != nil {
+		t.Fatalf("Fig05: %v", err)
+	}
+	f11, err := Fig11Fitness()
+	if err != nil {
+		t.Fatalf("Fig11: %v", err)
+	}
+	var buf bytes.Buffer
+	env := testEnv(t)
+	if err := WriteMarkdownReport(&buf, "test report", env, []*Figure{f5, f11}); err != nil {
+		t.Fatalf("WriteMarkdownReport: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# test report",
+		"## fig5 —",
+		"## fig11 —",
+		"| c1 |",        // markdown table header cells
+		"| 21.98 |",     // Figure-5 corner value
+		"[fig5](#fig5)", // table of contents
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Count(out, "|---|") == 0 {
+		t.Error("report should contain markdown table separators")
+	}
+}
+
+func TestReportTitle(t *testing.T) {
+	got := ReportTitle(timeseries.Date(2008, time.June, 13))
+	if !strings.Contains(got, "2008-06-13") {
+		t.Errorf("title = %q", got)
+	}
+}
+
+func TestTimeConditionedExtension(t *testing.T) {
+	fraw, err := TimeConditionedExtension(testEnv(t), 4)
+	f := figure(t, fraw, err)
+	if len(f.Tables[0].Rows) != 2 {
+		t.Errorf("rows = %d", len(f.Tables[0].Rows))
+	}
+}

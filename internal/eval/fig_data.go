@@ -1,0 +1,482 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mcorr/internal/core"
+	"mcorr/internal/mathx"
+	"mcorr/internal/simulator"
+	"mcorr/internal/timeseries"
+)
+
+// samplesPerDay mirrors timeseries.SamplesPerDay for synthetic examples.
+const samplesPerDay = timeseries.SamplesPerDay
+
+// Fig01RawSeries reproduces Figure 1: two correlated measurements shown as
+// time series over one day.
+func Fig01RawSeries(env *Env) (*Figure, error) {
+	g := env.Group("A")
+	day := timeseries.TestStart
+	ids := [2]timeseries.MeasurementID{
+		{Machine: simulator.MachineName("A", 0), Metric: simulator.MetricNetOut},
+		{Machine: simulator.MachineName("A", 0), Metric: simulator.MetricNetIn},
+	}
+	tab := &Table{
+		Title:   "Two measurements over one day (240 samples at 6-minute intervals)",
+		Columns: []string{"measurement", "mean", "std", "min", "max", "shape (downsampled)"},
+	}
+	xs := make([][]float64, 2)
+	for i, id := range ids {
+		s := g.Dataset.Get(id).Slice(day, day.AddDate(0, 0, 1))
+		if s.Len() == 0 {
+			return nil, fmt.Errorf("fig1: no data for %s", id)
+		}
+		mean, std := s.Stats()
+		lo, hi := mathx.MinMax(s.Values)
+		xs[i] = s.Values
+		tab.AddRow(id.String(),
+			fmt.Sprintf("%.0f", mean), fmt.Sprintf("%.0f", std),
+			fmt.Sprintf("%.0f", lo), fmt.Sprintf("%.0f", hi),
+			AutoSparkline(Downsample(s.Values, 60)))
+	}
+	r, err := mathx.Pearson(xs[0], xs[1])
+	if err != nil {
+		return nil, fmt.Errorf("fig1: %w", err)
+	}
+	return &Figure{
+		ID:     "fig1",
+		Title:  "Measurements as time series",
+		Tables: []*Table{tab},
+		Notes: []string{
+			fmt.Sprintf("The two series move together (Pearson %.3f): both are driven by the shared user-request workload, matching the paper's Figure 1.", r),
+		},
+	}, nil
+}
+
+// pairShape classifies a pair's scatter shape the way Figure 2 does.
+func pairShape(pts []mathx.Point2) (pearson, spearman float64, shape string) {
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i], ys[i] = p.X, p.Y
+	}
+	pearson, _ = mathx.Pearson(xs, ys)
+	spearman, _ = mathx.Spearman(xs, ys)
+	switch {
+	case math.Abs(pearson) >= 0.95:
+		shape = "linear"
+	case math.Abs(spearman) >= 0.85:
+		shape = "non-linear (monotone)"
+	default:
+		shape = "arbitrary"
+	}
+	return pearson, spearman, shape
+}
+
+// Fig02ScatterShapes reproduces Figure 2(b–d): pairwise correlations of
+// the three shapes, plus the in-text census ("nearly half of the
+// measurements have linear relationships with at least one other").
+func Fig02ScatterShapes(env *Env) (*Figure, error) {
+	g := env.Group("A")
+	day := timeseries.TestStart
+	m0 := simulator.MachineName("A", 0)
+	m1 := simulator.MachineName("A", 1)
+	cases := []struct {
+		label string
+		a, b  timeseries.MeasurementID
+	}{
+		{"2(b) in/out octets, same machine", timeseries.MeasurementID{Machine: m0, Metric: simulator.MetricNetIn}, timeseries.MeasurementID{Machine: m0, Metric: simulator.MetricNetOut}},
+		{"2(c) traffic vs CPU across machines", timeseries.MeasurementID{Machine: m0, Metric: simulator.MetricNetIn}, timeseries.MeasurementID{Machine: m1, Metric: simulator.MetricCPU}},
+		{"2(d) port utilization vs IO rate", timeseries.MeasurementID{Machine: m0, Metric: simulator.MetricPortUtil}, timeseries.MeasurementID{Machine: m0, Metric: simulator.MetricIORate}},
+	}
+	tab := &Table{
+		Title:   "Pairwise correlation shapes (one day of samples)",
+		Columns: []string{"pair", "pearson", "spearman", "classified shape"},
+	}
+	for _, c := range cases {
+		pts, err := g.PairPoints(c.a, c.b, day, day.AddDate(0, 0, 1))
+		if err != nil {
+			return nil, fmt.Errorf("fig2 %s: %w", c.label, err)
+		}
+		p, s, shape := pairShape(pts)
+		tab.AddRow(c.label, fmt.Sprintf("%.3f", p), fmt.Sprintf("%.3f", s), shape)
+	}
+
+	// Census over every measurement of the group.
+	census := &Table{
+		Title:   "Linear-relationship census (the paper: \"nearly half ... linear with at least one other\")",
+		Columns: []string{"measurements", "with >=1 linear partner", "fraction"},
+	}
+	ids := g.Dataset.IDs()
+	window := g.Dataset.Slice(day, day.AddDate(0, 0, 1))
+	hasLinear := make([]bool, len(ids))
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if hasLinear[i] && hasLinear[j] {
+				continue
+			}
+			pts, _, err := timeseries.AlignPair(window.Get(ids[i]), window.Get(ids[j]))
+			if err != nil {
+				continue
+			}
+			p, _, _ := pairShape(pts)
+			if math.Abs(p) >= 0.95 {
+				hasLinear[i] = true
+				hasLinear[j] = true
+			}
+		}
+	}
+	n := 0
+	for _, h := range hasLinear {
+		if h {
+			n++
+		}
+	}
+	census.AddRow(fmt.Sprintf("%d", len(ids)), fmt.Sprintf("%d", n),
+		fmt.Sprintf("%.2f", float64(n)/float64(len(ids))))
+
+	return &Figure{
+		ID:     "fig2",
+		Title:  "Measurement correlations: linear, non-linear, arbitrary shapes",
+		Tables: []*Table{tab, census},
+		Notes: []string{
+			"All three of the paper's correlation shapes arise from the simulated infrastructure, so the model must handle all of them — the paper's motivation for a distribution-free method.",
+		},
+	}, nil
+}
+
+// paperFig5 is the matrix printed in the paper's Figure 5 (percent).
+var paperFig5 = [9][9]float64{
+	{21.98, 14.65, 8.79, 14.65, 10.99, 7.33, 8.79, 7.33, 5.49},
+	{13.16, 19.74, 13.16, 9.87, 13.16, 9.87, 6.58, 7.89, 6.58},
+	{8.79, 14.65, 21.98, 7.33, 10.99, 14.65, 5.49, 7.33, 8.79},
+	{13.16, 9.87, 6.58, 19.74, 13.16, 7.89, 13.16, 9.87, 6.58},
+	{8.82, 11.76, 8.82, 11.76, 17.65, 11.76, 8.82, 11.76, 8.82},
+	{6.58, 9.87, 13.16, 7.89, 13.16, 19.74, 6.58, 9.87, 13.16},
+	{8.79, 7.33, 5.49, 14.65, 10.99, 7.33, 21.98, 14.65, 8.79},
+	{6.58, 7.89, 6.58, 9.87, 13.16, 9.87, 13.16, 19.74, 13.16},
+	{5.49, 7.33, 8.79, 7.33, 10.99, 14.65, 8.79, 14.65, 21.98},
+}
+
+// Fig05PriorMatrix reproduces Figure 5: the 9×9 prior transition matrix of
+// a 3×3 grid, compared entry-by-entry with the published values.
+func Fig05PriorMatrix() (*Figure, error) {
+	grid, err := core.UniformGrid(0, 3, 3, 0, 3, 3)
+	if err != nil {
+		return nil, err
+	}
+	kernel, err := core.NewKernel(core.KernelHarmonic, 2, 3, 3)
+	if err != nil {
+		return nil, err
+	}
+	tm, err := core.NewTransitionMatrix(grid, kernel, core.UpdateKernelBayes, 0)
+	if err != nil {
+		return nil, err
+	}
+	tab := &Table{
+		Title:   "Prior transition matrix over a 3x3 grid (percent)",
+		Columns: []string{"", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9"},
+	}
+	maxDiff := 0.0
+	for i := 0; i < 9; i++ {
+		row, err := tm.RowInto(nil, i)
+		if err != nil {
+			return nil, err
+		}
+		cells := []string{fmt.Sprintf("c%d", i+1)}
+		for j := 0; j < 9; j++ {
+			pct := row[j] * 100
+			cells = append(cells, fmt.Sprintf("%.2f", pct))
+			if d := math.Abs(pct - paperFig5[i][j]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		tab.AddRow(cells...)
+	}
+	return &Figure{
+		ID:     "fig5",
+		Title:  "Transition probability matrix (prior)",
+		Tables: []*Table{tab},
+		Notes: []string{
+			fmt.Sprintf("Maximum absolute deviation from the paper's published matrix: %.3f percentage points (printing precision).", maxDiff),
+			"The paper's exact prior is reproduced by weight(Δr,Δc) = 2/(w^Δr + w^Δc) with w = 2, normalized per row.",
+		},
+	}, nil
+}
+
+// Fig07GridAdapt reproduces Figures 7/8: the grid built from history data,
+// then grown online as the distribution drifts.
+func Fig07GridAdapt() (*Figure, error) {
+	rng := rand.New(rand.NewSource(77))
+	// History: a dense cluster, mirroring the paper's Figure 7 scatter.
+	history := make([]mathx.Point2, 3000)
+	for i := range history {
+		history[i] = mathx.Point2{
+			X: 0.2 + rng.NormFloat64()*0.05,
+			Y: 0.02 + rng.NormFloat64()*0.005,
+		}
+	}
+	model, err := core.Train(history, core.Config{Adaptive: true})
+	if err != nil {
+		return nil, err
+	}
+	before := model.Grid().Clone()
+
+	// Online data drifts along the vertical axis, as in Figure 8. The x
+	// coordinates are bootstrapped from history so the horizontal
+	// distribution is unchanged and only the vertical axis must grow.
+	drift := make([]mathx.Point2, 2000)
+	for i := range drift {
+		shift := 0.012 * float64(i) / float64(len(drift))
+		drift[i] = mathx.Point2{
+			X: history[rng.Intn(len(history))].X,
+			Y: 0.02 + shift + rng.NormFloat64()*0.005,
+		}
+	}
+	var outliers, growths int
+	for _, p := range drift {
+		res := model.Step(p)
+		if res.OutOfGrid {
+			outliers++
+		}
+		if res.Grown {
+			growths++
+		}
+	}
+	after := model.Grid()
+
+	tab := &Table{
+		Title:   "Grid structure before and after online drift",
+		Columns: []string{"", "x intervals", "y intervals", "cells", "y upper bound"},
+	}
+	tab.AddRow("initial (Fig 7)", fmt.Sprintf("%d", before.X.Intervals()),
+		fmt.Sprintf("%d", before.Y.Intervals()), fmt.Sprintf("%d", before.NumCells()),
+		fmt.Sprintf("%.4f", before.Y.Hi()))
+	tab.AddRow("updated (Fig 8)", fmt.Sprintf("%d", after.X.Intervals()),
+		fmt.Sprintf("%d", after.Y.Intervals()), fmt.Sprintf("%d", after.NumCells()),
+		fmt.Sprintf("%.4f", after.Y.Hi()))
+
+	notes := []string{
+		fmt.Sprintf("Online growth events: %d; hard outliers rejected: %d.", growths, outliers),
+	}
+	if after.Y.Intervals() > before.Y.Intervals() && after.X.Intervals() == before.X.Intervals() {
+		notes = append(notes, "Intervals were added only on the drifting (vertical) axis, matching the paper's Figure 8.")
+	} else {
+		notes = append(notes, "WARNING: growth pattern does not match the expected vertical-only extension.")
+	}
+	return &Figure{
+		ID:     "fig7",
+		Title:  "Initial grid and online-updated grid",
+		Tables: []*Table{tab},
+		Notes:  notes,
+	}, nil
+}
+
+// Fig09Posterior reproduces Figures 9/10: a cell's prior transition
+// distribution versus its posterior after observed transitions favouring a
+// neighbor. Both update rules are shown: the paper's kernel-Bayes rule
+// after a short stream, and the Dirichlet ablation after six full days
+// (the pure multiplicative rule keeps sharpening forever, so long streams
+// drive it to a point mass; the count-based rule stays soft).
+func Fig09Posterior() (*Figure, error) {
+	grid, err := core.UniformGrid(0, 4, 4, 0, 4, 4)
+	if err != nil {
+		return nil, err
+	}
+	src, dst := 9, 5 // the paper's c12 → c10 analog: an interior pair
+
+	newTM := func(rule core.UpdateRule) (*core.TransitionMatrix, error) {
+		kernel, err := core.NewKernel(core.KernelHarmonic, 2, 4, 4)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewTransitionMatrix(grid, kernel, rule, 50)
+	}
+	// drive feeds a mixed transition stream out of src: mostly dst, with
+	// self-transitions and two occasional neighbors.
+	drive := func(tm *core.TransitionMatrix, n int, seed int64) error {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			to := dst
+			switch r := rng.Float64(); {
+			case r < 0.30:
+				to = src
+			case r < 0.40:
+				to = 10
+			case r < 0.45:
+				to = 5 + 1 // the cell right of dst
+			}
+			if err := tm.Observe(src, to); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	kb, err := newTM(core.UpdateKernelBayes)
+	if err != nil {
+		return nil, err
+	}
+	prior, err := kb.RowInto(nil, src)
+	if err != nil {
+		return nil, err
+	}
+	priorCopy := append([]float64(nil), prior...)
+	if err := drive(kb, 24, 9); err != nil {
+		return nil, err
+	}
+	kbPost, err := kb.RowInto(nil, src)
+	if err != nil {
+		return nil, err
+	}
+
+	dir, err := newTM(core.UpdateDirichlet)
+	if err != nil {
+		return nil, err
+	}
+	if err := drive(dir, 6*samplesPerDay, 10); err != nil {
+		return nil, err
+	}
+	dirPost, err := dir.RowInto(nil, src)
+	if err != nil {
+		return nil, err
+	}
+
+	tab := &Table{
+		Title:   fmt.Sprintf("Transition distribution out of cell c%d (percent)", src+1),
+		Columns: []string{"cell", "prior (Fig 9)", "posterior, kernel-Bayes 24 obs (Fig 10)", "posterior, Dirichlet 6 days"},
+	}
+	for j := range priorCopy {
+		tab.AddRow(fmt.Sprintf("c%d", j+1),
+			fmt.Sprintf("%.2f", priorCopy[j]*100),
+			fmt.Sprintf("%.2f", kbPost[j]*100),
+			fmt.Sprintf("%.2f", dirPost[j]*100))
+	}
+	notes := []string{
+		"Divergence note: with the paper's pure multiplicative (kernel-Bayes) updates the posterior keeps sharpening, so after six days of a stationary stream it saturates at the modal cell; the published Figure 10 shows a soft posterior, which the rule produces only early in the stream (24 observations shown). The Dirichlet ablation stays soft at any volume.",
+	}
+	if core.RankInRow(priorCopy, src) == 1 && core.RankInRow(kbPost, dst) == 1 && core.RankInRow(dirPost, dst) == 1 {
+		notes = append(notes, fmt.Sprintf(
+			"The prior peaks at the source cell c%d; after observing mostly c%d→c%d transitions the posterior mode moves to c%d under both rules — the paper's Figure 9→10 shift.",
+			src+1, src+1, dst+1, dst+1))
+	} else {
+		notes = append(notes, "WARNING: posterior mode did not shift as in the paper.")
+	}
+	return &Figure{
+		ID:     "fig9",
+		Title:  "Prior vs posterior transition distribution",
+		Tables: []*Table{tab},
+		Notes:  notes,
+	}, nil
+}
+
+// ClosenessCensus reproduces the in-text §4.2 spatial-closeness check: two
+// days of transitions tallied by cell distance (the paper: 701 total, 412
+// intra-cell, 280 to the nearest neighbor).
+func ClosenessCensus(env *Env) (*Figure, error) {
+	g := env.Group("B")
+	from := timeseries.MonitoringStart
+	to := from.AddDate(0, 0, 2)
+	pts, err := g.PairPoints(g.EventPair[0], g.EventPair[1], from, to)
+	if err != nil {
+		return nil, fmt.Errorf("closeness census: %w", err)
+	}
+	// A moderate grid resolution, comparable to the paper's worked grids:
+	// with very fine cells even normal 6-minute motion crosses a boundary.
+	grid, err := core.BuildGrid(pts, core.GridConfig{MaxIntervals: 8})
+	if err != nil {
+		return nil, fmt.Errorf("closeness census: %w", err)
+	}
+	counts := make(map[int]int)
+	total := 0
+	prev, armed := 0, false
+	for _, p := range pts {
+		cell, ok := grid.Locate(p)
+		if !ok {
+			armed = false
+			continue
+		}
+		if armed {
+			x1, y1 := grid.CellCoords(prev)
+			x2, y2 := grid.CellCoords(cell)
+			d := absInt(x1 - x2)
+			if dy := absInt(y1 - y2); dy > d {
+				d = dy
+			}
+			counts[d]++
+			total++
+		}
+		prev, armed = cell, true
+	}
+	tab := &Table{
+		Title:   fmt.Sprintf("Transitions by cell (Chebyshev) distance over two days (%d transitions)", total),
+		Columns: []string{"distance", "transitions", "fraction"},
+	}
+	maxD := 0
+	for d := range counts {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	monotone := true
+	for d := 0; d <= maxD; d++ {
+		tab.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%d", counts[d]),
+			fmt.Sprintf("%.3f", float64(counts[d])/float64(total)))
+		if d > 0 && counts[d] > counts[d-1] {
+			monotone = false
+		}
+	}
+	notes := []string{
+		"Paper's measurement: 701 transitions, 412 intra-cell, 280 to the closest neighbor — a sharply decaying profile.",
+	}
+	if counts[0] > counts[1] && monotone {
+		notes = append(notes, "Reproduced: most transitions stay in their cell, the rest decay with distance — validating the spatial-closeness prior.")
+	} else if counts[0] > counts[1] {
+		notes = append(notes, "Intra-cell transitions dominate; the tail is not perfectly monotone but decays overall.")
+	} else {
+		notes = append(notes, "WARNING: intra-cell transitions do not dominate; the closeness assumption failed on this data.")
+	}
+	return &Figure{
+		ID:     "closeness",
+		Title:  "Spatial-closeness tendency of transitions (§4.2 in-text)",
+		Tables: []*Table{tab},
+		Notes:  notes,
+	}, nil
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Fig11Fitness reproduces the worked fitness-score example of Figure 11.
+func Fig11Fitness() (*Figure, error) {
+	probs := []float64{0.1116, 0.2422, 0.2095, 0.2538, 0.1734, 0.0094}
+	paperFitness := []float64{0.3333, 0.8333, 0.6667, 1.0000, 0.5000, 0.1667}
+	tab := &Table{
+		Title:   "Fitness for each possible destination cell (transition out of c4, 2x3 grid)",
+		Columns: []string{"cell", "probability", "rank", "fitness", "paper"},
+	}
+	maxDiff := 0.0
+	for h := range probs {
+		rank := core.RankInRow(probs, h)
+		fit := core.FitnessFromRow(probs, h)
+		if d := math.Abs(fit - paperFitness[h]); d > maxDiff {
+			maxDiff = d
+		}
+		tab.AddRow(fmt.Sprintf("c%d", h+1), fmt.Sprintf("%.2f%%", probs[h]*100),
+			fmt.Sprintf("%d", rank), fmt.Sprintf("%.4f", fit), fmt.Sprintf("%.4f", paperFitness[h]))
+	}
+	return &Figure{
+		ID:     "fig11",
+		Title:  "Fitness score computation",
+		Tables: []*Table{tab},
+		Notes: []string{
+			fmt.Sprintf("Maximum deviation from the paper's worked example: %.5f.", maxDiff),
+		},
+	}, nil
+}

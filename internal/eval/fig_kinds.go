@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mcorr/internal/core"
+	"mcorr/internal/simulator"
+	"mcorr/internal/timeseries"
+)
+
+// FaultKindSweep is an extension experiment: one trace per fault kind,
+// each injecting a two-hour event-day fault into the ifOut metric of one
+// machine, measured on the directly affected ifIn~ifOut link. It answers
+// "which failure modes does the transition model catch, and how hard?"
+func FaultKindSweep(env *Env) (*Figure, error) {
+	day := timeseries.TestStart
+	machine := simulator.MachineName("K", 1)
+	tab := &Table{
+		Title:   "Per-kind detection on the affected pair (train 8 days, test the event day, alarm at Q < 0.5)",
+		Columns: []string{"fault kind", "min Q in fault", "fault mean Q", "normal mean Q", "detected", "false-alarm rate"},
+	}
+	var notes []string
+	detected := 0
+	kinds := simulator.FaultKinds()
+	for _, kind := range kinds {
+		mag := 1.0
+		if kind == simulator.FaultCorrelationBreak {
+			mag = 2.5
+		}
+		fault := simulator.Fault{
+			ID: "sweep-" + kind.String(), Machine: machine, Metric: simulator.MetricNetOut,
+			Kind: kind, Start: day.Add(9 * time.Hour), End: day.Add(11 * time.Hour), Magnitude: mag,
+		}
+		ds, gt, err := simulator.Generate(simulator.GroupConfig{
+			Name: "K", Machines: 4, Days: 16, Seed: env.Cfg.Seed + 77,
+			Faults: []simulator.Fault{fault},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fault sweep %s: %w", kind, err)
+		}
+		g := &Group{Name: "K", Dataset: ds, Truth: gt}
+		a := timeseries.MeasurementID{Machine: machine, Metric: simulator.MetricNetIn}
+		b := timeseries.MeasurementID{Machine: machine, Metric: simulator.MetricNetOut}
+		fit, _, _, err := pairTimeline(g, a, b, 8, day, day.AddDate(0, 0, 1), core.Config{Adaptive: true})
+		if err != nil {
+			return nil, fmt.Errorf("fault sweep %s: %w", kind, err)
+		}
+		m := EvaluateDetection(fit, gt, 0.5)
+		minQ := math.Inf(1)
+		for _, s := range fit {
+			if fault.ActiveAt(s.Time) && s.Score < minQ {
+				minQ = s.Score
+			}
+		}
+		if m.Detected == m.Events && m.Events > 0 {
+			detected++
+		}
+		tab.AddRow(kind.String(),
+			fmt.Sprintf("%.3f", minQ),
+			fmt.Sprintf("%.3f", m.FaultMean), fmt.Sprintf("%.3f", m.NormalMean),
+			fmt.Sprintf("%d/%d", m.Detected, m.Events),
+			fmt.Sprintf("%.3f", m.FalseAlarmRate))
+	}
+	if detected == len(kinds) {
+		notes = append(notes, "Every fault kind — spatial (decoupled, level shift, correlation break) and temporal (stuck value, flapping) — is caught on the affected link, because both the joint position and the joint transition are modeled.")
+	} else {
+		notes = append(notes, fmt.Sprintf("Detected %d of %d fault kinds.", detected, len(kinds)))
+	}
+	return &Figure{
+		ID:     "faultkinds",
+		Title:  "Detection quality by fault kind (extension)",
+		Tables: []*Table{tab},
+		Notes:  notes,
+	}, nil
+}

@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"mcorr/internal/core"
+	"mcorr/internal/simulator"
+	"mcorr/internal/timeseries"
+)
+
+// TimeConditionedExtension evaluates the future-work-style extension: one
+// transition matrix per time-of-day bucket instead of a single matrix.
+// The paper's Figures 15/16 show fitness sagging at peak hours because
+// busy-hour dynamics differ from quiet-hour dynamics; conditioning the
+// matrix on the hour attacks exactly that.
+func TimeConditionedExtension(env *Env, trainDays int) (*Figure, error) {
+	if trainDays <= 0 {
+		trainDays = 8
+	}
+	g := env.Group("A")
+	// A healthy, workload-driven pair (no injected faults on machine 0).
+	a := timeseries.MeasurementID{Machine: simulator.MachineName("A", 0), Metric: simulator.MetricNetIn}
+	b := timeseries.MeasurementID{Machine: simulator.MachineName("A", 0), Metric: simulator.MetricCPU}
+	trFrom, trTo := timeseries.TrainingSplit(trainDays)
+	history, err := g.PairPoints(a, b, trFrom, trTo)
+	if err != nil {
+		return nil, fmt.Errorf("timecond: %w", err)
+	}
+	step := g.Dataset.Get(a).Step
+
+	plain, err := core.Train(history, core.Config{Adaptive: true})
+	if err != nil {
+		return nil, fmt.Errorf("timecond: %w", err)
+	}
+	cond, err := core.TrainTimeConditioned(history, trFrom, step, 4, core.Config{Adaptive: true})
+	if err != nil {
+		return nil, fmt.Errorf("timecond: %w", err)
+	}
+
+	from, to := timeseries.TestSplit(5)
+	pts, err := g.PairPoints(a, b, from, to)
+	if err != nil {
+		return nil, fmt.Errorf("timecond: %w", err)
+	}
+	var plainTL, condTL []ScoredSample
+	for i, p := range pts {
+		tm := from.Add(time.Duration(i) * step)
+		if r := plain.Step(p); r.Scored {
+			plainTL = append(plainTL, ScoredSample{Time: tm, Score: r.Fitness})
+		}
+		if r := cond.StepAt(tm, p); r.Scored {
+			condTL = append(condTL, ScoredSample{Time: tm, Score: r.Fitness})
+		}
+	}
+	pq := QuarterMeans(plainTL)
+	cq := QuarterMeans(condTL)
+	tab := &Table{
+		Title:   fmt.Sprintf("Mean fitness per six-hour quarter over a 5-day test (train %dd, pair %s ~ %s)", trainDays, a, b),
+		Columns: []string{"model", "12am-6am", "6am-12pm", "12pm-6pm", "6pm-12am", "cells"},
+	}
+	tab.AddRow("single matrix (paper)",
+		fmt.Sprintf("%.4f", pq[0]), fmt.Sprintf("%.4f", pq[1]),
+		fmt.Sprintf("%.4f", pq[2]), fmt.Sprintf("%.4f", pq[3]),
+		fmt.Sprintf("%d", plain.NumCells()))
+	tab.AddRow("time-conditioned (4 buckets)",
+		fmt.Sprintf("%.4f", cq[0]), fmt.Sprintf("%.4f", cq[1]),
+		fmt.Sprintf("%.4f", cq[2]), fmt.Sprintf("%.4f", cq[3]),
+		fmt.Sprintf("%d x4", cond.NumCells()))
+
+	var notes []string
+	if cq[2] > pq[2] {
+		notes = append(notes, fmt.Sprintf(
+			"Conditioning the matrix on the time-of-day bucket lifts the hardest (peak) quarter from %.4f to %.4f — directly addressing the paper's Figure 15/16 observation that heavy workloads depress predictability.", pq[2], cq[2]))
+	} else {
+		notes = append(notes, fmt.Sprintf(
+			"On this trace the peak-quarter means are %.4f (single) vs %.4f (conditioned): the simulator's within-day dynamics are homogeneous enough that one matrix suffices; the extension pays off when busy-hour dynamics genuinely differ (see TestTimeConditionedBeatsPlainAtPeak for a regime-switching case).", pq[2], cq[2]))
+	}
+	return &Figure{
+		ID:     "timecond",
+		Title:  "Extension: time-of-day-conditioned transition matrices",
+		Tables: []*Table{tab},
+		Notes:  notes,
+	}, nil
+}

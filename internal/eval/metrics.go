@@ -1,0 +1,182 @@
+package eval
+
+import (
+	"math"
+	"time"
+
+	"mcorr/internal/manager"
+	"mcorr/internal/simulator"
+)
+
+// DetectionMetrics summarizes how well a fitness timeline flags the
+// injected ground-truth problems.
+type DetectionMetrics struct {
+	// Events is the number of distinct ground-truth fault windows that
+	// overlap the evaluated period.
+	Events int
+	// Detected is how many of those windows contain at least one sample
+	// whose score fell below the threshold.
+	Detected int
+	// FalseAlarmRate is the fraction of normal (non-fault) samples that
+	// breached the threshold.
+	FalseAlarmRate float64
+	// MeanDelay is the average time from fault start to the first
+	// breaching sample, over detected events.
+	MeanDelay time.Duration
+	// NormalMean and FaultMean are the average scores inside and outside
+	// fault windows (the separation the paper's Figure 12 shows).
+	NormalMean float64
+	FaultMean  float64
+}
+
+// Recall returns Detected/Events (1 when there were no events).
+func (d DetectionMetrics) Recall() float64 {
+	if d.Events == 0 {
+		return 1
+	}
+	return float64(d.Detected) / float64(d.Events)
+}
+
+// ScoredSample is one timestamped score of any detector.
+type ScoredSample struct {
+	Time  time.Time
+	Score float64
+}
+
+// SystemTimeline extracts (time, Q) samples from manager reports,
+// skipping unscored steps.
+func SystemTimeline(reports []manager.StepReport) []ScoredSample {
+	out := make([]ScoredSample, 0, len(reports))
+	for _, r := range reports {
+		if !math.IsNaN(r.System) {
+			out = append(out, ScoredSample{Time: r.Time, Score: r.System})
+		}
+	}
+	return out
+}
+
+// EvaluateDetection scores a timeline against the ground truth: a sample
+// alarms when its score < threshold.
+func EvaluateDetection(timeline []ScoredSample, truth *simulator.GroundTruth, threshold float64) DetectionMetrics {
+	var m DetectionMetrics
+	if len(timeline) == 0 {
+		return m
+	}
+	from := timeline[0].Time
+	to := timeline[len(timeline)-1].Time
+
+	// Events overlapping the period.
+	var events []simulator.Fault
+	for _, f := range truth.Faults {
+		if f.Start.Before(to) && f.End.After(from) {
+			events = append(events, f)
+		}
+	}
+	m.Events = len(events)
+
+	var normalSum, faultSum float64
+	var normalN, faultN, falseAlarms int
+	firstBreach := make(map[int]time.Time)
+	for _, s := range timeline {
+		inFault := -1
+		for i, f := range events {
+			if f.ActiveAt(s.Time) {
+				inFault = i
+				break
+			}
+		}
+		breach := s.Score < threshold
+		if inFault >= 0 {
+			faultSum += s.Score
+			faultN++
+			if breach {
+				if _, seen := firstBreach[inFault]; !seen {
+					firstBreach[inFault] = s.Time
+				}
+			}
+		} else {
+			normalSum += s.Score
+			normalN++
+			if breach {
+				falseAlarms++
+			}
+		}
+	}
+	m.Detected = len(firstBreach)
+	if normalN > 0 {
+		m.FalseAlarmRate = float64(falseAlarms) / float64(normalN)
+		m.NormalMean = normalSum / float64(normalN)
+	} else {
+		m.NormalMean = math.NaN()
+	}
+	if faultN > 0 {
+		m.FaultMean = faultSum / float64(faultN)
+	} else {
+		m.FaultMean = math.NaN()
+	}
+	if len(firstBreach) > 0 {
+		var total time.Duration
+		for i, t := range firstBreach {
+			total += t.Sub(events[i].Start)
+		}
+		m.MeanDelay = total / time.Duration(len(firstBreach))
+	}
+	return m
+}
+
+// QuarterMeans averages a timeline into the paper's four six-hour
+// quarters of the day (NaN for empty quarters) — the x-axis of Figures
+// 12 and 16.
+func QuarterMeans(timeline []ScoredSample) [4]float64 {
+	var sums [4]float64
+	var counts [4]int
+	for _, s := range timeline {
+		q := s.Time.UTC().Hour() / 6
+		sums[q] += s.Score
+		counts[q]++
+	}
+	var out [4]float64
+	for i := range out {
+		if counts[i] == 0 {
+			out[i] = math.NaN()
+		} else {
+			out[i] = sums[i] / float64(counts[i])
+		}
+	}
+	return out
+}
+
+// DailyMeans averages a timeline per calendar day, returning days in
+// order with their mean scores.
+func DailyMeans(timeline []ScoredSample) (days []time.Time, means []float64) {
+	var curDay time.Time
+	var sum float64
+	var n int
+	flush := func() {
+		if n > 0 {
+			days = append(days, curDay)
+			means = append(means, sum/float64(n))
+		}
+		sum, n = 0, 0
+	}
+	for _, s := range timeline {
+		day := s.Time.UTC().Truncate(24 * time.Hour)
+		if !day.Equal(curDay) {
+			flush()
+			curDay = day
+		}
+		sum += s.Score
+		n++
+	}
+	flush()
+	return days, means
+}
+
+// Scores extracts the raw score values of a timeline.
+func Scores(timeline []ScoredSample) []float64 {
+	out := make([]float64, len(timeline))
+	for i, s := range timeline {
+		out[i] = s.Score
+	}
+	return out
+}

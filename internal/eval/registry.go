@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Generator produces one reproduced figure from the environment.
+type Generator struct {
+	ID          string
+	Description string
+	Run         func(env *Env) (*Figure, error)
+}
+
+// Generators returns every figure generator, in the paper's order, with
+// the default parameters.
+func Generators() []Generator {
+	return []Generator{
+		{"fig1", "measurements as time series", Fig01RawSeries},
+		{"fig2", "correlation shapes + linear census", Fig02ScatterShapes},
+		{"fig5", "prior transition matrix (exact)", func(*Env) (*Figure, error) { return Fig05PriorMatrix() }},
+		{"fig7", "grid initialization and online growth", func(*Env) (*Figure, error) { return Fig07GridAdapt() }},
+		{"fig9", "prior vs posterior transition distribution", func(*Env) (*Figure, error) { return Fig09Posterior() }},
+		{"closeness", "spatial-closeness transition census", ClosenessCensus},
+		{"fig11", "fitness score worked example (exact)", func(*Env) (*Figure, error) { return Fig11Fitness() }},
+		{"fig12", "problem determination on the event day", func(e *Env) (*Figure, error) { return Fig12ProblemDetermination(e, 15) }},
+		{"fig13a", "offline vs adaptive average fitness", func(e *Env) (*Figure, error) { return Fig13aOfflineVsAdaptive(e, 0) }},
+		{"fig13b", "online updating time", func(e *Env) (*Figure, error) { return Fig13bUpdateTime(e, 0, 0) }},
+		{"fig14", "problem localization across machines", func(e *Env) (*Figure, error) { return Fig14Localization(e, 0, 0, 0) }},
+		{"fig15", "periodic patterns over nine days", func(e *Env) (*Figure, error) { return Fig15Periodic(e, 0) }},
+		{"fig16", "training size vs one-day fitness", func(e *Env) (*Figure, error) { return Fig16TrainingSize(e, 0) }},
+		{"baselines", "comparison with prior-work detectors", BaselineComparison},
+		{"faultkinds", "detection quality by fault kind", FaultKindSweep},
+		{"timecond", "time-of-day-conditioned matrices (extension)", func(e *Env) (*Figure, error) { return TimeConditionedExtension(e, 8) }},
+		{"ablation", "design-choice ablation", Ablation},
+	}
+}
+
+// GeneratorIDs returns the known figure IDs in order.
+func GeneratorIDs() []string {
+	gens := Generators()
+	out := make([]string, len(gens))
+	for i, g := range gens {
+		out[i] = g.ID
+	}
+	return out
+}
+
+// RunFigure runs the generator with the given ID.
+func RunFigure(env *Env, id string) (*Figure, error) {
+	for _, g := range Generators() {
+		if g.ID == id {
+			return g.Run(env)
+		}
+	}
+	known := GeneratorIDs()
+	sort.Strings(known)
+	return nil, fmt.Errorf("unknown figure %q (known: %v)", id, known)
+}
+
+// RunAll runs every generator and renders each figure to w as it
+// completes. It returns the figures and the first error encountered
+// (after attempting the rest).
+func RunAll(env *Env, w io.Writer) ([]*Figure, error) {
+	var figures []*Figure
+	var firstErr error
+	for _, g := range Generators() {
+		fig, err := g.Run(env)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", g.ID, err)
+			}
+			fmt.Fprintf(w, "=== %s FAILED: %v ===\n\n", g.ID, err)
+			continue
+		}
+		figures = append(figures, fig)
+		if err := fig.Render(w); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return figures, firstErr
+}

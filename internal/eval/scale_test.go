@@ -1,0 +1,53 @@
+package eval
+
+import (
+	"testing"
+
+	"mcorr/internal/core"
+	"mcorr/internal/manager"
+	"mcorr/internal/simulator"
+	"mcorr/internal/timeseries"
+)
+
+// TestPaperScaleSmoke exercises the system near the paper's deployment
+// scale — O(100) measurements, thousands of pairwise models — end to end:
+// train on one day, score one day, localize. Skipped under -short.
+func TestPaperScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale smoke test skipped in -short mode")
+	}
+	ds, _, err := simulator.Generate(simulator.GroupConfig{
+		Name: "S", Machines: 10, Days: 2, Seed: 2024,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	l := ds.Len()
+	if l != 80 {
+		t.Fatalf("measurements = %d", l)
+	}
+	day1 := timeseries.MonitoringStart.AddDate(0, 0, 1)
+	mgr, err := manager.New(ds.Slice(timeseries.MonitoringStart, day1), manager.Config{
+		Model: core.Config{Adaptive: true, Grid: core.GridConfig{MaxIntervals: 10}},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got, want := len(mgr.Pairs()), l*(l-1)/2; got != want {
+		t.Fatalf("pairs = %d, want %d", got, want)
+	}
+	reports, err := mgr.Run(ds, day1, day1.AddDate(0, 0, 1))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(reports) != timeseries.SamplesPerDay {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	mean := mgr.SystemMean()
+	if mean < 0.7 || mean > 1 {
+		t.Errorf("system fitness at scale = %.3f", mean)
+	}
+	if got := len(mgr.Localize().Machines); got != 10 {
+		t.Errorf("localized machines = %d", got)
+	}
+}

@@ -1,0 +1,148 @@
+// Package eval reproduces the paper's evaluation: it builds the three
+// simulated infrastructure groups (A, B, C) with ground-truth problems,
+// selects measurements by the paper's criteria, and regenerates every
+// figure of the evaluation section as numeric tables plus ASCII charts,
+// with detection metrics against the injected ground truth.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: a titled grid of formatted cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row formatting each value with the matching verb.
+func (t *Table) AddRowf(format string, vals ...any) {
+	t.AddRow(strings.Split(fmt.Sprintf(format, vals...), "\t")...)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "## %s\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", pad))
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if len(t.Columns) > 0 {
+		if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+			return err
+		}
+		total := len(t.Columns)*2 - 2
+		for _, wd := range widths {
+			total += wd
+		}
+		if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV writes the table as CSV (RFC-4180 quoting for cells containing
+// commas or quotes).
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if len(t.Columns) > 0 {
+		if err := writeRow(t.Columns); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Figure is one reproduced paper figure: its tables plus commentary
+// comparing the measured shape against the paper's claims.
+type Figure struct {
+	ID     string
+	Title  string
+	Tables []*Table
+	Notes  []string
+}
+
+// Render writes the whole figure as text.
+func (f *Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "=== %s: %s ===\n\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	for _, t := range f.Tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	for _, n := range f.Notes {
+		if _, err := fmt.Fprintf(w, "%s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

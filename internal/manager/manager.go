@@ -1,0 +1,567 @@
+// Package manager orchestrates the paper's system-level analysis: it
+// maintains one pairwise correlation model per link of the measurement
+// graph (l(l−1)/2 models for l measurements, §5), feeds synchronized
+// sample rows through them concurrently, aggregates fitness scores at the
+// paper's three levels — pair Q^{a,b}, measurement Q^a, system Q — rolls
+// measurements up to machines for problem localization, and raises alarms
+// when scores breach thresholds.
+package manager
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"mcorr/internal/alarm"
+	"mcorr/internal/core"
+	"mcorr/internal/mathx"
+	"mcorr/internal/timeseries"
+)
+
+// Pair is an unordered measurement pair in canonical (Less) order.
+type Pair struct {
+	A, B timeseries.MeasurementID
+}
+
+// MakePair returns the canonical pair for two measurements.
+func MakePair(a, b timeseries.MeasurementID) Pair {
+	if b.Less(a) {
+		a, b = b, a
+	}
+	return Pair{A: a, B: b}
+}
+
+// String renders the pair as "a ~ b".
+func (p Pair) String() string { return p.A.String() + " ~ " + p.B.String() }
+
+// Config controls a Manager.
+type Config struct {
+	// Model is the per-pair model configuration (core.Config defaults
+	// apply). Set Model.Adaptive for the paper's adaptive mode.
+	Model core.Config
+	// Workers bounds concurrent model training/scoring; default
+	// GOMAXPROCS.
+	Workers int
+	// MeasurementThreshold raises a measurement alarm when Q^a falls
+	// below it (0 disables).
+	MeasurementThreshold float64
+	// SystemThreshold raises a system alarm when Q falls below it
+	// (0 disables).
+	SystemThreshold float64
+	// ProbDelta is the paper's δ: a pair alarm fires when the observed
+	// transition probability falls below it (0 disables).
+	ProbDelta float64
+	// Sink receives alarms; nil discards them.
+	Sink alarm.Sink
+	// KeepPairScores includes every pair's fitness in each StepReport
+	// (memory-heavy for large l; reports allocate a map per step).
+	KeepPairScores bool
+	// TrackPairMeans maintains a running mean fitness per link, enabling
+	// WorstPairs — the paper's finest drill-down level (Q^{a,b}).
+	TrackPairMeans bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Row is one synchronized observation of every measurement at one time.
+// Missing measurements (gaps) are simply absent from the map.
+type Row struct {
+	Time   time.Time
+	Values map[timeseries.MeasurementID]float64
+}
+
+// StepReport is the outcome of scoring one row.
+type StepReport struct {
+	Time time.Time
+	// System is Q_t: the mean of the per-measurement scores. NaN when
+	// nothing was scored.
+	System float64
+	// Measurements holds Q^a for every measurement with at least one
+	// scored link this step.
+	Measurements map[timeseries.MeasurementID]float64
+	// Pairs holds Q^{a,b} per pair when Config.KeepPairScores is set.
+	Pairs map[Pair]float64
+	// ScoredPairs counts the links that produced a score this step.
+	ScoredPairs int
+}
+
+// Manager owns the model fleet. All methods are safe for concurrent use,
+// but rows must be fed in time order.
+type Manager struct {
+	cfg Config
+	ids []timeseries.MeasurementID
+
+	mu      sync.Mutex
+	models  map[Pair]*core.Model
+	acc     map[timeseries.MeasurementID]*mathx.Online // running Q^a means
+	pairAcc map[Pair]*mathx.Online                     // running Q^{a,b} means
+	sysAcc  mathx.Online
+	steps   int
+}
+
+// New trains one model per measurement pair from the history dataset.
+// Pairs whose aligned history is empty are skipped (and absent from
+// Pairs()). At least two measurements are required.
+func New(history *timeseries.Dataset, cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	ids := history.IDs()
+	if len(ids) < 2 {
+		return nil, fmt.Errorf("manager needs at least 2 measurements, got %d", len(ids))
+	}
+	m := &Manager{
+		cfg:    cfg,
+		ids:    ids,
+		models: make(map[Pair]*core.Model),
+		acc:    make(map[timeseries.MeasurementID]*mathx.Online),
+	}
+
+	pairs := history.Pairs()
+	type result struct {
+		pair  Pair
+		model *core.Model
+		err   error
+	}
+	jobs := make(chan [2]timeseries.MeasurementID)
+	results := make(chan result)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pr := range jobs {
+				pts, _, err := timeseries.AlignPair(history.Get(pr[0]), history.Get(pr[1]))
+				if err != nil || len(pts) == 0 {
+					// No overlap: skip this link.
+					results <- result{}
+					continue
+				}
+				model, err := core.Train(pts, cfg.Model)
+				if err != nil {
+					results <- result{err: fmt.Errorf("train %s ~ %s: %w", pr[0], pr[1], err)}
+					continue
+				}
+				results <- result{pair: MakePair(pr[0], pr[1]), model: model}
+			}
+		}()
+	}
+	go func() {
+		for _, pr := range pairs {
+			jobs <- pr
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+	var firstErr error
+	for r := range results {
+		switch {
+		case r.err != nil && firstErr == nil:
+			firstErr = r.err
+		case r.model != nil:
+			m.models[r.pair] = r.model
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if len(m.models) == 0 {
+		return nil, fmt.Errorf("manager: no trainable pairs: %w", core.ErrNoData)
+	}
+	return m, nil
+}
+
+// IDs returns the measurements the manager watches.
+func (m *Manager) IDs() []timeseries.MeasurementID {
+	return append([]timeseries.MeasurementID(nil), m.ids...)
+}
+
+// Pairs returns the trained links in stable order.
+func (m *Manager) Pairs() []Pair {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Pair, 0, len(m.models))
+	for p := range m.models {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A.Less(out[j].A)
+		}
+		return out[i].B.Less(out[j].B)
+	})
+	return out
+}
+
+// Model returns the trained model for a pair (nil when absent).
+func (m *Manager) Model(a, b timeseries.MeasurementID) *core.Model {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.models[MakePair(a, b)]
+}
+
+// pairOutcome is one link's result for a step.
+type pairOutcome struct {
+	pair    Pair
+	fitness float64
+	prob    float64
+	scored  bool
+}
+
+// Step scores one synchronized row across every link, updates the running
+// accumulators, and publishes alarms.
+func (m *Manager) Step(row Row) StepReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	report := StepReport{
+		Time:         row.Time,
+		System:       math.NaN(),
+		Measurements: make(map[timeseries.MeasurementID]float64),
+	}
+	if m.cfg.KeepPairScores {
+		report.Pairs = make(map[Pair]float64)
+	}
+
+	// Fan the links out over the worker pool.
+	pairs := make([]Pair, 0, len(m.models))
+	for p := range m.models {
+		pairs = append(pairs, p)
+	}
+	outcomes := make([]pairOutcome, len(pairs))
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + m.cfg.Workers - 1) / m.cfg.Workers
+	if chunk < 1 {
+		chunk = 1
+	}
+	for lo := 0; lo < len(pairs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				outcomes[i] = m.stepPair(pairs[i], row)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	// Aggregate Q^{a,b} → Q^a → Q.
+	sums := make(map[timeseries.MeasurementID]float64)
+	counts := make(map[timeseries.MeasurementID]int)
+	for _, o := range outcomes {
+		if !o.scored {
+			continue
+		}
+		report.ScoredPairs++
+		if report.Pairs != nil {
+			report.Pairs[o.pair] = o.fitness
+		}
+		if m.cfg.TrackPairMeans {
+			if m.pairAcc == nil {
+				m.pairAcc = make(map[Pair]*mathx.Online, len(m.models))
+			}
+			if m.pairAcc[o.pair] == nil {
+				m.pairAcc[o.pair] = &mathx.Online{}
+			}
+			m.pairAcc[o.pair].Add(o.fitness)
+		}
+		sums[o.pair.A] += o.fitness
+		counts[o.pair.A]++
+		sums[o.pair.B] += o.fitness
+		counts[o.pair.B]++
+		if m.cfg.ProbDelta > 0 && o.prob < m.cfg.ProbDelta {
+			m.publish(alarm.Alarm{
+				Time: row.Time, Severity: alarm.SeverityWarning, Scope: alarm.ScopePair,
+				Measurement: o.pair.A, Peer: o.pair.B,
+				Score: o.prob, Threshold: m.cfg.ProbDelta,
+				Message: "transition probability below delta",
+			})
+		}
+	}
+	var sysSum float64
+	var sysN int
+	for id, s := range sums {
+		q := s / float64(counts[id])
+		report.Measurements[id] = q
+		if m.acc[id] == nil {
+			m.acc[id] = &mathx.Online{}
+		}
+		m.acc[id].Add(q)
+		sysSum += q
+		sysN++
+		if m.cfg.MeasurementThreshold > 0 && q < m.cfg.MeasurementThreshold {
+			m.publish(alarm.Alarm{
+				Time: row.Time, Severity: alarm.SeverityWarning, Scope: alarm.ScopeMeasurement,
+				Measurement: id, Score: q, Threshold: m.cfg.MeasurementThreshold,
+				Message: "measurement fitness below threshold",
+			})
+		}
+	}
+	if sysN > 0 {
+		report.System = sysSum / float64(sysN)
+		m.sysAcc.Add(report.System)
+		m.steps++
+		if m.cfg.SystemThreshold > 0 && report.System < m.cfg.SystemThreshold {
+			m.publish(alarm.Alarm{
+				Time: row.Time, Severity: alarm.SeverityCritical, Scope: alarm.ScopeSystem,
+				Score: report.System, Threshold: m.cfg.SystemThreshold,
+				Message: "system fitness below threshold",
+			})
+		}
+	}
+	return report
+}
+
+// stepPair scores one link for the row. A missing or non-finite value on
+// either side is a monitoring gap: the link's chain resets unscored.
+func (m *Manager) stepPair(p Pair, row Row) pairOutcome {
+	model := m.models[p]
+	va, oka := row.Values[p.A]
+	vb, okb := row.Values[p.B]
+	if !oka || !okb || math.IsNaN(va) || math.IsNaN(vb) {
+		model.Reset()
+		return pairOutcome{pair: p}
+	}
+	res := model.Step(mathx.Point2{X: va, Y: vb})
+	return pairOutcome{pair: p, fitness: res.Fitness, prob: res.Prob, scored: res.Scored}
+}
+
+func (m *Manager) publish(a alarm.Alarm) {
+	if m.cfg.Sink != nil {
+		m.cfg.Sink.Publish(a)
+	}
+}
+
+// Run replays a dataset through Step row by row over [from, to) and
+// returns the per-step reports. The dataset's series must share the
+// sampling grid.
+func (m *Manager) Run(ds *timeseries.Dataset, from, to time.Time) ([]StepReport, error) {
+	ids := ds.IDs()
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("manager run: empty dataset")
+	}
+	step := ds.Get(ids[0]).Step
+	var reports []StepReport
+	for t := from; t.Before(to); t = t.Add(step) {
+		row := Row{Time: t, Values: make(map[timeseries.MeasurementID]float64, len(ids))}
+		for _, id := range ids {
+			s := ds.Get(id)
+			if i, ok := s.IndexOf(t); ok {
+				row.Values[id] = s.Values[i]
+			}
+		}
+		reports = append(reports, m.Step(row))
+	}
+	return reports, nil
+}
+
+// MeasurementMeans returns the running mean Q^a per measurement since the
+// last ResetAccumulators.
+func (m *Manager) MeasurementMeans() map[timeseries.MeasurementID]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[timeseries.MeasurementID]float64, len(m.acc))
+	for id, o := range m.acc {
+		out[id] = o.Mean()
+	}
+	return out
+}
+
+// SystemMean returns the running mean system fitness Q.
+func (m *Manager) SystemMean() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sysAcc.Mean()
+}
+
+// Steps returns how many rows produced a system score.
+func (m *Manager) Steps() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.steps
+}
+
+// ResetAccumulators clears the running means (e.g. between experiment
+// phases) without touching the models.
+func (m *Manager) ResetAccumulators() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.acc = make(map[timeseries.MeasurementID]*mathx.Online)
+	m.pairAcc = nil
+	m.sysAcc = mathx.Online{}
+	m.steps = 0
+}
+
+// PairScore is one link's accumulated mean fitness.
+type PairScore struct {
+	Pair  Pair
+	Score float64
+	// Samples is how many scored transitions contributed.
+	Samples int
+}
+
+// WorstPairs returns the k links with the lowest mean fitness since the
+// last ResetAccumulators — the paper's Q^{a,b} drill-down ("all the links
+// leading to a measurement have problems ⇒ that measurement is the
+// source"). It requires Config.TrackPairMeans; otherwise it returns nil.
+func (m *Manager) WorstPairs(k int) []PairScore {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.pairAcc == nil {
+		return nil
+	}
+	out := make([]PairScore, 0, len(m.pairAcc))
+	for p, o := range m.pairAcc {
+		out = append(out, PairScore{Pair: p, Score: o.Mean(), Samples: o.N()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score < out[j].Score
+		}
+		if out[i].Pair.A != out[j].Pair.A {
+			return out[i].Pair.A.Less(out[j].Pair.A)
+		}
+		return out[i].Pair.B.Less(out[j].Pair.B)
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// PairMeans returns the accumulated mean fitness per link since the last
+// ResetAccumulators (nil unless Config.TrackPairMeans).
+func (m *Manager) PairMeans() map[Pair]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.pairAcc == nil {
+		return nil
+	}
+	out := make(map[Pair]float64, len(m.pairAcc))
+	for p, o := range m.pairAcc {
+		out[p] = o.Mean()
+	}
+	return out
+}
+
+// WorstPairDrops ranks links by how far their current mean fitness fell
+// below a baseline captured earlier with PairMeans — the robust form of
+// the Q^{a,b} drill-down: links differ in intrinsic predictability, so a
+// drop against the link's own normal level localizes better than the
+// absolute score. PairScore.Score holds the drop (baseline − current),
+// descending. Links absent from the baseline are skipped.
+func (m *Manager) WorstPairDrops(baseline map[Pair]float64, k int) []PairScore {
+	current := m.PairMeans()
+	if current == nil || baseline == nil {
+		return nil
+	}
+	out := make([]PairScore, 0, len(current))
+	m.mu.Lock()
+	for p, cur := range current {
+		base, ok := baseline[p]
+		if !ok {
+			continue
+		}
+		n := 0
+		if acc := m.pairAcc[p]; acc != nil {
+			n = acc.N()
+		}
+		out = append(out, PairScore{Pair: p, Score: base - cur, Samples: n})
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Pair.A != out[j].Pair.A {
+			return out[i].Pair.A.Less(out[j].Pair.A)
+		}
+		return out[i].Pair.B.Less(out[j].Pair.B)
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// MachineScore is one machine's average fitness (the paper's Figure 14).
+type MachineScore struct {
+	Machine string
+	Score   float64
+	// Measurements is how many measurements contributed.
+	Measurements int
+}
+
+// Localization is the problem-localization report: machines ranked by
+// average fitness, worst first.
+type Localization struct {
+	Machines []MachineScore
+}
+
+// Suspect returns the machine with the lowest score (the localization
+// answer), or "" when no scores exist.
+func (l Localization) Suspect() string {
+	if len(l.Machines) == 0 {
+		return ""
+	}
+	return l.Machines[0].Machine
+}
+
+// Localize rolls the accumulated per-measurement means up to machines and
+// ranks them worst-first (the paper's drill-down from Q to the problem
+// source).
+func (m *Manager) Localize() Localization {
+	means := m.MeasurementMeans()
+	sums := make(map[string]float64)
+	counts := make(map[string]int)
+	for id, q := range means {
+		if math.IsNaN(q) {
+			continue
+		}
+		sums[id.Machine] += q
+		counts[id.Machine]++
+	}
+	var out Localization
+	for machine, s := range sums {
+		out.Machines = append(out.Machines, MachineScore{
+			Machine: machine, Score: s / float64(counts[machine]), Measurements: counts[machine],
+		})
+	}
+	sort.Slice(out.Machines, func(i, j int) bool {
+		if out.Machines[i].Score != out.Machines[j].Score {
+			return out.Machines[i].Score < out.Machines[j].Score
+		}
+		return out.Machines[i].Machine < out.Machines[j].Machine
+	})
+	return out
+}
+
+// SetAdaptive flips online updating on every model (offline vs adaptive
+// comparison runs).
+func (m *Manager) SetAdaptive(adaptive bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, model := range m.models {
+		model.SetAdaptive(adaptive)
+	}
+}
+
+// ResetChains clears every model's Markov position (e.g. when switching
+// between disjoint data windows).
+func (m *Manager) ResetChains() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, model := range m.models {
+		model.Reset()
+	}
+}

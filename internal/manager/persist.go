@@ -1,0 +1,144 @@
+package manager
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mcorr/internal/alarm"
+	"mcorr/internal/core"
+	"mcorr/internal/mathx"
+	"mcorr/internal/timeseries"
+)
+
+// managerSnapshot is the gob wire form of a Manager. The alarm sink is a
+// live object and is not serialized; LoadManager re-attaches one. Running
+// accumulators are persisted so localization state survives a restart.
+type managerSnapshot struct {
+	Version int
+	Config  persistedConfig
+	IDs     []timeseries.MeasurementID
+	Pairs   []Pair
+	Models  [][]byte
+	Acc     []accEntry
+	SysAcc  [3]float64 // n, mean, m2
+	Steps   int
+}
+
+// persistedConfig is Config minus the non-serializable sink. Per-pair
+// running means (TrackPairMeans) are not persisted; they rebuild from the
+// stream after a restore.
+type persistedConfig struct {
+	Model                core.Config
+	Workers              int
+	MeasurementThreshold float64
+	SystemThreshold      float64
+	ProbDelta            float64
+	KeepPairScores       bool
+	TrackPairMeans       bool
+}
+
+type accEntry struct {
+	ID    timeseries.MeasurementID
+	State [3]float64 // n, mean, m2
+}
+
+const managerSnapshotVersion = 1
+
+// Save serializes the manager and all its trained pair models.
+func (m *Manager) Save(w io.Writer) error {
+	m.mu.Lock()
+	snap := managerSnapshot{
+		Version: managerSnapshotVersion,
+		Config: persistedConfig{
+			Model:                m.cfg.Model,
+			Workers:              m.cfg.Workers,
+			MeasurementThreshold: m.cfg.MeasurementThreshold,
+			SystemThreshold:      m.cfg.SystemThreshold,
+			ProbDelta:            m.cfg.ProbDelta,
+			KeepPairScores:       m.cfg.KeepPairScores,
+			TrackPairMeans:       m.cfg.TrackPairMeans,
+		},
+		IDs:   append([]timeseries.MeasurementID(nil), m.ids...),
+		Steps: m.steps,
+	}
+	n, mean, m2 := m.sysAcc.State()
+	snap.SysAcc = [3]float64{float64(n), mean, m2}
+	for id, acc := range m.acc {
+		an, amean, am2 := acc.State()
+		snap.Acc = append(snap.Acc, accEntry{ID: id, State: [3]float64{float64(an), amean, am2}})
+	}
+	models := make(map[Pair]*core.Model, len(m.models))
+	for p, model := range m.models {
+		models[p] = model
+	}
+	m.mu.Unlock()
+
+	// Serialize models outside the manager lock (each model locks
+	// itself).
+	for p, model := range models {
+		var buf bytes.Buffer
+		if err := model.Save(&buf); err != nil {
+			return fmt.Errorf("manager save %s: %w", p, err)
+		}
+		snap.Pairs = append(snap.Pairs, p)
+		snap.Models = append(snap.Models, buf.Bytes())
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("manager save: %w", err)
+	}
+	return nil
+}
+
+// restoreAccumulators rebuilds the per-measurement running means.
+func restoreAccumulators(entries []accEntry) map[timeseries.MeasurementID]*mathx.Online {
+	out := make(map[timeseries.MeasurementID]*mathx.Online, len(entries))
+	for _, e := range entries {
+		var o mathx.Online
+		o.Restore(int(e.State[0]), e.State[1], e.State[2])
+		out[e.ID] = &o
+	}
+	return out
+}
+
+// LoadManager restores a manager saved by Save, attaching the given alarm
+// sink (nil discards alarms).
+func LoadManager(r io.Reader, sink alarm.Sink) (*Manager, error) {
+	var snap managerSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("manager load: %w", err)
+	}
+	if snap.Version != managerSnapshotVersion {
+		return nil, fmt.Errorf("manager load: snapshot version %d, want %d", snap.Version, managerSnapshotVersion)
+	}
+	if len(snap.Pairs) != len(snap.Models) {
+		return nil, fmt.Errorf("manager load: %d pairs but %d models", len(snap.Pairs), len(snap.Models))
+	}
+	cfg := Config{
+		Model:                snap.Config.Model,
+		Workers:              snap.Config.Workers,
+		MeasurementThreshold: snap.Config.MeasurementThreshold,
+		SystemThreshold:      snap.Config.SystemThreshold,
+		ProbDelta:            snap.Config.ProbDelta,
+		KeepPairScores:       snap.Config.KeepPairScores,
+		TrackPairMeans:       snap.Config.TrackPairMeans,
+		Sink:                 sink,
+	}.withDefaults()
+	m := &Manager{
+		cfg:    cfg,
+		ids:    snap.IDs,
+		models: make(map[Pair]*core.Model, len(snap.Pairs)),
+		steps:  snap.Steps,
+	}
+	for i, p := range snap.Pairs {
+		model, err := core.LoadModel(bytes.NewReader(snap.Models[i]))
+		if err != nil {
+			return nil, fmt.Errorf("manager load %s: %w", p, err)
+		}
+		m.models[p] = model
+	}
+	m.acc = restoreAccumulators(snap.Acc)
+	m.sysAcc.Restore(int(snap.SysAcc[0]), snap.SysAcc[1], snap.SysAcc[2])
+	return m, nil
+}

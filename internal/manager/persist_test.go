@@ -1,0 +1,109 @@
+package manager
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"mcorr/internal/alarm"
+	"mcorr/internal/simulator"
+	"mcorr/internal/timeseries"
+)
+
+// smallManager trains a manager over a 10-measurement subset (45 pair
+// models) — enough structure for persistence tests at a fraction of the
+// serialization volume.
+func smallManager(t *testing.T, cfg Config) (*Manager, *timeseries.Dataset) {
+	t.Helper()
+	ds, _, err := simulator.Generate(simulator.GroupConfig{
+		Name: "P", Machines: 3, Days: 2, Seed: 19,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	sub := timeseries.NewDataset()
+	for _, id := range ds.IDs()[:10] {
+		sub.Add(ds.Get(id))
+	}
+	trainEnd := timeseries.MonitoringStart.AddDate(0, 0, 1)
+	mgr, err2 := New(sub.Slice(timeseries.MonitoringStart, trainEnd), cfg)
+	if err2 != nil {
+		t.Fatalf("New: %v", err2)
+	}
+	return mgr, sub
+}
+
+func TestManagerSaveLoadRoundTrip(t *testing.T) {
+	mgr, ds := smallManager(t, Config{MeasurementThreshold: 0.5})
+	from := timeseries.MonitoringStart.AddDate(0, 0, 1)
+	if _, err := mgr.Run(ds, from, from.Add(20*timeseries.SampleStep)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := mgr.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	sink := &alarm.MemorySink{}
+	r, err := LoadManager(&buf, sink)
+	if err != nil {
+		t.Fatalf("LoadManager: %v", err)
+	}
+	if len(r.Pairs()) != len(mgr.Pairs()) {
+		t.Fatalf("pairs %d != %d", len(r.Pairs()), len(mgr.Pairs()))
+	}
+	if len(r.IDs()) != len(mgr.IDs()) {
+		t.Fatalf("ids %d != %d", len(r.IDs()), len(mgr.IDs()))
+	}
+	// Accumulated state survives.
+	if r.Steps() != mgr.Steps() {
+		t.Errorf("steps %d != %d", r.Steps(), mgr.Steps())
+	}
+	if math.Abs(r.SystemMean()-mgr.SystemMean()) > 1e-12 {
+		t.Errorf("system mean %g != %g", r.SystemMean(), mgr.SystemMean())
+	}
+	am, bm := mgr.MeasurementMeans(), r.MeasurementMeans()
+	for id, v := range am {
+		if math.Abs(bm[id]-v) > 1e-12 {
+			t.Errorf("measurement mean for %s differs", id)
+		}
+	}
+	// The restored manager keeps scoring identically.
+	next := from.Add(20 * timeseries.SampleStep)
+	rowA := Row{Time: next, Values: rowValues(ds, next)}
+	repA := mgr.Step(rowA)
+	repB := r.Step(rowA)
+	if math.Abs(repA.System-repB.System) > 1e-12 || repA.ScoredPairs != repB.ScoredPairs {
+		t.Errorf("post-restore step diverged: %+v vs %+v", repA.System, repB.System)
+	}
+	// Localization works on restored accumulators.
+	if r.Localize().Suspect() == "" {
+		t.Error("restored localization empty")
+	}
+}
+
+func TestManagerLoadAttachesSink(t *testing.T) {
+	mgr, ds := smallManager(t, Config{MeasurementThreshold: 0.99, SystemThreshold: 0.99})
+	var buf bytes.Buffer
+	if err := mgr.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	sink := &alarm.MemorySink{}
+	r, err := LoadManager(&buf, sink)
+	if err != nil {
+		t.Fatalf("LoadManager: %v", err)
+	}
+	from := timeseries.MonitoringStart.AddDate(0, 0, 1)
+	if _, err := r.Run(ds, from, from.Add(10*timeseries.SampleStep)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// With a 0.99 threshold something must fire, proving the sink is live.
+	if sink.Len() == 0 {
+		t.Error("restored manager should publish to the attached sink")
+	}
+}
+
+func TestLoadManagerRejectsGarbage(t *testing.T) {
+	if _, err := LoadManager(bytes.NewBufferString("nope"), nil); err == nil {
+		t.Error("garbage: want error")
+	}
+}

@@ -1,0 +1,136 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sampleBlob draws n points from a Gaussian blob.
+func sampleBlob(rng *rand.Rand, n int, mx, my, sx, sy float64) []Point2 {
+	pts := make([]Point2, n)
+	for i := range pts {
+		pts[i] = Point2{X: mx + rng.NormFloat64()*sx, Y: my + rng.NormFloat64()*sy}
+	}
+	return pts
+}
+
+func TestGaussian2LogPDF(t *testing.T) {
+	g := Gaussian2{Mean: Point2{0, 0}, Cov: Sym2{XX: 1, YY: 1}}
+	// Standard bivariate normal at the origin: log(1/(2π)).
+	got := g.LogPDF(Point2{0, 0})
+	want := -math.Log(2 * math.Pi)
+	if !AlmostEqual(got, want, 1e-12) {
+		t.Errorf("LogPDF(0,0) = %g, want %g", got, want)
+	}
+	// Farther points are less likely.
+	if g.LogPDF(Point2{3, 3}) >= got {
+		t.Error("LogPDF should decrease away from the mean")
+	}
+	// Singular covariance: -Inf, not a panic.
+	bad := Gaussian2{Cov: Sym2{}}
+	if !math.IsInf(bad.LogPDF(Point2{1, 1}), -1) {
+		t.Error("singular covariance should give -Inf")
+	}
+	if !math.IsInf(bad.Mahalanobis(Point2{1, 1}), 1) {
+		t.Error("singular covariance Mahalanobis should be +Inf")
+	}
+}
+
+func TestFitGMM2TwoBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := append(sampleBlob(rng, 400, 0, 0, 1, 1), sampleBlob(rng, 400, 10, 10, 1, 1)...)
+	m, err := FitGMM2(pts, GMMConfig{Components: 2, Seed: 4})
+	if err != nil {
+		t.Fatalf("FitGMM2: %v", err)
+	}
+	// The two means should land near (0,0) and (10,10), in some order.
+	c0, c1 := m.Components[0].Mean, m.Components[1].Mean
+	if c0.X > c1.X {
+		c0, c1 = c1, c0
+	}
+	if math.Abs(c0.X) > 0.5 || math.Abs(c0.Y) > 0.5 {
+		t.Errorf("component near origin = %+v", c0)
+	}
+	if math.Abs(c1.X-10) > 0.5 || math.Abs(c1.Y-10) > 0.5 {
+		t.Errorf("component near (10,10) = %+v", c1)
+	}
+	// Weights split roughly evenly.
+	if math.Abs(m.Weights[0]-0.5) > 0.1 {
+		t.Errorf("weights = %v", m.Weights)
+	}
+	// Density at a cluster center far exceeds density between clusters.
+	if m.LogPDF(Point2{0, 0}) <= m.LogPDF(Point2{5, 5}) {
+		t.Error("LogPDF should peak at cluster centers")
+	}
+	// Mahalanobis gating: points at a center are inside, midpoints outside.
+	if m.MinMahalanobis(Point2{0, 0}) > 1 {
+		t.Error("center should have small Mahalanobis distance")
+	}
+	if m.MinMahalanobis(Point2{5, 5}) < 9 {
+		t.Errorf("midpoint Mahalanobis = %g, want ≫ chi2 gate", m.MinMahalanobis(Point2{5, 5}))
+	}
+}
+
+func TestFitGMM2SingleComponentMatchesMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := sampleBlob(rng, 2000, 3, -2, 2, 0.5)
+	m, err := FitGMM2(pts, GMMConfig{Components: 1})
+	if err != nil {
+		t.Fatalf("FitGMM2: %v", err)
+	}
+	c := m.Components[0]
+	if math.Abs(c.Mean.X-3) > 0.2 || math.Abs(c.Mean.Y+2) > 0.1 {
+		t.Errorf("mean = %+v", c.Mean)
+	}
+	if math.Abs(c.Cov.XX-4) > 0.5 || math.Abs(c.Cov.YY-0.25) > 0.06 {
+		t.Errorf("cov = %+v", c.Cov)
+	}
+	if !AlmostEqual(m.Weights[0], 1, 1e-9) {
+		t.Errorf("weight = %v", m.Weights)
+	}
+}
+
+func TestFitGMM2Errors(t *testing.T) {
+	if _, err := FitGMM2(nil, GMMConfig{Components: 0}); err == nil {
+		t.Error("0 components: want error")
+	}
+	if _, err := FitGMM2(make([]Point2, 3), GMMConfig{Components: 2}); err == nil {
+		t.Error("too few points: want error")
+	}
+}
+
+func TestFitGMM2Deterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pts := append(sampleBlob(rng, 200, 0, 0, 1, 1), sampleBlob(rng, 200, 6, 0, 1, 1)...)
+	a, err := FitGMM2(pts, GMMConfig{Components: 2, Seed: 77})
+	if err != nil {
+		t.Fatalf("FitGMM2: %v", err)
+	}
+	b, err := FitGMM2(pts, GMMConfig{Components: 2, Seed: 77})
+	if err != nil {
+		t.Fatalf("FitGMM2: %v", err)
+	}
+	for i := range a.Components {
+		if a.Components[i].Mean != b.Components[i].Mean {
+			t.Error("same seed should give identical fits")
+		}
+	}
+}
+
+func TestFitGMM2DegenerateCoincidentPoints(t *testing.T) {
+	// All points identical: the variance floor must keep EM finite.
+	pts := make([]Point2, 20)
+	for i := range pts {
+		pts[i] = Point2{X: 1, Y: 1}
+	}
+	m, err := FitGMM2(pts, GMMConfig{Components: 2, Seed: 1})
+	if err != nil {
+		t.Fatalf("FitGMM2 on coincident points: %v", err)
+	}
+	for _, c := range m.Components {
+		if math.IsNaN(c.Mean.X) || math.IsNaN(c.Cov.XX) {
+			t.Error("NaN in fitted component")
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram counts samples over equal-width bins spanning [Lo, Hi).
+// Samples outside the range are tallied in Under/Over.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int
+	Over   int
+	total  int
+}
+
+// NewHistogram returns a histogram with n equal-width bins over [lo, hi).
+// It returns an error if n < 1 or hi <= lo.
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("histogram with %d bins", n)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("histogram range [%g, %g)", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}, nil
+}
+
+// Add tallies x into its bin.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case math.IsNaN(x), x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i >= len(h.Counts) { // guard against float rounding at the edge
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of samples added, including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// BinWidth returns the width of one bin.
+func (h *Histogram) BinWidth() float64 { return (h.Hi - h.Lo) / float64(len(h.Counts)) }
+
+// BinLo returns the inclusive lower edge of bin i.
+func (h *Histogram) BinLo(i int) float64 { return h.Lo + float64(i)*h.BinWidth() }
+
+// Fractions returns each bin's share of the in-range samples; all zeros when
+// no in-range samples were added.
+func (h *Histogram) Fractions() []float64 {
+	in := h.total - h.Under - h.Over
+	out := make([]float64, len(h.Counts))
+	if in == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(in)
+	}
+	return out
+}
+
+// Mode returns the index of the fullest bin (lowest index on ties).
+func (h *Histogram) Mode() int {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return best
+}

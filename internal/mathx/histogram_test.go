@@ -1,0 +1,100 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("0 bins: want error")
+	}
+	if _, err := NewHistogram(1, 1, 4); err == nil {
+		t.Error("empty range: want error")
+	}
+	if _, err := NewHistogram(2, 1, 4); err == nil {
+		t.Error("inverted range: want error")
+	}
+}
+
+func TestHistogramAdd(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
+	for _, x := range []float64{0, 1.9, 2, 9.99, 10, -0.1, math.NaN()} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Under != 2 { // -0.1 and NaN
+		t.Errorf("Under = %d", h.Under)
+	}
+	if h.Over != 1 { // 10 is exclusive
+		t.Errorf("Over = %d", h.Over)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[4] != 1 {
+		t.Errorf("Counts = %v", h.Counts)
+	}
+	if h.BinWidth() != 2 {
+		t.Errorf("BinWidth = %g", h.BinWidth())
+	}
+	if h.BinLo(2) != 4 {
+		t.Errorf("BinLo(2) = %g", h.BinLo(2))
+	}
+	if h.Mode() != 0 {
+		t.Errorf("Mode = %d", h.Mode())
+	}
+}
+
+func TestHistogramFractions(t *testing.T) {
+	h, _ := NewHistogram(0, 4, 2)
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	h.Add(-5) // out of range, excluded from fractions
+	f := h.Fractions()
+	if !AlmostEqual(f[0], 2.0/3, 1e-12) || !AlmostEqual(f[1], 1.0/3, 1e-12) {
+		t.Errorf("Fractions = %v", f)
+	}
+	empty, _ := NewHistogram(0, 1, 3)
+	for _, x := range empty.Fractions() {
+		if x != 0 {
+			t.Error("empty histogram fractions should be zero")
+		}
+	}
+}
+
+// Property: every finite sample lands in exactly one tally
+// (a bin, Under, or Over), so tallies always sum to Total.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		h, err := NewHistogram(-5, 5, 7)
+		if err != nil {
+			return false
+		}
+		for _, x := range raw {
+			h.Add(x)
+		}
+		n := h.Under + h.Over
+		for _, c := range h.Counts {
+			n += c
+		}
+		return n == h.Total() && h.Total() == len(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramEdgeRounding(t *testing.T) {
+	// A value just below Hi must land in the last bin even if float
+	// arithmetic rounds the bin index up.
+	h, _ := NewHistogram(0, 0.3, 3)
+	h.Add(math.Nextafter(0.3, 0))
+	if h.Counts[2] != 1 || h.Over != 0 {
+		t.Errorf("edge sample: Counts=%v Over=%d", h.Counts, h.Over)
+	}
+}

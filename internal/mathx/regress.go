@@ -1,0 +1,134 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearFit is the result of a simple (one-regressor) least-squares fit
+// y ≈ Slope·x + Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	// R2 is the coefficient of determination of the fit on the training
+	// data; 1 means a perfect linear relationship.
+	R2 float64
+	// ResidualStd is the sample standard deviation of the residuals.
+	ResidualStd float64
+	N           int
+}
+
+// FitLinear fits y ≈ a·x + b by ordinary least squares.
+// It returns an error if the slices differ in length or fewer than two
+// samples are given. A constant x yields a slope of zero and intercept
+// mean(y).
+func FitLinear(x, y []float64) (LinearFit, error) {
+	if len(x) != len(y) {
+		return LinearFit{}, fmt.Errorf("linear fit of %d and %d samples: %w", len(x), len(y), ErrDimensionMismatch)
+	}
+	n := len(x)
+	if n < 2 {
+		return LinearFit{}, fmt.Errorf("linear fit needs at least 2 samples, got %d", n)
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy float64
+	for i := range x {
+		dx := x[i] - mx
+		sxx += dx * dx
+		sxy += dx * (y[i] - my)
+	}
+	fit := LinearFit{N: n}
+	if sxx == 0 {
+		fit.Intercept = my
+	} else {
+		fit.Slope = sxy / sxx
+		fit.Intercept = my - fit.Slope*mx
+	}
+	// Residuals and R².
+	var sse, sst float64
+	var res Online
+	for i := range x {
+		r := y[i] - fit.Predict(x[i])
+		res.Add(r)
+		sse += r * r
+		dy := y[i] - my
+		sst += dy * dy
+	}
+	if sst > 0 {
+		fit.R2 = 1 - sse/sst
+	} else {
+		fit.R2 = 1 // constant y fitted exactly by the intercept
+	}
+	fit.ResidualStd = res.StdDev()
+	if math.IsNaN(fit.ResidualStd) {
+		fit.ResidualStd = 0
+	}
+	return fit, nil
+}
+
+// Predict returns the fitted value at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Slope*x + f.Intercept }
+
+// Residual returns y minus the fitted value at x.
+func (f LinearFit) Residual(x, y float64) float64 { return y - f.Predict(x) }
+
+// FitOLS fits y ≈ X·beta by ordinary least squares via the normal
+// equations, where X has one row per observation. A column of ones must be
+// included by the caller if an intercept is wanted. It returns ErrSingular
+// for rank-deficient designs.
+func FitOLS(x *Matrix, y []float64) ([]float64, error) {
+	if x.Rows() != len(y) {
+		return nil, fmt.Errorf("ols with %d rows and %d targets: %w", x.Rows(), len(y), ErrDimensionMismatch)
+	}
+	xt := x.Transpose()
+	xtx, err := xt.Mul(x)
+	if err != nil {
+		return nil, fmt.Errorf("ols normal equations: %w", err)
+	}
+	xty, err := xt.MulVec(y)
+	if err != nil {
+		return nil, fmt.Errorf("ols normal equations: %w", err)
+	}
+	beta, err := SolveLinear(xtx, xty)
+	if err != nil {
+		return nil, fmt.Errorf("ols solve: %w", err)
+	}
+	return beta, nil
+}
+
+// FitARX fits the two-input autoregressive model used by the
+// linear-invariant baseline (Jiang et al.):
+//
+//	y_t ≈ a1·y_{t-1} + b0·x_t + b1·x_{t-1} + c
+//
+// It returns the coefficients [a1, b0, b1, c]. At least five aligned samples
+// are required.
+func FitARX(x, y []float64) ([]float64, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("arx fit of %d and %d samples: %w", len(x), len(y), ErrDimensionMismatch)
+	}
+	if len(x) < 5 {
+		return nil, fmt.Errorf("arx fit needs at least 5 samples, got %d", len(x))
+	}
+	n := len(x) - 1
+	design, err := NewMatrix(n, 4)
+	if err != nil {
+		return nil, err
+	}
+	target := make([]float64, n)
+	for t := 1; t < len(x); t++ {
+		r := design.Row(t - 1)
+		r[0] = y[t-1]
+		r[1] = x[t]
+		r[2] = x[t-1]
+		r[3] = 1
+		target[t-1] = y[t]
+	}
+	return FitOLS(design, target)
+}
+
+// PredictARX returns the one-step ARX prediction for time t (t ≥ 1) given
+// the coefficient vector from FitARX.
+func PredictARX(coef []float64, xt, xtm1, ytm1 float64) float64 {
+	return coef[0]*ytm1 + coef[1]*xt + coef[2]*xtm1 + coef[3]
+}

@@ -1,0 +1,154 @@
+package simulator
+
+import (
+	"fmt"
+	"time"
+)
+
+// FaultKind classifies an injected problem. Every kind breaks the joint
+// behaviour of the affected measurement with its correlated peers — the
+// paper's observation that a problem shows up as broken correlations even
+// when each metric alone looks plausible.
+type FaultKind int
+
+const (
+	// FaultDecoupledSpike drives the metric from an independent phantom
+	// workload: its values stay in a plausible range but no longer track
+	// the machine's real load.
+	FaultDecoupledSpike FaultKind = iota + 1
+	// FaultStuckValue freezes the metric at its value when the fault
+	// began (a wedged collector or crashed daemon).
+	FaultStuckValue
+	// FaultLevelShift multiplies the metric by (1 + Magnitude): a sudden
+	// regime the model has never seen.
+	FaultLevelShift
+	// FaultCorrelationBreak mirrors the machine load around its recent
+	// mean before applying the transfer, turning a positive correlation
+	// negative while preserving the marginal distribution.
+	FaultCorrelationBreak
+	// FaultFlapping alternates the effective load between a low and a
+	// high multiple of its true value on every sample. Each individual
+	// point stays on the normal correlation manifold — static detectors
+	// (regression residuals, mixture ellipses) see nothing — but the
+	// sample-to-sample *transitions* become wildly improbable, which is
+	// exactly the temporal signal the paper's model captures.
+	FaultFlapping
+)
+
+// String returns the fault kind's name.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDecoupledSpike:
+		return "decoupled-spike"
+	case FaultStuckValue:
+		return "stuck-value"
+	case FaultLevelShift:
+		return "level-shift"
+	case FaultCorrelationBreak:
+		return "correlation-break"
+	case FaultFlapping:
+		return "flapping"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault is one injected ground-truth problem.
+type Fault struct {
+	// ID labels the fault in reports.
+	ID string
+	// Machine is the affected machine name.
+	Machine string
+	// Metric restricts the fault to one metric; empty affects every
+	// metric on the machine.
+	Metric string
+	Kind   FaultKind
+	Start  time.Time
+	End    time.Time
+	// Magnitude scales the perturbation (kind-specific; 0 selects 1).
+	Magnitude float64
+}
+
+// ActiveAt reports whether the fault is in effect at time t.
+func (f Fault) ActiveAt(t time.Time) bool {
+	return !t.Before(f.Start) && t.Before(f.End)
+}
+
+// Matches reports whether the fault applies to the given measurement.
+func (f Fault) Matches(machine, metric string) bool {
+	return f.Machine == machine && (f.Metric == "" || f.Metric == metric)
+}
+
+// Validate checks the fault for usable fields.
+func (f Fault) Validate() error {
+	if f.Machine == "" {
+		return fmt.Errorf("fault %q: no machine", f.ID)
+	}
+	if !f.End.After(f.Start) {
+		return fmt.Errorf("fault %q: empty window [%v, %v)", f.ID, f.Start, f.End)
+	}
+	switch f.Kind {
+	case FaultDecoupledSpike, FaultStuckValue, FaultLevelShift, FaultCorrelationBreak, FaultFlapping:
+		return nil
+	default:
+		return fmt.Errorf("fault %q: unknown kind %d", f.ID, int(f.Kind))
+	}
+}
+
+// GroundTruth records every injected fault, for evaluating detection and
+// localization against what actually happened.
+type GroundTruth struct {
+	Faults []Fault
+}
+
+// AnyActiveAt reports whether any fault is in effect at t.
+func (gt *GroundTruth) AnyActiveAt(t time.Time) bool {
+	for _, f := range gt.Faults {
+		if f.ActiveAt(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// ActiveAt returns the faults affecting the given measurement at t.
+func (gt *GroundTruth) ActiveAt(t time.Time, machine, metric string) []Fault {
+	var out []Fault
+	for _, f := range gt.Faults {
+		if f.ActiveAt(t) && f.Matches(machine, metric) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// FaultyMachines returns the distinct machines with at least one fault.
+func (gt *GroundTruth) FaultyMachines() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range gt.Faults {
+		if !seen[f.Machine] {
+			seen[f.Machine] = true
+			out = append(out, f.Machine)
+		}
+	}
+	return out
+}
+
+// MorningFault builds a fault spanning [09:00, 11:00) of day — the paper's
+// Group A problem window shape.
+func MorningFault(id, machine, metric string, kind FaultKind, day time.Time, magnitude float64) Fault {
+	return Fault{
+		ID: id, Machine: machine, Metric: metric, Kind: kind,
+		Start: day.Add(9 * time.Hour), End: day.Add(11 * time.Hour), Magnitude: magnitude,
+	}
+}
+
+// AfternoonFault builds a fault spanning [14:00, 16:00) of day — the
+// paper's Group B/C problem window shape.
+func AfternoonFault(id, machine, metric string, kind FaultKind, day time.Time, magnitude float64) Fault {
+	return Fault{
+		ID: id, Machine: machine, Metric: metric, Kind: kind,
+		Start: day.Add(14 * time.Hour), End: day.Add(16 * time.Hour), Magnitude: magnitude,
+	}
+}

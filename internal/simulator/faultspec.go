@@ -1,0 +1,120 @@
+package simulator
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// MarshalJSON renders the kind as its name, keeping ground-truth files
+// human-readable.
+func (k FaultKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON accepts either the kind name or the legacy integer form.
+func (k *FaultKind) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err == nil {
+		kind, err := ParseFaultKind(name)
+		if err != nil {
+			return err
+		}
+		*k = kind
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("fault kind %s: want a name or integer", data)
+	}
+	*k = FaultKind(n)
+	return nil
+}
+
+// LoadGroundTruth reads a ground-truth JSON file written by cmd/mcgen.
+func LoadGroundTruth(r io.Reader) (*GroundTruth, error) {
+	var gt GroundTruth
+	if err := json.NewDecoder(r).Decode(&gt); err != nil {
+		return nil, fmt.Errorf("load ground truth: %w", err)
+	}
+	for _, f := range gt.Faults {
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("load ground truth: %w", err)
+		}
+	}
+	return &gt, nil
+}
+
+// ParseFaultKind parses a fault-kind name as printed by FaultKind.String.
+func ParseFaultKind(s string) (FaultKind, error) {
+	switch s {
+	case "decoupled-spike":
+		return FaultDecoupledSpike, nil
+	case "stuck-value":
+		return FaultStuckValue, nil
+	case "level-shift":
+		return FaultLevelShift, nil
+	case "correlation-break":
+		return FaultCorrelationBreak, nil
+	case "flapping":
+		return FaultFlapping, nil
+	default:
+		return 0, fmt.Errorf("unknown fault kind %q (want one of decoupled-spike, stuck-value, level-shift, correlation-break, flapping)", s)
+	}
+}
+
+// FaultKinds lists every kind, for CLIs and sweeps.
+func FaultKinds() []FaultKind {
+	return []FaultKind{
+		FaultDecoupledSpike, FaultStuckValue, FaultLevelShift,
+		FaultCorrelationBreak, FaultFlapping,
+	}
+}
+
+// ParseFault parses the CLI fault spec
+//
+//	kind@machine[/metric]@start@end[@magnitude]
+//
+// with RFC3339 timestamps, e.g.
+//
+//	flapping@A-srv-01@2008-06-13T09:00:00Z@2008-06-13T11:00:00Z@0.7
+func ParseFault(id, spec string) (Fault, error) {
+	parts := strings.Split(spec, "@")
+	if len(parts) != 4 && len(parts) != 5 {
+		return Fault{}, fmt.Errorf("fault %q: want kind@machine[/metric]@start@end[@magnitude]", spec)
+	}
+	kind, err := ParseFaultKind(parts[0])
+	if err != nil {
+		return Fault{}, fmt.Errorf("fault %q: %w", spec, err)
+	}
+	machine, metric := parts[1], ""
+	if i := strings.IndexByte(machine, '/'); i >= 0 {
+		machine, metric = machine[:i], machine[i+1:]
+	}
+	start, err := time.Parse(time.RFC3339, parts[2])
+	if err != nil {
+		return Fault{}, fmt.Errorf("fault %q: start: %w", spec, err)
+	}
+	end, err := time.Parse(time.RFC3339, parts[3])
+	if err != nil {
+		return Fault{}, fmt.Errorf("fault %q: end: %w", spec, err)
+	}
+	mag := 1.0
+	if len(parts) == 5 {
+		mag, err = strconv.ParseFloat(parts[4], 64)
+		if err != nil {
+			return Fault{}, fmt.Errorf("fault %q: magnitude: %w", spec, err)
+		}
+	}
+	f := Fault{
+		ID: id, Machine: machine, Metric: metric,
+		Kind: kind, Start: start, End: end, Magnitude: mag,
+	}
+	if err := f.Validate(); err != nil {
+		return Fault{}, err
+	}
+	return f, nil
+}

@@ -1,0 +1,114 @@
+package simulator
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFaultKind(t *testing.T) {
+	for _, k := range FaultKinds() {
+		got, err := ParseFaultKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseFaultKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseFaultKind("nope"); err == nil {
+		t.Error("unknown kind: want error")
+	}
+}
+
+func TestFaultKindsComplete(t *testing.T) {
+	if len(FaultKinds()) != 5 {
+		t.Errorf("FaultKinds = %d", len(FaultKinds()))
+	}
+}
+
+func TestParseFault(t *testing.T) {
+	f, err := ParseFault("f1", "flapping@A-srv-01@2008-06-13T09:00:00Z@2008-06-13T11:00:00Z@0.7")
+	if err != nil {
+		t.Fatalf("ParseFault: %v", err)
+	}
+	if f.ID != "f1" || f.Kind != FaultFlapping || f.Machine != "A-srv-01" || f.Metric != "" {
+		t.Errorf("fault = %+v", f)
+	}
+	if f.Magnitude != 0.7 {
+		t.Errorf("magnitude = %g", f.Magnitude)
+	}
+	if !f.Start.Equal(time.Date(2008, 6, 13, 9, 0, 0, 0, time.UTC)) {
+		t.Errorf("start = %v", f.Start)
+	}
+}
+
+func TestParseFaultWithMetric(t *testing.T) {
+	f, err := ParseFault("f2", "stuck-value@m1/cpuUtil@2008-06-13T09:00:00Z@2008-06-13T10:00:00Z")
+	if err != nil {
+		t.Fatalf("ParseFault: %v", err)
+	}
+	if f.Machine != "m1" || f.Metric != "cpuUtil" || f.Magnitude != 1 {
+		t.Errorf("fault = %+v", f)
+	}
+}
+
+func TestParseFaultErrors(t *testing.T) {
+	cases := []string{
+		"flapping@m1", // too few parts
+		"bogus@m1@2008-06-13T09:00:00Z@2008-06-13T10:00:00Z",      // bad kind
+		"flapping@m1@notatime@2008-06-13T10:00:00Z",               // bad start
+		"flapping@m1@2008-06-13T09:00:00Z@never",                  // bad end
+		"flapping@m1@2008-06-13T09:00:00Z@2008-06-13T10:00:00Z@x", // bad magnitude
+		"flapping@m1@2008-06-13T10:00:00Z@2008-06-13T09:00:00Z",   // empty window
+		"flapping@@2008-06-13T09:00:00Z@2008-06-13T10:00:00Z",     // no machine
+		"flapping@m@a@b@c@d",                                      // too many parts
+	}
+	for _, spec := range cases {
+		if _, err := ParseFault("x", spec); err == nil {
+			t.Errorf("spec %q: want error", spec)
+		}
+	}
+}
+
+func TestGroundTruthJSONRoundTrip(t *testing.T) {
+	day := time.Date(2008, 6, 13, 0, 0, 0, 0, time.UTC)
+	gt := &GroundTruth{Faults: []Fault{
+		MorningFault("m", "srv-1", "cpuUtil", FaultStuckValue, day, 1),
+		AfternoonFault("a", "srv-2", "", FaultFlapping, day, 0.7),
+	}}
+	data, err := json.Marshal(gt)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if !strings.Contains(string(data), `"stuck-value"`) {
+		t.Errorf("kind should serialize by name: %s", data)
+	}
+	got, err := LoadGroundTruth(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("LoadGroundTruth: %v", err)
+	}
+	if len(got.Faults) != 2 || got.Faults[0].Kind != FaultStuckValue || got.Faults[1].Kind != FaultFlapping {
+		t.Errorf("round trip = %+v", got.Faults)
+	}
+	if !got.Faults[0].Start.Equal(gt.Faults[0].Start) {
+		t.Error("times should round trip")
+	}
+}
+
+func TestLoadGroundTruthErrors(t *testing.T) {
+	if _, err := LoadGroundTruth(strings.NewReader("not json")); err == nil {
+		t.Error("garbage: want error")
+	}
+	bad := `{"Faults":[{"ID":"x","Machine":"","Kind":"flapping","Start":"2008-06-13T09:00:00Z","End":"2008-06-13T10:00:00Z"}]}`
+	if _, err := LoadGroundTruth(strings.NewReader(bad)); err == nil {
+		t.Error("invalid fault: want error")
+	}
+	legacy := `{"Faults":[{"ID":"x","Machine":"m","Kind":2,"Start":"2008-06-13T09:00:00Z","End":"2008-06-13T10:00:00Z"}]}`
+	got, err := LoadGroundTruth(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy integer kind: %v", err)
+	}
+	if got.Faults[0].Kind != FaultStuckValue {
+		t.Errorf("legacy kind = %v", got.Faults[0].Kind)
+	}
+}

@@ -1,0 +1,254 @@
+package simulator
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mcorr/internal/timeseries"
+)
+
+// GroupConfig describes one simulated infrastructure group (the paper's
+// company A, B or C).
+type GroupConfig struct {
+	// Name labels the group and machines ("A" → machines A-srv-00 ...).
+	Name string
+	// Machines is the number of servers; default 50 (the paper's scale).
+	Machines int
+	// Start is the first sample time; default timeseries.MonitoringStart.
+	Start time.Time
+	// Days is the trace length in whole days; default 30.
+	Days int
+	// Step is the sampling interval; default timeseries.SampleStep.
+	Step time.Duration
+	// Seed makes the trace reproducible.
+	Seed int64
+	// Workload shapes the group-wide request process; zero value selects
+	// DefaultWorkload.
+	Workload WorkloadConfig
+	// Faults are the injected ground-truth problems.
+	Faults []Fault
+}
+
+func (c GroupConfig) withDefaults() GroupConfig {
+	if c.Name == "" {
+		c.Name = "A"
+	}
+	if c.Machines <= 0 {
+		c.Machines = 50
+	}
+	if c.Start.IsZero() {
+		c.Start = timeseries.MonitoringStart
+	}
+	if c.Days <= 0 {
+		c.Days = 30
+	}
+	if c.Step <= 0 {
+		c.Step = timeseries.SampleStep
+	}
+	if c.Workload.Base == 0 {
+		c.Workload = DefaultWorkload()
+	}
+	return c
+}
+
+// MachineName returns the canonical name of machine i in a group.
+func MachineName(group string, i int) string {
+	return fmt.Sprintf("%s-srv-%02d", group, i)
+}
+
+// Generate produces the full monitoring dataset for one group plus the
+// ground truth of every injected fault. The trace is deterministic in
+// cfg.Seed.
+func Generate(cfg GroupConfig) (*timeseries.Dataset, *GroundTruth, error) {
+	cfg = cfg.withDefaults()
+	for _, f := range cfg.Faults {
+		if err := f.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("generate group %s: %w", cfg.Name, err)
+		}
+	}
+
+	load, err := NewWorkload(cfg.Workload, cfg.Start, subSeed(cfg.Seed, cfg.Name+"/workload"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("generate group %s: %w", cfg.Name, err)
+	}
+
+	// Build machines deterministically.
+	machines := make([]Machine, cfg.Machines)
+	rngs := make([]*rand.Rand, cfg.Machines)
+	for i := range machines {
+		name := MachineName(cfg.Name, i)
+		r := rand.New(rand.NewSource(subSeed(cfg.Seed, name)))
+		machines[i] = StandardMachine(name, r)
+		rngs[i] = r
+	}
+
+	ds := timeseries.NewDataset()
+	series := make([][]*timeseries.Series, cfg.Machines)
+	for i, m := range machines {
+		series[i] = make([]*timeseries.Series, len(m.Metrics))
+		for j, spec := range m.Metrics {
+			s, err := timeseries.NewSeries(
+				timeseries.MeasurementID{Machine: m.Name, Metric: spec.Name},
+				cfg.Start, cfg.Step)
+			if err != nil {
+				return nil, nil, fmt.Errorf("generate group %s: %w", cfg.Name, err)
+			}
+			series[i][j] = s
+			ds.Add(s)
+		}
+	}
+
+	gt := &GroundTruth{Faults: append([]Fault(nil), cfg.Faults...)}
+	gen := &generator{cfg: cfg, machines: machines, rngs: rngs, gt: gt}
+	n := cfg.Days * int(24*time.Hour/cfg.Step)
+	for k := 0; k < n; k++ {
+		t := cfg.Start.Add(time.Duration(k) * cfg.Step)
+		w := load.Next(t)
+		for i := range machines {
+			gen.sampleMachine(t, i, w, series[i])
+		}
+	}
+	return ds, gt, nil
+}
+
+// generator holds the mutable per-trace state (EWMA loads, stuck values,
+// phantom workloads) used while sampling.
+type generator struct {
+	cfg      GroupConfig
+	machines []Machine
+	rngs     []*rand.Rand
+	gt       *GroundTruth
+
+	meanLoad []float64            // per-machine EWMA of load, for mirroring
+	stuck    map[string]float64   // fault ID + metric → frozen value
+	phantom  map[string]*Workload // fault ID → independent phantom workload
+	flap     map[string]bool      // fault ID (+metric) → flapping phase
+}
+
+// flapFactor toggles the flapping phase for key and returns the load
+// multiplier for this sample.
+func (g *generator) flapFactor(key string, magnitude float64) float64 {
+	if g.flap == nil {
+		g.flap = make(map[string]bool)
+	}
+	g.flap[key] = !g.flap[key]
+	if magnitude == 0 {
+		magnitude = 0.7
+	}
+	if g.flap[key] {
+		return 1 + magnitude
+	}
+	f := 1 - magnitude
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+func (g *generator) sampleMachine(t time.Time, i int, groupLoad float64, out []*timeseries.Series) {
+	m := g.machines[i]
+	rng := g.rngs[i]
+	if g.meanLoad == nil {
+		g.meanLoad = make([]float64, len(g.machines))
+	}
+	loadBase := m.LoadShare * groupLoad
+	load := loadBase * (1 + rng.NormFloat64()*m.LocalNoise)
+	if load < 0 {
+		load = 0
+	}
+	// Machine-wide flapping rescales the load every metric sees this
+	// sample, so same-machine pairs stay on their correlation manifold
+	// while their transitions become erratic.
+	for _, f := range g.gt.Faults {
+		if f.Kind == FaultFlapping && f.Metric == "" && f.ActiveAt(t) && f.Machine == m.Name {
+			load *= g.flapFactor(f.ID, f.Magnitude)
+		}
+	}
+	// Track a slow mean for the correlation-break mirror.
+	if g.meanLoad[i] == 0 {
+		g.meanLoad[i] = load
+	} else {
+		g.meanLoad[i] = 0.995*g.meanLoad[i] + 0.005*load
+	}
+
+	peak := groupLoad/g.cfg.Workload.Base - 1
+	if peak < 0 {
+		peak = 0
+	}
+
+	for j, spec := range m.Metrics {
+		value := g.metricValue(t, m.Name, spec, load, g.meanLoad[i], rng)
+		sigma := spec.NoiseSigma + spec.PeakNoise*peak
+		value *= 1 + rng.NormFloat64()*sigma
+		out[j].Append(value)
+	}
+}
+
+// metricValue evaluates one metric, applying any active fault.
+func (g *generator) metricValue(t time.Time, machine string, spec MetricSpec, load, meanLoad float64, rng *rand.Rand) float64 {
+	for _, f := range g.gt.Faults {
+		if !f.ActiveAt(t) || !f.Matches(machine, spec.Name) {
+			continue
+		}
+		if f.Kind == FaultFlapping && f.Metric == "" {
+			continue // machine-wide flapping was applied to the load already
+		}
+		return g.faultyValue(f, spec, load, meanLoad, rng)
+	}
+	return spec.Transfer.Eval(load, rng)
+}
+
+func (g *generator) faultyValue(f Fault, spec MetricSpec, load, meanLoad float64, rng *rand.Rand) float64 {
+	mag := f.Magnitude
+	if mag == 0 {
+		mag = 1
+	}
+	key := f.ID + "/" + spec.Name
+	switch f.Kind {
+	case FaultStuckValue:
+		if g.stuck == nil {
+			g.stuck = make(map[string]float64)
+		}
+		v, ok := g.stuck[key]
+		if !ok {
+			v = spec.Transfer.Eval(load, rng)
+			g.stuck[key] = v
+		}
+		return v
+	case FaultDecoupledSpike:
+		if g.phantom == nil {
+			g.phantom = make(map[string]*Workload)
+		}
+		ph, ok := g.phantom[f.ID]
+		if !ok {
+			cfg := g.cfg.Workload
+			cfg.DiurnalAmplitude = 0 // the phantom ignores the real cycle
+			cfg.NoiseSigma = 0.5
+			cfg.AR1 = 0.3
+			var err error
+			ph, err = NewWorkload(cfg, f.Start, subSeed(g.cfg.Seed, "phantom/"+f.ID))
+			if err != nil {
+				return spec.Transfer.Eval(load, rng) * mag
+			}
+			g.phantom[f.ID] = ph
+		}
+		return spec.Transfer.Eval(ph.Next(f.Start)*mag, rng)
+	case FaultLevelShift:
+		return spec.Transfer.Eval(load, rng) * (1 + mag)
+	case FaultCorrelationBreak:
+		// Reflect the load around its recent mean; Magnitude amplifies
+		// the reflection (1 = pure mirror).
+		mirrored := meanLoad - mag*(load-meanLoad)
+		if mirrored < 0 {
+			mirrored = 0
+		}
+		return spec.Transfer.Eval(mirrored, rng)
+	case FaultFlapping:
+		// Metric-specific flapping (machine-wide flapping is applied to
+		// the load before transfers run).
+		return spec.Transfer.Eval(load*g.flapFactor(key, mag), rng)
+	default:
+		return spec.Transfer.Eval(load, rng)
+	}
+}

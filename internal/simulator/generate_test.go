@@ -1,0 +1,373 @@
+package simulator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mcorr/internal/mathx"
+	"mcorr/internal/timeseries"
+)
+
+// smallGroup generates a quick 2-day, 6-machine trace for tests.
+func smallGroup(t *testing.T, faults ...Fault) (*timeseries.Dataset, *GroundTruth) {
+	t.Helper()
+	ds, gt, err := Generate(GroupConfig{
+		Name: "T", Machines: 6, Days: 2, Seed: 11, Faults: faults,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return ds, gt
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds, _ := smallGroup(t)
+	if ds.Len() != 6*len(AllMetrics) {
+		t.Fatalf("measurements = %d, want %d", ds.Len(), 6*len(AllMetrics))
+	}
+	id := timeseries.MeasurementID{Machine: MachineName("T", 0), Metric: MetricNetIn}
+	s := ds.Get(id)
+	if s == nil {
+		t.Fatalf("missing series %v", id)
+	}
+	if s.Len() != 2*timeseries.SamplesPerDay {
+		t.Errorf("samples = %d, want %d", s.Len(), 2*timeseries.SamplesPerDay)
+	}
+	if !s.Start.Equal(timeseries.MonitoringStart) {
+		t.Errorf("start = %v", s.Start)
+	}
+	for _, v := range s.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite sample generated")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _, err := Generate(GroupConfig{Name: "T", Machines: 3, Days: 1, Seed: 5})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, _, err := Generate(GroupConfig{Name: "T", Machines: 3, Days: 1, Seed: 5})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for _, id := range a.IDs() {
+		sa, sb := a.Get(id), b.Get(id)
+		for i := range sa.Values {
+			if sa.Values[i] != sb.Values[i] {
+				t.Fatalf("series %v differs at %d with the same seed", id, i)
+			}
+		}
+	}
+	c, _, err := Generate(GroupConfig{Name: "T", Machines: 3, Days: 1, Seed: 6})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	id := a.IDs()[0]
+	same := true
+	for i, v := range a.Get(id).Values {
+		if c.Get(id).Values[i] != v {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should generate different traces")
+	}
+}
+
+func TestGenerateLinearPairSameMachine(t *testing.T) {
+	ds, _ := smallGroup(t)
+	m := MachineName("T", 1)
+	in := ds.Get(timeseries.MeasurementID{Machine: m, Metric: MetricNetIn})
+	out := ds.Get(timeseries.MeasurementID{Machine: m, Metric: MetricNetOut})
+	r, err := mathx.Pearson(in.Values, out.Values)
+	if err != nil {
+		t.Fatalf("Pearson: %v", err)
+	}
+	if r < 0.95 {
+		t.Errorf("in/out octets on one machine should be strongly linear (Fig 2b); Pearson = %.3f", r)
+	}
+}
+
+func TestGenerateCrossMachineCorrelated(t *testing.T) {
+	ds, _ := smallGroup(t)
+	a := ds.Get(timeseries.MeasurementID{Machine: MachineName("T", 0), Metric: MetricNetIn})
+	b := ds.Get(timeseries.MeasurementID{Machine: MachineName("T", 3), Metric: MetricNetIn})
+	r, err := mathx.Pearson(a.Values, b.Values)
+	if err != nil {
+		t.Fatalf("Pearson: %v", err)
+	}
+	if r < 0.5 {
+		t.Errorf("cross-machine metrics share the workload; Pearson = %.3f", r)
+	}
+}
+
+func TestGenerateNonlinearPair(t *testing.T) {
+	ds, _ := smallGroup(t)
+	m := MachineName("T", 2)
+	in := ds.Get(timeseries.MeasurementID{Machine: m, Metric: MetricNetIn})
+	cpu := ds.Get(timeseries.MeasurementID{Machine: m, Metric: MetricCPU})
+	rp, _ := mathx.Pearson(in.Values, cpu.Values)
+	rs, _ := mathx.Spearman(in.Values, cpu.Values)
+	// Monotone but saturating: strong rank correlation, imperfect linear
+	// correlation (observation noise keeps both below 1).
+	if rs < 0.8 {
+		t.Errorf("cpu tracks load monotonically; Spearman = %.3f", rs)
+	}
+	if rp > 0.999 {
+		t.Errorf("saturating response should not be perfectly linear; Pearson = %.4f", rp)
+	}
+}
+
+func TestGenerateWeekendEffect(t *testing.T) {
+	ds, _, err := Generate(GroupConfig{Name: "T", Machines: 2, Days: 7,
+		Start: timeseries.Date(2008, time.June, 9), Seed: 4}) // Mon..Sun
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	s := ds.Get(timeseries.MeasurementID{Machine: MachineName("T", 0), Metric: MetricNetIn})
+	wkdy := s.Slice(timeseries.Date(2008, time.June, 10), timeseries.Date(2008, time.June, 11))
+	wknd := s.Slice(timeseries.Date(2008, time.June, 14), timeseries.Date(2008, time.June, 15))
+	mw, _ := wkdy.Stats()
+	me, _ := wknd.Stats()
+	if me >= mw {
+		t.Errorf("weekend mean %.1f should be below weekday mean %.1f", me, mw)
+	}
+}
+
+func TestGenerateStuckValueFault(t *testing.T) {
+	day := timeseries.MonitoringStart
+	f := Fault{
+		ID: "stuck", Machine: MachineName("T", 0), Metric: MetricCPU,
+		Kind: FaultStuckValue, Start: day.Add(6 * time.Hour), End: day.Add(9 * time.Hour),
+	}
+	ds, gt := smallGroup(t, f)
+	s := ds.Get(timeseries.MeasurementID{Machine: f.Machine, Metric: MetricCPU})
+	window := s.Slice(f.Start, f.End)
+	// All raw (pre-noise) values frozen: the observed values differ only
+	// by the small observation noise, so variance collapses.
+	_, std := window.Stats()
+	normal := s.Slice(day.Add(10*time.Hour), day.Add(13*time.Hour))
+	_, nstd := normal.Stats()
+	if std >= nstd/2 {
+		t.Errorf("stuck window std %.3f should be far below normal %.3f", std, nstd)
+	}
+	if len(gt.Faults) != 1 || !gt.AnyActiveAt(day.Add(7*time.Hour)) {
+		t.Error("ground truth should record the fault")
+	}
+}
+
+func TestGenerateCorrelationBreakFault(t *testing.T) {
+	day := timeseries.MonitoringStart.AddDate(0, 0, 1)
+	f := Fault{
+		ID: "break", Machine: MachineName("T", 1), Metric: MetricNetOut,
+		Kind: FaultCorrelationBreak, Start: day.Add(8 * time.Hour), End: day.Add(16 * time.Hour),
+	}
+	ds, _ := smallGroup(t, f)
+	in := ds.Get(timeseries.MeasurementID{Machine: f.Machine, Metric: MetricNetIn})
+	out := ds.Get(timeseries.MeasurementID{Machine: f.Machine, Metric: MetricNetOut})
+	inW := in.Slice(f.Start, f.End)
+	outW := out.Slice(f.Start, f.End)
+	rFault, _ := mathx.Pearson(inW.Values, outW.Values)
+	inN := in.Slice(day, day.Add(8*time.Hour))
+	outN := out.Slice(day, day.Add(8*time.Hour))
+	rNormal, _ := mathx.Pearson(inN.Values, outN.Values)
+	if rFault >= 0 {
+		t.Errorf("correlation break should invert the relation; fault Pearson = %.3f", rFault)
+	}
+	if rNormal < 0.9 {
+		t.Errorf("outside the fault the pair should stay linear; Pearson = %.3f", rNormal)
+	}
+}
+
+func TestGenerateDecoupledSpikeFault(t *testing.T) {
+	day := timeseries.MonitoringStart
+	f := MorningFault("dec", MachineName("T", 2), MetricNetOut, FaultDecoupledSpike, day.AddDate(0, 0, 1), 1)
+	ds, _ := smallGroup(t, f)
+	in := ds.Get(timeseries.MeasurementID{Machine: f.Machine, Metric: MetricNetIn})
+	out := ds.Get(timeseries.MeasurementID{Machine: f.Machine, Metric: MetricNetOut})
+	inW := in.Slice(f.Start, f.End)
+	outW := out.Slice(f.Start, f.End)
+	rFault, _ := mathx.Pearson(inW.Values, outW.Values)
+	if rFault > 0.5 {
+		t.Errorf("decoupled metric should stop tracking its peer; Pearson = %.3f", rFault)
+	}
+}
+
+func TestGenerateLevelShiftFault(t *testing.T) {
+	day := timeseries.MonitoringStart
+	f := AfternoonFault("shift", MachineName("T", 3), MetricMemory, FaultLevelShift, day, 2)
+	ds, _ := smallGroup(t, f)
+	s := ds.Get(timeseries.MeasurementID{Machine: f.Machine, Metric: MetricMemory})
+	inW, _ := s.Slice(f.Start, f.End).Stats()
+	before, _ := s.Slice(day.Add(10*time.Hour), day.Add(13*time.Hour)).Stats()
+	if inW < before*2 {
+		t.Errorf("level shift mean %.1f should tower over normal %.1f", inW, before)
+	}
+}
+
+func TestGenerateRejectsBadFault(t *testing.T) {
+	_, _, err := Generate(GroupConfig{Name: "T", Machines: 2, Days: 1, Faults: []Fault{{
+		ID: "bad", Machine: "", Kind: FaultStuckValue,
+		Start: timeseries.MonitoringStart, End: timeseries.MonitoringStart.Add(time.Hour),
+	}}})
+	if err == nil {
+		t.Error("fault without machine: want error")
+	}
+}
+
+func TestFaultHelpers(t *testing.T) {
+	day := timeseries.Date(2008, time.June, 13)
+	m := MorningFault("m", "x", "cpu", FaultStuckValue, day, 1)
+	if m.Start.Hour() != 9 || m.End.Hour() != 11 {
+		t.Errorf("morning window = %v..%v", m.Start, m.End)
+	}
+	a := AfternoonFault("a", "x", "", FaultLevelShift, day, 1)
+	if a.Start.Hour() != 14 || a.End.Hour() != 16 {
+		t.Errorf("afternoon window = %v..%v", a.Start, a.End)
+	}
+	if !a.Matches("x", "anything") {
+		t.Error("empty metric should match all metrics")
+	}
+	if a.Matches("y", "cpu") {
+		t.Error("different machine should not match")
+	}
+	if !m.ActiveAt(day.Add(10*time.Hour)) || m.ActiveAt(day.Add(11*time.Hour)) {
+		t.Error("ActiveAt window is [start, end)")
+	}
+	gt := GroundTruth{Faults: []Fault{m, a}}
+	if got := gt.FaultyMachines(); len(got) != 1 || got[0] != "x" {
+		t.Errorf("FaultyMachines = %v", got)
+	}
+	if got := gt.ActiveAt(day.Add(10*time.Hour), "x", "cpu"); len(got) != 1 || got[0].ID != "m" {
+		t.Errorf("ActiveAt = %v", got)
+	}
+}
+
+func TestFaultValidate(t *testing.T) {
+	day := timeseries.Date(2008, time.June, 13)
+	ok := Fault{ID: "f", Machine: "m", Kind: FaultLevelShift, Start: day, End: day.Add(time.Hour)}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid fault: %v", err)
+	}
+	cases := []Fault{
+		{ID: "no-machine", Kind: FaultLevelShift, Start: day, End: day.Add(time.Hour)},
+		{ID: "empty-window", Machine: "m", Kind: FaultLevelShift, Start: day, End: day},
+		{ID: "bad-kind", Machine: "m", Kind: FaultKind(99), Start: day, End: day.Add(time.Hour)},
+	}
+	for _, f := range cases {
+		if err := f.Validate(); err == nil {
+			t.Errorf("fault %q should fail validation", f.ID)
+		}
+	}
+}
+
+func TestFaultKindString(t *testing.T) {
+	kinds := map[FaultKind]string{
+		FaultDecoupledSpike:   "decoupled-spike",
+		FaultStuckValue:       "stuck-value",
+		FaultLevelShift:       "level-shift",
+		FaultCorrelationBreak: "correlation-break",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if FaultKind(42).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestGenerateFlappingStaysOnManifold(t *testing.T) {
+	day := timeseries.MonitoringStart.AddDate(0, 0, 1)
+	f := Fault{
+		ID: "flap", Machine: MachineName("T", 4), Metric: "",
+		Kind: FaultFlapping, Start: day.Add(8 * time.Hour), End: day.Add(16 * time.Hour),
+	}
+	ds, _ := smallGroup(t, f)
+	in := ds.Get(timeseries.MeasurementID{Machine: f.Machine, Metric: MetricNetIn})
+	out := ds.Get(timeseries.MeasurementID{Machine: f.Machine, Metric: MetricNetOut})
+	inW := in.Slice(f.Start, f.End)
+	outW := out.Slice(f.Start, f.End)
+	// Machine-wide flapping keeps same-machine pairs linearly correlated
+	// (both metrics see the same flapped load)...
+	r, _ := mathx.Pearson(inW.Values, outW.Values)
+	if r < 0.9 {
+		t.Errorf("flapping should preserve the same-machine correlation; Pearson = %.3f", r)
+	}
+	// ...but makes consecutive samples jump violently compared to normal.
+	jump := func(v []float64) float64 {
+		var s float64
+		for i := 1; i < len(v); i++ {
+			s += math.Abs(v[i] - v[i-1])
+		}
+		return s / float64(len(v)-1)
+	}
+	normal := in.Slice(day, day.Add(8*time.Hour))
+	if jump(inW.Values) < 3*jump(normal.Values) {
+		t.Errorf("flapping jumps %.1f should dwarf normal jumps %.1f",
+			jump(inW.Values), jump(normal.Values))
+	}
+}
+
+func TestGenerateMetricFlapping(t *testing.T) {
+	day := timeseries.MonitoringStart.AddDate(0, 0, 1)
+	f := Fault{
+		ID: "flapm", Machine: MachineName("T", 5), Metric: MetricNetOut,
+		Kind: FaultFlapping, Start: day.Add(8 * time.Hour), End: day.Add(16 * time.Hour),
+	}
+	ds, _ := smallGroup(t, f)
+	in := ds.Get(timeseries.MeasurementID{Machine: f.Machine, Metric: MetricNetIn})
+	out := ds.Get(timeseries.MeasurementID{Machine: f.Machine, Metric: MetricNetOut})
+	inW := in.Slice(f.Start, f.End)
+	outW := out.Slice(f.Start, f.End)
+	// Single-metric flapping DOES break the pair correlation.
+	r, _ := mathx.Pearson(inW.Values, outW.Values)
+	if r > 0.7 {
+		t.Errorf("metric flapping should weaken the correlation; Pearson = %.3f", r)
+	}
+}
+
+func TestWalkMetricsIndependentOfWorkload(t *testing.T) {
+	ds, _ := smallGroup(t)
+	m := MachineName("T", 0)
+	load := ds.Get(timeseries.MeasurementID{Machine: m, Metric: MetricNetIn})
+	mem := ds.Get(timeseries.MeasurementID{Machine: m, Metric: MetricMemFree})
+	r, err := mathx.Pearson(load.Values, mem.Values)
+	if err != nil {
+		t.Fatalf("Pearson: %v", err)
+	}
+	if math.Abs(r) > 0.5 {
+		t.Errorf("freeMemPct should be (mostly) workload-independent; Pearson = %.3f", r)
+	}
+	// The walk stays finite and mean-reverting (no runaway drift).
+	lo, hi := mathx.MinMax(mem.Values)
+	if math.IsNaN(lo) || hi-lo > 200 {
+		t.Errorf("freeMemPct range [%g, %g] looks unbounded", lo, hi)
+	}
+}
+
+func TestWalkTransferValidate(t *testing.T) {
+	if err := Validate(&Walk{Mean: 50, Revert: 0.05, Sigma: 1}); err != nil {
+		t.Errorf("valid walk: %v", err)
+	}
+	if err := Validate(&Walk{Mean: 50, Revert: 0, Sigma: 1}); err == nil {
+		t.Error("zero reversion: want error")
+	}
+	if err := Validate(&Walk{Mean: 50, Revert: 1.5, Sigma: 1}); err == nil {
+		t.Error("reversion > 1: want error")
+	}
+	w := &Walk{Mean: 10, Revert: 0.1, Sigma: 0}
+	rng := rand.New(rand.NewSource(1))
+	if got := w.Eval(0, rng); got != 10 {
+		t.Errorf("noiseless walk starts at its mean, got %g", got)
+	}
+	if w.Scale() <= 0 {
+		t.Error("Scale should be positive")
+	}
+}

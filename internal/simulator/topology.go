@@ -1,0 +1,141 @@
+package simulator
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+)
+
+// Standard metric names generated for every machine. A metric on a machine
+// is one measurement in the paper's sense.
+const (
+	MetricNetIn    = "ifInOctetsRate"
+	MetricNetOut   = "ifOutOctetsRate"
+	MetricCPU      = "cpuUtil"
+	MetricMemory   = "memUtil"
+	MetricPortUtil = "currentUtilizationPort"
+	MetricIORate   = "ioRate"
+	MetricMemFree  = "freeMemPct"
+	MetricTemp     = "ambientTempC"
+)
+
+// AllMetrics lists the standard per-machine metrics in generation order.
+// The last two are (mostly) workload-independent, so roughly half the
+// measurements have a linear partner — matching the paper's census.
+var AllMetrics = []string{MetricNetIn, MetricNetOut, MetricCPU, MetricMemory, MetricPortUtil, MetricIORate, MetricMemFree, MetricTemp}
+
+// MetricSpec describes how one metric on one machine responds to load.
+type MetricSpec struct {
+	Name string
+	// Transfer maps machine load to the metric value.
+	Transfer Transfer
+	// NoiseSigma is the relative observation noise floor.
+	NoiseSigma float64
+	// PeakNoise adds extra relative noise proportional to how far the
+	// group workload is above its base — making peak hours harder to
+	// predict, as the paper observes in Figure 15/16.
+	PeakNoise float64
+}
+
+// Machine is one server: a share of the group workload plus a set of
+// metrics derived from it.
+type Machine struct {
+	Name string
+	// LoadShare scales the group workload onto this machine.
+	LoadShare float64
+	// LocalNoise is per-sample relative noise on the machine's load,
+	// decorrelating it mildly from the rest of the group.
+	LocalNoise float64
+	Metrics    []MetricSpec
+}
+
+// subSeed derives a stable per-name seed from the group seed.
+func subSeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	_, _ = fmt.Fprintf(h, "%d/%s", seed, name)
+	return int64(h.Sum64())
+}
+
+// StandardMachine builds a machine with the standard six metrics, with
+// per-machine randomized parameters drawn from rng so no two machines are
+// identical. The metric set intentionally covers the paper's three
+// correlation shapes:
+//
+//   - ifInOctetsRate vs ifOutOctetsRate: linear (Figure 2(b));
+//   - cross-machine traffic rates: smooth non-linear (Figure 2(c),
+//     via differing Power exponents);
+//   - currentUtilizationPort and ioRate: saturating / regime-switching
+//     "arbitrary" shapes (Figure 2(d)).
+func StandardMachine(name string, rng *rand.Rand) Machine {
+	share := 0.5 + rng.Float64() // 0.5–1.5 of nominal
+	inGain := 80 + rng.Float64()*160
+	outRatio := 0.6 + rng.Float64()*0.8
+	knee := 600 + rng.Float64()*1200
+	powExp := 0.5 + rng.Float64()*0.4
+	return Machine{
+		Name:       name,
+		LoadShare:  share,
+		LocalNoise: 0.02 + rng.Float64()*0.02,
+		Metrics: []MetricSpec{
+			{
+				Name:       MetricNetIn,
+				Transfer:   Linear{Gain: inGain},
+				NoiseSigma: 0.02,
+				PeakNoise:  0.04,
+			},
+			{
+				Name:       MetricNetOut,
+				Transfer:   Linear{Gain: inGain * outRatio},
+				NoiseSigma: 0.02,
+				PeakNoise:  0.04,
+			},
+			{
+				Name:       MetricCPU,
+				Transfer:   Saturating{Cap: 100, Knee: knee},
+				NoiseSigma: 0.03,
+				PeakNoise:  0.06,
+			},
+			{
+				Name:       MetricMemory,
+				Transfer:   Linear{Gain: 0.02 + rng.Float64()*0.02, Offset: 30 + rng.Float64()*20},
+				NoiseSigma: 0.01,
+				PeakNoise:  0.02,
+			},
+			{
+				Name:       MetricPortUtil,
+				Transfer:   Quantized{Inner: Saturating{Cap: 2.16, Knee: 400 + rng.Float64()*400}, Step: 0.004},
+				NoiseSigma: 0.01,
+				PeakNoise:  0.03,
+			},
+			{
+				Name: MetricIORate,
+				Transfer: &Regimes{
+					A:          Power{Coeff: 4 + rng.Float64()*4, Exp: powExp},
+					B:          Power{Coeff: 12 + rng.Float64()*8, Exp: powExp * 0.7},
+					SwitchProb: 0.02,
+				},
+				NoiseSigma: 0.04,
+				PeakNoise:  0.05,
+			},
+			{
+				Name: MetricMemFree,
+				Transfer: &Walk{
+					Mean:   40 + rng.Float64()*30,
+					Revert: 0.02,
+					Sigma:  0.4 + rng.Float64()*0.4,
+				},
+				NoiseSigma: 0.005,
+			},
+			{
+				Name: MetricTemp,
+				Transfer: &Walk{
+					Mean:         22 + rng.Float64()*6,
+					Revert:       0.05,
+					Sigma:        0.15,
+					LoadCoupling: 0.002 + rng.Float64()*0.002,
+				},
+				NoiseSigma: 0.005,
+			},
+		},
+	}
+}

@@ -1,0 +1,181 @@
+package simulator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Transfer maps the machine's instantaneous load to a metric value. A
+// Transfer may carry internal state (e.g. a regime switch) and draw from
+// the provided source of randomness; generators call it once per sample in
+// time order.
+type Transfer interface {
+	// Eval returns the metric value for the given load.
+	Eval(load float64, rng *rand.Rand) float64
+	// Scale returns the metric's characteristic magnitude, used to size
+	// fault perturbations.
+	Scale() float64
+}
+
+// Linear is value = Gain·load + Offset — the paper's Figure 2(b) shape
+// (e.g. in- and out-octet rates of the same interface).
+type Linear struct {
+	Gain   float64
+	Offset float64
+}
+
+// Eval implements Transfer.
+func (l Linear) Eval(load float64, _ *rand.Rand) float64 { return l.Gain*load + l.Offset }
+
+// Scale implements Transfer.
+func (l Linear) Scale() float64 { return math.Abs(l.Gain)*1000 + math.Abs(l.Offset) }
+
+// Saturating is value = Cap·(1 − exp(−load/Knee)): a smooth non-linear
+// saturation like CPU or port utilization (Figure 2(d)).
+type Saturating struct {
+	Cap  float64
+	Knee float64
+}
+
+// Eval implements Transfer.
+func (s Saturating) Eval(load float64, _ *rand.Rand) float64 {
+	if s.Knee <= 0 {
+		return s.Cap
+	}
+	return s.Cap * (1 - math.Exp(-load/s.Knee))
+}
+
+// Scale implements Transfer.
+func (s Saturating) Scale() float64 { return math.Abs(s.Cap) }
+
+// Power is value = Coeff·load^Exp, a convex/concave non-linear response
+// (Figure 2(c): traffic rates across different machines).
+type Power struct {
+	Coeff float64
+	Exp   float64
+}
+
+// Eval implements Transfer.
+func (p Power) Eval(load float64, _ *rand.Rand) float64 {
+	if load < 0 {
+		load = 0
+	}
+	return p.Coeff * math.Pow(load, p.Exp)
+}
+
+// Scale implements Transfer.
+func (p Power) Scale() float64 { return math.Abs(p.Coeff) * math.Pow(1000, p.Exp) }
+
+// Regimes switches between two sub-transfers with Markov persistence —
+// producing the multi-branch "arbitrary shape" scatter of Figure 2(d)
+// (e.g. a batch job toggling on and off).
+type Regimes struct {
+	A, B Transfer
+	// SwitchProb is the per-sample probability of toggling regimes.
+	SwitchProb float64
+	inB        bool
+}
+
+// Eval implements Transfer.
+func (r *Regimes) Eval(load float64, rng *rand.Rand) float64 {
+	if rng.Float64() < r.SwitchProb {
+		r.inB = !r.inB
+	}
+	if r.inB {
+		return r.B.Eval(load, rng)
+	}
+	return r.A.Eval(load, rng)
+}
+
+// Scale implements Transfer.
+func (r *Regimes) Scale() float64 { return math.Max(r.A.Scale(), r.B.Scale()) }
+
+// Walk is a mean-reverting random walk with an optional mild load
+// coupling — it models metrics that are NOT driven by the user workload
+// (free memory, temperature), which real infrastructures have plenty of
+// and which keep the paper's "only about half the measurements are linear
+// with something" census honest.
+type Walk struct {
+	// Mean is the level the walk reverts to.
+	Mean float64
+	// Revert in (0, 1] is the per-sample reversion strength.
+	Revert float64
+	// Sigma is the per-sample innovation scale.
+	Sigma float64
+	// LoadCoupling adds LoadCoupling·load to the output (0 = independent).
+	LoadCoupling float64
+	level        float64
+	init         bool
+}
+
+// Eval implements Transfer.
+func (w *Walk) Eval(load float64, rng *rand.Rand) float64 {
+	if !w.init {
+		w.level = w.Mean
+		w.init = true
+	}
+	w.level += w.Revert*(w.Mean-w.level) + w.Sigma*rng.NormFloat64()
+	return w.level + w.LoadCoupling*load
+}
+
+// Scale implements Transfer.
+func (w *Walk) Scale() float64 { return math.Abs(w.Mean) + 10*w.Sigma }
+
+// Quantized wraps a transfer and rounds its output onto Step-sized levels,
+// like coarse-grained utilization counters.
+type Quantized struct {
+	Inner Transfer
+	Step  float64
+}
+
+// Eval implements Transfer.
+func (q Quantized) Eval(load float64, rng *rand.Rand) float64 {
+	v := q.Inner.Eval(load, rng)
+	if q.Step <= 0 {
+		return v
+	}
+	return math.Round(v/q.Step) * q.Step
+}
+
+// Scale implements Transfer.
+func (q Quantized) Scale() float64 { return q.Inner.Scale() }
+
+// Validate checks a transfer tree for obviously broken parameters.
+func Validate(t Transfer) error {
+	switch v := t.(type) {
+	case Linear:
+		if v.Gain == 0 && v.Offset == 0 {
+			return fmt.Errorf("linear transfer is identically zero")
+		}
+	case Saturating:
+		if v.Cap <= 0 {
+			return fmt.Errorf("saturating transfer cap %g: must be positive", v.Cap)
+		}
+	case Power:
+		if v.Coeff == 0 {
+			return fmt.Errorf("power transfer coefficient is zero")
+		}
+	case *Regimes:
+		if v.A == nil || v.B == nil {
+			return fmt.Errorf("regimes transfer missing a branch")
+		}
+		if v.SwitchProb < 0 || v.SwitchProb > 1 {
+			return fmt.Errorf("regimes switch probability %g outside [0, 1]", v.SwitchProb)
+		}
+		if err := Validate(v.A); err != nil {
+			return err
+		}
+		return Validate(v.B)
+	case *Walk:
+		if v.Revert <= 0 || v.Revert > 1 {
+			return fmt.Errorf("walk reversion %g outside (0, 1]", v.Revert)
+		}
+	case Quantized:
+		if v.Inner == nil {
+			return fmt.Errorf("quantized transfer missing inner transfer")
+		}
+		return Validate(v.Inner)
+	}
+	return nil
+}

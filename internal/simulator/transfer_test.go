@@ -1,0 +1,120 @@
+package simulator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLinearTransfer(t *testing.T) {
+	l := Linear{Gain: 2, Offset: 5}
+	if got := l.Eval(10, nil); got != 25 {
+		t.Errorf("Eval = %g", got)
+	}
+	if l.Scale() <= 0 {
+		t.Error("Scale should be positive")
+	}
+}
+
+func TestSaturatingTransfer(t *testing.T) {
+	s := Saturating{Cap: 100, Knee: 500}
+	low := s.Eval(100, nil)
+	high := s.Eval(5000, nil)
+	if low <= 0 || high <= low {
+		t.Errorf("saturating: low %g, high %g", low, high)
+	}
+	if high > 100 {
+		t.Errorf("saturating should cap at 100, got %g", high)
+	}
+	// The response flattens: equal load increments yield shrinking gains.
+	d1 := s.Eval(600, nil) - s.Eval(500, nil)
+	d2 := s.Eval(2100, nil) - s.Eval(2000, nil)
+	if d2 >= d1 {
+		t.Error("saturating transfer should be concave")
+	}
+	// Degenerate knee returns the cap.
+	if got := (Saturating{Cap: 7, Knee: 0}).Eval(3, nil); got != 7 {
+		t.Errorf("zero knee Eval = %g", got)
+	}
+}
+
+func TestPowerTransfer(t *testing.T) {
+	p := Power{Coeff: 2, Exp: 0.5}
+	if got := p.Eval(25, nil); got != 10 {
+		t.Errorf("Eval = %g", got)
+	}
+	if got := p.Eval(-5, nil); got != 0 {
+		t.Errorf("negative load should clamp: %g", got)
+	}
+}
+
+func TestRegimesSwitches(t *testing.T) {
+	r := &Regimes{A: Linear{Gain: 1}, B: Linear{Gain: 100}, SwitchProb: 0.5}
+	rng := rand.New(rand.NewSource(5))
+	seen := map[float64]bool{}
+	for i := 0; i < 200; i++ {
+		seen[r.Eval(1, rng)] = true
+	}
+	if !seen[1] || !seen[100] {
+		t.Errorf("both regimes should appear: %v", seen)
+	}
+	if r.Scale() != 100*1000 {
+		t.Errorf("Scale = %g", r.Scale())
+	}
+}
+
+func TestQuantized(t *testing.T) {
+	q := Quantized{Inner: Linear{Gain: 1}, Step: 0.5}
+	if got := q.Eval(1.26, nil); got != 1.5 {
+		t.Errorf("Eval = %g, want 1.5", got)
+	}
+	// Zero step disables quantization.
+	q0 := Quantized{Inner: Linear{Gain: 1}}
+	if got := q0.Eval(1.26, nil); got != 1.26 {
+		t.Errorf("Eval = %g", got)
+	}
+	if q.Scale() != q.Inner.Scale() {
+		t.Error("Scale should delegate")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Transfer{
+		Linear{Gain: 1},
+		Saturating{Cap: 100, Knee: 10},
+		Power{Coeff: 1, Exp: 0.5},
+		&Regimes{A: Linear{Gain: 1}, B: Power{Coeff: 2, Exp: 1}, SwitchProb: 0.1},
+		Quantized{Inner: Linear{Gain: 2}, Step: 1},
+	}
+	for _, tr := range good {
+		if err := Validate(tr); err != nil {
+			t.Errorf("Validate(%T) = %v", tr, err)
+		}
+	}
+	bad := []Transfer{
+		Linear{},
+		Saturating{Cap: -1},
+		Power{},
+		&Regimes{A: Linear{Gain: 1}, B: nil},
+		&Regimes{A: Linear{Gain: 1}, B: Linear{Gain: 2}, SwitchProb: 2},
+		&Regimes{A: Linear{}, B: Linear{Gain: 2}, SwitchProb: 0.1},
+		Quantized{},
+	}
+	for _, tr := range bad {
+		if err := Validate(tr); err == nil {
+			t.Errorf("Validate(%#v) should fail", tr)
+		}
+	}
+}
+
+func TestSaturatingMonotone(t *testing.T) {
+	s := Saturating{Cap: 50, Knee: 100}
+	prev := math.Inf(-1)
+	for load := 0.0; load < 1000; load += 50 {
+		v := s.Eval(load, nil)
+		if v < prev {
+			t.Fatal("saturating transfer should be monotone")
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,113 @@
+package simulator
+
+import (
+	"testing"
+	"time"
+
+	"mcorr/internal/timeseries"
+)
+
+func TestNewWorkloadValidation(t *testing.T) {
+	if _, err := NewWorkload(WorkloadConfig{Base: 0}, time.Now(), 1); err == nil {
+		t.Error("zero base: want error")
+	}
+	if _, err := NewWorkload(WorkloadConfig{Base: 10, AR1: 1}, time.Now(), 1); err == nil {
+		t.Error("AR1 = 1: want error")
+	}
+	if _, err := NewWorkload(WorkloadConfig{Base: 10, AR1: -0.1}, time.Now(), 1); err == nil {
+		t.Error("negative AR1: want error")
+	}
+}
+
+func TestWorkloadDiurnalCycle(t *testing.T) {
+	cfg := DefaultWorkload()
+	cfg.NoiseSigma = 0
+	cfg.BurstProb = 0
+	cfg.TrendPerDay = 0
+	day := timeseries.Date(2008, time.June, 16) // a Monday
+	w, err := NewWorkload(cfg, day, 1)
+	if err != nil {
+		t.Fatalf("NewWorkload: %v", err)
+	}
+	night := w.Next(day.Add(2 * time.Hour))
+	peak := w.Next(day.Add(14 * time.Hour))
+	if peak <= night {
+		t.Errorf("peak load %.1f should exceed night load %.1f", peak, night)
+	}
+	if peak < cfg.Base || night > cfg.Base {
+		t.Errorf("peak %.1f / night %.1f should straddle base %.1f", peak, night, cfg.Base)
+	}
+}
+
+func TestWorkloadWeekendQuieter(t *testing.T) {
+	cfg := DefaultWorkload()
+	cfg.NoiseSigma = 0
+	cfg.BurstProb = 0
+	cfg.TrendPerDay = 0
+	monday := timeseries.Date(2008, time.June, 16)
+	saturday := timeseries.Date(2008, time.June, 14)
+	w1, _ := NewWorkload(cfg, monday, 1)
+	w2, _ := NewWorkload(cfg, saturday, 1)
+	wk := w1.Next(monday.Add(14 * time.Hour))
+	we := w2.Next(saturday.Add(14 * time.Hour))
+	if we >= wk*0.6 {
+		t.Errorf("weekend peak %.1f should be well below weekday peak %.1f", we, wk)
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	cfg := DefaultWorkload()
+	start := timeseries.MonitoringStart
+	a, _ := NewWorkload(cfg, start, 42)
+	b, _ := NewWorkload(cfg, start, 42)
+	for i := 0; i < 500; i++ {
+		tm := start.Add(time.Duration(i) * timeseries.SampleStep)
+		if a.Next(tm) != b.Next(tm) {
+			t.Fatal("same seed should generate identical workloads")
+		}
+	}
+}
+
+func TestWorkloadNonNegative(t *testing.T) {
+	cfg := DefaultWorkload()
+	cfg.NoiseSigma = 2 // absurd noise must still clamp at zero
+	start := timeseries.MonitoringStart
+	w, _ := NewWorkload(cfg, start, 7)
+	for i := 0; i < 2000; i++ {
+		if v := w.Next(start.Add(time.Duration(i) * timeseries.SampleStep)); v < 0 {
+			t.Fatalf("negative load %g", v)
+		}
+	}
+}
+
+func TestWorkloadTrendDrifts(t *testing.T) {
+	cfg := DefaultWorkload()
+	cfg.NoiseSigma = 0
+	cfg.BurstProb = 0
+	cfg.TrendPerDay = 0.01
+	start := timeseries.Date(2008, time.June, 16)
+	w, _ := NewWorkload(cfg, start, 1)
+	early := w.Next(start.Add(14 * time.Hour))
+	// Same Monday clock time two weeks later.
+	late := w.Next(start.AddDate(0, 0, 14).Add(14 * time.Hour))
+	if late <= early {
+		t.Errorf("trend should grow the load: %.1f → %.1f", early, late)
+	}
+}
+
+func TestWorkloadBursts(t *testing.T) {
+	cfg := DefaultWorkload()
+	cfg.NoiseSigma = 0
+	cfg.TrendPerDay = 0
+	cfg.BurstProb = 1 // force a burst immediately
+	start := timeseries.Date(2008, time.June, 16)
+	w, _ := NewWorkload(cfg, start, 3)
+	base, _ := NewWorkload(WorkloadConfig{
+		Base: cfg.Base, DiurnalAmplitude: cfg.DiurnalAmplitude,
+		WeekendFactor: cfg.WeekendFactor,
+	}, start, 3)
+	tm := start.Add(10 * time.Hour)
+	if w.Next(tm) <= base.Next(tm) {
+		t.Error("a burst should lift the load above the seasonal baseline")
+	}
+}

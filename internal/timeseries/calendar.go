@@ -1,0 +1,58 @@
+package timeseries
+
+import "time"
+
+// SampleStep is the paper's sampling interval: one sample every 6 minutes
+// (240 samples per day).
+const SampleStep = 6 * time.Minute
+
+// SamplesPerDay is the number of samples in one day at SampleStep.
+const SamplesPerDay = int(24 * time.Hour / SampleStep)
+
+// The paper's evaluation calendar (all times UTC).
+var (
+	// MonitoringStart is the first day of the one-month trace.
+	MonitoringStart = Date(2008, time.May, 29)
+	// MonitoringEnd is just past the last day (June 27, 2008).
+	MonitoringEnd = Date(2008, time.June, 28)
+	// TestStart is the first day of every test split (June 13).
+	TestStart = Date(2008, time.June, 13)
+)
+
+// Date returns midnight UTC of the given calendar day.
+func Date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// Days returns a window of n whole days starting at day.
+func Days(day time.Time, n int) (from, to time.Time) {
+	return day, day.AddDate(0, 0, n)
+}
+
+// TrainingSplit returns the paper's training windows: 1 day (May 29),
+// 8 days (May 29 – June 5), or 15 days (May 29 – June 12). Any other day
+// count is measured from MonitoringStart.
+func TrainingSplit(days int) (from, to time.Time) {
+	return Days(MonitoringStart, days)
+}
+
+// TestSplit returns the paper's test windows measured from June 13:
+// 1, 5, 9 or 13 days.
+func TestSplit(days int) (from, to time.Time) {
+	return Days(TestStart, days)
+}
+
+// QuarterLabels are the x-axis labels of the paper's one-day fitness plots.
+var QuarterLabels = [4]string{"12am-6am", "6am-12pm", "12pm-6pm", "6pm-12am"}
+
+// QuarterOfDay returns which six-hour quarter of its day t falls into
+// (0 = 12am–6am ... 3 = 6pm–12am).
+func QuarterOfDay(t time.Time) int {
+	return t.UTC().Hour() / 6
+}
+
+// IsWeekend reports whether t falls on Saturday or Sunday.
+func IsWeekend(t time.Time) bool {
+	wd := t.UTC().Weekday()
+	return wd == time.Saturday || wd == time.Sunday
+}

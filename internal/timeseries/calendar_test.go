@@ -1,0 +1,63 @@
+package timeseries
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSamplesPerDay(t *testing.T) {
+	if SamplesPerDay != 240 {
+		t.Errorf("SamplesPerDay = %d, want 240 (the paper's 6-minute sampling)", SamplesPerDay)
+	}
+}
+
+func TestPaperCalendar(t *testing.T) {
+	if MonitoringStart.Weekday() != time.Thursday {
+		t.Errorf("May 29 2008 was a Thursday, got %v", MonitoringStart.Weekday())
+	}
+	if got := MonitoringEnd.Sub(MonitoringStart); got != 30*24*time.Hour {
+		t.Errorf("monitoring window = %v, want 30 days", got)
+	}
+	from, to := TrainingSplit(15)
+	if !from.Equal(MonitoringStart) || !to.Equal(Date(2008, time.June, 13)) {
+		t.Errorf("15-day training = %v .. %v", from, to)
+	}
+	// The paper's 15-day training (May 29–June 12) abuts the test start.
+	if !to.Equal(TestStart) {
+		t.Error("15-day training should end exactly at TestStart")
+	}
+	from, to = TestSplit(9)
+	if !from.Equal(Date(2008, time.June, 13)) || !to.Equal(Date(2008, time.June, 22)) {
+		t.Errorf("9-day test = %v .. %v", from, to)
+	}
+}
+
+func TestQuarterOfDay(t *testing.T) {
+	day := Date(2008, time.June, 13)
+	cases := []struct {
+		h    int
+		want int
+	}{{0, 0}, {5, 0}, {6, 1}, {11, 1}, {12, 2}, {17, 2}, {18, 3}, {23, 3}}
+	for _, c := range cases {
+		if got := QuarterOfDay(day.Add(time.Duration(c.h) * time.Hour)); got != c.want {
+			t.Errorf("QuarterOfDay(%dh) = %d, want %d", c.h, got, c.want)
+		}
+	}
+}
+
+func TestIsWeekend(t *testing.T) {
+	// June 14, 2008 was a Saturday; June 16 a Monday.
+	if !IsWeekend(Date(2008, time.June, 14)) || !IsWeekend(Date(2008, time.June, 15)) {
+		t.Error("June 14/15 2008 should be weekend")
+	}
+	if IsWeekend(Date(2008, time.June, 16)) {
+		t.Error("June 16 2008 should be a weekday")
+	}
+}
+
+func TestDaysWindow(t *testing.T) {
+	from, to := Days(Date(2008, time.June, 13), 5)
+	if !to.Equal(Date(2008, time.June, 18)) || !from.Equal(Date(2008, time.June, 13)) {
+		t.Errorf("Days = %v .. %v", from, to)
+	}
+}

@@ -1,0 +1,142 @@
+package timeseries
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteCSV writes the dataset in wide form: a "time" column followed by
+// one column per measurement (named "metric@machine"), one row per sample
+// time across the union of all series' grids. Missing samples are empty
+// cells. All series must share the same step.
+func WriteCSV(w io.Writer, ds *Dataset) error {
+	ids := ds.IDs()
+	if len(ids) == 0 {
+		return fmt.Errorf("write csv: empty dataset")
+	}
+	step := ds.Get(ids[0]).Step
+	var start, end time.Time
+	for i, id := range ids {
+		s := ds.Get(id)
+		if s.Step != step {
+			return fmt.Errorf("write csv: %s has step %v, want %v: %w", id, s.Step, step, ErrStepMismatch)
+		}
+		if i == 0 || s.Start.Before(start) {
+			start = s.Start
+		}
+		if i == 0 || s.End().After(end) {
+			end = s.End()
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(ids)+1)
+	header = append(header, "time")
+	for _, id := range ids {
+		header = append(header, id.String())
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("write csv header: %w", err)
+	}
+	row := make([]string, len(ids)+1)
+	for t := start; t.Before(end); t = t.Add(step) {
+		row[0] = t.UTC().Format(time.RFC3339)
+		for i, id := range ids {
+			row[i+1] = ""
+			s := ds.Get(id)
+			if idx, ok := s.IndexOf(t); ok && !math.IsNaN(s.Values[idx]) {
+				row[i+1] = strconv.FormatFloat(s.Values[idx], 'g', -1, 64)
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("write csv: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV reads a dataset written by WriteCSV. The sampling step is
+// inferred from the first two rows (a single-row file needs step > 0 via
+// the fallback of one minute... it is an error instead: at least two rows
+// are required). Empty cells become NaN.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("read csv: %w", err)
+	}
+	if len(records) < 3 {
+		return nil, fmt.Errorf("read csv: need a header and at least two rows, got %d records", len(records))
+	}
+	header := records[0]
+	if len(header) < 2 || header[0] != "time" {
+		return nil, fmt.Errorf("read csv: bad header %v", header)
+	}
+	ids := make([]MeasurementID, len(header)-1)
+	for i, col := range header[1:] {
+		at := strings.LastIndex(col, "@")
+		if at <= 0 || at == len(col)-1 {
+			return nil, fmt.Errorf("read csv: column %q is not metric@machine", col)
+		}
+		ids[i] = MeasurementID{Metric: col[:at], Machine: col[at+1:]}
+	}
+	t0, err := time.Parse(time.RFC3339, records[1][0])
+	if err != nil {
+		return nil, fmt.Errorf("read csv: row 1 time: %w", err)
+	}
+	t1, err := time.Parse(time.RFC3339, records[2][0])
+	if err != nil {
+		return nil, fmt.Errorf("read csv: row 2 time: %w", err)
+	}
+	step := t1.Sub(t0)
+	if step <= 0 {
+		return nil, fmt.Errorf("read csv: non-increasing times %v, %v", t0, t1)
+	}
+	ds := NewDataset()
+	series := make([]*Series, len(ids))
+	for i, id := range ids {
+		s, err := NewSeries(id, t0, step)
+		if err != nil {
+			return nil, fmt.Errorf("read csv: %w", err)
+		}
+		series[i] = s
+		ds.Add(s)
+	}
+	for rowIdx, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("read csv: row %d has %d fields, want %d", rowIdx+1, len(rec), len(header))
+		}
+		want := t0.Add(time.Duration(rowIdx) * step)
+		got, err := time.Parse(time.RFC3339, rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("read csv: row %d time: %w", rowIdx+1, err)
+		}
+		if !got.Equal(want) {
+			return nil, fmt.Errorf("read csv: row %d time %v off the %v grid", rowIdx+1, got, step)
+		}
+		for i, cell := range rec[1:] {
+			if cell == "" {
+				series[i].Append(math.NaN())
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("read csv: row %d column %s: %w", rowIdx+1, ids[i], err)
+			}
+			series[i].Append(v)
+		}
+	}
+	// Keep deterministic ordering guarantees.
+	sort.SliceStable(series, func(i, j int) bool { return series[i].ID.Less(series[j].ID) })
+	return ds, nil
+}

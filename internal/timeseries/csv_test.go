@@ -1,0 +1,92 @@
+package timeseries
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := NewDataset()
+	start := Date(2008, time.May, 29)
+	a := mustSeries(t, idA, start, SampleStep, 1.5, 2.25, math.NaN(), 4)
+	b := mustSeries(t, idB, start.Add(SampleStep), SampleStep, 10, 20, 30)
+	ds.Add(a)
+	ds.Add(b)
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("round-trip measurements = %d", got.Len())
+	}
+	ra := got.Get(idA)
+	if ra.Len() != 4 {
+		t.Fatalf("series a len = %d", ra.Len())
+	}
+	if ra.Values[0] != 1.5 || !math.IsNaN(ra.Values[2]) || ra.Values[3] != 4 {
+		t.Errorf("series a = %v", ra.Values)
+	}
+	rb := got.Get(idB)
+	// b starts one step late: its first slot in the union grid is NaN.
+	if !math.IsNaN(rb.Values[0]) || rb.Values[1] != 10 {
+		t.Errorf("series b = %v", rb.Values)
+	}
+	if ra.Step != SampleStep || !ra.Start.Equal(start) {
+		t.Errorf("series a grid = %v @ %v", ra.Step, ra.Start)
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	if err := WriteCSV(&bytes.Buffer{}, NewDataset()); err == nil {
+		t.Error("empty dataset: want error")
+	}
+	ds := NewDataset()
+	start := Date(2008, time.May, 29)
+	ds.Add(mustSeries(t, idA, start, time.Minute, 1))
+	ds.Add(mustSeries(t, idB, start, time.Hour, 2))
+	if err := WriteCSV(&bytes.Buffer{}, ds); err == nil {
+		t.Error("mixed steps: want error")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"header only":  "time,cpu@m\n",
+		"one row":      "time,cpu@m\n2008-05-29T00:00:00Z,1\n",
+		"bad header":   "when,cpu@m\n2008-05-29T00:00:00Z,1\n2008-05-29T00:06:00Z,2\n",
+		"bad column":   "time,cpu\n2008-05-29T00:00:00Z,1\n2008-05-29T00:06:00Z,2\n",
+		"bad time":     "time,cpu@m\nnope,1\n2008-05-29T00:06:00Z,2\n",
+		"same times":   "time,cpu@m\n2008-05-29T00:00:00Z,1\n2008-05-29T00:00:00Z,2\n",
+		"off grid":     "time,cpu@m\n2008-05-29T00:00:00Z,1\n2008-05-29T00:06:00Z,2\n2008-05-29T00:13:00Z,3\n",
+		"bad value":    "time,cpu@m\n2008-05-29T00:00:00Z,1\n2008-05-29T00:06:00Z,x\n",
+		"empty metric": "time,@m\n2008-05-29T00:00:00Z,1\n2008-05-29T00:06:00Z,2\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestReadCSVMetricWithAtSign(t *testing.T) {
+	// Metric names may themselves contain '@'; the machine is after the
+	// LAST '@'.
+	in := "time,disk@0@m1\n2008-05-29T00:00:00Z,1\n2008-05-29T00:06:00Z,2\n"
+	ds, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	id := MeasurementID{Machine: "m1", Metric: "disk@0"}
+	if ds.Get(id) == nil {
+		t.Errorf("IDs = %v", ds.IDs())
+	}
+}

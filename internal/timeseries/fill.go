@@ -1,0 +1,66 @@
+package timeseries
+
+import "math"
+
+// FillForward replaces NaN samples that follow at least one finite sample
+// with the most recent finite value (leading NaNs are left as-is). It
+// returns the number of samples filled. Useful before AlignPair when short
+// collection gaps should not break the Markov chain.
+func (s *Series) FillForward() int {
+	filled := 0
+	last := math.NaN()
+	for i, v := range s.Values {
+		if math.IsNaN(v) {
+			if !math.IsNaN(last) {
+				s.Values[i] = last
+				filled++
+			}
+			continue
+		}
+		last = v
+	}
+	return filled
+}
+
+// Interpolate linearly fills interior NaN runs bounded by finite samples
+// on both sides; leading and trailing NaNs are left untouched. It returns
+// the number of samples filled.
+func (s *Series) Interpolate() int {
+	filled := 0
+	n := len(s.Values)
+	i := 0
+	for i < n {
+		if !math.IsNaN(s.Values[i]) {
+			i++
+			continue
+		}
+		// A NaN run [i, j).
+		j := i
+		for j < n && math.IsNaN(s.Values[j]) {
+			j++
+		}
+		if i > 0 && j < n {
+			lo := s.Values[i-1]
+			hi := s.Values[j]
+			span := float64(j - (i - 1))
+			for k := i; k < j; k++ {
+				frac := float64(k-(i-1)) / span
+				s.Values[k] = lo + (hi-lo)*frac
+				filled++
+			}
+		}
+		i = j
+	}
+	return filled
+}
+
+// Gaps returns the number of NaN samples in the series.
+func (s *Series) Gaps() int {
+	n := 0
+	for _, v := range s.Values {
+		if math.IsNaN(v) {
+			n++
+		}
+	}
+	return n
+}

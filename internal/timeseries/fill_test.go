@@ -1,0 +1,71 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func nan() float64 { return math.NaN() }
+
+func TestFillForward(t *testing.T) {
+	s := mustSeries(t, idA, Date(2008, time.May, 29), time.Minute,
+		nan(), 1, nan(), nan(), 4, nan())
+	if got := s.FillForward(); got != 3 {
+		t.Fatalf("filled = %d, want 3", got)
+	}
+	want := []float64{math.NaN(), 1, 1, 1, 4, 4}
+	for i, w := range want {
+		if math.IsNaN(w) != math.IsNaN(s.Values[i]) || (!math.IsNaN(w) && s.Values[i] != w) {
+			t.Errorf("Values[%d] = %g, want %g", i, s.Values[i], w)
+		}
+	}
+	if s.Gaps() != 1 {
+		t.Errorf("Gaps = %d", s.Gaps())
+	}
+}
+
+func TestFillForwardAllNaN(t *testing.T) {
+	s := mustSeries(t, idA, Date(2008, time.May, 29), time.Minute, nan(), nan())
+	if got := s.FillForward(); got != 0 {
+		t.Errorf("filled = %d", got)
+	}
+	if s.Gaps() != 2 {
+		t.Errorf("Gaps = %d", s.Gaps())
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	s := mustSeries(t, idA, Date(2008, time.May, 29), time.Minute,
+		nan(), 2, nan(), nan(), 8, nan())
+	if got := s.Interpolate(); got != 2 {
+		t.Fatalf("filled = %d, want 2", got)
+	}
+	// The run between 2 and 8 interpolates to 4, 6; edges stay NaN.
+	if s.Values[2] != 4 || s.Values[3] != 6 {
+		t.Errorf("interpolated = %v", s.Values)
+	}
+	if !math.IsNaN(s.Values[0]) || !math.IsNaN(s.Values[5]) {
+		t.Error("edge NaNs must be left alone")
+	}
+}
+
+func TestInterpolateNoGaps(t *testing.T) {
+	s := mustSeries(t, idA, Date(2008, time.May, 29), time.Minute, 1, 2, 3)
+	if got := s.Interpolate(); got != 0 {
+		t.Errorf("filled = %d", got)
+	}
+	if s.Gaps() != 0 {
+		t.Errorf("Gaps = %d", s.Gaps())
+	}
+}
+
+func TestInterpolateSingleGap(t *testing.T) {
+	s := mustSeries(t, idA, Date(2008, time.May, 29), time.Minute, 10, nan(), 20)
+	if got := s.Interpolate(); got != 1 {
+		t.Fatalf("filled = %d", got)
+	}
+	if s.Values[1] != 15 {
+		t.Errorf("midpoint = %g, want 15", s.Values[1])
+	}
+}

@@ -1,0 +1,246 @@
+// Package tsdb is a small concurrency-safe in-memory time-series store: the
+// landing zone for samples streamed by the collector and the source the
+// models read from. Samples are kept on a fixed sampling grid per
+// measurement, with optional ring retention and gob snapshot/restore.
+package tsdb
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"mcorr/internal/timeseries"
+)
+
+// ErrUnknownMeasurement is returned when querying an ID never appended.
+var ErrUnknownMeasurement = errors.New("tsdb: unknown measurement")
+
+// ErrStale is returned when a sample predates data already stored.
+var ErrStale = errors.New("tsdb: sample older than stored data")
+
+// Sample is one observation of one measurement.
+type Sample struct {
+	ID    timeseries.MeasurementID
+	Time  time.Time
+	Value float64
+}
+
+// Store is an in-memory time-series database. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu        sync.RWMutex
+	step      time.Duration
+	retention int // max samples kept per measurement; 0 = unbounded
+	series    map[timeseries.MeasurementID]*entry
+}
+
+type entry struct {
+	start  time.Time
+	values []float64
+}
+
+// NewStore returns a store that aligns samples onto a step-sized grid and
+// keeps at most retention samples per measurement (0 keeps everything).
+func NewStore(step time.Duration, retention int) (*Store, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("tsdb step %v: must be positive", step)
+	}
+	if retention < 0 {
+		return nil, fmt.Errorf("tsdb retention %d: must be non-negative", retention)
+	}
+	return &Store{step: step, retention: retention, series: make(map[timeseries.MeasurementID]*entry)}, nil
+}
+
+// Step returns the store's sampling grid.
+func (s *Store) Step() time.Duration { return s.step }
+
+// Append stores one sample. Sample times are truncated onto the grid; gaps
+// between the previous sample and this one are filled with NaN; a sample
+// older than stored data is rejected with ErrStale; a sample for an
+// already-filled slot overwrites it only if the slot is the latest.
+func (s *Store) Append(sm Sample) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(sm)
+}
+
+// AppendBatch stores samples in order, stopping at the first error.
+func (s *Store) AppendBatch(batch []Sample) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, sm := range batch {
+		if err := s.appendLocked(sm); err != nil {
+			return fmt.Errorf("sample %d (%s): %w", i, sm.ID, err)
+		}
+	}
+	return nil
+}
+
+func (s *Store) appendLocked(sm Sample) error {
+	t := sm.Time.Truncate(s.step)
+	e, ok := s.series[sm.ID]
+	if !ok {
+		e = &entry{start: t}
+		s.series[sm.ID] = e
+	}
+	idx := int(t.Sub(e.start) / s.step)
+	switch {
+	case len(e.values) == 0:
+		e.start = t
+		e.values = append(e.values, sm.Value)
+	case idx < len(e.values)-1:
+		return fmt.Errorf("%s at %v: %w", sm.ID, sm.Time, ErrStale)
+	case idx == len(e.values)-1:
+		e.values[idx] = sm.Value // overwrite the most recent slot
+	default:
+		for len(e.values) < idx {
+			e.values = append(e.values, math.NaN())
+		}
+		e.values = append(e.values, sm.Value)
+	}
+	if s.retention > 0 && len(e.values) > s.retention {
+		drop := len(e.values) - s.retention
+		e.start = e.start.Add(time.Duration(drop) * s.step)
+		e.values = append(e.values[:0], e.values[drop:]...)
+	}
+	return nil
+}
+
+// Query returns a copy of the stored samples for id within [from, to).
+func (s *Store) Query(id timeseries.MeasurementID, from, to time.Time) (*timeseries.Series, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.series[id]
+	if !ok {
+		return nil, fmt.Errorf("%s: %w", id, ErrUnknownMeasurement)
+	}
+	full := &timeseries.Series{ID: id, Start: e.start, Step: s.step, Values: e.values}
+	return full.Slice(from, to).Clone(), nil
+}
+
+// QueryResampled returns the stored samples for id within [from, to)
+// downsampled onto a coarser grid (step must be a multiple of the store's
+// step); each output sample is the mean of the covered inputs.
+func (s *Store) QueryResampled(id timeseries.MeasurementID, from, to time.Time, step time.Duration) (*timeseries.Series, error) {
+	raw, err := s.Query(id, from, to)
+	if err != nil {
+		return nil, err
+	}
+	return raw.Resample(step)
+}
+
+// QueryAll returns a dataset of copies of every measurement restricted to
+// [from, to).
+func (s *Store) QueryAll(from, to time.Time) *timeseries.Dataset {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ds := timeseries.NewDataset()
+	for id, e := range s.series {
+		full := &timeseries.Series{ID: id, Start: e.start, Step: s.step, Values: e.values}
+		ds.Add(full.Slice(from, to).Clone())
+	}
+	return ds
+}
+
+// IDs returns the stored measurement IDs in stable order.
+func (s *Store) IDs() []timeseries.MeasurementID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ds := timeseries.NewDataset()
+	for id, e := range s.series {
+		ds.Add(&timeseries.Series{ID: id, Start: e.start, Step: s.step})
+	}
+	return ds.IDs()
+}
+
+// Len returns the number of stored samples for id (0 when unknown).
+func (s *Store) Len(id timeseries.MeasurementID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if e, ok := s.series[id]; ok {
+		return len(e.values)
+	}
+	return 0
+}
+
+// LastTime returns the timestamp of the most recent sample for id.
+func (s *Store) LastTime(id timeseries.MeasurementID) (time.Time, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.series[id]
+	if !ok || len(e.values) == 0 {
+		return time.Time{}, false
+	}
+	return e.start.Add(time.Duration(len(e.values)-1) * s.step), true
+}
+
+// LoadDataset bulk-inserts a dataset (e.g. generated history) whose series
+// must share the store's step.
+func (s *Store) LoadDataset(ds *timeseries.Dataset) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range ds.IDs() {
+		src := ds.Get(id)
+		if src.Step != s.step {
+			return fmt.Errorf("load %s with step %v into %v store: %w", id, src.Step, s.step, timeseries.ErrStepMismatch)
+		}
+		vals := make([]float64, len(src.Values))
+		copy(vals, src.Values)
+		s.series[id] = &entry{start: src.Start, values: vals}
+		if s.retention > 0 && len(vals) > s.retention {
+			e := s.series[id]
+			drop := len(vals) - s.retention
+			e.start = e.start.Add(time.Duration(drop) * s.step)
+			e.values = vals[drop:]
+		}
+	}
+	return nil
+}
+
+// snapshot is the gob wire form of the store.
+type snapshot struct {
+	Step      time.Duration
+	Retention int
+	Entries   []snapshotEntry
+}
+
+type snapshotEntry struct {
+	ID     timeseries.MeasurementID
+	Start  time.Time
+	Values []float64
+}
+
+// Snapshot serializes the store to w (gob).
+func (s *Store) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	snap := snapshot{Step: s.step, Retention: s.retention}
+	for id, e := range s.series {
+		snap.Entries = append(snap.Entries, snapshotEntry{ID: id, Start: e.start, Values: append([]float64(nil), e.values...)})
+	}
+	s.mu.RUnlock()
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("tsdb snapshot: %w", err)
+	}
+	return nil
+}
+
+// Restore reads a snapshot written by Snapshot and returns the store it
+// describes.
+func Restore(r io.Reader) (*Store, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("tsdb restore: %w", err)
+	}
+	s, err := NewStore(snap.Step, snap.Retention)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb restore: %w", err)
+	}
+	for _, e := range snap.Entries {
+		s.series[e.ID] = &entry{start: e.Start, values: e.Values}
+	}
+	return s, nil
+}

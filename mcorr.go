@@ -1,0 +1,318 @@
+// Package mcorr is a Go implementation of the transition-probability
+// correlation model of Gao, Jiang, Chen and Han, "Modeling Probabilistic
+// Measurement Correlations for Problem Determination in Large-Scale
+// Distributed Systems" (ICDCS 2009), together with everything needed to
+// run it as a monitoring system: a time-series store, a TCP collection
+// pipeline, a model fleet with the paper's three-level fitness scoring,
+// problem localization, alarming, baselines from the cited prior work, and
+// a synthetic datacenter workload for experimentation.
+//
+// # The model in brief
+//
+// Two measurements observed together form a 2-D point per sampling
+// interval. The history of such points defines a grid over the plane
+// (density-adaptive per dimension) and a Markov transition matrix between
+// grid cells, initialized with a spatial-closeness prior and updated by
+// Bayesian multiplicative updates on every observed transition. A new
+// observation is scored by the rank of its landing cell in the predicted
+// transition distribution — the fitness score Q ∈ [0, 1]. Low fitness on
+// one link implicates a pair; consistently low fitness on all links of one
+// measurement implicates that measurement; aggregated per machine it
+// localizes the faulty server.
+//
+// # Quick start
+//
+//	history := []mcorr.Point{ ... }           // (m1, m2) per 6-minute sample
+//	model, err := mcorr.TrainModel(history, mcorr.ModelConfig{Adaptive: true})
+//	if err != nil { ... }
+//	for _, p := range online {
+//		res := model.Step(p)
+//		if res.Scored && res.Fitness < 0.3 {
+//			// the pair's correlation broke at this sample
+//		}
+//	}
+//
+// For whole-system monitoring use NewManager (one model per measurement
+// pair, Q^a and Q aggregation, localization) or Monitor (manager + store +
+// sample ingestion glue).
+package mcorr
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mcorr/internal/alarm"
+	"mcorr/internal/collector"
+	"mcorr/internal/core"
+	"mcorr/internal/manager"
+	"mcorr/internal/mathx"
+	"mcorr/internal/timeseries"
+	"mcorr/internal/tsdb"
+)
+
+// Core model surface.
+type (
+	// Point is one joint observation of a measurement pair.
+	Point = mathx.Point2
+	// ModelConfig configures a pairwise model (see core.Config).
+	ModelConfig = core.Config
+	// Model is the paper's pairwise correlation model M = (G, V).
+	Model = core.Model
+	// StepResult is the outcome of scoring one observation.
+	StepResult = core.StepResult
+	// Explanation is the model's human-readable account of one
+	// observation: the paper's "problematic measurement ranges".
+	Explanation = core.Explanation
+	// CellInfo is one grid cell as measurement-value ranges.
+	CellInfo = core.CellInfo
+	// ModelDiagnostics summarizes a model's internal state.
+	ModelDiagnostics = core.Diagnostics
+	// GridConfig controls the adaptive discretization.
+	GridConfig = core.GridConfig
+	// Grid is the discretized measurement space.
+	Grid = core.Grid
+	// KernelKind selects the spatial-closeness kernel.
+	KernelKind = core.KernelKind
+	// UpdateRule selects the matrix update rule.
+	UpdateRule = core.UpdateRule
+)
+
+// Kernel and update-rule constants (see the core package).
+const (
+	KernelHarmonic = core.KernelHarmonic
+	KernelProduct  = core.KernelProduct
+	KernelUniform  = core.KernelUniform
+
+	UpdateKernelBayes = core.UpdateKernelBayes
+	UpdateDirichlet   = core.UpdateDirichlet
+)
+
+// TrainModel builds a pairwise model from history points.
+func TrainModel(history []Point, cfg ModelConfig) (*Model, error) {
+	return core.Train(history, cfg)
+}
+
+// TimeConditionedModel keeps one transition matrix per time-of-day bucket
+// over a shared grid (extension; see core.TimeConditioned).
+type TimeConditionedModel = core.TimeConditioned
+
+// TrainTimeConditionedModel builds a time-conditioned model from a
+// regularly sampled history starting at start with the given step.
+func TrainTimeConditionedModel(history []Point, start time.Time, step time.Duration, buckets int, cfg ModelConfig) (*TimeConditionedModel, error) {
+	return core.TrainTimeConditioned(history, start, step, buckets, cfg)
+}
+
+// FitnessFromRow computes the paper's rank-based fitness score
+// Q = 1 − (π(c_h) − 1)/s for a transition distribution row and the cell h
+// the observation landed in.
+func FitnessFromRow(row []float64, h int) float64 { return core.FitnessFromRow(row, h) }
+
+// RankInRow returns the paper's ranking function π(c_h): the 1-based rank
+// of cell h by decreasing probability (ties broken by index).
+func RankInRow(row []float64, h int) int { return core.RankInRow(row, h) }
+
+// Time-series surface.
+type (
+	// MeasurementID names a metric on a machine.
+	MeasurementID = timeseries.MeasurementID
+	// Series is one measurement's regular time series.
+	Series = timeseries.Series
+	// Dataset is a set of measurements on a shared grid.
+	Dataset = timeseries.Dataset
+	// Sample is one observation flowing through the pipeline.
+	Sample = tsdb.Sample
+	// Store is the in-memory time-series database.
+	Store = tsdb.Store
+)
+
+// NewDataset returns an empty dataset.
+func NewDataset() *Dataset { return timeseries.NewDataset() }
+
+// NewSeries allocates an empty series.
+func NewSeries(id MeasurementID, start time.Time, step time.Duration) (*Series, error) {
+	return timeseries.NewSeries(id, start, step)
+}
+
+// NewStore returns an in-memory time-series store.
+func NewStore(step time.Duration, retention int) (*Store, error) {
+	return tsdb.NewStore(step, retention)
+}
+
+// Manager surface.
+type (
+	// ManagerConfig configures the model fleet.
+	ManagerConfig = manager.Config
+	// Manager owns one model per measurement pair.
+	Manager = manager.Manager
+	// Row is one synchronized observation of all measurements.
+	Row = manager.Row
+	// StepReport is the fleet's per-sample scoring output.
+	StepReport = manager.StepReport
+	// Pair is an unordered measurement pair.
+	Pair = manager.Pair
+	// Localization ranks machines by average fitness.
+	Localization = manager.Localization
+)
+
+// NewManager trains one model per pair of measurements in history.
+func NewManager(history *Dataset, cfg ManagerConfig) (*Manager, error) {
+	return manager.New(history, cfg)
+}
+
+// LoadModel restores a pairwise model saved with Model.Save.
+func LoadModel(r io.Reader) (*Model, error) { return core.LoadModel(r) }
+
+// LoadManager restores a manager (and every trained pair model) saved
+// with Manager.Save, attaching the given alarm sink (nil discards).
+func LoadManager(r io.Reader, sink AlarmSink) (*Manager, error) {
+	return manager.LoadManager(r, sink)
+}
+
+// Alarm surface.
+type (
+	// Alarm is one problem notification.
+	Alarm = alarm.Alarm
+	// AlarmSink consumes alarms.
+	AlarmSink = alarm.Sink
+	// MemorySink records alarms in memory.
+	MemorySink = alarm.MemorySink
+	// ChannelSink forwards alarms to a channel.
+	ChannelSink = alarm.ChannelSink
+)
+
+// Alarm severity and scope constants.
+const (
+	SeverityInfo     = alarm.SeverityInfo
+	SeverityWarning  = alarm.SeverityWarning
+	SeverityCritical = alarm.SeverityCritical
+
+	ScopePair        = alarm.ScopePair
+	ScopeMeasurement = alarm.ScopeMeasurement
+	ScopeSystem      = alarm.ScopeSystem
+)
+
+// NewChannelSink returns an alarm sink backed by a buffered channel.
+func NewChannelSink(capacity int) *ChannelSink { return alarm.NewChannelSink(capacity) }
+
+// NewDeduper wraps a sink with a holdoff window per alarm key.
+func NewDeduper(next AlarmSink, holdoff time.Duration) AlarmSink {
+	return alarm.NewDeduper(next, holdoff)
+}
+
+// Collector surface.
+type (
+	// CollectorServer receives agent sample streams over TCP.
+	CollectorServer = collector.Server
+	// CollectorAgent ships samples from one machine.
+	CollectorAgent = collector.Agent
+	// ReliableAgent is a collector agent with reconnection, backoff and
+	// a bounded resend buffer.
+	ReliableAgent = collector.ReliableAgent
+	// ReliableConfig tunes a ReliableAgent.
+	ReliableConfig = collector.ReliableConfig
+)
+
+// NewReliableAgent returns an agent that reconnects with backoff and
+// buffers samples across outages.
+func NewReliableAgent(addr, name string, cfg ReliableConfig) *ReliableAgent {
+	return collector.NewReliableAgent(addr, name, cfg)
+}
+
+// NewEscalator wraps a sink with an escalation policy: count repeats of
+// one condition within window publish an additional critical alarm.
+func NewEscalator(next AlarmSink, count int, window time.Duration) AlarmSink {
+	return alarm.NewEscalator(next, count, window)
+}
+
+// NewCollectorServer returns a collector server feeding the store.
+func NewCollectorServer(store *Store) (*CollectorServer, error) {
+	return collector.NewServer(store, nil)
+}
+
+// DialCollector connects an agent to a collector server.
+func DialCollector(addr, agentName string) (*CollectorAgent, error) {
+	return collector.Dial(addr, agentName)
+}
+
+// Monitor glues a store and a manager together for streaming use: ingest
+// samples as they arrive, and complete rows are scored automatically in
+// time order.
+type Monitor struct {
+	store  *Store
+	mgr    *Manager
+	step   time.Duration
+	cursor time.Time
+	ids    []MeasurementID
+}
+
+// NewMonitor trains a manager on history and returns a monitor whose
+// cursor starts at the end of the history window.
+func NewMonitor(history *Dataset, cfg ManagerConfig) (*Monitor, error) {
+	ids := history.IDs()
+	if len(ids) < 2 {
+		return nil, fmt.Errorf("monitor needs at least 2 measurements, got %d", len(ids))
+	}
+	step := history.Get(ids[0]).Step
+	mgr, err := manager.New(history, cfg)
+	if err != nil {
+		return nil, err
+	}
+	store, err := tsdb.NewStore(step, 0)
+	if err != nil {
+		return nil, err
+	}
+	cursor := time.Time{}
+	for _, id := range ids {
+		if end := history.Get(id).End(); end.After(cursor) {
+			cursor = end
+		}
+	}
+	return &Monitor{store: store, mgr: mgr, step: step, cursor: cursor, ids: ids}, nil
+}
+
+// Manager exposes the underlying model fleet.
+func (m *Monitor) Manager() *Manager { return m.mgr }
+
+// Ingest stores the samples and scores every row that became complete
+// (all monitored measurements present) up to the newest common timestamp.
+// It returns the reports for the rows scored by this call.
+func (m *Monitor) Ingest(samples ...Sample) ([]StepReport, error) {
+	if err := m.store.AppendBatch(samples); err != nil {
+		return nil, err
+	}
+	// Rows are complete up to the minimum last-sample time.
+	var ready time.Time
+	for i, id := range m.ids {
+		last, ok := m.store.LastTime(id)
+		if !ok {
+			return nil, nil // some measurement has no data yet
+		}
+		if i == 0 || last.Before(ready) {
+			ready = last
+		}
+	}
+	return m.flushUntil(ready.Add(m.step)), nil
+}
+
+// FlushUpTo forces scoring of all rows before deadline even if some
+// measurements are missing samples (gaps reset the affected links).
+func (m *Monitor) FlushUpTo(deadline time.Time) []StepReport {
+	return m.flushUntil(deadline)
+}
+
+func (m *Monitor) flushUntil(until time.Time) []StepReport {
+	var reports []StepReport
+	for m.cursor.Before(until) {
+		ds := m.store.QueryAll(m.cursor, m.cursor.Add(m.step))
+		row := Row{Time: m.cursor, Values: make(map[MeasurementID]float64, len(m.ids))}
+		for _, id := range m.ids {
+			if s := ds.Get(id); s != nil && s.Len() > 0 {
+				row.Values[id] = s.Values[0]
+			}
+		}
+		reports = append(reports, m.mgr.Step(row))
+		m.cursor = m.cursor.Add(m.step)
+	}
+	return reports
+}

@@ -1,8 +1,12 @@
 GO ?= go
 
-.PHONY: all build vet test race bench figures examples clean
+.PHONY: all build vet test race check bench bench-json figures examples clean
 
-all: build vet test
+all: build check
+
+# check is the gate the default flow runs: static analysis plus the full
+# test suite under the race detector.
+check: vet race
 
 build:
 	$(GO) build ./...
@@ -18,6 +22,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Run the scoring hot-path benchmarks and record them as JSON for diffing.
+bench-json:
+	$(GO) test -run '^$$' -bench '^Benchmark(Observe|RowInto|Prob|FitnessHotPath|ModelStepAdaptive|ModelStepOffline|ManagerStep)$$' -benchmem . \
+		| $(GO) run ./cmd/benchjson > BENCH_scoring.json
 
 # Regenerate every paper figure against the default environment.
 figures:

@@ -173,10 +173,11 @@ func BenchmarkGridBuild(b *testing.B) {
 	}
 }
 
-// BenchmarkManagerStep measures one synchronized row through a fleet of
-// pair models (12 measurements → 66 models).
-func BenchmarkManagerStep(b *testing.B) {
-	ds, _, err := simulator.Generate(simulator.GroupConfig{Name: "Z", Machines: 2, Days: 2, Seed: 9})
+// benchManagerStep measures one synchronized row through a fleet of pair
+// models built from `machines` machines (6 metrics each, so l = machines*6
+// measurements → l(l−1)/2 models).
+func benchManagerStep(b *testing.B, machines int) {
+	ds, _, err := simulator.Generate(simulator.GroupConfig{Name: "Z", Machines: machines, Days: 2, Seed: 9})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -187,6 +188,7 @@ func BenchmarkManagerStep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer mgr.Close()
 	ids := ds.IDs()
 	rows := make([]manager.Row, timeseries.SamplesPerDay)
 	for k := range rows {
@@ -200,9 +202,120 @@ func BenchmarkManagerStep(b *testing.B) {
 		}
 		rows[k] = manager.Row{Time: tm, Values: vals}
 	}
+	// Warm through one full day so adaptive grid growth (a first-pass
+	// transient that reallocates matrices and caches) settles before the
+	// steady-state hot path is measured.
+	for _, row := range rows {
+		mgr.Step(row)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mgr.Step(rows[i%len(rows)])
+	}
+}
+
+// BenchmarkManagerStep covers the paper's small (l=12, 66 pairs) and
+// medium (l=36, 630 pairs) manager scales.
+func BenchmarkManagerStep(b *testing.B) {
+	b.Run("l=12", func(b *testing.B) { benchManagerStep(b, 2) })
+	b.Run("l=36", func(b *testing.B) { benchManagerStep(b, 6) })
+}
+
+// benchMatrix builds a trained kernel-Bayes transition matrix on a 12×12
+// grid (s = 144 cells) for the row-cache micro-benchmarks.
+func benchMatrix(b *testing.B) *core.TransitionMatrix {
+	b.Helper()
+	grid, err := core.UniformGrid(0, 100, 12, 0, 100, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kernel, err := core.NewKernel(core.KernelHarmonic, 2, 12, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm, err := core.NewTransitionMatrix(grid, kernel, core.UpdateKernelBayes, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for k := 0; k < 4096; k++ {
+		if err := tm.Observe(rng.Intn(tm.NumCells()), rng.Intn(tm.NumCells())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tm
+}
+
+// BenchmarkObserve measures one online kernel-Bayes update (row-major
+// kernel add + recenter + cache invalidation).
+func BenchmarkObserve(b *testing.B) {
+	tm := benchMatrix(b)
+	s := tm.NumCells()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tm.Observe(i%s, (i*7)%s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRowInto contrasts the clean path (cached normalized row is
+// copied out) with the dirty path (each read renormalizes after an
+// Observe invalidates the row).
+func BenchmarkRowInto(b *testing.B) {
+	b.Run("clean", func(b *testing.B) {
+		tm := benchMatrix(b)
+		dst := make([]float64, tm.NumCells())
+		if _, err := tm.RowInto(dst, 5); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tm.RowInto(dst, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dirty", func(b *testing.B) {
+		tm := benchMatrix(b)
+		dst := make([]float64, tm.NumCells())
+		s := tm.NumCells()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := tm.Observe(5, i%s); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tm.RowInto(dst, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkProb measures single-entry reads off a clean row — the
+// amortized-O(1), zero-allocation path.
+func BenchmarkProb(b *testing.B) {
+	tm := benchMatrix(b)
+	s := tm.NumCells()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tm.Prob(5, i%s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitnessHotPath measures the combined prob+fitness scoring read
+// Model.Step performs per sample, rotating over rows so the cache is
+// exercised beyond a single hot line.
+func BenchmarkFitnessHotPath(b *testing.B) {
+	tm := benchMatrix(b)
+	s := tm.NumCells()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tm.ScoreTransition(i%7, (i*11)%s); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

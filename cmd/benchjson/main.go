@@ -1,0 +1,115 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a stable JSON document on stdout, so benchmark runs can be
+// committed and diffed (see `make bench-json`).
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Observe|RowInto' -benchmem . | benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+}
+
+// Report is the full document: environment header lines plus results.
+type Report struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func parseLine(fields []string) (Result, bool) {
+	// BenchmarkName-8  1000  123.4 ns/op  [45 B/op  2 allocs/op]  [9.9 MB/s]
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: strings.TrimSuffix(fields[0], "-1"), Iterations: iters}
+	// Trim the GOMAXPROCS suffix generically (-N at the end of the name).
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if _, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Name = r.Name[:i]
+		}
+	}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if r.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+				return Result{}, false
+			}
+			seen = true
+		case "B/op":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Result{}, false
+			}
+			r.BytesPerOp = &n
+		case "allocs/op":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Result{}, false
+			}
+			r.AllocsPerOp = &n
+		case "MB/s":
+			if r.MBPerSec, err = strconv.ParseFloat(val, 64); err != nil {
+				return Result{}, false
+			}
+		}
+	}
+	return r, seen
+}
+
+func main() {
+	rep := Report{Results: []Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		default:
+			if r, ok := parseLine(strings.Fields(line)); ok {
+				rep.Results = append(rep.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
+		os.Exit(1)
+	}
+}

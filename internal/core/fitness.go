@@ -4,6 +4,15 @@ package core
 // of cell h when the row's cells are ordered by decreasing transition
 // probability. Ties are broken deterministically by cell index, so equal
 // probabilities at lower indices rank ahead of h.
+//
+// Because ranking only compares entries, row may equally be a vector of
+// unnormalized scores under any monotonically increasing transform of the
+// probabilities — raw kernel-Bayes log weights or Dirichlet counts rank
+// identically to the softmax/sum-normalized row, as long as the transform
+// does not collapse distinct entries into floating-point ties (exp maps
+// log weights that differ only in their final ulps onto the same float;
+// see TransitionMatrix.ScoreTransition for why the hot path therefore
+// ranks the cached normalized row rather than raw weights).
 func RankInRow(row []float64, h int) int {
 	rank := 1
 	ph := row[h]
@@ -15,18 +24,27 @@ func RankInRow(row []float64, h int) int {
 	return rank
 }
 
+// FitnessFromRank converts a 1-based rank π(c_h) over s cells into the
+// paper's fitness score Q = 1 − (π(c_h) − 1) / s.
+func FitnessFromRank(rank, s int) float64 {
+	if s == 0 {
+		return 0
+	}
+	return 1 - float64(rank-1)/float64(s)
+}
+
 // FitnessFromRow computes the paper's pairwise fitness score
 //
 //	Q = 1 − (π(c_h) − 1) / s
 //
-// where row is the transition distribution out of the previous cell, h is
-// the cell the new observation actually landed in, and s = len(row). The
-// best-predicted cell scores 1; the worst scores 1/s; callers assign 0 to
-// observations that fall outside the grid entirely.
+// where row is the transition distribution out of the previous cell (or
+// any monotone score vector for it — see RankInRow), h is the cell the new
+// observation actually landed in, and s = len(row). The best-predicted
+// cell scores 1; the worst scores 1/s; callers assign 0 to observations
+// that fall outside the grid entirely.
 func FitnessFromRow(row []float64, h int) float64 {
-	s := len(row)
-	if s == 0 {
+	if len(row) == 0 {
 		return 0
 	}
-	return 1 - float64(RankInRow(row, h)-1)/float64(s)
+	return FitnessFromRank(RankInRow(row, h), len(row))
 }

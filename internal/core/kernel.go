@@ -143,6 +143,57 @@ func (k *Kernel) LogWeight(dx, dy int) float64 {
 	return k.logTab[dx*k.tabNY+dy]
 }
 
+// AddLogRow adds log(Weight(xh−x, yh−y)) for every cell (x, y) of an
+// nx×ny grid, row-major, into dst, and returns the maximum entry of dst
+// after the addition. It is the bulk form of LogWeight used by the matrix
+// update hot path: the nested loop walks the cached log table directly and
+// avoids the per-cell index→coordinate division of the scalar path.
+func (k *Kernel) AddLogRow(dst []float64, xh, yh, nx, ny int) float64 {
+	mx := math.Inf(-1)
+	j := 0
+	for x := 0; x < nx; x++ {
+		dx := x - xh
+		if dx < 0 {
+			dx = -dx
+		}
+		trow := k.logTab[dx*k.tabNY:]
+		for y := 0; y < ny; y++ {
+			dy := y - yh
+			if dy < 0 {
+				dy = -dy
+			}
+			v := dst[j] + trow[dy]
+			dst[j] = v
+			if v > mx {
+				mx = v
+			}
+			j++
+		}
+	}
+	return mx
+}
+
+// FillLogRow writes log(Weight(xi−x, yi−y)) for every cell (x, y) of an
+// nx×ny grid, row-major, into dst — the bulk form used to seed prior rows.
+func (k *Kernel) FillLogRow(dst []float64, xi, yi, nx, ny int) {
+	j := 0
+	for x := 0; x < nx; x++ {
+		dx := x - xi
+		if dx < 0 {
+			dx = -dx
+		}
+		trow := k.logTab[dx*k.tabNY:]
+		for y := 0; y < ny; y++ {
+			dy := y - yi
+			if dy < 0 {
+				dy = -dy
+			}
+			dst[j] = trow[dy]
+			j++
+		}
+	}
+}
+
 func (k *Kernel) logWeightSlow(dx, dy int) float64 {
 	switch k.kind {
 	case KernelUniform:

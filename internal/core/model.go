@@ -95,7 +95,7 @@ type Model struct {
 	prev  int
 	armed bool // prev is valid
 	stats Stats
-	row   []float64 // scratch row buffer
+	row   []float64 // scratch row buffer for Explain/Diagnose row reads
 }
 
 // Train initializes the model from history data (the paper's snapshot of
@@ -194,12 +194,14 @@ func (m *Model) Step(p mathx.Point2) StepResult {
 
 	res := StepResult{Cell: cell, Grown: grown}
 	if m.armed {
-		row, err := m.tm.RowInto(m.row, m.prev)
+		// Softmax-free hot path: the rank comes straight from the raw row
+		// and the probability from the cached normalizer, so no probability
+		// row is materialized into scratch here.
+		prob, fitness, err := m.tm.ScoreTransition(m.prev, cell)
 		if err == nil {
-			m.row = row
 			res.Scored = true
-			res.Prob = row[cell]
-			res.Fitness = FitnessFromRow(row, cell)
+			res.Prob = prob
+			res.Fitness = fitness
 			m.stats.Scored++
 		}
 		if m.cfg.Adaptive {
@@ -225,12 +227,11 @@ func (m *Model) Score(p mathx.Point2) (prob, fitness float64, ok bool) {
 	if !in {
 		return 0, 0, true // a scoreable observation with zero probability
 	}
-	row, err := m.tm.RowInto(m.row, m.prev)
+	prob, fitness, err := m.tm.ScoreTransition(m.prev, cell)
 	if err != nil {
 		return 0, 0, false
 	}
-	m.row = row
-	return row[cell], FitnessFromRow(row, cell), true
+	return prob, fitness, true
 }
 
 // Reset clears the Markov chain position (e.g. across a data gap) without
@@ -310,10 +311,11 @@ func (m *Model) MeanFitness(pts []mathx.Point2) float64 {
 			continue
 		}
 		if armed {
-			row, err := m.tm.RowInto(m.row, prev)
+			// Rank-only read: no probability is needed, so the softmax-free
+			// path performs no exponentials at all.
+			fitness, err := m.tm.FitnessAt(prev, cell)
 			if err == nil {
-				m.row = row
-				sum += FitnessFromRow(row, cell)
+				sum += fitness
 				n++
 			}
 		}

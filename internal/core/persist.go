@@ -85,6 +85,9 @@ func LoadModel(r io.Reader) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("model load: %w", err)
 	}
+	// The row-normalization cache (probs/norm/clean) is derived state and
+	// deliberately absent from the snapshot; the restored matrix rebuilds
+	// it lazily on first read.
 	tm := &TransitionMatrix{
 		nx: snap.NX, ny: snap.NY, n: n,
 		kernel: kernel, rule: cfg.UpdateRule,

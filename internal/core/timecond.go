@@ -22,7 +22,6 @@ type TimeConditioned struct {
 	mats    []*TransitionMatrix
 	prev    int
 	armed   bool
-	row     []float64
 }
 
 // TrainTimeConditioned builds a time-conditioned model from a regularly
@@ -103,12 +102,11 @@ func (tc *TimeConditioned) StepAt(t time.Time, p mathx.Point2) StepResult {
 	res := StepResult{Cell: cell}
 	if tc.armed {
 		tm := tc.mats[tc.bucketOf(t)]
-		row, err := tm.RowInto(tc.row, tc.prev)
+		prob, fitness, err := tm.ScoreTransition(tc.prev, cell)
 		if err == nil {
-			tc.row = row
 			res.Scored = true
-			res.Prob = row[cell]
-			res.Fitness = FitnessFromRow(row, cell)
+			res.Prob = prob
+			res.Fitness = fitness
 		}
 		if tc.cfg.Adaptive {
 			_ = tm.Observe(tc.prev, cell)

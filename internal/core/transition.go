@@ -36,7 +36,12 @@ func (r UpdateRule) String() string {
 
 // TransitionMatrix is the paper's s×s matrix V with V[i][j] = P(c_i → c_j),
 // stored row-wise as unnormalized log weights (kernel-Bayes) or counts
-// (Dirichlet). Rows are normalized on read.
+// (Dirichlet). Rows are normalized on read, with the normalization cached
+// per row behind dirty bits: Observe and Grow invalidate, the first read of
+// a dirty row recomputes its normalizer (log-sum-exp for kernel-Bayes, the
+// count sum for Dirichlet) and materialized probability row, and every
+// subsequent read is a lookup. Repeated reads of an unchanged row — the
+// offline scoring pattern — are therefore amortized O(1) per entry.
 //
 // TransitionMatrix is not safe for concurrent use; the Model guards it.
 type TransitionMatrix struct {
@@ -49,6 +54,14 @@ type TransitionMatrix struct {
 	// UpdateDirichlet they are nonnegative pseudo-counts (sum-normalized
 	// on read).
 	weights []float64
+	// probs caches materialized probability rows in the same row-major
+	// layout as weights; norm caches each row's normalizer and clean marks
+	// which cache rows are valid. All three are allocated lazily on first
+	// read, so freshly built or deserialized matrices pay nothing until
+	// they are actually scored against.
+	probs []float64
+	norm  []float64
+	clean []bool
 	// strength is the prior pseudo-count mass per row for UpdateDirichlet.
 	strength float64
 	observed int
@@ -89,10 +102,7 @@ func (tm *TransitionMatrix) coords(c int) (int, int) { return c / tm.ny, c % tm.
 func (tm *TransitionMatrix) initPriorRow(dst []float64, i int) {
 	xi, yi := tm.coords(i)
 	if tm.rule == UpdateKernelBayes {
-		for j := range dst {
-			xj, yj := tm.coords(j)
-			dst[j] = tm.kernel.LogWeight(xi-xj, yi-yj)
-		}
+		tm.kernel.FillLogRow(dst, xi, yi, tm.nx, tm.ny)
 		return
 	}
 	// Dirichlet: normalized prior scaled to the pseudo-count mass.
@@ -122,6 +132,7 @@ func (tm *TransitionMatrix) Observe(i, h int) error {
 		return fmt.Errorf("observe transition %d→%d in %d-cell matrix: out of range", i, h, tm.n)
 	}
 	tm.observed++
+	tm.invalidateRow(i)
 	row := tm.row(i)
 	if tm.rule == UpdateDirichlet {
 		row[h]++
@@ -131,22 +142,81 @@ func (tm *TransitionMatrix) Observe(i, h int) error {
 	// with distance (paper Eq. 2), then re-center the row at zero so the
 	// log weights stay bounded over long streams.
 	xh, yh := tm.coords(h)
-	mx := math.Inf(-1)
-	for j := range row {
-		xj, yj := tm.coords(j)
-		row[j] += tm.kernel.LogWeight(xh-xj, yh-yj)
-		if row[j] > mx {
-			mx = row[j]
-		}
-	}
+	mx := tm.kernel.AddLogRow(row, xh, yh, tm.nx, tm.ny)
 	for j := range row {
 		row[j] -= mx
 	}
 	return nil
 }
 
+// invalidateRow marks row i's cached normalizer stale.
+func (tm *TransitionMatrix) invalidateRow(i int) {
+	if tm.clean != nil {
+		tm.clean[i] = false
+	}
+}
+
+// rowClean reports whether row i's cache entries are valid.
+func (tm *TransitionMatrix) rowClean(i int) bool { return tm.clean != nil && tm.clean[i] }
+
+// probRow returns the cached normalized row i, refreshing it first if a
+// mutation dirtied it. The returned slice aliases the cache; callers must
+// not retain or mutate it.
+func (tm *TransitionMatrix) probRow(i int) []float64 {
+	if !tm.rowClean(i) {
+		tm.refreshRow(i)
+	}
+	return tm.probs[i*tm.n : (i+1)*tm.n]
+}
+
+// refreshRow recomputes row i's normalizer and materialized probability
+// row. The arithmetic mirrors mathx.SoftmaxInto / mathx.Normalize exactly
+// (including their uniform fallback for degenerate rows) so cached reads
+// are bit-for-bit identical to the uncached normalize-on-read path.
+func (tm *TransitionMatrix) refreshRow(i int) {
+	if tm.clean == nil {
+		tm.probs = make([]float64, tm.n*tm.n)
+		tm.norm = make([]float64, tm.n)
+		tm.clean = make([]bool, tm.n)
+	}
+	raw := tm.row(i)
+	dst := tm.probs[i*tm.n : (i+1)*tm.n]
+	if tm.rule == UpdateKernelBayes {
+		lse := mathx.LogSumExp(raw)
+		tm.norm[i] = lse
+		if math.IsInf(lse, -1) {
+			uniformFill(dst)
+		} else {
+			for j, x := range raw {
+				dst[j] = math.Exp(x - lse)
+			}
+		}
+	} else {
+		sum := mathx.Sum(raw)
+		tm.norm[i] = sum
+		if sum <= 0 || math.IsInf(sum, 0) || math.IsNaN(sum) {
+			uniformFill(dst)
+		} else {
+			inv := 1 / sum
+			for j, x := range raw {
+				dst[j] = x * inv
+			}
+		}
+	}
+	tm.clean[i] = true
+}
+
+func uniformFill(dst []float64) {
+	u := 1 / float64(len(dst))
+	for j := range dst {
+		dst[j] = u
+	}
+}
+
 // RowInto writes the normalized transition distribution out of cell i into
-// dst (allocating when dst is too small) and returns it.
+// dst (allocating when dst is too small) and returns it. A clean row is a
+// straight copy of the cached normalization; a dirty row pays one
+// recomputation and leaves the cache clean.
 func (tm *TransitionMatrix) RowInto(dst []float64, i int) ([]float64, error) {
 	if i < 0 || i >= tm.n {
 		return nil, fmt.Errorf("row %d of %d-cell matrix: out of range", i, tm.n)
@@ -155,25 +225,51 @@ func (tm *TransitionMatrix) RowInto(dst []float64, i int) ([]float64, error) {
 		dst = make([]float64, tm.n)
 	}
 	dst = dst[:tm.n]
-	copy(dst, tm.row(i))
-	if tm.rule == UpdateKernelBayes {
-		if _, err := mathx.SoftmaxInto(dst, dst); err != nil {
-			return nil, err
-		}
-		return dst, nil
-	}
-	mathx.Normalize(dst)
+	copy(dst, tm.probRow(i))
 	return dst, nil
 }
 
-// Prob returns P(c_i → c_j). It normalizes row i on the fly; use RowInto
-// when several entries of one row are needed.
+// Prob returns P(c_i → c_j) from the cached row normalizer — amortized
+// O(1): only the first read after a mutation of row i renormalizes.
 func (tm *TransitionMatrix) Prob(i, j int) (float64, error) {
-	row, err := tm.RowInto(nil, i)
-	if err != nil {
-		return 0, err
+	if i < 0 || i >= tm.n {
+		return 0, fmt.Errorf("row %d of %d-cell matrix: out of range", i, tm.n)
 	}
-	return row[j], nil
+	if j < 0 || j >= tm.n {
+		return 0, fmt.Errorf("column %d of %d-cell matrix: out of range", j, tm.n)
+	}
+	return tm.probRow(i)[j], nil
+}
+
+// ScoreTransition returns P(c_i → c_h) and the rank-based fitness score Q
+// for the observed transition i→h, straight off the row cache: the
+// probability is a lookup and the rank a comparison scan over the cached
+// normalized row — no copy is made and no softmax is recomputed; a clean
+// row performs no exponentials at all.
+//
+// Ranking the cached row rather than the raw log weights is deliberate:
+// softmax is monotonic in exact arithmetic, but in floats it collapses
+// raw weights that differ only in their last ulps (common between
+// symmetric cells, whose sums accumulate in different rounding order)
+// into exact probability ties that RankInRow breaks by index. Ranking the
+// materialized row keeps scores bit-for-bit identical to normalizing on
+// every read.
+func (tm *TransitionMatrix) ScoreTransition(i, h int) (prob, fitness float64, err error) {
+	if i < 0 || i >= tm.n || h < 0 || h >= tm.n {
+		return 0, 0, fmt.Errorf("score transition %d→%d in %d-cell matrix: out of range", i, h, tm.n)
+	}
+	row := tm.probRow(i)
+	return row[h], FitnessFromRow(row, h), nil
+}
+
+// FitnessAt returns only the fitness score for the transition i→h — the
+// read used when the caller does not need the probability, e.g. offline
+// mean-fitness replays. On a clean row it is a pure comparison scan.
+func (tm *TransitionMatrix) FitnessAt(i, h int) (float64, error) {
+	if i < 0 || i >= tm.n || h < 0 || h >= tm.n {
+		return 0, fmt.Errorf("fitness of transition %d→%d in %d-cell matrix: out of range", i, h, tm.n)
+	}
+	return FitnessFromRow(tm.probRow(i), h), nil
 }
 
 // Grow remaps the matrix after the grid grew from oldGrid dims to the
@@ -196,6 +292,9 @@ func (tm *TransitionMatrix) Grow(g *Grid, gr Growth) error {
 	oldNx, oldNy, oldN := tm.nx, tm.ny, tm.n
 	tm.nx, tm.ny, tm.n = nx, ny, nx*ny
 	tm.weights = make([]float64, tm.n*tm.n)
+	// Every cached normalizer is sized for the old dims; drop them all and
+	// let the next read rebuild lazily.
+	tm.probs, tm.norm, tm.clean = nil, nil, nil
 
 	penalty := tm.kernel.StepPenalty()
 	for i := 0; i < tm.n; i++ {

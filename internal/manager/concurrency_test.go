@@ -1,0 +1,131 @@
+package manager
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"time"
+
+	"mcorr/internal/core"
+	"mcorr/internal/timeseries"
+)
+
+// TestManagerConcurrentStepAndReads hammers Step together with every
+// read-side accessor from separate goroutines. Under -race (make check)
+// this exercises the persistent worker pool, the reused outcome buffers
+// and the accumulator maps for unsynchronized access.
+func TestManagerConcurrentStepAndReads(t *testing.T) {
+	mgr, ds, _ := trainedManager(t, Config{
+		Model:          core.Config{Adaptive: true},
+		TrackPairMeans: true,
+		KeepPairScores: true,
+	}, 2)
+	defer mgr.Close()
+
+	from := timeseries.MonitoringStart.AddDate(0, 0, 1)
+	const steps = 48
+	rows := make([]Row, steps)
+	for i := range rows {
+		at := from.Add(time.Duration(i) * timeseries.SampleStep)
+		rows[i] = Row{Time: at, Values: rowValues(ds, at)}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, row := range rows {
+			rep := mgr.Step(row)
+			if rep.ScoredPairs > 0 && (rep.System < 0 || rep.System > 1) {
+				t.Errorf("system score %g out of range", rep.System)
+				return
+			}
+		}
+	}()
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < steps; i++ {
+				_ = mgr.MeasurementMeans()
+				_ = mgr.SystemMean()
+				_ = mgr.Steps()
+				_ = mgr.Pairs()
+				_ = mgr.PairMeans()
+				_ = mgr.WorstPairs(3)
+				_ = mgr.Localize()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Steps counts only rows that produced a system score; gaps in the
+	// generated trace may drop a few.
+	if got := mgr.Steps(); got == 0 || got > steps {
+		t.Errorf("steps %d, want 1..%d", got, steps)
+	}
+}
+
+// TestManagerStepDeterministic: with the cached sorted pair slice and
+// index-based aggregation, two managers trained identically must produce
+// identical reports — including the floating-point accumulation order of
+// the system score — run to run.
+func TestManagerStepDeterministic(t *testing.T) {
+	build := func() (*Manager, *timeseries.Dataset) {
+		mgr, ds, _ := trainedManager(t, Config{Model: core.Config{Adaptive: true}, KeepPairScores: true}, 2)
+		return mgr, ds
+	}
+	a, ds := build()
+	defer a.Close()
+	b, _ := build()
+	defer b.Close()
+
+	pa, pb := a.Pairs(), b.Pairs()
+	if len(pa) != len(pb) {
+		t.Fatalf("pair counts differ: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("pair order differs at %d: %v vs %v", i, pa[i], pb[i])
+		}
+	}
+
+	from := timeseries.MonitoringStart.AddDate(0, 0, 1)
+	for i := 0; i < 32; i++ {
+		at := from.Add(time.Duration(i) * timeseries.SampleStep)
+		row := Row{Time: at, Values: rowValues(ds, at)}
+		ra, rb := a.Step(row), b.Step(row)
+		if ra.ScoredPairs != rb.ScoredPairs {
+			t.Fatalf("step %d: scored pairs %d vs %d", i, ra.ScoredPairs, rb.ScoredPairs)
+		}
+		if !(math.IsNaN(ra.System) && math.IsNaN(rb.System)) && ra.System != rb.System {
+			t.Fatalf("step %d: system %v vs %v (not bit-identical)", i, ra.System, rb.System)
+		}
+		for id, q := range ra.Measurements {
+			if rb.Measurements[id] != q {
+				t.Fatalf("step %d: measurement %s differs", i, id)
+			}
+		}
+		for p, q := range ra.Pairs {
+			if rb.Pairs[p] != q {
+				t.Fatalf("step %d: pair %s differs", i, p)
+			}
+		}
+	}
+	if a.SystemMean() != b.SystemMean() {
+		t.Errorf("running system means diverged: %v vs %v", a.SystemMean(), b.SystemMean())
+	}
+}
+
+// TestManagerCloseIdempotent: Close twice is safe, and a closed manager's
+// read-side accessors still work.
+func TestManagerCloseIdempotent(t *testing.T) {
+	mgr, _, _ := trainedManager(t, Config{}, 2)
+	mgr.Close()
+	mgr.Close()
+	if len(mgr.Pairs()) == 0 {
+		t.Error("pairs lost after close")
+	}
+	_ = mgr.SystemMean()
+}

@@ -105,6 +105,134 @@ type Manager struct {
 	pairAcc map[Pair]*mathx.Online                     // running Q^{a,b} means
 	sysAcc  mathx.Online
 	steps   int
+
+	// Step-path state, built once by initRuntime: the stable sorted pair
+	// slice (chunked identically every step, so work distribution and any
+	// tie-dependent output are reproducible), per-pair measurement indices
+	// for map-free Q^a aggregation, reusable outcome/accumulation scratch,
+	// and the persistent worker pool.
+	pairs    []Pair
+	pairIdx  [][2]int      // pairs[i] → indices into ids
+	outcomes []pairOutcome // reused every step
+	sumBuf   []float64     // per-measurement fitness sums, reused
+	cntBuf   []int         // per-measurement scored-link counts, reused
+	curRow   Row           // row being scored, read by pool workers
+	rangeFn  func(lo, hi int)
+	pool     *workerPool
+}
+
+// workerPool is the manager's persistent scoring pool: a fixed set of
+// goroutines created once that execute half-open index ranges on demand,
+// replacing the per-Step goroutine spawn. Workers hold only the task
+// channel — never the Manager — so an abandoned manager stays collectable;
+// its finalizer closes the channel and the workers exit.
+type workerPool struct {
+	tasks chan poolTask
+	runWG sync.WaitGroup // outstanding tasks of the current run
+	once  sync.Once
+}
+
+type poolTask struct {
+	lo, hi int
+	fn     func(lo, hi int)
+	done   *sync.WaitGroup
+}
+
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{tasks: make(chan poolTask, workers)}
+	for w := 0; w < workers; w++ {
+		go poolWorker(p.tasks)
+	}
+	// The finalizer lives on the small pool struct — not the Manager — so
+	// an abandoned manager's model fleet is collected promptly and only
+	// the pool header survives the extra finalizer cycle before its
+	// workers are told to exit.
+	runtime.SetFinalizer(p, (*workerPool).close)
+	return p
+}
+
+func poolWorker(tasks <-chan poolTask) {
+	for t := range tasks {
+		t.fn(t.lo, t.hi)
+		t.done.Done()
+	}
+}
+
+// run splits [0, n) into ceil(n/workers)-sized chunks, hands all but the
+// first to the pool, executes the first chunk on the calling goroutine,
+// and blocks until every chunk is done. Calls must not overlap; Step's
+// lock (and New's construction phase) serialize them.
+func (p *workerPool) run(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	first := n
+	if chunk < n {
+		first = chunk
+	}
+	for lo := first; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		p.runWG.Add(1)
+		p.tasks <- poolTask{lo: lo, hi: hi, fn: fn, done: &p.runWG}
+	}
+	fn(0, first)
+	p.runWG.Wait()
+}
+
+// close shuts the pool down; idempotent.
+func (p *workerPool) close() {
+	p.once.Do(func() { close(p.tasks) })
+}
+
+// Close stops the manager's persistent worker pool. It is safe to call
+// more than once, but the manager must not be stepped afterwards. Managers
+// that are simply dropped are cleaned up by a finalizer; Close exists for
+// callers that want deterministic shutdown.
+func (m *Manager) Close() {
+	if m.pool != nil {
+		m.pool.close()
+	}
+}
+
+// initRuntime builds the step-path state. The models map must be final.
+func (m *Manager) initRuntime() {
+	m.pairs = make([]Pair, 0, len(m.models))
+	for p := range m.models {
+		m.pairs = append(m.pairs, p)
+	}
+	sort.Slice(m.pairs, func(i, j int) bool {
+		if m.pairs[i].A != m.pairs[j].A {
+			return m.pairs[i].A.Less(m.pairs[j].A)
+		}
+		return m.pairs[i].B.Less(m.pairs[j].B)
+	})
+	idIndex := make(map[timeseries.MeasurementID]int, len(m.ids))
+	for i, id := range m.ids {
+		idIndex[id] = i
+	}
+	m.pairIdx = make([][2]int, len(m.pairs))
+	for i, p := range m.pairs {
+		ia, oka := idIndex[p.A]
+		ib, okb := idIndex[p.B]
+		if !oka {
+			ia = -1 // defensive: a pair not covered by ids skips Q^a aggregation
+		}
+		if !okb {
+			ib = -1
+		}
+		m.pairIdx[i] = [2]int{ia, ib}
+	}
+	m.outcomes = make([]pairOutcome, len(m.pairs))
+	m.sumBuf = make([]float64, len(m.ids))
+	m.cntBuf = make([]int, len(m.ids))
+	m.rangeFn = m.scoreRange
+	if m.pool == nil {
+		m.pool = newWorkerPool(m.cfg.Workers)
+	}
 }
 
 // New trains one model per measurement pair from the history dataset.
@@ -122,59 +250,47 @@ func New(history *timeseries.Dataset, cfg Config) (*Manager, error) {
 		models: make(map[Pair]*core.Model),
 		acc:    make(map[timeseries.MeasurementID]*mathx.Online),
 	}
+	m.pool = newWorkerPool(cfg.Workers)
 
+	// Train the l(l−1)/2 links on the same pool that will score them; the
+	// results slice keeps training deterministic (first error in pair
+	// order, not channel-arrival order).
 	pairs := history.Pairs()
 	type result struct {
-		pair  Pair
 		model *core.Model
 		err   error
 	}
-	jobs := make(chan [2]timeseries.MeasurementID)
-	results := make(chan result)
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for pr := range jobs {
-				pts, _, err := timeseries.AlignPair(history.Get(pr[0]), history.Get(pr[1]))
-				if err != nil || len(pts) == 0 {
-					// No overlap: skip this link.
-					results <- result{}
-					continue
-				}
-				model, err := core.Train(pts, cfg.Model)
-				if err != nil {
-					results <- result{err: fmt.Errorf("train %s ~ %s: %w", pr[0], pr[1], err)}
-					continue
-				}
-				results <- result{pair: MakePair(pr[0], pr[1]), model: model}
+	results := make([]result, len(pairs))
+	m.pool.run(len(pairs), cfg.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pr := pairs[i]
+			pts, _, err := timeseries.AlignPair(history.Get(pr[0]), history.Get(pr[1]))
+			if err != nil || len(pts) == 0 {
+				// No overlap: skip this link.
+				continue
 			}
-		}()
-	}
-	go func() {
-		for _, pr := range pairs {
-			jobs <- pr
+			model, err := core.Train(pts, cfg.Model)
+			if err != nil {
+				results[i] = result{err: fmt.Errorf("train %s ~ %s: %w", pr[0], pr[1], err)}
+				continue
+			}
+			results[i] = result{model: model}
 		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
-	var firstErr error
-	for r := range results {
+	})
+	for i, r := range results {
 		switch {
-		case r.err != nil && firstErr == nil:
-			firstErr = r.err
+		case r.err != nil:
+			m.Close()
+			return nil, r.err
 		case r.model != nil:
-			m.models[r.pair] = r.model
+			m.models[MakePair(pairs[i][0], pairs[i][1])] = r.model
 		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
 	}
 	if len(m.models) == 0 {
+		m.Close()
 		return nil, fmt.Errorf("manager: no trainable pairs: %w", core.ErrNoData)
 	}
+	m.initRuntime()
 	return m, nil
 }
 
@@ -187,17 +303,7 @@ func (m *Manager) IDs() []timeseries.MeasurementID {
 func (m *Manager) Pairs() []Pair {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make([]Pair, 0, len(m.models))
-	for p := range m.models {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A.Less(out[j].A)
-		}
-		return out[i].B.Less(out[j].B)
-	})
-	return out
+	return append([]Pair(nil), m.pairs...)
 }
 
 // Model returns the trained model for a pair (nil when absent).
@@ -209,14 +315,16 @@ func (m *Manager) Model(a, b timeseries.MeasurementID) *core.Model {
 
 // pairOutcome is one link's result for a step.
 type pairOutcome struct {
-	pair    Pair
 	fitness float64
 	prob    float64
 	scored  bool
 }
 
 // Step scores one synchronized row across every link, updates the running
-// accumulators, and publishes alarms.
+// accumulators, and publishes alarms. The fan-out runs on the persistent
+// worker pool over the cached sorted pair slice — identical chunking every
+// step — and the aggregation scratch is reused, so a step allocates
+// nothing beyond the returned report's maps.
 func (m *Manager) Step(row Row) StepReport {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -226,63 +334,50 @@ func (m *Manager) Step(row Row) StepReport {
 		Measurements: make(map[timeseries.MeasurementID]float64),
 	}
 	if m.cfg.KeepPairScores {
-		report.Pairs = make(map[Pair]float64)
+		report.Pairs = make(map[Pair]float64, len(m.pairs))
 	}
 
-	// Fan the links out over the worker pool.
-	pairs := make([]Pair, 0, len(m.models))
-	for p := range m.models {
-		pairs = append(pairs, p)
-	}
-	outcomes := make([]pairOutcome, len(pairs))
-	var wg sync.WaitGroup
-	chunk := (len(pairs) + m.cfg.Workers - 1) / m.cfg.Workers
-	if chunk < 1 {
-		chunk = 1
-	}
-	for lo := 0; lo < len(pairs); lo += chunk {
-		hi := lo + chunk
-		if hi > len(pairs) {
-			hi = len(pairs)
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				outcomes[i] = m.stepPair(pairs[i], row)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	// Fan the links out over the persistent pool. The happens-before edges
+	// of the task channel and the wait group order the curRow/outcomes
+	// accesses between this goroutine and the workers.
+	m.curRow = row
+	m.pool.run(len(m.pairs), m.cfg.Workers, m.rangeFn)
+	m.curRow = Row{}
 
-	// Aggregate Q^{a,b} → Q^a → Q.
-	sums := make(map[timeseries.MeasurementID]float64)
-	counts := make(map[timeseries.MeasurementID]int)
-	for _, o := range outcomes {
+	// Aggregate Q^{a,b} → Q^a → Q into the reused index-based scratch.
+	for i := range m.sumBuf {
+		m.sumBuf[i] = 0
+		m.cntBuf[i] = 0
+	}
+	for i := range m.outcomes {
+		o := &m.outcomes[i]
 		if !o.scored {
 			continue
 		}
+		p := m.pairs[i]
 		report.ScoredPairs++
 		if report.Pairs != nil {
-			report.Pairs[o.pair] = o.fitness
+			report.Pairs[p] = o.fitness
 		}
 		if m.cfg.TrackPairMeans {
 			if m.pairAcc == nil {
 				m.pairAcc = make(map[Pair]*mathx.Online, len(m.models))
 			}
-			if m.pairAcc[o.pair] == nil {
-				m.pairAcc[o.pair] = &mathx.Online{}
+			if m.pairAcc[p] == nil {
+				m.pairAcc[p] = &mathx.Online{}
 			}
-			m.pairAcc[o.pair].Add(o.fitness)
+			m.pairAcc[p].Add(o.fitness)
 		}
-		sums[o.pair.A] += o.fitness
-		counts[o.pair.A]++
-		sums[o.pair.B] += o.fitness
-		counts[o.pair.B]++
+		if ab := m.pairIdx[i]; ab[0] >= 0 && ab[1] >= 0 {
+			m.sumBuf[ab[0]] += o.fitness
+			m.cntBuf[ab[0]]++
+			m.sumBuf[ab[1]] += o.fitness
+			m.cntBuf[ab[1]]++
+		}
 		if m.cfg.ProbDelta > 0 && o.prob < m.cfg.ProbDelta {
 			m.publish(alarm.Alarm{
 				Time: row.Time, Severity: alarm.SeverityWarning, Scope: alarm.ScopePair,
-				Measurement: o.pair.A, Peer: o.pair.B,
+				Measurement: p.A, Peer: p.B,
 				Score: o.prob, Threshold: m.cfg.ProbDelta,
 				Message: "transition probability below delta",
 			})
@@ -290,8 +385,12 @@ func (m *Manager) Step(row Row) StepReport {
 	}
 	var sysSum float64
 	var sysN int
-	for id, s := range sums {
-		q := s / float64(counts[id])
+	for k, c := range m.cntBuf {
+		if c == 0 {
+			continue
+		}
+		id := m.ids[k]
+		q := m.sumBuf[k] / float64(c)
 		report.Measurements[id] = q
 		if m.acc[id] == nil {
 			m.acc[id] = &mathx.Online{}
@@ -322,6 +421,16 @@ func (m *Manager) Step(row Row) StepReport {
 	return report
 }
 
+// scoreRange scores pairs [lo, hi) of the current row into the outcome
+// buffer; it is the unit of work executed by pool workers (and by Step
+// itself for the first chunk).
+func (m *Manager) scoreRange(lo, hi int) {
+	row := m.curRow
+	for i := lo; i < hi; i++ {
+		m.outcomes[i] = m.stepPair(m.pairs[i], row)
+	}
+}
+
 // stepPair scores one link for the row. A missing or non-finite value on
 // either side is a monitoring gap: the link's chain resets unscored.
 func (m *Manager) stepPair(p Pair, row Row) pairOutcome {
@@ -330,10 +439,10 @@ func (m *Manager) stepPair(p Pair, row Row) pairOutcome {
 	vb, okb := row.Values[p.B]
 	if !oka || !okb || math.IsNaN(va) || math.IsNaN(vb) {
 		model.Reset()
-		return pairOutcome{pair: p}
+		return pairOutcome{}
 	}
 	res := model.Step(mathx.Point2{X: va, Y: vb})
-	return pairOutcome{pair: p, fitness: res.Fitness, prob: res.Prob, scored: res.Scored}
+	return pairOutcome{fitness: res.Fitness, prob: res.Prob, scored: res.Scored}
 }
 
 func (m *Manager) publish(a alarm.Alarm) {

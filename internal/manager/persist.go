@@ -140,5 +140,8 @@ func LoadManager(r io.Reader, sink alarm.Sink) (*Manager, error) {
 	}
 	m.acc = restoreAccumulators(snap.Acc)
 	m.sysAcc.Restore(int(snap.SysAcc[0]), snap.SysAcc[1], snap.SysAcc[2])
+	// Rebuild the derived step-path state (sorted pairs, scratch buffers)
+	// and start a fresh worker pool for the restored fleet.
+	m.initRuntime()
 	return m, nil
 }

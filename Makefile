@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json figures examples clean
+.PHONY: all build vet test race check bench bench-json figures examples ops-smoke clean
 
 all: build check
 
-# check is the gate the default flow runs: static analysis plus the full
-# test suite under the race detector.
+# check is the gate the default flow runs: static analysis (go vet over
+# every package, internal/obs included) plus the full test suite under the
+# race detector.
 check: vet race
 
 build:
@@ -24,9 +25,30 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Run the scoring hot-path benchmarks and record them as JSON for diffing.
+# ObsCounterHotPath tracks the metric-instrumentation overhead (must stay
+# allocation-free and < 50ns per manager step sample).
 bench-json:
-	$(GO) test -run '^$$' -bench '^Benchmark(Observe|RowInto|Prob|FitnessHotPath|ModelStepAdaptive|ModelStepOffline|ManagerStep)$$' -benchmem . \
+	$(GO) test -run '^$$' -bench '^Benchmark(Observe|RowInto|Prob|FitnessHotPath|ModelStepAdaptive|ModelStepOffline|ManagerStep|ObsCounterHotPath)$$' -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_scoring.json
+
+# ops-smoke boots the live pipeline demo with the ops server, scrapes
+# /metrics and /healthz while rows stream, and asserts the collector and
+# manager counters are moving — the end-to-end observability gate.
+OPS_SMOKE_ADDR ?= 127.0.0.1:6464
+ops-smoke:
+	$(GO) build -o /tmp/mcorr-smoke-mccollect ./cmd/mccollect
+	@set -e; \
+	/tmp/mcorr-smoke-mccollect -machines 3 -rows 240 -pace 50ms -ops-addr $(OPS_SMOKE_ADDR) >/tmp/mcorr-smoke.log 2>&1 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	sleep 3; \
+	curl -fsS http://$(OPS_SMOKE_ADDR)/healthz | grep -q '^ok' || { echo 'ops-smoke: /healthz failed'; exit 1; }; \
+	curl -fsS http://$(OPS_SMOKE_ADDR)/metrics > /tmp/mcorr-smoke-metrics.txt; \
+	grep -Eq '^mcorr_collector_samples_total [1-9]' /tmp/mcorr-smoke-metrics.txt || { echo 'ops-smoke: collector samples counter not moving'; exit 1; }; \
+	grep -Eq '^mcorr_manager_step_seconds_count [1-9]' /tmp/mcorr-smoke-metrics.txt || { echo 'ops-smoke: manager step histogram not moving'; exit 1; }; \
+	grep -q '^# TYPE mcorr_alarm_raised_total counter' /tmp/mcorr-smoke-metrics.txt || { echo 'ops-smoke: alarm counter family missing'; exit 1; }; \
+	curl -fsS http://$(OPS_SMOKE_ADDR)/statusz | grep -q 'manager.step' || { echo 'ops-smoke: /statusz has no manager.step spans'; exit 1; }; \
+	echo 'ops-smoke OK'
 
 # Regenerate every paper figure against the default environment.
 figures:

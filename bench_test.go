@@ -20,6 +20,7 @@ import (
 	"mcorr/internal/eval"
 	"mcorr/internal/manager"
 	"mcorr/internal/mathx"
+	"mcorr/internal/obs"
 	"mcorr/internal/simulator"
 	"mcorr/internal/timeseries"
 )
@@ -316,6 +317,22 @@ func BenchmarkFitnessHotPath(b *testing.B) {
 		if _, _, err := tm.ScoreTransition(i%7, (i*11)%s); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkObsCounterHotPath measures the instrumentation cost the
+// manager pays per scored sample: one counter increment plus one
+// histogram observation. Both must stay allocation-free and well under
+// the 50ns budget that keeps metrics out of the scoring profile.
+func BenchmarkObsCounterHotPath(b *testing.B) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("bench_samples_total", "bench")
+	h := reg.Histogram("bench_fitness", "bench", obs.FitnessBuckets())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(float64(i%100) / 100)
 	}
 }
 

@@ -34,8 +34,19 @@ func run() error {
 		rows     = flag.Int("rows", 120, "monitoring rows to stream")
 		addr     = flag.String("addr", "127.0.0.1:0", "collector listen address")
 		seed     = flag.Int64("seed", 7, "simulation seed")
+		opsAddr  = flag.String("ops-addr", "", "serve ops endpoints (/metrics, /healthz, /statusz, /debug/pprof) on this address")
+		pace     = flag.Duration("pace", 0, "sleep between streamed rows (lets an ops scraper watch the run)")
 	)
 	flag.Parse()
+
+	if *opsAddr != "" {
+		ops, err := mcorr.ServeOps(*opsAddr)
+		if err != nil {
+			return err
+		}
+		defer ops.Close()
+		log.Printf("ops server on http://%s (metrics, healthz, statusz, pprof)", ops.Addr())
+	}
 
 	day1 := timeseries.MonitoringStart.AddDate(0, 0, 1)
 	fault := simulator.Fault{
@@ -96,6 +107,9 @@ func run() error {
 		*rows, *machines, fault.Kind, fault.Start.Format("15:04"), fault.End.Format("15:04"))
 	alarms := 0
 	for k := 0; k < *rows; k++ {
+		if *pace > 0 {
+			time.Sleep(*pace)
+		}
 		tm := day1.Add(time.Duration(k) * timeseries.SampleStep)
 		// Each agent ships its machine's samples for this timestamp.
 		for i, a := range agents {

@@ -20,8 +20,14 @@ import (
 	"mcorr/internal/core"
 	"mcorr/internal/eval"
 	"mcorr/internal/manager"
+	"mcorr/internal/obs"
 	"mcorr/internal/simulator"
 	"mcorr/internal/timeseries"
+
+	// Registered for the ops surface: one scrape of /metrics shows the
+	// whole pipeline's metric schema (collector included), not just the
+	// packages this command exercises.
+	_ "mcorr/internal/collector"
 )
 
 func main() {
@@ -44,10 +50,23 @@ func run() error {
 		saveTo    = flag.String("save-models", "", "after the run, save the trained manager (all pair models) to this file")
 		loadFrom  = flag.String("load-models", "", "skip training and restore a manager saved by -save-models")
 		truthPath = flag.String("truth", "", "ground-truth JSON (from mcgen) to score detection against")
+		opsAddr   = flag.String("ops-addr", "", "serve ops endpoints (/metrics, /healthz, /statusz, /debug/pprof) on this address")
+		linger    = flag.Duration("ops-linger", 0, "keep the ops server up this long after the run (for scraping final state)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
 		return fmt.Errorf("-data is required")
+	}
+	if *opsAddr != "" {
+		ops, err := obs.ServeOps(*opsAddr)
+		if err != nil {
+			return err
+		}
+		defer ops.Close()
+		log.Printf("ops server on http://%s (metrics, healthz, statusz, pprof)", ops.Addr())
+		if *linger > 0 {
+			defer time.Sleep(*linger)
+		}
 	}
 	f, err := os.Open(*dataPath)
 	if err != nil {

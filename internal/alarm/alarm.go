@@ -261,6 +261,7 @@ func (d *Deduper) Publish(a Alarm) {
 	last, seen := d.last[a.Key()]
 	if seen && a.Time.Sub(last) < d.Holdoff {
 		d.mu.Unlock()
+		obsSuppressed.Inc()
 		return
 	}
 	d.last[a.Key()] = a.Time

@@ -66,6 +66,8 @@ func (e *Escalator) Publish(a Alarm) {
 		esc := a
 		esc.Severity = SeverityCritical
 		esc.Message = "escalated: repeated condition — " + a.Message
+		obsEscalations.Inc()
+		countRaised(esc)
 		e.Next.Publish(esc)
 	}
 }

@@ -1,0 +1,59 @@
+package alarm
+
+import "mcorr/internal/obs"
+
+// Process-global alarm metrics (mcorr_alarm_*). Severity × scope is a
+// small fixed label space, so the children are resolved eagerly and
+// Publish never touches the vec.
+var (
+	obsRaised = obs.Default().CounterVec("mcorr_alarm_raised_total",
+		"Alarms published through a CountingSink, by severity and scope.",
+		"severity", "scope")
+	obsEscalations = obs.Default().Counter("mcorr_alarm_escalations_total",
+		"Escalated critical alarms emitted by Escalator.")
+	obsSuppressed = obs.Default().Counter("mcorr_alarm_suppressed_total",
+		"Alarms suppressed by a Deduper holdoff window.")
+)
+
+// raisedCounters caches the severity × scope children.
+var raisedCounters = func() map[Severity]map[Scope]*obs.Counter {
+	out := make(map[Severity]map[Scope]*obs.Counter)
+	for _, sev := range []Severity{SeverityInfo, SeverityWarning, SeverityCritical} {
+		out[sev] = make(map[Scope]*obs.Counter)
+		for _, sc := range []Scope{ScopePair, ScopeMeasurement, ScopeSystem} {
+			out[sev][sc] = obsRaised.With(sev.String(), sc.String())
+		}
+	}
+	return out
+}()
+
+// countRaised increments the raised counter for an alarm; unusual
+// severity/scope values fall back to the (slower) vec lookup so nothing
+// is dropped.
+func countRaised(a Alarm) {
+	if byScope, ok := raisedCounters[a.Severity]; ok {
+		if c, ok := byScope[a.Scope]; ok {
+			c.Inc()
+			return
+		}
+	}
+	obsRaised.With(a.Severity.String(), a.Scope.String()).Inc()
+}
+
+// CountingSink counts every alarm into mcorr_alarm_raised_total (by
+// severity and scope) and forwards it to Next (nil Next just counts) —
+// alarm volume becomes visible on the ops surface without a custom sink.
+// The manager wraps its configured sink in one automatically.
+type CountingSink struct {
+	Next Sink
+}
+
+var _ Sink = CountingSink{}
+
+// Publish implements Sink.
+func (c CountingSink) Publish(a Alarm) {
+	countRaised(a)
+	if c.Next != nil {
+		c.Next.Publish(a)
+	}
+}

@@ -1,0 +1,33 @@
+package collector
+
+import "mcorr/internal/obs"
+
+// Process-global collector metrics (mcorr_collector_*). These mirror the
+// per-server ServerStats snapshot onto the ops surface; ServerStats stays
+// per-instance for programmatic use, the registry aggregates across every
+// server in the process. The per-agent last-seen gauge is labeled by agent
+// name — cardinality is bounded by fleet size, never by sample values.
+var (
+	obsConnections = obs.Default().Gauge("mcorr_collector_connections",
+		"Currently open agent connections.")
+	obsConnsTotal = obs.Default().Counter("mcorr_collector_connections_total",
+		"Agent connections accepted since process start.")
+	obsFrames = obs.Default().Counter("mcorr_collector_frames_total",
+		"Protocol frames read from agents.")
+	obsDecodeErrors = obs.Default().Counter("mcorr_collector_decode_errors_total",
+		"Frames that failed to decode (bad heartbeat/samples payloads).")
+	obsReadErrors = obs.Default().Counter("mcorr_collector_read_errors_total",
+		"Connection read failures (timeouts, resets, protocol errors).")
+	obsSamples = obs.Default().Counter("mcorr_collector_samples_total",
+		"Samples accepted into the sink.")
+	obsHeartbeats = obs.Default().Counter("mcorr_collector_heartbeats_total",
+		"Heartbeat frames received.")
+	obsSinkErrors = obs.Default().Counter("mcorr_collector_sink_errors_total",
+		"Batches rejected by the sink (e.g. stale samples).")
+	obsAppendSeconds = obs.Default().Histogram("mcorr_collector_batch_append_seconds",
+		"Latency of appending one decoded sample batch into the sink.",
+		obs.TimeBuckets())
+	obsAgentLastSeen = obs.Default().GaugeVec("mcorr_collector_agent_last_seen_seconds",
+		"Unix time of the last frame received from each named agent.",
+		"agent")
+)

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"mcorr/internal/obs"
 	"mcorr/internal/tsdb"
 )
 
@@ -42,8 +43,8 @@ type AgentStatus struct {
 // Server accepts agent connections and feeds their samples into a sink.
 // Construct with NewServer, start with Serve, stop with Close.
 type Server struct {
-	sink   Sink
-	logger *log.Logger
+	sink Sink
+	log  *obs.Logger
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -55,17 +56,30 @@ type Server struct {
 }
 
 // NewServer returns a server delivering to sink. logger may be nil to
-// discard diagnostics.
+// discard diagnostics; a non-nil logger keeps its destination and flags
+// but records are rendered through the structured key=value logger (see
+// NewServerWithLogger for full control over levels and bound fields).
 func NewServer(sink Sink, logger *log.Logger) (*Server, error) {
+	var ol *obs.Logger
+	if logger != nil {
+		ol = obs.FromStd(logger)
+	}
+	return NewServerWithLogger(sink, ol)
+}
+
+// NewServerWithLogger returns a server delivering to sink, logging through
+// the given structured logger (nil discards diagnostics). Every record
+// carries component=collector.
+func NewServerWithLogger(sink Sink, logger *obs.Logger) (*Server, error) {
 	if sink == nil {
 		return nil, errors.New("collector: nil sink")
 	}
 	if logger == nil {
-		logger = log.New(io.Discard, "", 0)
+		logger = obs.NopLogger()
 	}
 	return &Server{
 		sink:     sink,
-		logger:   logger,
+		log:      logger.With("component", "collector"),
 		conns:    make(map[net.Conn]*AgentStatus),
 		readIdle: 2 * time.Minute,
 	}, nil
@@ -128,6 +142,8 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.stats.Connections++
 		s.stats.TotalConns++
 		s.mu.Unlock()
+		obsConnections.Inc()
+		obsConnsTotal.Inc()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -144,6 +160,7 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.stats.Connections--
 		s.mu.Unlock()
+		obsConnections.Dec()
 	}()
 	agent := conn.RemoteAddr().String()
 	for {
@@ -154,35 +171,44 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil {
 			if !errors.Is(err, io.EOF) {
 				s.countError()
-				s.logger.Printf("collector: %s: read: %v", agent, err)
+				obsReadErrors.Inc()
+				s.log.Error("read failed", "agent", agent, "err", err)
 			}
 			return
 		}
+		obsFrames.Inc()
 		s.touch(conn, "", 0)
 		switch f.Type {
 		case MsgHello:
 			agent = string(f.Payload)
 			s.touch(conn, agent, 0)
-			s.logger.Printf("collector: hello from %s", agent)
+			s.log.Info("hello", "agent", agent)
 		case MsgHeartbeat:
 			if _, err := DecodeHeartbeat(f.Payload); err != nil {
 				s.countError()
-				s.logger.Printf("collector: %s: bad heartbeat: %v", agent, err)
+				obsDecodeErrors.Inc()
+				s.log.Error("bad heartbeat", "agent", agent, "err", err)
 				return
 			}
 			s.mu.Lock()
 			s.stats.Heartbeats++
 			s.mu.Unlock()
+			obsHeartbeats.Inc()
 		case MsgSamples:
 			batch, err := DecodeSamples(f.Payload)
 			if err != nil {
 				s.countError()
-				s.logger.Printf("collector: %s: bad samples: %v", agent, err)
+				obsDecodeErrors.Inc()
+				s.log.Error("bad samples", "agent", agent, "err", err)
 				return
 			}
-			if err := s.sink.AppendBatch(batch); err != nil {
+			appendStart := time.Now()
+			err = s.sink.AppendBatch(batch)
+			obsAppendSeconds.Observe(time.Since(appendStart).Seconds())
+			if err != nil {
 				s.countError()
-				s.logger.Printf("collector: %s: sink: %v", agent, err)
+				obsSinkErrors.Inc()
+				s.log.Error("sink append failed", "agent", agent, "batch", len(batch), "err", err)
 				// Sink errors (e.g. stale samples) are reported but do
 				// not kill the connection; the ack carries 0.
 				if err := WriteFrame(conn, Frame{Type: MsgAck, Payload: EncodeAck(0)}); err != nil {
@@ -193,17 +219,18 @@ func (s *Server) handle(conn net.Conn) {
 			s.mu.Lock()
 			s.stats.Samples += len(batch)
 			s.mu.Unlock()
+			obsSamples.Add(uint64(len(batch)))
 			s.touch(conn, "", len(batch))
 			if err := WriteFrame(conn, Frame{Type: MsgAck, Payload: EncodeAck(len(batch))}); err != nil {
 				s.countError()
 				return
 			}
 		case MsgBye:
-			s.logger.Printf("collector: bye from %s", agent)
+			s.log.Info("bye", "agent", agent)
 			return
 		default:
 			s.countError()
-			s.logger.Printf("collector: %s: unexpected frame %s", agent, f.Type)
+			s.log.Warn("unexpected frame", "agent", agent, "type", f.Type.String())
 			return
 		}
 	}
@@ -222,6 +249,9 @@ func (s *Server) touch(conn net.Conn, name string, samples int) {
 		st.Name = name
 	}
 	st.Samples += samples
+	if st.Name != "" {
+		obsAgentLastSeen.With(st.Name).Set(float64(st.LastFrame.UnixNano()) / 1e9)
+	}
 }
 
 // AgentStatuses snapshots the currently connected agents, sorted by name

@@ -18,6 +18,7 @@ import (
 	"mcorr/internal/alarm"
 	"mcorr/internal/core"
 	"mcorr/internal/mathx"
+	"mcorr/internal/obs"
 	"mcorr/internal/timeseries"
 )
 
@@ -68,6 +69,12 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	// Every published alarm flows through a CountingSink so alarm volume by
+	// severity/scope is on the ops surface (mcorr_alarm_raised_total) even
+	// when the caller provides no sink at all.
+	if _, counted := c.Sink.(alarm.CountingSink); !counted {
+		c.Sink = alarm.CountingSink{Next: c.Sink}
+	}
 	return c
 }
 
@@ -116,6 +123,7 @@ type Manager struct {
 	outcomes []pairOutcome // reused every step
 	sumBuf   []float64     // per-measurement fitness sums, reused
 	cntBuf   []int         // per-measurement scored-link counts, reused
+	alarmBuf []alarm.Alarm // alarms gathered during aggregation, reused
 	curRow   Row           // row being scored, read by pool workers
 	rangeFn  func(lo, hi int)
 	pool     *workerPool
@@ -179,6 +187,7 @@ func (p *workerPool) run(n, workers int, fn func(lo, hi int)) {
 		p.runWG.Add(1)
 		p.tasks <- poolTask{lo: lo, hi: hi, fn: fn, done: &p.runWG}
 	}
+	obsPoolQueueDepth.Set(float64(len(p.tasks)))
 	fn(0, first)
 	p.runWG.Wait()
 }
@@ -239,6 +248,8 @@ func (m *Manager) initRuntime() {
 // Pairs whose aligned history is empty are skipped (and absent from
 // Pairs()). At least two measurements are required.
 func New(history *timeseries.Dataset, cfg Config) (*Manager, error) {
+	trainStart := time.Now()
+	defer func() { obsTrainSeconds.Observe(time.Since(trainStart).Seconds()) }()
 	cfg = cfg.withDefaults()
 	ids := history.IDs()
 	if len(ids) < 2 {
@@ -318,14 +329,23 @@ type pairOutcome struct {
 	fitness float64
 	prob    float64
 	scored  bool
+	// gap marks a link reset by a missing/non-finite value; grown marks an
+	// adaptive grid growth. Both are tallied into obs counters during the
+	// single-threaded aggregation pass.
+	gap   bool
+	grown bool
 }
 
 // Step scores one synchronized row across every link, updates the running
 // accumulators, and publishes alarms. The fan-out runs on the persistent
 // worker pool over the cached sorted pair slice — identical chunking every
 // step — and the aggregation scratch is reused, so a step allocates
-// nothing beyond the returned report's maps.
+// nothing beyond the returned report's maps. The phases (score →
+// aggregate → alarm) are traced via obs.StartSpan and the step latency,
+// gap/growth counts and fitness distributions land on the ops surface.
 func (m *Manager) Step(row Row) StepReport {
+	stepStart := time.Now()
+	sp := obs.StartSpan("manager.step")
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	report := StepReport{
@@ -340,22 +360,35 @@ func (m *Manager) Step(row Row) StepReport {
 	// Fan the links out over the persistent pool. The happens-before edges
 	// of the task channel and the wait group order the curRow/outcomes
 	// accesses between this goroutine and the workers.
+	sp.Phase("score")
 	m.curRow = row
 	m.pool.run(len(m.pairs), m.cfg.Workers, m.rangeFn)
 	m.curRow = Row{}
 
 	// Aggregate Q^{a,b} → Q^a → Q into the reused index-based scratch.
+	// Alarms are gathered into the reused buffer and published together in
+	// the alarm phase, preserving the pair → measurement → system order.
+	sp.Phase("aggregate")
+	m.alarmBuf = m.alarmBuf[:0]
+	var gaps, growths uint64
 	for i := range m.sumBuf {
 		m.sumBuf[i] = 0
 		m.cntBuf[i] = 0
 	}
 	for i := range m.outcomes {
 		o := &m.outcomes[i]
+		if o.gap {
+			gaps++
+		}
+		if o.grown {
+			growths++
+		}
 		if !o.scored {
 			continue
 		}
 		p := m.pairs[i]
 		report.ScoredPairs++
+		obsFitnessPair.Observe(o.fitness)
 		if report.Pairs != nil {
 			report.Pairs[p] = o.fitness
 		}
@@ -375,7 +408,7 @@ func (m *Manager) Step(row Row) StepReport {
 			m.cntBuf[ab[1]]++
 		}
 		if m.cfg.ProbDelta > 0 && o.prob < m.cfg.ProbDelta {
-			m.publish(alarm.Alarm{
+			m.alarmBuf = append(m.alarmBuf, alarm.Alarm{
 				Time: row.Time, Severity: alarm.SeverityWarning, Scope: alarm.ScopePair,
 				Measurement: p.A, Peer: p.B,
 				Score: o.prob, Threshold: m.cfg.ProbDelta,
@@ -392,6 +425,7 @@ func (m *Manager) Step(row Row) StepReport {
 		id := m.ids[k]
 		q := m.sumBuf[k] / float64(c)
 		report.Measurements[id] = q
+		obsFitnessMeas.Observe(q)
 		if m.acc[id] == nil {
 			m.acc[id] = &mathx.Online{}
 		}
@@ -399,7 +433,7 @@ func (m *Manager) Step(row Row) StepReport {
 		sysSum += q
 		sysN++
 		if m.cfg.MeasurementThreshold > 0 && q < m.cfg.MeasurementThreshold {
-			m.publish(alarm.Alarm{
+			m.alarmBuf = append(m.alarmBuf, alarm.Alarm{
 				Time: row.Time, Severity: alarm.SeverityWarning, Scope: alarm.ScopeMeasurement,
 				Measurement: id, Score: q, Threshold: m.cfg.MeasurementThreshold,
 				Message: "measurement fitness below threshold",
@@ -408,16 +442,33 @@ func (m *Manager) Step(row Row) StepReport {
 	}
 	if sysN > 0 {
 		report.System = sysSum / float64(sysN)
+		obsFitnessSys.Observe(report.System)
 		m.sysAcc.Add(report.System)
 		m.steps++
 		if m.cfg.SystemThreshold > 0 && report.System < m.cfg.SystemThreshold {
-			m.publish(alarm.Alarm{
+			m.alarmBuf = append(m.alarmBuf, alarm.Alarm{
 				Time: row.Time, Severity: alarm.SeverityCritical, Scope: alarm.ScopeSystem,
 				Score: report.System, Threshold: m.cfg.SystemThreshold,
 				Message: "system fitness below threshold",
 			})
 		}
 	}
+	sp.Phase("alarm")
+	for i := range m.alarmBuf {
+		m.publish(m.alarmBuf[i])
+	}
+	sp.End()
+	obsRows.Inc()
+	if report.ScoredPairs > 0 {
+		obsPairsScored.Add(uint64(report.ScoredPairs))
+	}
+	if gaps > 0 {
+		obsGaps.Add(gaps)
+	}
+	if growths > 0 {
+		obsGrowths.Add(growths)
+	}
+	obsStepSeconds.Observe(time.Since(stepStart).Seconds())
 	return report
 }
 
@@ -439,10 +490,10 @@ func (m *Manager) stepPair(p Pair, row Row) pairOutcome {
 	vb, okb := row.Values[p.B]
 	if !oka || !okb || math.IsNaN(va) || math.IsNaN(vb) {
 		model.Reset()
-		return pairOutcome{}
+		return pairOutcome{gap: true}
 	}
 	res := model.Step(mathx.Point2{X: va, Y: vb})
-	return pairOutcome{fitness: res.Fitness, prob: res.Prob, scored: res.Scored}
+	return pairOutcome{fitness: res.Fitness, prob: res.Prob, scored: res.Scored, grown: res.Grown}
 }
 
 func (m *Manager) publish(a alarm.Alarm) {

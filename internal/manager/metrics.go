@@ -1,0 +1,32 @@
+package manager
+
+import "mcorr/internal/obs"
+
+// Process-global manager metrics (mcorr_manager_*). Counters and histogram
+// observations on the Step path are single atomic ops; the labeled fitness
+// children are resolved once here so the hot loop never touches the vec.
+var (
+	obsStepSeconds = obs.Default().Histogram("mcorr_manager_step_seconds",
+		"Latency of Manager.Step: scoring one synchronized row across every link.",
+		obs.TimeBuckets())
+	obsTrainSeconds = obs.Default().Histogram("mcorr_manager_train_seconds",
+		"Latency of training the full model fleet (Manager.New).",
+		obs.ExpBuckets(1e-3, 4, 10))
+	obsRows = obs.Default().Counter("mcorr_manager_rows_total",
+		"Synchronized rows fed through Manager.Step.")
+	obsPairsScored = obs.Default().Counter("mcorr_manager_pairs_scored_total",
+		"Link scores Q^{a,b} produced across all steps.")
+	obsGaps = obs.Default().Counter("mcorr_manager_gaps_total",
+		"Link resets caused by missing or non-finite values (monitoring gaps).")
+	obsGrowths = obs.Default().Counter("mcorr_manager_model_grow_total",
+		"Adaptive grid growth events across the model fleet.")
+	obsPoolQueueDepth = obs.Default().Gauge("mcorr_manager_pool_queue_depth",
+		"Scoring chunks left queued to the worker pool at the last dispatch.")
+
+	obsFitness = obs.Default().HistogramVec("mcorr_manager_fitness",
+		"Fitness scores by aggregation level: pair (Q^{a,b}), measurement (Q^a), system (Q).",
+		obs.FitnessBuckets(), "level")
+	obsFitnessPair = obsFitness.With("pair")
+	obsFitnessMeas = obsFitness.With("measurement")
+	obsFitnessSys  = obsFitness.With("system")
+)

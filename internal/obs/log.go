@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"strings"
+	"sync/atomic"
+)
+
+// Level grades log records.
+type Level int32
+
+const (
+	// LevelDebug is development chatter.
+	LevelDebug Level = iota
+	// LevelInfo is normal operation.
+	LevelInfo
+	// LevelWarn is something off but survivable.
+	LevelWarn
+	// LevelError is a failed operation.
+	LevelError
+	// levelOff is above every level: nothing is emitted.
+	levelOff
+)
+
+// String returns the level's name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("Level(%d)", int32(l))
+	}
+}
+
+// logMessages counts emitted log records by level on the default registry,
+// which is what makes the logger "registry-aware": log volume is itself a
+// health signal, scrapeable as mcorr_log_messages_total.
+var logMessages = Default().CounterVec("mcorr_log_messages_total",
+	"Structured log records emitted, by level.", "level")
+
+var logCounters = [4]*Counter{
+	LevelDebug: logMessages.With("debug"),
+	LevelInfo:  logMessages.With("info"),
+	LevelWarn:  logMessages.With("warn"),
+	LevelError: logMessages.With("error"),
+}
+
+// Logger is a small structured key=value logger. Records render as
+//
+//	level=info component=collector msg="hello" agent=web-01
+//
+// on a single line through the underlying sink (a *log.Logger, which owns
+// timestamps and destination). With derives child loggers carrying bound
+// fields; levels below the minimum are dropped. All methods are safe for
+// concurrent use; a nil *Logger discards everything.
+type Logger struct {
+	sink *log.Logger
+	min  *atomic.Int32 // shared across With-derived children
+	base string        // pre-rendered bound fields, "" or " k=v ..."
+}
+
+// NewLogger returns a logger writing timestamped lines to w at LevelInfo.
+func NewLogger(w io.Writer) *Logger {
+	return FromStd(log.New(w, "", log.LstdFlags))
+}
+
+// FromStd wraps an existing standard logger (its prefix, flags and
+// destination are preserved). A nil std returns the no-op logger.
+func FromStd(std *log.Logger) *Logger {
+	if std == nil {
+		return NopLogger()
+	}
+	min := &atomic.Int32{}
+	min.Store(int32(LevelInfo))
+	return &Logger{sink: std, min: min}
+}
+
+// NopLogger returns the shared logger that discards everything.
+func NopLogger() *Logger {
+	nopOnce.Do(func() {
+		min := &atomic.Int32{}
+		min.Store(int32(levelOff))
+		nopLogger = &Logger{sink: log.New(io.Discard, "", 0), min: min}
+	})
+	return nopLogger
+}
+
+// SetLevel sets the minimum emitted level (shared with derived loggers).
+func (l *Logger) SetLevel(min Level) {
+	if l == nil || l == nopLogger {
+		return
+	}
+	l.min.Store(int32(min))
+}
+
+// Enabled reports whether records at the level would be emitted.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && int32(level) >= l.min.Load()
+}
+
+// With returns a child logger with extra bound fields appended to every
+// record.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil || l == nopLogger || len(kv) == 0 {
+		return l
+	}
+	var b strings.Builder
+	b.WriteString(l.base)
+	appendKV(&b, kv)
+	return &Logger{sink: l.sink, min: l.min, base: b.String()}
+}
+
+// Debug emits a debug record.
+func (l *Logger) Debug(msg string, kv ...any) { l.emit(LevelDebug, msg, kv) }
+
+// Info emits an info record.
+func (l *Logger) Info(msg string, kv ...any) { l.emit(LevelInfo, msg, kv) }
+
+// Warn emits a warning record.
+func (l *Logger) Warn(msg string, kv ...any) { l.emit(LevelWarn, msg, kv) }
+
+// Error emits an error record.
+func (l *Logger) Error(msg string, kv ...any) { l.emit(LevelError, msg, kv) }
+
+func (l *Logger) emit(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("level=")
+	b.WriteString(level.String())
+	b.WriteString(l.base)
+	b.WriteString(" msg=")
+	b.WriteString(quoteValue(msg))
+	appendKV(&b, kv)
+	l.sink.Print(b.String())
+	if level >= LevelDebug && level <= LevelError {
+		logCounters[level].Inc()
+	}
+}
+
+// appendKV renders alternating key/value pairs; a dangling key gets the
+// value "(MISSING)".
+func appendKV(b *strings.Builder, kv []any) {
+	for i := 0; i < len(kv); i += 2 {
+		b.WriteByte(' ')
+		b.WriteString(fmt.Sprint(kv[i]))
+		b.WriteByte('=')
+		if i+1 < len(kv) {
+			b.WriteString(quoteValue(fmt.Sprint(kv[i+1])))
+		} else {
+			b.WriteString("(MISSING)")
+		}
+	}
+}
+
+// quoteValue quotes a value only when it needs it (spaces, quotes, '=' or
+// control characters), keeping the common case grep-friendly.
+func quoteValue(v string) string {
+	if v == "" {
+		return `""`
+	}
+	for _, r := range v {
+		if r <= ' ' || r == '"' || r == '=' || r == 0x7f {
+			return fmt.Sprintf("%q", v)
+		}
+	}
+	return v
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"log"
+	"strings"
+	"testing"
+)
+
+func TestLoggerKeyValueOutput(t *testing.T) {
+	var b strings.Builder
+	l := FromStd(log.New(&b, "", 0)).With("component", "collector")
+	l.Info("hello", "agent", "web-01")
+	l.Error("read failed", "err", "broken pipe: reset")
+	got := b.String()
+	if !strings.Contains(got, `level=info component=collector msg=hello agent=web-01`) {
+		t.Errorf("info line malformed:\n%s", got)
+	}
+	if !strings.Contains(got, `level=error component=collector msg="read failed" err="broken pipe: reset"`) {
+		t.Errorf("error line malformed:\n%s", got)
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var b strings.Builder
+	l := FromStd(log.New(&b, "", 0))
+	l.Debug("hidden")
+	if b.Len() != 0 {
+		t.Errorf("debug emitted at default level: %q", b.String())
+	}
+	l.SetLevel(LevelDebug)
+	l.Debug("visible")
+	if !strings.Contains(b.String(), "level=debug msg=visible") {
+		t.Errorf("debug missing after SetLevel: %q", b.String())
+	}
+	l.SetLevel(LevelError)
+	before := b.Len()
+	l.Warn("suppressed")
+	if b.Len() != before {
+		t.Errorf("warn emitted above min level")
+	}
+}
+
+func TestLoggerOddKVAndNil(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b)
+	l.Info("odd", "key")
+	if !strings.Contains(b.String(), "key=(MISSING)") {
+		t.Errorf("dangling key not marked: %q", b.String())
+	}
+	var nilLogger *Logger
+	nilLogger.Info("must not panic")
+	NopLogger().Error("discarded")
+}
+
+func TestLoggerCountsMessages(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b)
+	before := logCounters[LevelWarn].Value()
+	l.Warn("counted")
+	if got := logCounters[LevelWarn].Value(); got != before+1 {
+		t.Errorf("warn counter = %d, want %d", got, before+1)
+	}
+}

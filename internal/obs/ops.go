@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// processStart anchors the uptime gauge; set when the first ops server (or
+// mux) is built so replayed tests stay deterministic until then.
+var (
+	processOnce  sync.Once
+	processStart time.Time
+)
+
+// registerProcessMetrics adds process-level gauges to the default registry.
+func registerProcessMetrics() {
+	processOnce.Do(func() {
+		processStart = time.Now()
+		defaultRegistry.GaugeFunc("mcorr_process_uptime_seconds",
+			"Seconds since the ops surface was initialized.",
+			func() float64 { return time.Since(processStart).Seconds() })
+		defaultRegistry.GaugeFunc("mcorr_process_goroutines",
+			"Live goroutines in the process.",
+			func() float64 { return float64(runtime.NumGoroutine()) })
+	})
+}
+
+// NewOpsMux builds the ops HTTP handler for a registry and tracer:
+//
+//	/metrics       Prometheus text exposition format
+//	/vars          the same registry as expvar-style JSON
+//	/healthz       liveness probe ("ok")
+//	/statusz       human-readable status: process info, metric summary,
+//	               recent spans with per-phase timings
+//	/debug/pprof/  the standard net/http/pprof handlers
+//
+// Nil registry/tracer default to the process-wide ones.
+func NewOpsMux(reg *Registry, tracer *Tracer) *http.ServeMux {
+	if reg == nil {
+		reg = defaultRegistry
+	}
+	if tracer == nil {
+		tracer = defaultTracer
+	}
+	if reg == defaultRegistry {
+		registerProcessMetrics()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeStatusz(w, reg, tracer)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "mcorr ops server — endpoints: /metrics /vars /healthz /statusz /debug/pprof/")
+	})
+	return mux
+}
+
+// writeStatusz renders the human-readable status page.
+func writeStatusz(w http.ResponseWriter, reg *Registry, tracer *Tracer) {
+	fmt.Fprintf(w, "mcorr status\n============\n")
+	if !processStart.IsZero() {
+		fmt.Fprintf(w, "uptime:      %v\n", time.Since(processStart).Round(time.Millisecond))
+	}
+	fmt.Fprintf(w, "go:          %s\n", runtime.Version())
+	fmt.Fprintf(w, "goroutines:  %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "gomaxprocs:  %d\n", runtime.GOMAXPROCS(0))
+
+	fmt.Fprintf(w, "\nrecent spans (%d total recorded)\n--------------------------------\n", tracer.Total())
+	recent := tracer.Recent(32)
+	if len(recent) == 0 {
+		fmt.Fprintln(w, "(none)")
+	}
+	for _, rec := range recent {
+		fmt.Fprintf(w, "%s  %-20s %10v", rec.Start.Format("15:04:05.000"), rec.Name, rec.Duration.Round(time.Microsecond))
+		for _, ph := range rec.Phases {
+			fmt.Fprintf(w, "  %s=%v", ph.Name, ph.Duration.Round(time.Microsecond))
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Aggregate per-span-name phase means: the pipeline-shaped summary
+	// (ingest → score → aggregate → alarm) operators actually read.
+	type agg struct {
+		n      int
+		total  time.Duration
+		phases map[string]time.Duration
+	}
+	byName := map[string]*agg{}
+	for _, rec := range tracer.Recent(0) {
+		a := byName[rec.Name]
+		if a == nil {
+			a = &agg{phases: map[string]time.Duration{}}
+			byName[rec.Name] = a
+		}
+		a.n++
+		a.total += rec.Duration
+		for _, ph := range rec.Phases {
+			a.phases[ph.Name] += ph.Duration
+		}
+	}
+	if len(byName) > 0 {
+		fmt.Fprintf(w, "\nspan means over the ring\n------------------------\n")
+		names := make([]string, 0, len(byName))
+		for n := range byName {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			a := byName[n]
+			fmt.Fprintf(w, "%-20s n=%-4d mean=%v", n, a.n, (a.total / time.Duration(a.n)).Round(time.Microsecond))
+			phNames := make([]string, 0, len(a.phases))
+			for p := range a.phases {
+				phNames = append(phNames, p)
+			}
+			sort.Strings(phNames)
+			for _, p := range phNames {
+				fmt.Fprintf(w, "  %s=%v", p, (a.phases[p] / time.Duration(a.n)).Round(time.Microsecond))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintf(w, "\nmetrics: see /metrics (Prometheus) and /vars (JSON)\n")
+}
+
+// OpsServer is a running ops HTTP server. Stop it with Close.
+type OpsServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeOps binds addr (e.g. ":6060" or "127.0.0.1:0") and serves the ops
+// endpoints for the process-wide registry and tracer in the background.
+func ServeOps(addr string) (*OpsServer, error) {
+	return ServeOpsFor(addr, nil, nil)
+}
+
+// ServeOpsFor is ServeOps with explicit registry and tracer (nil for the
+// process-wide defaults).
+func ServeOpsFor(addr string, reg *Registry, tracer *Tracer) (*OpsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: ops listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewOpsMux(reg, tracer), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &OpsServer{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the bound address.
+func (o *OpsServer) Addr() net.Addr { return o.ln.Addr() }
+
+// Close shuts the server down immediately.
+func (o *OpsServer) Close() error { return o.srv.Close() }

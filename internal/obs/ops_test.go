@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// get fetches a path from the test server and returns status and body.
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestOpsEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_ops_total", "Ops test counter.").Add(5)
+	tr := NewTracer(8)
+	sp := tr.StartSpan("pipeline.step")
+	sp.Phase("score")
+	sp.End()
+
+	srv := httptest.NewServer(NewOpsMux(reg, tr))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/healthz")
+	if code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body = get(t, srv, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{"# TYPE test_ops_total counter", "test_ops_total 5"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv, "/vars")
+	if code != 200 || !strings.Contains(body, `"test_ops_total": 5`) {
+		t.Errorf("/vars = %d %q", code, body)
+	}
+
+	code, body = get(t, srv, "/statusz")
+	if code != 200 || !strings.Contains(body, "pipeline.step") || !strings.Contains(body, "score=") {
+		t.Errorf("/statusz = %d missing span dump:\n%s", code, body)
+	}
+
+	// pprof index must be wired (the profile endpoints themselves block).
+	code, body = get(t, srv, "/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+
+	if code, _ = get(t, srv, "/nope"); code != 404 {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+}
+
+func TestServeOpsLifecycle(t *testing.T) {
+	ops, err := ServeOps("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + ops.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+	// The default registry carries the process gauges once ops is up.
+	resp, err = http.Get("http://" + ops.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "mcorr_process_goroutines") {
+		t.Errorf("process metrics missing from default registry scrape")
+	}
+	if err := ops.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if _, err := http.Get("http://" + ops.Addr().String() + "/healthz"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}

@@ -1,0 +1,417 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// metricKind discriminates the three metric families.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// child is one labeled instance of a family.
+type child struct {
+	values []string
+	metric any // *Counter, *Gauge or *Histogram
+}
+
+// family is one registered metric name: either a single unlabeled metric
+// or a vector of children keyed by label values.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string // nil for a single metric
+	bounds []float64
+
+	single  any            // set when labels == nil
+	gaugeFn func() float64 // read-only gauge callback (kindGauge)
+
+	mu       sync.Mutex
+	children map[string]*child
+	order    []string // insertion order of child keys
+}
+
+// newMetric allocates the right metric type for the family.
+func (f *family) newMetric() any {
+	switch f.kind {
+	case kindCounter:
+		return &Counter{}
+	case kindGauge:
+		return &Gauge{}
+	case kindHistogram:
+		return newHistogram(f.bounds)
+	}
+	panic("obs: unknown metric kind")
+}
+
+// childFor returns (creating on first use) the child for the label values.
+func (f *family) childFor(values []string) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[key]
+	if !ok {
+		c = &child{values: append([]string(nil), values...), metric: f.newMetric()}
+		if f.children == nil {
+			f.children = make(map[string]*child)
+		}
+		f.children[key] = c
+		f.order = append(f.order, key)
+	}
+	return c.metric
+}
+
+// deleteChild removes a labeled child (e.g. a disconnected agent).
+func (f *family) deleteChild(values []string) {
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.children[key]; !ok {
+		return
+	}
+	delete(f.children, key)
+	for i, k := range f.order {
+		if k == key {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// snapshotChildren copies the child list in insertion order.
+func (f *family) snapshotChildren() []*child {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*child, 0, len(f.order))
+	for _, key := range f.order {
+		out = append(out, f.children[key])
+	}
+	return out
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values, creating it on
+// first use. Hot paths must cache the result.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.childFor(values).(*Counter) }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.childFor(values).(*Gauge) }
+
+// Delete drops the child with the given label values (no-op when absent).
+func (v *GaugeVec) Delete(values ...string) { v.f.deleteChild(values) }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.childFor(values).(*Histogram) }
+
+// Registry holds metric families and renders them. Registration is
+// idempotent: re-registering an existing name with the same kind and
+// labels returns the existing family; a conflicting re-registration
+// panics (a programming error, like a duplicate flag).
+type Registry struct {
+	mu       sync.Mutex
+	byName   map[string]*family
+	families []*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// register looks up or creates a family.
+func (r *Registry) register(name, help string, kind metricKind, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s with %d labels (was %s with %d)",
+				name, kind, len(labels), f.kind, len(f.labels)))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: metric %s re-registered with different label names", name))
+			}
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, labels: append([]string(nil), labels...), bounds: append([]float64(nil), bounds...)}
+	if labels == nil {
+		f.single = f.newMetric()
+	}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter, nil, nil).single.(*Counter)
+}
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic("obs: CounterVec needs at least one label")
+	}
+	return &CounterVec{f: r.register(name, help, kindCounter, labels, nil)}
+}
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge, nil, nil).single.(*Gauge)
+}
+
+// GaugeFunc registers a read-only gauge computed at render time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, kindGauge, nil, nil)
+	f.gaugeFn = fn
+}
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if len(labels) == 0 {
+		panic("obs: GaugeVec needs at least one label")
+	}
+	return &GaugeVec{f: r.register(name, help, kindGauge, labels, nil)}
+}
+
+// Histogram registers (or returns) an unlabeled histogram over the given
+// upper bounds (see TimeBuckets, FitnessBuckets, LinearBuckets,
+// ExpBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.register(name, help, kindHistogram, nil, bounds).single.(*Histogram)
+}
+
+// HistogramVec registers (or returns) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if len(labels) == 0 {
+		panic("obs: HistogramVec needs at least one label")
+	}
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, bounds)}
+}
+
+// snapshotFamilies copies the family list sorted by name.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	out := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text format:
+// backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a help string (backslash and newline).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a float the Prometheus way.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelPairs renders {k="v",...}; empty labels render as "".
+func labelPairs(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshotFamilies() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+			return err
+		}
+		if f.labels == nil {
+			if err := writePromMetric(w, f, nil, f.single); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, c := range f.snapshotChildren() {
+			if err := writePromMetric(w, f, c.values, c.metric); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePromMetric renders one (possibly labeled) metric instance.
+func writePromMetric(w io.Writer, f *family, values []string, m any) error {
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelPairs(f.labels, values, "", ""), m.(*Counter).Value())
+		return err
+	case kindGauge:
+		v := m.(*Gauge).Value()
+		if f.gaugeFn != nil {
+			v = f.gaugeFn()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelPairs(f.labels, values, "", ""), formatFloat(v))
+		return err
+	case kindHistogram:
+		h := m.(*Histogram)
+		buckets, count, sum := h.snapshot()
+		var cum uint64
+		for i, c := range buckets {
+			cum += c
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = formatFloat(h.bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelPairs(f.labels, values, "le", le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelPairs(f.labels, values, "", ""), formatFloat(sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelPairs(f.labels, values, "", ""), count)
+		return err
+	}
+	return nil
+}
+
+// jsonMetric converts one metric instance to its JSON value.
+func jsonMetric(f *family, m any) any {
+	switch f.kind {
+	case kindCounter:
+		return m.(*Counter).Value()
+	case kindGauge:
+		if f.gaugeFn != nil {
+			return f.gaugeFn()
+		}
+		return m.(*Gauge).Value()
+	case kindHistogram:
+		h := m.(*Histogram)
+		buckets, count, sum := h.snapshot()
+		type bucket struct {
+			LE    string `json:"le"`
+			Count uint64 `json:"count"`
+		}
+		bs := make([]bucket, len(buckets))
+		var cum uint64
+		for i, c := range buckets {
+			cum += c
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = formatFloat(h.bounds[i])
+			}
+			bs[i] = bucket{LE: le, Count: cum}
+		}
+		quant := map[string]float64{}
+		if count > 0 {
+			for _, q := range []float64{0.5, 0.9, 0.99} {
+				quant[formatFloat(q)] = h.Quantile(q)
+			}
+		}
+		return map[string]any{"count": count, "sum": sum, "quantiles": quant, "buckets": bs}
+	}
+	return nil
+}
+
+// WriteJSON renders the registry as expvar-style JSON: one top-level key
+// per family; labeled families become arrays of {labels, value} objects.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := make(map[string]any)
+	for _, f := range r.snapshotFamilies() {
+		if f.labels == nil {
+			out[f.name] = jsonMetric(f, f.single)
+			continue
+		}
+		var arr []any
+		for _, c := range f.snapshotChildren() {
+			labels := make(map[string]string, len(f.labels))
+			for i, n := range f.labels {
+				labels[n] = c.values[i]
+			}
+			arr = append(arr, map[string]any{"labels": labels, "value": jsonMetric(f, c.metric)})
+		}
+		out[f.name] = arr
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// PhaseTiming is one named phase inside a span (e.g. ingest → score →
+// aggregate → alarm in the scoring pipeline).
+type PhaseTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
+// SpanRecord is a completed span as stored in the tracer's ring.
+type SpanRecord struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Phases   []PhaseTiming
+}
+
+// Tracer keeps the most recent completed spans in a fixed ring buffer so
+// /statusz can show what the pipeline has been doing lately without
+// unbounded memory. Span objects are pooled; recording a span copies its
+// phases into the ring slot's reused backing array, so steady-state
+// tracing does not allocate.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []SpanRecord
+	next  int
+	n     int // valid entries in ring
+	total uint64
+	pool  sync.Pool
+}
+
+// NewTracer returns a tracer retaining the last capacity spans.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &Tracer{ring: make([]SpanRecord, capacity)}
+	t.pool.New = func() any { return &Span{} }
+	return t
+}
+
+// Span is an in-flight timed operation. A nil *Span is a valid no-op, so
+// instrumentation can be unconditional.
+type Span struct {
+	t          *Tracer
+	rec        SpanRecord
+	phaseName  string
+	phaseStart time.Time
+}
+
+// StartSpan opens a span; close it with End. A nil tracer returns a nil
+// (no-op) span.
+func (t *Tracer) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := t.pool.Get().(*Span)
+	s.t = t
+	s.rec.Name = name
+	s.rec.Start = time.Now()
+	s.rec.Phases = s.rec.Phases[:0]
+	s.phaseName = ""
+	return s
+}
+
+// Phase closes the current phase (if any) and starts a new one. Phase
+// durations are measured from the previous Phase call (or span start).
+func (s *Span) Phase(name string) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.closePhase(now)
+	s.phaseName, s.phaseStart = name, now
+}
+
+func (s *Span) closePhase(now time.Time) {
+	if s.phaseName == "" {
+		return
+	}
+	s.rec.Phases = append(s.rec.Phases, PhaseTiming{Name: s.phaseName, Duration: now.Sub(s.phaseStart)})
+	s.phaseName = ""
+}
+
+// End closes the span and records it in the tracer's ring.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.closePhase(now)
+	s.rec.Duration = now.Sub(s.rec.Start)
+	t := s.t
+	t.mu.Lock()
+	slot := &t.ring[t.next]
+	slot.Name = s.rec.Name
+	slot.Start = s.rec.Start
+	slot.Duration = s.rec.Duration
+	slot.Phases = append(slot.Phases[:0], s.rec.Phases...)
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.total++
+	t.mu.Unlock()
+	s.t = nil
+	t.pool.Put(s)
+}
+
+// Total returns how many spans have completed since the tracer was made.
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Recent returns up to n completed spans, newest first (deep copies).
+func (t *Tracer) Recent(n int) []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > t.n {
+		n = t.n
+	}
+	out := make([]SpanRecord, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (t.next - 1 - i + len(t.ring)*2) % len(t.ring)
+		rec := t.ring[idx]
+		rec.Phases = append([]PhaseTiming(nil), rec.Phases...)
+		out = append(out, rec)
+	}
+	return out
+}

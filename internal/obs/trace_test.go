@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordsSpansWithPhases(t *testing.T) {
+	tr := NewTracer(4)
+	sp := tr.StartSpan("step")
+	sp.Phase("score")
+	time.Sleep(time.Millisecond)
+	sp.Phase("aggregate")
+	sp.End()
+
+	recent := tr.Recent(10)
+	if len(recent) != 1 {
+		t.Fatalf("recent = %d spans, want 1", len(recent))
+	}
+	rec := recent[0]
+	if rec.Name != "step" {
+		t.Errorf("name = %q", rec.Name)
+	}
+	if rec.Duration <= 0 {
+		t.Errorf("duration = %v", rec.Duration)
+	}
+	if len(rec.Phases) != 2 || rec.Phases[0].Name != "score" || rec.Phases[1].Name != "aggregate" {
+		t.Errorf("phases = %+v", rec.Phases)
+	}
+	if rec.Phases[0].Duration < time.Millisecond {
+		t.Errorf("score phase %v, want ≥ 1ms", rec.Phases[0].Duration)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.StartSpan(string(rune('a' + i))).End()
+	}
+	if tr.Total() != 5 {
+		t.Errorf("total = %d, want 5", tr.Total())
+	}
+	recent := tr.Recent(0)
+	if len(recent) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(recent))
+	}
+	// Newest first: e, d, c.
+	for i, want := range []string{"e", "d", "c"} {
+		if recent[i].Name != want {
+			t.Errorf("recent[%d] = %q, want %q", i, recent[i].Name, want)
+		}
+	}
+}
+
+func TestNilSpanIsNoop(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan("x")
+	sp.Phase("y") // must not panic
+	sp.End()
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				sp := tr.StartSpan("work")
+				sp.Phase("p")
+				sp.End()
+				if i%100 == 0 {
+					tr.Recent(8)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Total() != 8*500 {
+		t.Errorf("total = %d, want %d", tr.Total(), 8*500)
+	}
+}

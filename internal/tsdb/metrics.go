@@ -1,0 +1,21 @@
+package tsdb
+
+import "mcorr/internal/obs"
+
+// Process-global tsdb metrics (mcorr_tsdb_*), aggregated across every
+// Store in the process (stores are cheap and short-lived in tests; in
+// production there is one).
+var (
+	obsAppended = obs.Default().Counter("mcorr_tsdb_samples_appended_total",
+		"Samples accepted into stores (including gap-filling appends).")
+	obsAppendErrors = obs.Default().Counter("mcorr_tsdb_append_errors_total",
+		"Samples rejected on append (stale or malformed).")
+	obsSeries = obs.Default().Gauge("mcorr_tsdb_series",
+		"Distinct measurement series resident across stores.")
+	obsAppendSeconds = obs.Default().Histogram("mcorr_tsdb_append_seconds",
+		"Latency of one append call (single sample or whole batch).",
+		obs.TimeBuckets())
+	obsQuerySeconds = obs.Default().Histogram("mcorr_tsdb_query_seconds",
+		"Latency of one query call (Query/QueryAll).",
+		obs.TimeBuckets())
+)

@@ -63,21 +63,39 @@ func (s *Store) Step() time.Duration { return s.step }
 // older than stored data is rejected with ErrStale; a sample for an
 // already-filled slot overwrites it only if the slot is the latest.
 func (s *Store) Append(sm Sample) error {
+	start := time.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.appendLocked(sm)
+	err := s.appendLocked(sm)
+	s.mu.Unlock()
+	obsAppendSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		obsAppendErrors.Inc()
+		return err
+	}
+	obsAppended.Inc()
+	return nil
 }
 
 // AppendBatch stores samples in order, stopping at the first error.
 func (s *Store) AppendBatch(batch []Sample) error {
+	start := time.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	var err error
+	stored := 0
 	for i, sm := range batch {
-		if err := s.appendLocked(sm); err != nil {
-			return fmt.Errorf("sample %d (%s): %w", i, sm.ID, err)
+		if err = s.appendLocked(sm); err != nil {
+			err = fmt.Errorf("sample %d (%s): %w", i, sm.ID, err)
+			break
 		}
+		stored++
 	}
-	return nil
+	s.mu.Unlock()
+	obsAppendSeconds.Observe(time.Since(start).Seconds())
+	obsAppended.Add(uint64(stored))
+	if err != nil {
+		obsAppendErrors.Inc()
+	}
+	return err
 }
 
 func (s *Store) appendLocked(sm Sample) error {
@@ -86,6 +104,7 @@ func (s *Store) appendLocked(sm Sample) error {
 	if !ok {
 		e = &entry{start: t}
 		s.series[sm.ID] = e
+		obsSeries.Inc()
 	}
 	idx := int(t.Sub(e.start) / s.step)
 	switch {
@@ -112,6 +131,8 @@ func (s *Store) appendLocked(sm Sample) error {
 
 // Query returns a copy of the stored samples for id within [from, to).
 func (s *Store) Query(id timeseries.MeasurementID, from, to time.Time) (*timeseries.Series, error) {
+	start := time.Now()
+	defer func() { obsQuerySeconds.Observe(time.Since(start).Seconds()) }()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	e, ok := s.series[id]
@@ -136,6 +157,8 @@ func (s *Store) QueryResampled(id timeseries.MeasurementID, from, to time.Time, 
 // QueryAll returns a dataset of copies of every measurement restricted to
 // [from, to).
 func (s *Store) QueryAll(from, to time.Time) *timeseries.Dataset {
+	start := time.Now()
+	defer func() { obsQuerySeconds.Observe(time.Since(start).Seconds()) }()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	ds := timeseries.NewDataset()
@@ -190,6 +213,10 @@ func (s *Store) LoadDataset(ds *timeseries.Dataset) error {
 		}
 		vals := make([]float64, len(src.Values))
 		copy(vals, src.Values)
+		if _, exists := s.series[id]; !exists {
+			obsSeries.Inc()
+		}
+		obsAppended.Add(uint64(len(vals)))
 		s.series[id] = &entry{start: src.Start, values: vals}
 		if s.retention > 0 && len(vals) > s.retention {
 			e := s.series[id]
@@ -241,6 +268,7 @@ func Restore(r io.Reader) (*Store, error) {
 	}
 	for _, e := range snap.Entries {
 		s.series[e.ID] = &entry{start: e.Start, values: e.Values}
+		obsSeries.Inc()
 	}
 	return s, nil
 }

@@ -47,6 +47,7 @@ import (
 	"mcorr/internal/core"
 	"mcorr/internal/manager"
 	"mcorr/internal/mathx"
+	"mcorr/internal/obs"
 	"mcorr/internal/timeseries"
 	"mcorr/internal/tsdb"
 )
@@ -230,6 +231,19 @@ func NewCollectorServer(store *Store) (*CollectorServer, error) {
 	return collector.NewServer(store, nil)
 }
 
+// Observability surface.
+type (
+	// OpsServer serves the process's observability endpoints: /metrics
+	// (Prometheus text format), /vars (JSON), /healthz, /statusz (recent
+	// pipeline spans) and /debug/pprof.
+	OpsServer = obs.OpsServer
+)
+
+// ServeOps starts the ops HTTP server on addr (e.g. ":6060") for the
+// process-wide metric registry and tracer. Close the returned server to
+// stop it.
+func ServeOps(addr string) (*OpsServer, error) { return obs.ServeOps(addr) }
+
 // DialCollector connects an agent to a collector server.
 func DialCollector(addr, agentName string) (*CollectorAgent, error) {
 	return collector.Dial(addr, agentName)
@@ -276,11 +290,17 @@ func (m *Monitor) Manager() *Manager { return m.mgr }
 
 // Ingest stores the samples and scores every row that became complete
 // (all monitored measurements present) up to the newest common timestamp.
-// It returns the reports for the rows scored by this call.
+// It returns the reports for the rows scored by this call. The ingest →
+// score pipeline is traced (span "monitor.ingest" on the default obs
+// tracer, visible at /statusz of an ops server).
 func (m *Monitor) Ingest(samples ...Sample) ([]StepReport, error) {
+	sp := obs.StartSpan("monitor.ingest")
+	defer sp.End()
+	sp.Phase("ingest")
 	if err := m.store.AppendBatch(samples); err != nil {
 		return nil, err
 	}
+	sp.Phase("score")
 	// Rows are complete up to the minimum last-sample time.
 	var ready time.Time
 	for i, id := range m.ids {

@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json figures examples ops-smoke clean
+.PHONY: all build vet test race check bench bench-json figures examples ops-smoke fuzz-short crash-test clean
 
 all: build check
 
 # check is the gate the default flow runs: static analysis (go vet over
-# every package, internal/obs included) plus the full test suite under the
-# race detector.
-check: vet race
+# every package, internal/obs included), the full test suite under the
+# race detector (WAL and collector included), the kill -9 recovery gate,
+# and a bounded fuzzing pass over the wire-format and WAL decoders.
+check: vet race crash-test fuzz-short
 
 build:
 	$(GO) build ./...
@@ -49,6 +50,23 @@ ops-smoke:
 	grep -q '^# TYPE mcorr_alarm_raised_total counter' /tmp/mcorr-smoke-metrics.txt || { echo 'ops-smoke: alarm counter family missing'; exit 1; }; \
 	curl -fsS http://$(OPS_SMOKE_ADDR)/statusz | grep -q 'manager.step' || { echo 'ops-smoke: /statusz has no manager.step spans'; exit 1; }; \
 	echo 'ops-smoke OK'
+
+# fuzz-short runs each decoder fuzz target for a bounded time (go only
+# allows one -fuzz target per invocation). The checked-in corpora under
+# testdata/fuzz seed the search; any crasher go finds is written there and
+# replayed by plain `go test` forever after.
+FUZZTIME ?= 30s
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME) ./internal/collector
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSamples$$' -fuzztime $(FUZZTIME) ./internal/collector
+	$(GO) test -run '^$$' -fuzz '^FuzzReadSegment$$' -fuzztime $(FUZZTIME) ./internal/wal
+	$(GO) test -run '^$$' -fuzz '^FuzzReadRecord$$' -fuzztime $(FUZZTIME) ./internal/wal
+
+# crash-test is the durability gate: build mcdetect, SIGKILL it mid-stream,
+# restart from the same -data-dir, and require the per-step fitness
+# trajectory to match an uninterrupted run bit for bit.
+crash-test:
+	$(GO) test -race -count=1 -run '^TestCrashRecoveryReproducesTrajectory$$' -v ./internal/testkit
 
 # Regenerate every paper figure against the default environment.
 figures:

@@ -36,6 +36,10 @@ func run() error {
 		seed     = flag.Int64("seed", 7, "simulation seed")
 		opsAddr  = flag.String("ops-addr", "", "serve ops endpoints (/metrics, /healthz, /statusz, /debug/pprof) on this address")
 		pace     = flag.Duration("pace", 0, "sleep between streamed rows (lets an ops scraper watch the run)")
+
+		dataDir   = flag.String("data-dir", "", "durable mode: WAL-log every acked sample here and replay on restart")
+		fsync     = flag.String("fsync", "batch", "durable mode: WAL fsync policy (always, batch, none)")
+		ckptEvery = flag.Int("checkpoint-every", 50, "durable mode: snapshot the collector store every this many rows")
 	)
 	flag.Parse()
 
@@ -68,10 +72,27 @@ func run() error {
 	}
 
 	// The collector receives agent batches; we drain them into the
-	// monitor row by row.
-	store, err := mcorr.NewStore(timeseries.SampleStep, 0)
-	if err != nil {
-		return err
+	// monitor row by row. With -data-dir the store is WAL-backed: every
+	// sample is durably logged before the agent's batch is acked, and a
+	// restarted collector replays the log instead of starting empty.
+	var store *mcorr.Store
+	if *dataDir != "" {
+		policy, err := mcorr.ParseSyncPolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		var replayed int
+		store, replayed, err = mcorr.OpenDurableStore(*dataDir, timeseries.SampleStep, 0, policy)
+		if err != nil {
+			return err
+		}
+		defer mcorr.CloseDurableStore(store)
+		log.Printf("durable store in %s (fsync=%s): %d samples replayed from WAL", *dataDir, policy, replayed)
+	} else {
+		store, err = mcorr.NewStore(timeseries.SampleStep, 0)
+		if err != nil {
+			return err
+		}
 	}
 	srv, err := mcorr.NewCollectorServer(store)
 	if err != nil {
@@ -152,6 +173,16 @@ func run() error {
 			} else if r.Time.Minute() == 0 {
 				log.Printf("Q=%.3f at %s%s", r.System, r.Time.Format("15:04"), marker)
 			}
+		}
+		if *dataDir != "" && *ckptEvery > 0 && (k+1)%*ckptEvery == 0 {
+			if err := mcorr.CheckpointStore(*dataDir, store); err != nil {
+				return err
+			}
+		}
+	}
+	if *dataDir != "" {
+		if err := mcorr.CheckpointStore(*dataDir, store); err != nil {
+			return err
 		}
 	}
 	log.Printf("done: %d low-fitness rows flagged; server stats: %+v", alarms, srv.Stats())

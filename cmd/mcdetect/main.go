@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"mcorr"
 	"mcorr/internal/alarm"
 	"mcorr/internal/core"
 	"mcorr/internal/eval"
@@ -52,6 +53,12 @@ func run() error {
 		truthPath = flag.String("truth", "", "ground-truth JSON (from mcgen) to score detection against")
 		opsAddr   = flag.String("ops-addr", "", "serve ops endpoints (/metrics, /healthz, /statusz, /debug/pprof) on this address")
 		linger    = flag.Duration("ops-linger", 0, "keep the ops server up this long after the run (for scraping final state)")
+
+		dataDir   = flag.String("data-dir", "", "durable mode: keep WAL + checkpoints here and recover from them on restart")
+		ckptEvery = flag.Int("checkpoint-every", 240, "durable mode: checkpoint after this many scored rows")
+		ckptIvl   = flag.Duration("checkpoint-interval", 0, "durable mode: also checkpoint after this much wall time (0 = off)")
+		fsync     = flag.String("fsync", "batch", "durable mode: WAL fsync policy (always, batch, none)")
+		pace      = flag.Duration("pace", 0, "durable mode: sleep between streamed rows")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -100,6 +107,22 @@ func run() error {
 	memory := &alarm.MemorySink{}
 	logSink := &alarm.LogSink{Logger: log.New(os.Stdout, "ALARM ", 0)}
 	sink := alarm.NewDeduper(alarm.Multi{memory, logSink}, *holdoff)
+
+	if *dataDir != "" {
+		mcfg := manager.Config{
+			Model:                core.Config{Adaptive: *adaptive, Grid: core.GridConfig{MaxIntervals: 12}},
+			MeasurementThreshold: *threshold,
+			SystemThreshold:      *sysThresh,
+			ProbDelta:            *delta,
+			Sink:                 sink,
+			TrackPairMeans:       true,
+		}
+		dcfg := durableConfig{
+			dataDir: *dataDir, every: *ckptEvery, interval: *ckptIvl,
+			fsync: *fsync, pace: *pace, maxMeas: *maxMeas,
+		}
+		return runDurable(ds, start, trainEnd, end, mcfg, dcfg, memory)
+	}
 
 	var mgr *manager.Manager
 	var watched *timeseries.Dataset
@@ -221,4 +244,104 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// durableConfig carries the -data-dir flag family into runDurable.
+type durableConfig struct {
+	dataDir  string
+	every    int
+	interval time.Duration
+	fsync    string
+	pace     time.Duration
+	maxMeas  int
+}
+
+// runDurable is the crash-safe streaming mode: a DurableMonitor fed row by
+// row from the CSV, with every acked batch in the WAL before the next row
+// and automatic checkpoints on the configured cadence. Restarted with the
+// same -data-dir it recovers from checkpoint + WAL replay and continues
+// where it left off; the per-step fitness lines (STEP <time> Q=<score>)
+// are bit-identical to an uninterrupted run.
+func runDurable(ds *timeseries.Dataset, start, trainEnd, end time.Time, mcfg manager.Config, dcfg durableConfig, memory *alarm.MemorySink) error {
+	policy, err := mcorr.ParseSyncPolicy(dcfg.fsync)
+	if err != nil {
+		return err
+	}
+	cfg := mcorr.DurabilityConfig{
+		DataDir:            dcfg.dataDir,
+		CheckpointEvery:    dcfg.every,
+		CheckpointInterval: dcfg.interval,
+		Fsync:              policy,
+	}
+	var dm *mcorr.DurableMonitor
+	if mcorr.HasCheckpoint(dcfg.dataDir) {
+		var recovered []mcorr.StepReport
+		dm, recovered, err = mcorr.OpenDurableMonitor(cfg, mcfg.Sink)
+		if err != nil {
+			return err
+		}
+		applied, skipped := dm.RecoveryStats()
+		fmt.Printf("recovered from %s: %d WAL samples replayed (%d skipped), %d rows re-scored, resuming at %s\n",
+			dcfg.dataDir, applied, skipped, len(recovered), dm.Cursor().Format(time.RFC3339))
+		for _, r := range recovered {
+			printStep(r)
+		}
+	} else {
+		selected := eval.SelectMeasurements(ds, start, trainEnd, eval.SelectionCriteria{Max: dcfg.maxMeas, MinCV: 0.01})
+		if len(selected) < 2 {
+			return fmt.Errorf("fewer than 2 measurements pass the variance filter")
+		}
+		watched := eval.Subset(ds, selected)
+		fmt.Printf("training on %s .. %s (%d measurements), durable state in %s\n",
+			start.Format(time.RFC3339), trainEnd.Format(time.RFC3339), len(selected), dcfg.dataDir)
+		dm, err = mcorr.NewDurableMonitor(watched.Slice(start, trainEnd), mcfg, cfg)
+		if err != nil {
+			return err
+		}
+	}
+	ids := dm.Manager().IDs()
+	step := ds.Get(ids[0]).Step
+	for t := dm.Cursor(); t.Before(end); t = t.Add(step) {
+		if dcfg.pace > 0 {
+			time.Sleep(dcfg.pace)
+		}
+		var batch []mcorr.Sample
+		for _, id := range ids {
+			s := ds.Get(id)
+			if s == nil {
+				continue
+			}
+			if idx, ok := s.IndexOf(t); ok {
+				batch = append(batch, mcorr.Sample{ID: id, Time: t, Value: s.Values[idx]})
+			}
+		}
+		reports, err := dm.Ingest(batch...)
+		if err != nil {
+			return err
+		}
+		forced, err := dm.FlushUpTo(t.Add(step))
+		if err != nil {
+			return err
+		}
+		for _, r := range reports {
+			printStep(r)
+		}
+		for _, r := range forced {
+			printStep(r)
+		}
+	}
+
+	mgr := dm.Manager()
+	fmt.Printf("mean system fitness Q = %.4f over %d rows\n", mgr.SystemMean(), mgr.Steps())
+	if loc := mgr.Localize(); len(loc.Machines) > 0 {
+		fmt.Printf("worst machine: %s Q=%.4f\n", loc.Machines[0].Machine, loc.Machines[0].Score)
+	}
+	fmt.Printf("alarms: %d\n", memory.Len())
+	return dm.Close()
+}
+
+// printStep emits one row's fitness with full float precision; the crash-
+// recovery test compares these lines bit for bit across runs.
+func printStep(r mcorr.StepReport) {
+	fmt.Printf("STEP %s Q=%.17g scored=%d\n", r.Time.Format(time.RFC3339), r.System, r.ScoredPairs)
 }

@@ -1,0 +1,375 @@
+package mcorr
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"mcorr/internal/manager"
+	"mcorr/internal/tsdb"
+	"mcorr/internal/wal"
+)
+
+// Durability surface: the write-ahead log's sync policy, re-exported for
+// command-line flags.
+type SyncPolicy = wal.SyncPolicy
+
+// Sync policy constants (see the wal package).
+const (
+	SyncBatch  = wal.SyncBatch
+	SyncAlways = wal.SyncAlways
+	SyncNone   = wal.SyncNone
+)
+
+// ParseSyncPolicy parses the -fsync flag values "batch", "always", "none".
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// DurabilityConfig locates and tunes the on-disk state of a durable
+// pipeline. Layout under DataDir:
+//
+//	DataDir/checkpoint   versioned gob snapshot (manager + store + cursor)
+//	DataDir/wal/         segmented write-ahead log of acked samples
+type DurabilityConfig struct {
+	// DataDir is the root of the durable state (required).
+	DataDir string
+	// CheckpointEvery triggers an automatic checkpoint after this many
+	// scored rows. If both CheckpointEvery and CheckpointInterval are
+	// zero, a default of every 240 rows (one simulated day) applies.
+	CheckpointEvery int
+	// CheckpointInterval triggers an automatic checkpoint after this much
+	// wall time (0 disables the time trigger).
+	CheckpointInterval time.Duration
+	// Fsync is the WAL sync policy (default SyncBatch).
+	Fsync SyncPolicy
+	// SegmentBytes is the WAL segment rotation size (default 4 MiB).
+	SegmentBytes int64
+}
+
+func (c DurabilityConfig) withDefaults() DurabilityConfig {
+	if c.CheckpointEvery == 0 && c.CheckpointInterval == 0 {
+		c.CheckpointEvery = 240
+	}
+	return c
+}
+
+func (c DurabilityConfig) checkpointPath() string { return filepath.Join(c.DataDir, "checkpoint") }
+func (c DurabilityConfig) walDir() string         { return filepath.Join(c.DataDir, "wal") }
+
+func (c DurabilityConfig) walOptions() wal.Options {
+	return wal.Options{SegmentBytes: c.SegmentBytes, Sync: c.Fsync}
+}
+
+// HasCheckpoint reports whether dataDir holds a checkpoint to recover from
+// (the OpenDurableMonitor vs NewDurableMonitor decision).
+func HasCheckpoint(dataDir string) bool {
+	_, err := os.Stat(filepath.Join(dataDir, "checkpoint"))
+	return err == nil
+}
+
+// DurableMonitor is a Monitor whose state survives crashes: every acked
+// sample batch is in the write-ahead log before Ingest returns, and the
+// whole pipeline (model fleet, store, scoring cursor) is checkpointed
+// atomically on a step/time cadence. After a crash, OpenDurableMonitor
+// restores the last checkpoint, replays the WAL tail, and re-scores the
+// recovered rows — reproducing the exact fitness trajectory of an
+// uninterrupted run (scoring is deterministic).
+type DurableMonitor struct {
+	mu      sync.Mutex
+	mon     *Monitor
+	log     *wal.Log
+	cfg     DurabilityConfig
+	cadence manager.Cadence
+	rows    int // cumulative scored rows, the cadence's progress counter
+	closed  bool
+
+	replayApplied int
+	replaySkipped int
+}
+
+// NewDurableMonitor trains a monitor on history (exactly like NewMonitor)
+// and makes it durable under cfg.DataDir: a WAL is attached to the store
+// and an initial checkpoint of the freshly trained fleet is written before
+// returning, so even an immediate crash recovers to the trained state.
+func NewDurableMonitor(history *Dataset, mcfg ManagerConfig, cfg DurabilityConfig) (*DurableMonitor, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("durable monitor: DataDir is required")
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable monitor: %w", err)
+	}
+	mon, err := NewMonitor(history, mcfg)
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(cfg.walDir(), cfg.walOptions())
+	if err != nil {
+		mon.mgr.Close()
+		return nil, err
+	}
+	mon.store.AttachWAL(log)
+	d := &DurableMonitor{mon: mon, log: log, cfg: cfg,
+		cadence: manager.Cadence{EverySteps: cfg.CheckpointEvery, Interval: cfg.CheckpointInterval}}
+	if err := d.checkpointLocked(); err != nil {
+		log.Close()
+		mon.mgr.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// OpenDurableMonitor recovers a durable monitor from cfg.DataDir: it loads
+// the latest checkpoint, replays WAL records past the checkpoint's
+// sequence number into the store, re-scores every recovered row, and
+// returns the reports of those re-scored rows (the post-crash replay of
+// the fitness trajectory). A missing checkpoint is manager.ErrNoCheckpoint
+// — cold-start with NewDurableMonitor instead.
+func OpenDurableMonitor(cfg DurabilityConfig, sink AlarmSink) (*DurableMonitor, []StepReport, error) {
+	cfg = cfg.withDefaults()
+	ck, err := manager.ReadCheckpointFile(cfg.checkpointPath())
+	if err != nil {
+		return nil, nil, err
+	}
+	mgr, err := manager.LoadManager(bytes.NewReader(ck.Manager), sink)
+	if err != nil {
+		return nil, nil, fmt.Errorf("recover manager: %w", err)
+	}
+	store, err := tsdb.Restore(bytes.NewReader(ck.Store))
+	if err != nil {
+		mgr.Close()
+		return nil, nil, fmt.Errorf("recover store: %w", err)
+	}
+	applied, skipped, err := store.ReplayWAL(cfg.walDir(), ck.WALSeq)
+	if err != nil {
+		mgr.Close()
+		return nil, nil, err
+	}
+	log, err := wal.Open(cfg.walDir(), cfg.walOptions())
+	if err != nil {
+		mgr.Close()
+		return nil, nil, err
+	}
+	store.AttachWAL(log)
+	mon := &Monitor{store: store, mgr: mgr, step: store.Step(), cursor: ck.Cursor, ids: mgr.IDs()}
+	d := &DurableMonitor{mon: mon, log: log, cfg: cfg,
+		cadence:       manager.Cadence{EverySteps: cfg.CheckpointEvery, Interval: cfg.CheckpointInterval},
+		replayApplied: applied, replaySkipped: skipped}
+
+	// Re-score everything the store holds beyond the checkpoint cursor.
+	// WAL records are whole ingest batches (CRC-framed, torn tails
+	// dropped), so the store only ever recovers complete rows; forcing
+	// the flush here replays Manager.Step in the original order and
+	// reproduces the pre-crash trajectory bit for bit.
+	var last time.Time
+	for _, id := range mon.ids {
+		if t, ok := store.LastTime(id); ok && t.After(last) {
+			last = t
+		}
+	}
+	var recovered []StepReport
+	if !last.IsZero() && !last.Before(mon.cursor) {
+		recovered = mon.FlushUpTo(last.Add(mon.step))
+	}
+	d.rows = len(recovered)
+	return d, recovered, nil
+}
+
+// Monitor exposes the underlying monitor.
+func (d *DurableMonitor) Monitor() *Monitor { return d.mon }
+
+// Manager exposes the underlying model fleet.
+func (d *DurableMonitor) Manager() *Manager { return d.mon.Manager() }
+
+// Cursor returns the timestamp of the next row to be scored — after
+// recovery, the point a feeder should resume streaming from.
+func (d *DurableMonitor) Cursor() time.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.mon.cursor
+}
+
+// RecoveryStats reports how many WAL samples the last OpenDurableMonitor
+// applied and skipped (zero for a fresh NewDurableMonitor).
+func (d *DurableMonitor) RecoveryStats() (applied, skipped int) {
+	return d.replayApplied, d.replaySkipped
+}
+
+// Ingest stores and scores samples exactly like Monitor.Ingest, with two
+// durability guarantees layered on: the applied samples are in the WAL
+// before Ingest returns, and a checkpoint is written automatically
+// whenever the configured cadence comes due.
+func (d *DurableMonitor) Ingest(samples ...Sample) ([]StepReport, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, fmt.Errorf("durable monitor: closed")
+	}
+	reports, err := d.mon.Ingest(samples...)
+	if err != nil {
+		return reports, err
+	}
+	return reports, d.afterScoreLocked(len(reports))
+}
+
+// FlushUpTo forces scoring of all rows before deadline (gaps reset the
+// affected links), then applies the checkpoint cadence.
+func (d *DurableMonitor) FlushUpTo(deadline time.Time) ([]StepReport, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, fmt.Errorf("durable monitor: closed")
+	}
+	reports := d.mon.FlushUpTo(deadline)
+	return reports, d.afterScoreLocked(len(reports))
+}
+
+func (d *DurableMonitor) afterScoreLocked(scored int) error {
+	d.rows += scored
+	if !d.cadence.Due(d.rows, time.Now()) {
+		return nil
+	}
+	return d.checkpointLocked()
+}
+
+// Checkpoint forces an immediate checkpoint regardless of cadence.
+func (d *DurableMonitor) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("durable monitor: closed")
+	}
+	return d.checkpointLocked()
+}
+
+// checkpointLocked snapshots manager + store + cursor atomically and then
+// drops WAL segments the snapshot has made redundant. The WAL sequence is
+// read before the snapshots: every record with Seq <= WALSeq is already
+// applied to the store, so the snapshot covers it and truncation is safe;
+// anything appended concurrently gets Seq > WALSeq and stays replayable
+// (replay is idempotent, so overlap is harmless).
+func (d *DurableMonitor) checkpointLocked() error {
+	seq := d.log.LastSeq()
+	var mbuf, sbuf bytes.Buffer
+	if err := d.mon.mgr.Save(&mbuf); err != nil {
+		return fmt.Errorf("checkpoint manager: %w", err)
+	}
+	if err := d.mon.store.Snapshot(&sbuf); err != nil {
+		return fmt.Errorf("checkpoint store: %w", err)
+	}
+	ck := &manager.Checkpoint{
+		CreatedAt: time.Now(),
+		Cursor:    d.mon.cursor,
+		WALSeq:    seq,
+		Steps:     d.mon.mgr.Steps(),
+		Manager:   mbuf.Bytes(),
+		Store:     sbuf.Bytes(),
+	}
+	if err := manager.WriteCheckpointFile(d.cfg.checkpointPath(), ck); err != nil {
+		return err
+	}
+	d.cadence.Mark(d.rows, time.Now())
+	if err := d.log.TruncateBefore(seq); err != nil {
+		return fmt.Errorf("wal retention: %w", err)
+	}
+	return nil
+}
+
+// Close writes a final checkpoint and releases the WAL and the manager's
+// worker pool. A monitor closed cleanly recovers instantly (empty WAL
+// tail).
+func (d *DurableMonitor) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	err := d.checkpointLocked()
+	if cerr := d.log.Close(); err == nil {
+		err = cerr
+	}
+	d.mon.mgr.Close()
+	return err
+}
+
+// OpenDurableStore opens (or recovers) a standalone WAL-backed store under
+// dataDir — the collector-side durability primitive, with no manager
+// attached. If a checkpoint exists the store is restored from it first;
+// then the WAL tail is replayed, and a fresh WAL is attached so subsequent
+// appends are logged before they are acked. It returns the store and the
+// number of samples replayed from the WAL.
+func OpenDurableStore(dataDir string, step time.Duration, retention int, policy SyncPolicy) (*Store, int, error) {
+	cfg := DurabilityConfig{DataDir: dataDir, Fsync: policy}
+	if err := os.MkdirAll(cfg.walDir(), 0o755); err != nil {
+		return nil, 0, fmt.Errorf("durable store: %w", err)
+	}
+	var (
+		store *Store
+		after uint64
+	)
+	ck, err := manager.ReadCheckpointFile(cfg.checkpointPath())
+	switch {
+	case err == nil:
+		store, err = tsdb.Restore(bytes.NewReader(ck.Store))
+		if err != nil {
+			return nil, 0, fmt.Errorf("durable store recover: %w", err)
+		}
+		after = ck.WALSeq
+	case errors.Is(err, manager.ErrNoCheckpoint):
+		store, err = tsdb.NewStore(step, retention)
+		if err != nil {
+			return nil, 0, err
+		}
+	default:
+		return nil, 0, err
+	}
+	applied, _, err := store.ReplayWAL(cfg.walDir(), after)
+	if err != nil {
+		return nil, 0, err
+	}
+	log, err := wal.Open(cfg.walDir(), cfg.walOptions())
+	if err != nil {
+		return nil, 0, err
+	}
+	store.AttachWAL(log)
+	return store, applied, nil
+}
+
+// CheckpointStore writes a store-only checkpoint (no manager blob) for a
+// store opened with OpenDurableStore and truncates the WAL segments the
+// snapshot covers. Safe to call while appends are in flight: the sequence
+// is read before the snapshot, so concurrent appends stay replayable.
+func CheckpointStore(dataDir string, s *Store) error {
+	log := s.WAL()
+	if log == nil {
+		return fmt.Errorf("durable store checkpoint: store has no WAL attached")
+	}
+	seq := log.LastSeq()
+	var sbuf bytes.Buffer
+	if err := s.Snapshot(&sbuf); err != nil {
+		return fmt.Errorf("durable store checkpoint: %w", err)
+	}
+	ck := &manager.Checkpoint{CreatedAt: time.Now(), WALSeq: seq, Store: sbuf.Bytes()}
+	cfg := DurabilityConfig{DataDir: dataDir}
+	if err := manager.WriteCheckpointFile(cfg.checkpointPath(), ck); err != nil {
+		return err
+	}
+	if err := log.TruncateBefore(seq); err != nil {
+		return fmt.Errorf("durable store wal retention: %w", err)
+	}
+	return nil
+}
+
+// CloseDurableStore detaches and closes the store's WAL (final sync
+// included). The store itself stays usable in memory.
+func CloseDurableStore(s *Store) error {
+	log := s.WAL()
+	if log == nil {
+		return nil
+	}
+	return log.Close()
+}

@@ -1,0 +1,223 @@
+package mcorr_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"mcorr"
+	"mcorr/internal/manager"
+	"mcorr/internal/simulator"
+	"mcorr/internal/timeseries"
+)
+
+// feedRows streams n full rows starting at from into the durable monitor,
+// mirroring mcdetect's durable loop (Ingest + forced flush per row).
+func feedRows(t *testing.T, dm *mcorr.DurableMonitor, ds *timeseries.Dataset, from time.Time, n int) []mcorr.StepReport {
+	t.Helper()
+	var out []mcorr.StepReport
+	for k := 0; k < n; k++ {
+		tm := from.Add(time.Duration(k) * timeseries.SampleStep)
+		var batch []mcorr.Sample
+		for _, id := range ds.IDs() {
+			s := ds.Get(id)
+			if i, ok := s.IndexOf(tm); ok {
+				batch = append(batch, mcorr.Sample{ID: id, Time: tm, Value: s.Values[i]})
+			}
+		}
+		rep, err := dm.Ingest(batch...)
+		if err != nil {
+			t.Fatalf("Ingest row %d: %v", k, err)
+		}
+		out = append(out, rep...)
+		forced, err := dm.FlushUpTo(tm.Add(timeseries.SampleStep))
+		if err != nil {
+			t.Fatalf("FlushUpTo row %d: %v", k, err)
+		}
+		out = append(out, forced...)
+	}
+	return out
+}
+
+func TestDurableMonitorRecoveryReproducesTrajectory(t *testing.T) {
+	ds, _, err := simulator.Generate(simulator.GroupConfig{
+		Name: "D", Machines: 2, Days: 2, Seed: 41,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	day1 := timeseries.MonitoringStart.AddDate(0, 0, 1)
+	history := ds.Slice(timeseries.MonitoringStart, day1)
+	mcfg := mcorr.ManagerConfig{Model: mcorr.ModelConfig{Adaptive: true}}
+	const total = 30
+
+	// Baseline: an uninterrupted durable run over all rows.
+	base, err := mcorr.NewDurableMonitor(history, mcfg, mcorr.DurabilityConfig{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("NewDurableMonitor: %v", err)
+	}
+	want := make(map[time.Time]uint64, total)
+	for _, r := range feedRows(t, base, ds, day1, total) {
+		want[r.Time] = math.Float64bits(r.System)
+	}
+	if len(want) != total {
+		t.Fatalf("baseline scored %d rows, want %d", len(want), total)
+	}
+	if err := base.Close(); err != nil {
+		t.Fatalf("baseline Close: %v", err)
+	}
+
+	// Crashed run: same data, checkpoint every 10 rows, abandoned without
+	// Close after 17 rows (the manager pool is released, the WAL and
+	// checkpoint are left as the "crash" would leave them).
+	dir := t.TempDir()
+	dcfg := mcorr.DurabilityConfig{DataDir: dir, CheckpointEvery: 10}
+	crash, err := mcorr.NewDurableMonitor(history, mcfg, dcfg)
+	if err != nil {
+		t.Fatalf("NewDurableMonitor(crash): %v", err)
+	}
+	pre := feedRows(t, crash, ds, day1, 17)
+	for _, r := range pre {
+		if bits, ok := want[r.Time]; !ok || bits != math.Float64bits(r.System) {
+			t.Fatalf("pre-crash row %s diverged from baseline", r.Time)
+		}
+	}
+	crash.Manager().Close()
+
+	if !mcorr.HasCheckpoint(dir) {
+		t.Fatal("HasCheckpoint = false after a checkpointed run")
+	}
+	dm, recovered, err := mcorr.OpenDurableMonitor(dcfg, nil)
+	if err != nil {
+		t.Fatalf("OpenDurableMonitor: %v", err)
+	}
+	defer dm.Close()
+	applied, _ := dm.RecoveryStats()
+	if applied == 0 {
+		t.Error("recovery replayed 0 WAL samples; the tail after the checkpoint should not be empty")
+	}
+	// Rows 10..16 were after the last checkpoint: recovery re-scores them.
+	if len(recovered) != 7 {
+		t.Fatalf("recovered %d rows, want 7 (rows after the 10-row checkpoint)", len(recovered))
+	}
+	resumeAt := day1.Add(17 * timeseries.SampleStep)
+	if !dm.Cursor().Equal(resumeAt) {
+		t.Fatalf("Cursor after recovery = %s, want %s", dm.Cursor(), resumeAt)
+	}
+
+	post := feedRows(t, dm, ds, resumeAt, total-17)
+	seen := make(map[time.Time]bool)
+	for _, r := range append(recovered, post...) {
+		bits, ok := want[r.Time]
+		if !ok {
+			t.Fatalf("recovered run scored unexpected row %s", r.Time)
+		}
+		if bits != math.Float64bits(r.System) {
+			t.Fatalf("row %s: Q=%x after recovery, baseline %x — trajectory diverged",
+				r.Time, math.Float64bits(r.System), bits)
+		}
+		seen[r.Time] = true
+	}
+	for k := 10; k < total; k++ {
+		tm := day1.Add(time.Duration(k) * timeseries.SampleStep)
+		if !seen[tm] {
+			t.Errorf("row %s missing from recovered trajectory", tm)
+		}
+	}
+}
+
+func TestDurableMonitorCleanCloseRecoversInstantly(t *testing.T) {
+	ds, _, err := simulator.Generate(simulator.GroupConfig{
+		Name: "D", Machines: 2, Days: 2, Seed: 43,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	day1 := timeseries.MonitoringStart.AddDate(0, 0, 1)
+	dir := t.TempDir()
+	dcfg := mcorr.DurabilityConfig{DataDir: dir}
+	dm, err := mcorr.NewDurableMonitor(ds.Slice(timeseries.MonitoringStart, day1), mcorr.ManagerConfig{}, dcfg)
+	if err != nil {
+		t.Fatalf("NewDurableMonitor: %v", err)
+	}
+	feedRows(t, dm, ds, day1, 5)
+	if err := dm.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := dm.Ingest(); err == nil {
+		t.Error("Ingest after Close: want error")
+	}
+
+	re, recovered, err := mcorr.OpenDurableMonitor(dcfg, nil)
+	if err != nil {
+		t.Fatalf("OpenDurableMonitor after clean close: %v", err)
+	}
+	defer re.Close()
+	applied, skipped := re.RecoveryStats()
+	if applied != 0 || skipped != 0 || len(recovered) != 0 {
+		t.Errorf("clean close recovery replayed %d/%d samples, re-scored %d rows; want all zero",
+			applied, skipped, len(recovered))
+	}
+	if wantCursor := day1.Add(5 * timeseries.SampleStep); !re.Cursor().Equal(wantCursor) {
+		t.Errorf("Cursor = %s, want %s", re.Cursor(), wantCursor)
+	}
+}
+
+func TestOpenDurableMonitorWithoutCheckpoint(t *testing.T) {
+	_, _, err := mcorr.OpenDurableMonitor(mcorr.DurabilityConfig{DataDir: t.TempDir()}, nil)
+	if !errors.Is(err, manager.ErrNoCheckpoint) {
+		t.Fatalf("empty dir = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestOpenDurableStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	id := timeseries.MeasurementID{Machine: "m1", Metric: "cpu"}
+	t0 := time.Date(2026, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+	s, replayed, err := mcorr.OpenDurableStore(dir, time.Minute, 0, mcorr.SyncBatch)
+	if err != nil {
+		t.Fatalf("OpenDurableStore: %v", err)
+	}
+	if replayed != 0 {
+		t.Fatalf("fresh dir replayed %d samples", replayed)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Append(mcorr.Sample{ID: id, Time: t0.Add(time.Duration(i) * time.Minute), Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mcorr.CheckpointStore(dir, s); err != nil {
+		t.Fatalf("CheckpointStore: %v", err)
+	}
+	for i := 4; i < 7; i++ {
+		if err := s.Append(mcorr.Sample{ID: id, Time: t0.Add(time.Duration(i) * time.Minute), Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mcorr.CloseDurableStore(s); err != nil {
+		t.Fatalf("CloseDurableStore: %v", err)
+	}
+
+	s2, replayed, err := mcorr.OpenDurableStore(dir, time.Minute, 0, mcorr.SyncBatch)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer mcorr.CloseDurableStore(s2)
+	if replayed != 3 {
+		t.Errorf("replayed %d samples, want 3 (the tail past the checkpoint)", replayed)
+	}
+	if got := s2.Len(id); got != 7 {
+		t.Errorf("recovered store has %d samples, want 7", got)
+	}
+	series, err := s2.Query(id, t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range series.Values {
+		if v != float64(i) {
+			t.Errorf("value %d = %v, want %d", i, v, i)
+		}
+	}
+}

@@ -55,51 +55,92 @@ func (a *Agent) Sent() int {
 	return a.sent
 }
 
+// PartialSendError reports a Send that delivered only a leading prefix of
+// the batch: the first Sent samples were acknowledged by the server, the
+// rest were not. Err is the underlying cause — nil when the connection is
+// healthy and the server simply acked fewer samples (its sink rejected the
+// tail), non-nil when the transport failed partway. Callers can drop the
+// acked prefix and resend only the remainder.
+type PartialSendError struct {
+	// Sent is how many leading samples of the batch the server acked.
+	Sent int
+	// Err is the underlying failure, nil for a clean partial ack.
+	Err error
+}
+
+// Error describes the partial delivery.
+func (e *PartialSendError) Error() string {
+	if e.Err == nil {
+		return fmt.Sprintf("collector: server acked %d samples, rest rejected", e.Sent)
+	}
+	return fmt.Sprintf("collector: delivery stopped after %d acked samples: %v", e.Sent, e.Err)
+}
+
+// Unwrap returns the underlying cause (nil for a clean partial ack).
+func (e *PartialSendError) Unwrap() error { return e.Err }
+
 // Send ships one batch of samples and waits for the server's ack. Batches
-// larger than MaxBatch are split transparently.
+// larger than MaxBatch are split transparently. A failure after the server
+// acked some samples is returned as a *PartialSendError carrying the acked
+// count, so the caller can resume from that offset.
 func (a *Agent) Send(batch []tsdb.Sample) error {
+	sent := 0
 	for len(batch) > 0 {
 		n := len(batch)
 		if n > MaxBatch {
 			n = MaxBatch
 		}
-		if err := a.sendOne(batch[:n]); err != nil {
+		acked, err := a.sendOne(batch[:n])
+		if err != nil {
+			if sent+acked > 0 {
+				var pe *PartialSendError
+				if errors.As(err, &pe) {
+					err = pe.Err
+				}
+				return &PartialSendError{Sent: sent + acked, Err: err}
+			}
 			return err
 		}
+		sent += n
 		batch = batch[n:]
 	}
 	return nil
 }
 
-func (a *Agent) sendOne(batch []tsdb.Sample) error {
+// sendOne ships one wire-sized batch and returns how many samples the
+// server acked. acked < len(batch) always comes with an error.
+func (a *Agent) sendOne(batch []tsdb.Sample) (acked int, err error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.closed {
-		return errors.New("agent: closed")
+		return 0, errors.New("agent: closed")
 	}
 	payload, err := EncodeSamples(batch)
 	if err != nil {
-		return fmt.Errorf("agent encode: %w", err)
+		return 0, fmt.Errorf("agent encode: %w", err)
 	}
 	if err := WriteFrame(a.conn, Frame{Type: MsgSamples, Payload: payload}); err != nil {
-		return fmt.Errorf("agent send: %w", err)
+		return 0, fmt.Errorf("agent send: %w", err)
 	}
 	f, err := ReadFrame(a.conn)
 	if err != nil {
-		return fmt.Errorf("agent await ack: %w", err)
+		return 0, fmt.Errorf("agent await ack: %w", err)
 	}
 	if f.Type != MsgAck {
-		return fmt.Errorf("agent: expected ack, got %s", f.Type)
+		return 0, fmt.Errorf("agent: expected ack, got %s", f.Type)
 	}
 	n, err := DecodeAck(f.Payload)
 	if err != nil {
-		return fmt.Errorf("agent decode ack: %w", err)
+		return 0, fmt.Errorf("agent decode ack: %w", err)
 	}
-	if n != len(batch) {
-		return fmt.Errorf("agent: server accepted %d of %d samples", n, len(batch))
+	if n > len(batch) {
+		return 0, fmt.Errorf("agent: server acked %d of %d samples", n, len(batch))
 	}
 	a.sent += n
-	return nil
+	if n != len(batch) {
+		return n, &PartialSendError{Sent: n}
+	}
+	return n, nil
 }
 
 // Heartbeat sends a keepalive stamped with t.

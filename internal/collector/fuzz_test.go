@@ -1,0 +1,92 @@
+package collector
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"mcorr/internal/timeseries"
+	"mcorr/internal/tsdb"
+)
+
+// FuzzReadFrame feeds arbitrary bytes to the frame reader. The decoder
+// must never panic, must bound its allocations (MaxFrameSize), and any
+// frame it accepts must survive a write/read round trip unchanged.
+func FuzzReadFrame(f *testing.F) {
+	// A well-formed hello and an empty samples frame as live seeds, next
+	// to the checked-in corpus under testdata/fuzz.
+	var hello bytes.Buffer
+	if err := WriteFrame(&hello, Frame{Type: MsgHello, Payload: []byte("agent-1")}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(hello.Bytes())
+	var empty bytes.Buffer
+	if err := WriteFrame(&empty, Frame{Type: MsgSamples, Payload: EncodeAck(0)}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(fr.Payload) > MaxFrameSize {
+			t.Fatalf("accepted %d-byte payload beyond MaxFrameSize", len(fr.Payload))
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, fr); err != nil {
+			t.Fatalf("re-encode accepted frame: %v", err)
+		}
+		again, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-read re-encoded frame: %v", err)
+		}
+		if again.Type != fr.Type || !bytes.Equal(again.Payload, fr.Payload) {
+			t.Fatalf("round trip changed frame: %+v vs %+v", again, fr)
+		}
+	})
+}
+
+// FuzzDecodeSamples feeds arbitrary payloads to the sample-batch decoder.
+// The decoder must never panic and must bound the batch size; any batch it
+// accepts must survive an encode/decode round trip field for field.
+func FuzzDecodeSamples(f *testing.F) {
+	valid, err := EncodeSamples([]tsdb.Sample{
+		{ID: timeseries.MeasurementID{Machine: "m1", Metric: "cpu"}, Time: time.Unix(0, 1_200_000_000).UTC(), Value: 0.5},
+		{ID: timeseries.MeasurementID{Machine: "m2", Metric: "net"}, Time: time.Unix(42, 0).UTC(), Value: math.NaN()},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(EncodeAck(0)) // count-0 batch
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		batch, err := DecodeSamples(payload)
+		if err != nil {
+			return
+		}
+		if len(batch) > MaxBatch {
+			t.Fatalf("accepted batch of %d samples beyond MaxBatch", len(batch))
+		}
+		enc, err := EncodeSamples(batch)
+		if err != nil {
+			t.Fatalf("re-encode accepted batch: %v", err)
+		}
+		again, err := DecodeSamples(enc)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(again) != len(batch) {
+			t.Fatalf("round trip changed batch length: %d vs %d", len(again), len(batch))
+		}
+		for i := range batch {
+			if again[i].ID != batch[i].ID || !again[i].Time.Equal(batch[i].Time) ||
+				math.Float64bits(again[i].Value) != math.Float64bits(batch[i].Value) {
+				t.Fatalf("sample %d changed in round trip: %+v vs %+v", i, again[i], batch[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package collector
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mcorr/internal/timeseries"
+	"mcorr/internal/tsdb"
+)
+
+// TestServerAcksStoredPrefixOnStaleBatch drives the full wire path: a batch
+// whose middle sample is stale must come back as a clean partial ack — the
+// server stores and acks exactly the leading prefix, the agent surfaces a
+// *PartialSendError with Err == nil (connection healthy), and nothing after
+// the stale sample reaches the store.
+func TestServerAcksStoredPrefixOnStaleBatch(t *testing.T) {
+	_, store, addr := newTestServer(t)
+	idCPU := timeseries.MeasurementID{Machine: "srv-01", Metric: "cpu"}
+	idNet := timeseries.MeasurementID{Machine: "srv-01", Metric: "net"}
+	t0 := timeseries.MonitoringStart
+	// Pre-seed cpu at t0+step so a later append at t0 is stale.
+	if err := store.Append(tsdb.Sample{ID: idCPU, Time: t0.Add(timeseries.SampleStep), Value: 1}); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+
+	agent, err := Dial(addr, "srv-01")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer agent.Close()
+
+	batch := []tsdb.Sample{
+		{ID: idNet, Time: t0, Value: 10},
+		{ID: idCPU, Time: t0, Value: 20}, // stale: predates the seeded slot
+		{ID: idNet, Time: t0.Add(timeseries.SampleStep), Value: 30},
+	}
+	err = agent.Send(batch)
+	if err == nil {
+		t.Fatal("stale mid-batch sample: want error")
+	}
+	var pe *PartialSendError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T (%v) is not *PartialSendError", err, err)
+	}
+	if pe.Sent != 1 {
+		t.Errorf("Sent = %d, want 1 (the prefix before the stale sample)", pe.Sent)
+	}
+	if pe.Err != nil {
+		t.Errorf("Err = %v, want nil (clean partial ack over a live connection)", pe.Err)
+	}
+	if got := store.Len(idNet); got != 1 {
+		t.Errorf("store has %d net samples, want exactly the acked prefix (1)", got)
+	}
+	if agent.Sent() != 1 {
+		t.Errorf("agent.Sent() = %d, want 1", agent.Sent())
+	}
+	// The connection survived the partial ack: a clean follow-up works.
+	if err := agent.Send([]tsdb.Sample{{ID: idNet, Time: t0.Add(2 * timeseries.SampleStep), Value: 40}}); err != nil {
+		t.Fatalf("Send after partial ack: %v", err)
+	}
+}
+
+// flakySink stores a prefix of the first batch and reports the rest via a
+// *tsdb.PartialAppendError, then behaves normally — the shape of a store
+// hitting a transient per-sample failure.
+type flakySink struct {
+	mu      sync.Mutex
+	storeAt int // samples of the first batch to apply before failing
+	failed  bool
+	got     []tsdb.Sample
+}
+
+func (f *flakySink) AppendBatch(b []tsdb.Sample) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.failed {
+		f.failed = true
+		k := f.storeAt
+		if k > len(b) {
+			k = len(b)
+		}
+		f.got = append(f.got, b[:k]...)
+		return &tsdb.PartialAppendError{Stored: k, Err: tsdb.ErrStale}
+	}
+	f.got = append(f.got, b...)
+	return nil
+}
+
+func (f *flakySink) samples() []tsdb.Sample {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]tsdb.Sample(nil), f.got...)
+}
+
+// TestReliableAgentResumesFromAckedPrefix checks the end-to-end resume
+// contract: when the server acks only a prefix, the reliable agent trims
+// exactly that prefix and redelivers the remainder over the same
+// connection — every sample arrives once, in order, with no duplicates.
+func TestReliableAgentResumesFromAckedPrefix(t *testing.T) {
+	sink := &flakySink{storeAt: 4}
+	srv, err := NewServer(sink, nil)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	ra := NewReliableAgent(addr.String(), "rel-07", ReliableConfig{Sleep: noSleep})
+	defer ra.Close()
+
+	batch := sampleBatch(10)
+	if err := ra.Send(batch); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if ra.Pending() != 0 {
+		t.Errorf("Pending = %d after successful Send, want 0", ra.Pending())
+	}
+	got := sink.samples()
+	if len(got) != len(batch) {
+		t.Fatalf("sink holds %d samples, want %d (no loss, no duplicates)", len(got), len(batch))
+	}
+	for i := range batch {
+		if got[i].ID != batch[i].ID || !got[i].Time.Equal(batch[i].Time) || got[i].Value != batch[i].Value {
+			t.Fatalf("sample %d = %+v, want %+v (order preserved across resume)", i, got[i], batch[i])
+		}
+	}
+	// The resume happened over the live connection: no reconnect occurred.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Stats().TotalConns == 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := srv.Stats().TotalConns; n != 1 {
+		t.Errorf("TotalConns = %d, want 1 (partial ack must not drop the connection)", n)
+	}
+}

@@ -130,13 +130,27 @@ func (r *ReliableAgent) flush() error {
 
 		if err := agent.Send(toSend); err != nil {
 			lastErr = err
+			// A partial delivery acked a leading prefix: drop exactly
+			// those samples and resume from the right offset instead of
+			// re-sending data the server has already stored.
+			acked, healthy := 0, false
+			var pe *PartialSendError
+			if errors.As(err, &pe) {
+				acked, healthy = pe.Sent, pe.Err == nil
+			}
 			r.mu.Lock()
-			// The connection is suspect: drop it and retry from scratch.
-			_ = agent.Close()
-			if r.agent == agent {
-				r.agent = nil
+			r.trimLocked(acked)
+			if !healthy {
+				// The connection is suspect: drop it and retry from scratch.
+				_ = agent.Close()
+				if r.agent == agent {
+					r.agent = nil
+				}
 			}
 			r.mu.Unlock()
+			if healthy && acked > 0 {
+				continue // progress over a live connection; no backoff
+			}
 			r.cfg.Sleep(backoff)
 			backoff *= 2
 			if backoff > r.cfg.MaxBackoff {
@@ -146,17 +160,26 @@ func (r *ReliableAgent) flush() error {
 		}
 		r.mu.Lock()
 		// Remove exactly what was sent; new samples may have arrived.
-		if len(toSend) <= len(r.pending) {
-			r.pending = append(r.pending[:0], r.pending[len(toSend):]...)
-		} else {
-			r.pending = r.pending[:0]
-		}
+		r.trimLocked(len(toSend))
 		r.mu.Unlock()
 	}
 	if lastErr == nil {
 		lastErr = errors.New("reliable agent: delivery incomplete")
 	}
 	return fmt.Errorf("reliable agent: %w", lastErr)
+}
+
+// trimLocked drops the first n pending samples (the delivered prefix).
+// Caller holds r.mu.
+func (r *ReliableAgent) trimLocked(n int) {
+	if n <= 0 {
+		return
+	}
+	if n >= len(r.pending) {
+		r.pending = r.pending[:0]
+		return
+	}
+	r.pending = append(r.pending[:0], r.pending[n:]...)
 }
 
 // Close stops the agent; pending samples are discarded.

@@ -205,23 +205,31 @@ func (s *Server) handle(conn net.Conn) {
 			appendStart := time.Now()
 			err = s.sink.AppendBatch(batch)
 			obsAppendSeconds.Observe(time.Since(appendStart).Seconds())
+			stored := len(batch)
 			if err != nil {
+				// Sink errors (e.g. stale samples) are reported but do not
+				// kill the connection. The ack carries the stored prefix —
+				// 0 for an opaque failure, PartialAppendError.Stored when
+				// the sink applied the leading samples — so the agent can
+				// resume from the right offset instead of re-sending data
+				// the store has already accepted (and WAL-logged).
+				stored = 0
+				var pe *tsdb.PartialAppendError
+				if errors.As(err, &pe) {
+					stored = pe.Stored
+				}
 				s.countError()
 				obsSinkErrors.Inc()
-				s.log.Error("sink append failed", "agent", agent, "batch", len(batch), "err", err)
-				// Sink errors (e.g. stale samples) are reported but do
-				// not kill the connection; the ack carries 0.
-				if err := WriteFrame(conn, Frame{Type: MsgAck, Payload: EncodeAck(0)}); err != nil {
-					return
-				}
-				continue
+				s.log.Error("sink append failed", "agent", agent, "batch", len(batch), "stored", stored, "err", err)
 			}
-			s.mu.Lock()
-			s.stats.Samples += len(batch)
-			s.mu.Unlock()
-			obsSamples.Add(uint64(len(batch)))
-			s.touch(conn, "", len(batch))
-			if err := WriteFrame(conn, Frame{Type: MsgAck, Payload: EncodeAck(len(batch))}); err != nil {
+			if stored > 0 {
+				s.mu.Lock()
+				s.stats.Samples += stored
+				s.mu.Unlock()
+				obsSamples.Add(uint64(stored))
+				s.touch(conn, "", stored)
+			}
+			if err := WriteFrame(conn, Frame{Type: MsgAck, Payload: EncodeAck(stored)}); err != nil {
 				s.countError()
 				return
 			}

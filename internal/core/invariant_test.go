@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mcorr/internal/mathx"
+)
+
+// checkRowsStochastic asserts the core invariant of the transition matrix:
+// every row is a probability distribution — non-negative entries summing
+// to 1 within 1e-9 — no matter what sequence of updates produced it.
+func checkRowsStochastic(t *testing.T, tm *TransitionMatrix, context string) {
+	t.Helper()
+	n := tm.NumCells()
+	row := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row, err := tm.RowInto(row, i)
+		if err != nil {
+			t.Fatalf("%s: RowInto(%d): %v", context, i, err)
+		}
+		var sum float64
+		for j, p := range row {
+			if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+				t.Fatalf("%s: V[%d][%d] = %v, not a probability", context, i, j, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s: row %d sums to %.15f, want 1±1e-9", context, i, sum)
+		}
+	}
+}
+
+// TestTransitionRowsSumToOneUnderRandomObserve drives matrices of random
+// shapes and both update rules through random Observe sequences; rows must
+// stay stochastic throughout.
+func TestTransitionRowsSumToOneUnderRandomObserve(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 12; trial++ {
+		nx, ny := 2+rng.Intn(5), 2+rng.Intn(5)
+		rule := UpdateKernelBayes
+		if trial%2 == 1 {
+			rule = UpdateDirichlet
+		}
+		grid, err := UniformGrid(0, float64(nx), nx, 0, float64(ny), ny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kernel, err := NewKernel(KernelHarmonic, 2, nx, ny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm, err := NewTransitionMatrix(grid, kernel, rule, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := tm.NumCells()
+		for step := 0; step < 300; step++ {
+			if err := tm.Observe(rng.Intn(n), rng.Intn(n)); err != nil {
+				t.Fatalf("Observe: %v", err)
+			}
+		}
+		checkRowsStochastic(t, tm, rule.String())
+	}
+}
+
+// TestAdaptiveModelInvariantsUnderRandomWalk drives a full adaptive model
+// (online updates + grid growth) with a random walk that repeatedly
+// escapes the trained range, forcing Grow. After every step: the matrix
+// rows stay stochastic, and every produced fitness lies in [1/s, 1] — the
+// extrema of the paper's rank-based score Q = 1 − (π(c_h) − 1)/s.
+func TestAdaptiveModelInvariantsUnderRandomWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	history := make([]mathx.Point2, 400)
+	for i := range history {
+		history[i] = mathx.Point2{X: 40 + rng.Float64()*20, Y: 40 + rng.Float64()*20}
+	}
+	m, err := Train(history, Config{Adaptive: true})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	x, y := 50.0, 50.0
+	grew := 0
+	for step := 0; step < 500; step++ {
+		// Heavy-tailed steps so the walk regularly leaves the grid.
+		x += rng.NormFloat64() * 15
+		y += rng.NormFloat64() * 15
+		res := m.Step(mathx.Point2{X: x, Y: y})
+		if res.Grown {
+			grew++
+		}
+		switch {
+		case res.Scored && res.OutOfGrid:
+			// Outliers score exactly 0 by definition (paper §4.2).
+			if res.Fitness != 0 {
+				t.Fatalf("step %d: outlier fitness %v, want 0", step, res.Fitness)
+			}
+		case res.Scored:
+			s := float64(m.NumCells())
+			lo := 1 / s
+			if res.Fitness < lo-1e-12 || res.Fitness > 1+1e-12 {
+				t.Fatalf("step %d: fitness %v outside [1/%v, 1]", step, res.Fitness, s)
+			}
+		}
+		if step%50 == 0 {
+			checkRowsStochastic(t, m.Matrix(), "adaptive walk")
+		}
+	}
+	if grew == 0 {
+		t.Fatal("walk never grew the grid; invariant not exercised under Grow")
+	}
+	checkRowsStochastic(t, m.Matrix(), "final")
+}
+
+// TestFitnessBoundsTableDriven pins the fitness extrema and the Figure 11
+// anchor values: for a row of s cells, the best-ranked cell scores exactly
+// 1 and the worst exactly 1/s, with the published intermediate scores.
+func TestFitnessBoundsTableDriven(t *testing.T) {
+	cases := []struct {
+		name string
+		row  []float64
+		want []float64 // fitness per destination cell, paper precision
+	}{
+		{
+			// Figure 11's worked example (s = 6).
+			name: "figure-11",
+			row:  []float64{0.1116, 0.2422, 0.2095, 0.2538, 0.1734, 0.0094},
+			want: []float64{0.3333, 0.8333, 0.6667, 1.0000, 0.5000, 0.1667},
+		},
+		{
+			// Uniform ties broken by index: ranks are 1..4 in order.
+			name: "uniform-ties",
+			row:  []float64{0.25, 0.25, 0.25, 0.25},
+			want: []float64{1.0000, 0.7500, 0.5000, 0.2500},
+		},
+		{
+			// Two cells: fitness can only be 1 or 1/2.
+			name: "binary",
+			row:  []float64{0.9, 0.1},
+			want: []float64{1.0000, 0.5000},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := float64(len(tc.row))
+			for h, want := range tc.want {
+				got := FitnessFromRow(tc.row, h)
+				if math.Abs(got-want) > 5e-5 {
+					t.Errorf("fitness(c%d) = %.4f, want %.4f", h+1, got, want)
+				}
+				if got < 1/s-1e-12 || got > 1+1e-12 {
+					t.Errorf("fitness(c%d) = %v outside [1/s, 1]", h+1, got)
+				}
+			}
+		})
+	}
+}

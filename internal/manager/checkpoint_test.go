@@ -1,0 +1,164 @@
+package manager
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mcorr/internal/timeseries"
+)
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "checkpoint")
+
+	mgr, ds, _ := trainedManager(t, Config{}, 2)
+	defer mgr.Close()
+	trainEnd := timeseries.MonitoringStart.AddDate(0, 0, 1)
+	if _, err := mgr.Run(ds.Slice(trainEnd, trainEnd.Add(2*time.Hour)), trainEnd, trainEnd.Add(2*time.Hour)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := mgr.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	cursor := time.Date(2008, time.June, 1, 12, 0, 0, 0, time.UTC)
+	ck := &Checkpoint{
+		Cursor:  cursor,
+		WALSeq:  42,
+		Steps:   mgr.Steps(),
+		Manager: buf.Bytes(),
+		Store:   []byte("store-blob"),
+	}
+	if err := WriteCheckpointFile(path, ck); err != nil {
+		t.Fatalf("WriteCheckpointFile: %v", err)
+	}
+
+	got, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatalf("ReadCheckpointFile: %v", err)
+	}
+	if got.Version != CheckpointVersion || got.WALSeq != 42 || !got.Cursor.Equal(cursor) {
+		t.Fatalf("checkpoint = %+v", got)
+	}
+	if string(got.Store) != "store-blob" {
+		t.Fatalf("store blob = %q", got.Store)
+	}
+	restored, err := LoadManager(bytes.NewReader(got.Manager), nil)
+	if err != nil {
+		t.Fatalf("LoadManager from checkpoint: %v", err)
+	}
+	defer restored.Close()
+	if restored.Steps() != mgr.Steps() {
+		t.Fatalf("restored steps = %d, want %d", restored.Steps(), mgr.Steps())
+	}
+	a, b := mgr.SystemMean(), restored.SystemMean()
+	if math.Float64bits(a) != math.Float64bits(b) {
+		t.Fatalf("restored system mean %v != %v", b, a)
+	}
+}
+
+func TestReadCheckpointFileMissing(t *testing.T) {
+	_, err := ReadCheckpointFile(filepath.Join(t.TempDir(), "nope"))
+	if !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("missing file = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestReadCheckpointFileVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint")
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&Checkpoint{Version: CheckpointVersion + 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpointFile(path); err == nil {
+		t.Fatal("future version: want error")
+	}
+}
+
+func TestWriteCheckpointFileIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "checkpoint")
+	if err := WriteCheckpointFile(path, &Checkpoint{WALSeq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCheckpointFile(path, &Checkpoint{WALSeq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// No temp litter survives a successful write.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("directory has %v, want just the checkpoint", names)
+	}
+	got, err := ReadCheckpointFile(path)
+	if err != nil || got.WALSeq != 2 {
+		t.Fatalf("read = %+v, %v; want WALSeq 2", got, err)
+	}
+}
+
+func TestReadCheckpointFileCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint")
+	if err := os.WriteFile(path, []byte("not a gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpointFile(path); err == nil || errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("corrupt file = %v, want a hard decode error", err)
+	}
+}
+
+func TestCadence(t *testing.T) {
+	base := time.Date(2026, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+	t.Run("steps", func(t *testing.T) {
+		c := Cadence{EverySteps: 10}
+		if c.Due(9, base) {
+			t.Error("due before 10 steps")
+		}
+		if !c.Due(10, base) {
+			t.Error("not due at 10 steps")
+		}
+		c.Mark(10, base)
+		if c.Due(19, base) {
+			t.Error("due again before another 10 steps")
+		}
+		if !c.Due(20, base) {
+			t.Error("not due at 20 steps")
+		}
+	})
+
+	t.Run("interval", func(t *testing.T) {
+		c := Cadence{Interval: time.Minute}
+		if c.Due(0, base) {
+			t.Error("first call must anchor, not fire")
+		}
+		if c.Due(0, base.Add(30*time.Second)) {
+			t.Error("due before the interval elapsed")
+		}
+		if !c.Due(0, base.Add(61*time.Second)) {
+			t.Error("not due after the interval")
+		}
+		c.Mark(0, base.Add(61*time.Second))
+		if c.Due(0, base.Add(90*time.Second)) {
+			t.Error("due again too soon after Mark")
+		}
+	})
+
+	t.Run("zero value never fires", func(t *testing.T) {
+		var c Cadence
+		if c.Due(1<<30, base.Add(1000*time.Hour)) {
+			t.Error("zero cadence fired")
+		}
+	})
+}

@@ -22,6 +22,11 @@ var (
 		"Adaptive grid growth events across the model fleet.")
 	obsPoolQueueDepth = obs.Default().Gauge("mcorr_manager_pool_queue_depth",
 		"Scoring chunks left queued to the worker pool at the last dispatch.")
+	obsCheckpointSeconds = obs.Default().Histogram("mcorr_checkpoint_seconds",
+		"Latency of writing one durable checkpoint (snapshot encode + fsync + rename).",
+		obs.TimeBuckets())
+	obsCheckpoints = obs.Default().Counter("mcorr_checkpoints_written_total",
+		"Checkpoints durably written.")
 
 	obsFitness = obs.Default().HistogramVec("mcorr_manager_fitness",
 		"Fitness scores by aggregation level: pair (Q^{a,b}), measurement (Q^a), system (Q).",

@@ -18,4 +18,6 @@ var (
 	obsQuerySeconds = obs.Default().Histogram("mcorr_tsdb_query_seconds",
 		"Latency of one query call (Query/QueryAll).",
 		obs.TimeBuckets())
+	obsReplayed = obs.Default().Counter("mcorr_recovery_replayed_total",
+		"Samples re-applied from the WAL during startup recovery.")
 )

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"mcorr/internal/timeseries"
+	"mcorr/internal/wal"
 )
 
 // ErrUnknownMeasurement is returned when querying an ID never appended.
@@ -21,6 +22,26 @@ var ErrUnknownMeasurement = errors.New("tsdb: unknown measurement")
 
 // ErrStale is returned when a sample predates data already stored.
 var ErrStale = errors.New("tsdb: sample older than stored data")
+
+// PartialAppendError reports a batch append that stopped partway: the
+// first Stored samples were applied (and, on a durable store, logged);
+// the rest were not. A sender can resume from offset Stored instead of
+// re-sending the whole batch. It unwraps to the underlying cause, so
+// errors.Is(err, ErrStale) still works.
+type PartialAppendError struct {
+	// Stored is how many leading samples of the batch were applied.
+	Stored int
+	// Err is the error that stopped the batch.
+	Err error
+}
+
+// Error describes the partial append.
+func (e *PartialAppendError) Error() string {
+	return fmt.Sprintf("tsdb: batch stopped after %d samples: %v", e.Stored, e.Err)
+}
+
+// Unwrap returns the underlying cause.
+func (e *PartialAppendError) Unwrap() error { return e.Err }
 
 // Sample is one observation of one measurement.
 type Sample struct {
@@ -36,6 +57,7 @@ type Store struct {
 	step      time.Duration
 	retention int // max samples kept per measurement; 0 = unbounded
 	series    map[timeseries.MeasurementID]*entry
+	wal       *wal.Log // nil = in-memory only; see AttachWAL
 }
 
 type entry struct {
@@ -61,11 +83,15 @@ func (s *Store) Step() time.Duration { return s.step }
 // Append stores one sample. Sample times are truncated onto the grid; gaps
 // between the previous sample and this one are filled with NaN; a sample
 // older than stored data is rejected with ErrStale; a sample for an
-// already-filled slot overwrites it only if the slot is the latest.
+// already-filled slot overwrites it only if the slot is the latest. On a
+// durable store the sample is in the WAL before Append returns.
 func (s *Store) Append(sm Sample) error {
 	start := time.Now()
 	s.mu.Lock()
 	err := s.appendLocked(sm)
+	if err == nil && s.wal != nil {
+		err = s.walAppendLocked((&[1]Sample{sm})[:])
+	}
 	s.mu.Unlock()
 	obsAppendSeconds.Observe(time.Since(start).Seconds())
 	if err != nil {
@@ -76,26 +102,39 @@ func (s *Store) Append(sm Sample) error {
 	return nil
 }
 
-// AppendBatch stores samples in order, stopping at the first error.
+// AppendBatch stores samples in order, stopping at the first error. A
+// failure partway through returns a *PartialAppendError carrying how many
+// leading samples were applied, so the sender can resume from that offset.
+// On a durable store exactly the applied prefix is logged to the WAL
+// before AppendBatch returns.
 func (s *Store) AppendBatch(batch []Sample) error {
 	start := time.Now()
 	s.mu.Lock()
-	var err error
+	var cause error
 	stored := 0
 	for i, sm := range batch {
-		if err = s.appendLocked(sm); err != nil {
-			err = fmt.Errorf("sample %d (%s): %w", i, sm.ID, err)
+		if err := s.appendLocked(sm); err != nil {
+			cause = fmt.Errorf("sample %d (%s): %w", i, sm.ID, err)
 			break
 		}
 		stored++
 	}
+	if s.wal != nil && stored > 0 {
+		if werr := s.walAppendLocked(batch[:stored]); werr != nil && cause == nil {
+			// Applied in memory but not durably logged: surface it. The
+			// samples are in the store, so Stored still counts them and a
+			// resume will not re-send (a re-send would be rejected stale).
+			cause = werr
+		}
+	}
 	s.mu.Unlock()
 	obsAppendSeconds.Observe(time.Since(start).Seconds())
 	obsAppended.Add(uint64(stored))
-	if err != nil {
+	if cause != nil {
 		obsAppendErrors.Inc()
+		return &PartialAppendError{Stored: stored, Err: cause}
 	}
-	return err
+	return nil
 }
 
 func (s *Store) appendLocked(sm Sample) error {

@@ -1,0 +1,203 @@
+package tsdb
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"mcorr/internal/timeseries"
+	"mcorr/internal/wal"
+)
+
+func durableStore(t *testing.T, dir string) (*Store, *wal.Log) {
+	t.Helper()
+	s, err := NewStore(time.Minute, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	s.AttachWAL(l)
+	return s, l
+}
+
+func TestWALBatchCodecRoundTrip(t *testing.T) {
+	batch := []Sample{
+		{ID: timeseries.MeasurementID{Machine: "m1", Metric: "cpu"}, Time: t0, Value: 1.5},
+		{ID: timeseries.MeasurementID{Machine: "m2", Metric: "net"}, Time: t0.Add(time.Minute), Value: math.NaN()},
+		{ID: timeseries.MeasurementID{Machine: "", Metric: ""}, Time: t0.Add(2 * time.Minute), Value: -0.0},
+	}
+	payload, err := EncodeWALBatch(batch)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeWALBatch(payload)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("decoded %d samples, want %d", len(got), len(batch))
+	}
+	for i := range batch {
+		if got[i].ID != batch[i].ID || !got[i].Time.Equal(batch[i].Time) {
+			t.Errorf("sample %d = %+v, want %+v", i, got[i], batch[i])
+		}
+		if math.Float64bits(got[i].Value) != math.Float64bits(batch[i].Value) {
+			t.Errorf("sample %d value bits differ", i)
+		}
+	}
+}
+
+func TestWALBatchDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0, 0},
+		{0xff, 0xff, 0xff, 0xff}, // absurd count
+		{0, 0, 0, 1},             // count 1, no body
+		{0, 0, 0, 1, 0, 3, 'a'},  // short machine string
+		{0, 0, 0, 0, 0xde, 0xad}, // trailing bytes
+	}
+	for _, in := range cases {
+		if _, err := DecodeWALBatch(in); err == nil {
+			t.Errorf("DecodeWALBatch(%x): want error", in)
+		}
+	}
+}
+
+func TestDurableStoreLogsBeforeReturn(t *testing.T) {
+	dir := t.TempDir()
+	s, l := durableStore(t, dir)
+	if err := s.Append(Sample{ID: idCPU, Time: t0, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	batch := []Sample{
+		{ID: idCPU, Time: t0.Add(time.Minute), Value: 2},
+		{ID: idNet, Time: t0, Value: 3},
+	}
+	if err := s.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if l.LastSeq() != 2 {
+		t.Fatalf("LastSeq = %d, want 2 (one record per append call)", l.LastSeq())
+	}
+	l.Close()
+
+	// A fresh store replaying the WAL reproduces the exact contents.
+	s2, err := NewStore(time.Minute, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, skipped, err := s2.ReplayWAL(dir, 0)
+	if err != nil || applied != 3 || skipped != 0 {
+		t.Fatalf("ReplayWAL = %d applied, %d skipped, %v", applied, skipped, err)
+	}
+	for _, id := range []timeseries.MeasurementID{idCPU, idNet} {
+		a, _ := s.Query(id, t0, t0.Add(time.Hour))
+		b, err := s2.Query(id, t0, t0.Add(time.Hour))
+		if err != nil {
+			t.Fatalf("recovered store missing %s: %v", id, err)
+		}
+		if len(a.Values) != len(b.Values) {
+			t.Fatalf("%s: %d vs %d values", id, len(a.Values), len(b.Values))
+		}
+		for i := range a.Values {
+			if math.Float64bits(a.Values[i]) != math.Float64bits(b.Values[i]) {
+				t.Fatalf("%s value %d differs after replay", id, i)
+			}
+		}
+	}
+}
+
+func TestReplayIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	s, l := durableStore(t, dir)
+	for i := 0; i < 5; i++ {
+		if err := s.Append(Sample{ID: idCPU, Time: t0.Add(time.Duration(i) * time.Minute), Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Sync()
+	// Replaying into the SAME store: everything is a duplicate. The final
+	// slot is an overwrite (allowed), earlier ones are stale skips.
+	applied, skipped, err := s.ReplayWAL(dir, 0)
+	if err != nil {
+		t.Fatalf("ReplayWAL: %v", err)
+	}
+	if applied+skipped != 5 {
+		t.Fatalf("applied %d + skipped %d != 5", applied, skipped)
+	}
+	if skipped < 4 {
+		t.Fatalf("skipped = %d, want ≥ 4 duplicates rejected", skipped)
+	}
+	if s.Len(idCPU) != 5 {
+		t.Fatalf("Len = %d after idempotent replay, want 5", s.Len(idCPU))
+	}
+}
+
+func TestReplayAfterSeqSkipsCheckpointedPrefix(t *testing.T) {
+	dir := t.TempDir()
+	s, l := durableStore(t, dir)
+	for i := 0; i < 6; i++ {
+		if err := s.Append(Sample{ID: idCPU, Time: t0.Add(time.Duration(i) * time.Minute), Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mark := l.LastSeq() - 2 // pretend a checkpoint covered all but the last two
+	s2, _ := NewStore(time.Minute, 0)
+	applied, _, err := s2.ReplayWAL(dir, mark)
+	if err != nil || applied != 2 {
+		t.Fatalf("ReplayWAL(after=%d) applied %d, %v; want 2", mark, applied, err)
+	}
+}
+
+func TestPartialAppendErrorReportsStored(t *testing.T) {
+	s := newStore(t, 0)
+	batch := []Sample{
+		{ID: idCPU, Time: t0.Add(time.Minute), Value: 1},
+		{ID: idNet, Time: t0, Value: 2},
+		{ID: idCPU, Time: t0, Value: 3}, // stale: slot before the stored one
+		{ID: idNet, Time: t0.Add(time.Minute), Value: 4},
+	}
+	err := s.AppendBatch(batch)
+	if err == nil {
+		t.Fatal("stale batch member: want error")
+	}
+	var pe *PartialAppendError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not *PartialAppendError", err)
+	}
+	if pe.Stored != 2 {
+		t.Fatalf("Stored = %d, want 2", pe.Stored)
+	}
+	if !errors.Is(err, ErrStale) {
+		t.Fatalf("error %v does not unwrap to ErrStale", err)
+	}
+	if s.Len(idNet) != 1 {
+		t.Fatalf("net samples = %d, want 1 (batch stops at the failure)", s.Len(idNet))
+	}
+}
+
+func TestDurableStorePartialBatchLogsOnlyAppliedPrefix(t *testing.T) {
+	dir := t.TempDir()
+	s, l := durableStore(t, dir)
+	batch := []Sample{
+		{ID: idCPU, Time: t0.Add(time.Minute), Value: 1},
+		{ID: idCPU, Time: t0, Value: 2}, // stale
+		{ID: idNet, Time: t0, Value: 3},
+	}
+	err := s.AppendBatch(batch)
+	var pe *PartialAppendError
+	if !errors.As(err, &pe) || pe.Stored != 1 {
+		t.Fatalf("err = %v, want PartialAppendError{Stored: 1}", err)
+	}
+	l.Close()
+	s2, _ := NewStore(time.Minute, 0)
+	applied, skipped, err := s2.ReplayWAL(dir, 0)
+	if err != nil || applied != 1 || skipped != 0 {
+		t.Fatalf("replay = %d applied, %d skipped, %v; want exactly the applied prefix", applied, skipped, err)
+	}
+}

@@ -1,0 +1,69 @@
+//go:build ignore
+
+// gen_corpus regenerates the checked-in fuzz seed corpus under
+// testdata/fuzz: real segment bytes (valid CRCs) plus torn and corrupted
+// variants. Run from this directory:
+//
+//	go run gen_corpus.go
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"mcorr/internal/wal"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "walcorpus")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	l, err := wal.Open(dir, wal.Options{Sync: wal.SyncNone})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range [][]byte{[]byte("alpha"), []byte("beta"), {}, []byte("gamma-longer-payload")} {
+		if _, err := l.Append(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		log.Fatal(err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil || len(names) != 1 {
+		log.Fatalf("expected one segment, got %v (%v)", names, err)
+	}
+	seg, err := os.ReadFile(names[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	torn := seg[:len(seg)-3]
+	flipped := append([]byte(nil), seg...)
+	flipped[len(flipped)-1] ^= 0xff
+	const headerSize = 16
+
+	write := func(fuzzName, seedName string, data []byte) {
+		d := filepath.Join("testdata", "fuzz", fuzzName)
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(d, seedName), []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	write("FuzzReadSegment", "seed_valid_segment", seg)
+	write("FuzzReadSegment", "seed_torn_tail", torn)
+	write("FuzzReadSegment", "seed_flipped_byte", flipped)
+	write("FuzzReadSegment", "seed_header_only", seg[:headerSize])
+	write("FuzzReadRecord", "seed_valid_records", seg[headerSize:])
+	write("FuzzReadRecord", "seed_torn_record", torn[headerSize:])
+	write("FuzzReadRecord", "seed_huge_length", []byte("\xff\xff\xff\xff\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"))
+	fmt.Println("wrote fuzz corpus to testdata/fuzz/")
+}

@@ -1,0 +1,19 @@
+package wal
+
+import "mcorr/internal/obs"
+
+// Process-global WAL metrics (mcorr_wal_*), aggregated across every Log in
+// the process (production runs one).
+var (
+	obsAppended = obs.Default().Counter("mcorr_wal_appended_total",
+		"Records appended to write-ahead logs.")
+	obsBytes = obs.Default().Counter("mcorr_wal_bytes_total",
+		"Bytes written to write-ahead logs (framing included).")
+	obsFsyncSeconds = obs.Default().Histogram("mcorr_wal_fsync_seconds",
+		"Latency of one WAL fsync.",
+		obs.TimeBuckets())
+	obsSegments = obs.Default().Gauge("mcorr_wal_segments",
+		"Segment files currently retained.")
+	obsTruncated = obs.Default().Counter("mcorr_wal_segments_truncated_total",
+		"Segments removed by retention truncation after checkpoints.")
+)

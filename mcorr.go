@@ -288,6 +288,9 @@ func NewMonitor(history *Dataset, cfg ManagerConfig) (*Monitor, error) {
 // Manager exposes the underlying model fleet.
 func (m *Monitor) Manager() *Manager { return m.mgr }
 
+// Cursor returns the timestamp of the next row the monitor will score.
+func (m *Monitor) Cursor() time.Time { return m.cursor }
+
 // Ingest stores the samples and scores every row that became complete
 // (all monitored measurements present) up to the newest common timestamp.
 // It returns the reports for the rows scored by this call. The ingest →

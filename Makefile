@@ -1,14 +1,21 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json figures examples ops-smoke fuzz-short crash-test clean
+.PHONY: all build vet test race check docs-check bench bench-json figures examples ops-smoke fuzz-short crash-test clean
 
 all: build check
 
 # check is the gate the default flow runs: static analysis (go vet over
-# every package, internal/obs included), the full test suite under the
-# race detector (WAL and collector included), the kill -9 recovery gate,
-# and a bounded fuzzing pass over the wire-format and WAL decoders.
-check: vet race crash-test fuzz-short
+# every package, internal/obs included), the documentation gate, the full
+# test suite under the race detector (WAL and collector included), the
+# kill -9 recovery gate, and a bounded fuzzing pass over the wire-format
+# and WAL decoders.
+check: vet docs-check race crash-test fuzz-short
+
+# docs-check fails on undocumented exported identifiers, packages without
+# a package comment, and broken relative links in *.md. OPERATIONS.md
+# flag/metric coverage is enforced separately by TestOperationsDocCoverage.
+docs-check:
+	$(GO) run ./cmd/docschk
 
 build:
 	$(GO) build ./...
@@ -29,7 +36,7 @@ bench:
 # ObsCounterHotPath tracks the metric-instrumentation overhead (must stay
 # allocation-free and < 50ns per manager step sample).
 bench-json:
-	$(GO) test -run '^$$' -bench '^Benchmark(Observe|RowInto|Prob|FitnessHotPath|ModelStepAdaptive|ModelStepOffline|ManagerStep|ObsCounterHotPath)$$' -benchmem . \
+	$(GO) test -run '^$$' -bench '^Benchmark(Observe|RowInto|Prob|FitnessHotPath|ModelStepAdaptive|ModelStepOffline|ManagerStep|ManagerStepSharded|ObsCounterHotPath)$$' -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_scoring.json
 
 # ops-smoke boots the live pipeline demo with the ops server, scrapes
@@ -64,9 +71,10 @@ fuzz-short:
 
 # crash-test is the durability gate: build mcdetect, SIGKILL it mid-stream,
 # restart from the same -data-dir, and require the per-step fitness
-# trajectory to match an uninterrupted run bit for bit.
+# trajectory to match an uninterrupted run bit for bit — unsharded and
+# across every sharded topology.
 crash-test:
-	$(GO) test -race -count=1 -run '^TestCrashRecoveryReproducesTrajectory$$' -v ./internal/testkit
+	$(GO) test -race -count=1 -run '^TestCrashRecovery' -v ./internal/testkit
 
 # Regenerate every paper figure against the default environment.
 figures:

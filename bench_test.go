@@ -9,6 +9,7 @@
 package mcorr_test
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"mcorr/internal/manager"
 	"mcorr/internal/mathx"
 	"mcorr/internal/obs"
+	"mcorr/internal/shard"
 	"mcorr/internal/simulator"
 	"mcorr/internal/timeseries"
 )
@@ -220,6 +222,63 @@ func benchManagerStep(b *testing.B, machines int) {
 func BenchmarkManagerStep(b *testing.B) {
 	b.Run("l=12", func(b *testing.B) { benchManagerStep(b, 2) })
 	b.Run("l=36", func(b *testing.B) { benchManagerStep(b, 6) })
+}
+
+// benchManagerStepSharded is benchManagerStep routed through the shard
+// coordinator: the same fleet scale, partitioned across `shards` manager
+// shards. shards=1 exercises the coordinator's single-shard fast path
+// (its overhead over a bare manager is the fabric's fixed cost); higher
+// counts show the fan-out cost or win for the host's core count.
+func benchManagerStepSharded(b *testing.B, machines, shards int) {
+	ds, _, err := simulator.Generate(simulator.GroupConfig{Name: "Z", Machines: machines, Days: 2, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	day1 := timeseries.MonitoringStart.AddDate(0, 0, 1)
+	coord, err := shard.New(ds.Slice(timeseries.MonitoringStart, day1), shard.Config{
+		Shards: shards,
+		Manager: manager.Config{
+			Model: core.Config{Adaptive: true, Grid: core.GridConfig{MaxIntervals: 12}},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer coord.Close()
+	ids := ds.IDs()
+	rows := make([]manager.Row, timeseries.SamplesPerDay)
+	for k := range rows {
+		tm := day1.Add(time.Duration(k) * timeseries.SampleStep)
+		vals := make(map[timeseries.MeasurementID]float64, len(ids))
+		for _, id := range ids {
+			s := ds.Get(id)
+			if idx, ok := s.IndexOf(tm); ok {
+				vals[id] = s.Values[idx]
+			}
+		}
+		rows[k] = manager.Row{Time: tm, Values: vals}
+	}
+	for _, row := range rows {
+		coord.Step(row)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coord.Step(rows[i%len(rows)])
+	}
+}
+
+// BenchmarkManagerStepSharded records the sharded step latency at the
+// paper's small scale (l=12) and a large fleet (l=48, 1128 pairs) for
+// shard counts 1/2/4. Recorded in BENCH_scoring.json by `make
+// bench-json`; parallel speedup at shards>1 requires spare cores.
+func BenchmarkManagerStepSharded(b *testing.B) {
+	for _, sc := range []struct{ machines, l int }{{2, 12}, {8, 48}} {
+		for _, n := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("l=%d/shards=%d", sc.l, n), func(b *testing.B) {
+				benchManagerStepSharded(b, sc.machines, n)
+			})
+		}
+	}
 }
 
 // benchMatrix builds a trained kernel-Bayes transition matrix on a 12×12

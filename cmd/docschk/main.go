@@ -1,0 +1,214 @@
+// Command docschk is the documentation gate behind `make docs-check`.
+// It walks the repository and fails (exit 1) when documentation has
+// drifted from the code:
+//
+//   - every package (root, internal, cmd, examples) must carry a package
+//     comment;
+//   - every exported top-level identifier — funcs, methods on exported
+//     types, types, and const/var specs — must have a doc comment
+//     (grouped const/var blocks may be documented at the block level);
+//   - every relative link in *.md files must point at a file or
+//     directory that exists.
+//
+// Usage: docschk [root] (default ".").
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+	problems = append(problems, checkGoDocs(root)...)
+	problems = append(problems, checkMarkdownLinks(root)...)
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "docschk: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docschk: ok")
+}
+
+// skipDir reports whether a directory should not be descended into.
+func skipDir(name string) bool {
+	return name == ".git" || name == "testdata" || strings.HasPrefix(name, ".")
+}
+
+// checkGoDocs parses every non-test Go file and returns one problem line
+// per missing package comment or undocumented exported identifier.
+func checkGoDocs(root string) []string {
+	var problems []string
+	pkgHasComment := map[string]bool{} // dir -> any file carries a package comment
+	pkgFiles := map[string][]*ast.File{}
+	pkgNames := map[string]string{}
+	fset := token.NewFileSet()
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		dir := filepath.Dir(path)
+		pkgFiles[dir] = append(pkgFiles[dir], f)
+		pkgNames[dir] = f.Name.Name
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			pkgHasComment[dir] = true
+		}
+		return nil
+	})
+	if err != nil {
+		problems = append(problems, fmt.Sprintf("walk: %v", err))
+		return problems
+	}
+
+	for dir, files := range pkgFiles {
+		if !pkgHasComment[dir] {
+			problems = append(problems,
+				fmt.Sprintf("%s: package %s has no package comment (add a doc.go)", dir, pkgNames[dir]))
+		}
+		for _, f := range files {
+			problems = append(problems, undocumentedIn(fset, f)...)
+		}
+	}
+	return problems
+}
+
+// undocumentedIn returns a problem per exported top-level identifier in
+// one file that has no doc comment.
+func undocumentedIn(fset *token.FileSet, f *ast.File) []string {
+	var problems []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		problems = append(problems,
+			fmt.Sprintf("%s:%d: exported %s %s is undocumented", p.Filename, p.Line, kind, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !exportedReceiver(d) {
+				continue
+			}
+			if d.Doc == nil {
+				report(d.Pos(), "func", d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// A doc on the grouped block, the spec, or a
+					// trailing line comment all count.
+					if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(n.Pos(), "const/var", n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// exportedReceiver reports whether a func is free-standing or a method
+// on an exported type; methods on unexported types are not API surface.
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkMarkdownLinks verifies every relative link target in *.md files
+// exists on disk (anchors are stripped; absolute URLs are ignored).
+func checkMarkdownLinks(root string) []string {
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".md") {
+			return nil
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(b), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, statErr := os.Stat(resolved); statErr != nil {
+				problems = append(problems,
+					fmt.Sprintf("%s: broken relative link (%s)", path, m[1]))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		problems = append(problems, fmt.Sprintf("walk md: %v", err))
+	}
+	return problems
+}

@@ -36,6 +36,7 @@ func run() error {
 		seed     = flag.Int64("seed", 7, "simulation seed")
 		opsAddr  = flag.String("ops-addr", "", "serve ops endpoints (/metrics, /healthz, /statusz, /debug/pprof) on this address")
 		pace     = flag.Duration("pace", 0, "sleep between streamed rows (lets an ops scraper watch the run)")
+		shards   = flag.Int("shards", 1, "partition the monitor's pair graph across this many manager shards")
 
 		dataDir   = flag.String("data-dir", "", "durable mode: WAL-log every acked sample here and replay on restart")
 		fsync     = flag.String("fsync", "batch", "durable mode: WAL fsync policy (always, batch, none)")
@@ -65,11 +66,13 @@ func run() error {
 		return err
 	}
 
-	log.Printf("training monitor on day 1 (%d measurements)", ds.Len())
-	mon, err := mcorr.NewMonitor(ds.Slice(timeseries.MonitoringStart, day1), mcorr.ManagerConfig{})
+	log.Printf("training monitor on day 1 (%d measurements, %d shards)", ds.Len(), *shards)
+	mon, err := mcorr.NewMonitor(ds.Slice(timeseries.MonitoringStart, day1), mcorr.ManagerConfig{},
+		mcorr.WithShards(*shards))
 	if err != nil {
 		return err
 	}
+	defer mon.Fleet().Close()
 
 	// The collector receives agent batches; we drain them into the
 	// monitor row by row. With -data-dir the store is WAL-backed: every

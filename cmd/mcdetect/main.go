@@ -22,6 +22,7 @@ import (
 	"mcorr/internal/eval"
 	"mcorr/internal/manager"
 	"mcorr/internal/obs"
+	"mcorr/internal/shard"
 	"mcorr/internal/simulator"
 	"mcorr/internal/timeseries"
 
@@ -54,6 +55,7 @@ func run() error {
 		opsAddr   = flag.String("ops-addr", "", "serve ops endpoints (/metrics, /healthz, /statusz, /debug/pprof) on this address")
 		linger    = flag.Duration("ops-linger", 0, "keep the ops server up this long after the run (for scraping final state)")
 
+		shards    = flag.Int("shards", 1, "partition the pair graph across this many manager shards (1 = unsharded; trajectories are bit-identical for any value)")
 		dataDir   = flag.String("data-dir", "", "durable mode: keep WAL + checkpoints here and recover from them on restart")
 		ckptEvery = flag.Int("checkpoint-every", 240, "durable mode: checkpoint after this many scored rows")
 		ckptIvl   = flag.Duration("checkpoint-interval", 0, "durable mode: also checkpoint after this much wall time (0 = off)")
@@ -108,36 +110,44 @@ func run() error {
 	logSink := &alarm.LogSink{Logger: log.New(os.Stdout, "ALARM ", 0)}
 	sink := alarm.NewDeduper(alarm.Multi{memory, logSink}, *holdoff)
 
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
+	}
+	mcfg := manager.Config{
+		Model:                core.Config{Adaptive: *adaptive, Grid: core.GridConfig{MaxIntervals: 12}},
+		MeasurementThreshold: *threshold,
+		SystemThreshold:      *sysThresh,
+		ProbDelta:            *delta,
+		Sink:                 sink,
+		TrackPairMeans:       true,
+	}
+
 	if *dataDir != "" {
-		mcfg := manager.Config{
-			Model:                core.Config{Adaptive: *adaptive, Grid: core.GridConfig{MaxIntervals: 12}},
-			MeasurementThreshold: *threshold,
-			SystemThreshold:      *sysThresh,
-			ProbDelta:            *delta,
-			Sink:                 sink,
-			TrackPairMeans:       true,
-		}
 		dcfg := durableConfig{
 			dataDir: *dataDir, every: *ckptEvery, interval: *ckptIvl,
-			fsync: *fsync, pace: *pace, maxMeas: *maxMeas,
+			fsync: *fsync, pace: *pace, maxMeas: *maxMeas, shards: *shards,
 		}
 		return runDurable(ds, start, trainEnd, end, mcfg, dcfg, memory)
 	}
 
-	var mgr *manager.Manager
+	var fleet mcorr.Fleet
 	var watched *timeseries.Dataset
 	if *loadFrom != "" {
+		if *shards > 1 {
+			return fmt.Errorf("-load-models requires -shards=1 (sharded fleets persist via -data-dir checkpoints)")
+		}
 		mf, err := os.Open(*loadFrom)
 		if err != nil {
 			return err
 		}
-		mgr, err = manager.LoadManager(mf, sink)
+		mgr, err := manager.LoadManager(mf, sink)
 		if cerr := mf.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
 			return err
 		}
+		fleet = mgr
 		watched = eval.Subset(ds, mgr.IDs())
 		fmt.Printf("restored %d pair models from %s\n", len(mgr.Pairs()), *loadFrom)
 	} else {
@@ -146,17 +156,14 @@ func run() error {
 			return fmt.Errorf("fewer than 2 measurements pass the variance filter")
 		}
 		watched = eval.Subset(ds, selected)
-		fmt.Printf("training on %s .. %s (%d measurements, %d pairs)\n",
+		fmt.Printf("training on %s .. %s (%d measurements, %d pairs, %d shards)\n",
 			start.Format(time.RFC3339), trainEnd.Format(time.RFC3339),
-			len(selected), len(selected)*(len(selected)-1)/2)
-		mgr, err = manager.New(watched.Slice(start, trainEnd), manager.Config{
-			Model:                core.Config{Adaptive: *adaptive, Grid: core.GridConfig{MaxIntervals: 12}},
-			MeasurementThreshold: *threshold,
-			SystemThreshold:      *sysThresh,
-			ProbDelta:            *delta,
-			Sink:                 sink,
-			TrackPairMeans:       true,
-		})
+			len(selected), len(selected)*(len(selected)-1)/2, *shards)
+		if *shards > 1 {
+			fleet, err = shard.New(watched.Slice(start, trainEnd), shard.Config{Shards: *shards, Manager: mcfg})
+		} else {
+			fleet, err = manager.New(watched.Slice(start, trainEnd), mcfg)
+		}
 		if err != nil {
 			return err
 		}
@@ -164,7 +171,7 @@ func run() error {
 
 	fmt.Printf("detecting on %s .. %s (adaptive=%v)\n", trainEnd.Format(time.RFC3339), end.Format(time.RFC3339), *adaptive)
 	started := time.Now()
-	reports, err := mgr.Run(watched.Slice(trainEnd, end), trainEnd, end)
+	reports, err := fleet.Run(watched.Slice(trainEnd, end), trainEnd, end)
 	if err != nil {
 		return err
 	}
@@ -173,7 +180,7 @@ func run() error {
 	timeline := eval.SystemTimeline(reports)
 	fmt.Printf("\nprocessed %d rows in %v (%v per row)\n", len(reports), elapsed.Round(time.Millisecond),
 		(elapsed / time.Duration(max(1, len(reports)))).Round(time.Microsecond))
-	fmt.Printf("mean system fitness Q = %.4f\n", mgr.SystemMean())
+	fmt.Printf("mean system fitness Q = %.4f\n", fleet.SystemMean())
 	if len(timeline) > 0 {
 		fmt.Printf("Q timeline: %s\n", eval.Sparkline(eval.Downsample(eval.Scores(timeline), 96), 0, 1))
 	}
@@ -188,7 +195,7 @@ func run() error {
 		fmt.Printf("lowest Q = %.4f at %s\n", lowest, lowestAt.Format(time.RFC3339))
 	}
 
-	loc := mgr.Localize()
+	loc := fleet.Localize()
 	fmt.Println("\nmachines ranked by average fitness (worst first):")
 	for i, ms := range loc.Machines {
 		fmt.Printf("  %2d. %-16s Q=%.4f (%d measurements)\n", i+1, ms.Machine, ms.Score, ms.Measurements)
@@ -214,7 +221,7 @@ func run() error {
 			*sysThresh, m.Detected, m.Events, m.MeanDelay, m.FalseAlarmRate)
 	}
 
-	if worst := mgr.WorstPairs(5); len(worst) > 0 {
+	if worst := worstPairs(fleet, 5); len(worst) > 0 {
 		fmt.Println("\nworst links (mean Q^{a,b}, the paper's pair-level drill-down):")
 		for _, ps := range worst {
 			fmt.Printf("  %-60s Q=%.4f (%d samples)\n", ps.Pair.String(), ps.Score, ps.Samples)
@@ -223,6 +230,10 @@ func run() error {
 	fmt.Printf("\nalarms: %d (deduped, holdoff %v)\n", memory.Len(), *holdoff)
 
 	if *saveTo != "" {
+		mgr, ok := fleet.(*manager.Manager)
+		if !ok {
+			return fmt.Errorf("-save-models requires -shards=1 (sharded fleets persist via -data-dir checkpoints)")
+		}
 		f, err := os.Create(*saveTo)
 		if err != nil {
 			return err
@@ -237,6 +248,15 @@ func run() error {
 		fmt.Printf("saved %d pair models to %s\n", len(mgr.Pairs()), *saveTo)
 	}
 	return nil
+}
+
+// worstPairs reads the pair-level drill-down from either fleet shape.
+func worstPairs(fleet mcorr.Fleet, k int) []manager.PairScore {
+	wp, ok := fleet.(interface{ WorstPairs(int) []manager.PairScore })
+	if !ok {
+		return nil
+	}
+	return wp.WorstPairs(k)
 }
 
 func max(a, b int) int {
@@ -254,6 +274,7 @@ type durableConfig struct {
 	fsync    string
 	pace     time.Duration
 	maxMeas  int
+	shards   int
 }
 
 // runDurable is the crash-safe streaming mode: a DurableMonitor fed row by
@@ -275,14 +296,16 @@ func runDurable(ds *timeseries.Dataset, start, trainEnd, end time.Time, mcfg man
 	}
 	var dm *mcorr.DurableMonitor
 	if mcorr.HasCheckpoint(dcfg.dataDir) {
+		// The checkpoint's recorded topology wins over -shards: recovery
+		// must reopen the shard files the checkpoint references.
 		var recovered []mcorr.StepReport
 		dm, recovered, err = mcorr.OpenDurableMonitor(cfg, mcfg.Sink)
 		if err != nil {
 			return err
 		}
 		applied, skipped := dm.RecoveryStats()
-		fmt.Printf("recovered from %s: %d WAL samples replayed (%d skipped), %d rows re-scored, resuming at %s\n",
-			dcfg.dataDir, applied, skipped, len(recovered), dm.Cursor().Format(time.RFC3339))
+		fmt.Printf("recovered from %s: %d WAL samples replayed (%d skipped), %d rows re-scored, %d shards, resuming at %s\n",
+			dcfg.dataDir, applied, skipped, len(recovered), dm.Monitor().Shards(), dm.Cursor().Format(time.RFC3339))
 		for _, r := range recovered {
 			printStep(r)
 		}
@@ -292,14 +315,14 @@ func runDurable(ds *timeseries.Dataset, start, trainEnd, end time.Time, mcfg man
 			return fmt.Errorf("fewer than 2 measurements pass the variance filter")
 		}
 		watched := eval.Subset(ds, selected)
-		fmt.Printf("training on %s .. %s (%d measurements), durable state in %s\n",
-			start.Format(time.RFC3339), trainEnd.Format(time.RFC3339), len(selected), dcfg.dataDir)
-		dm, err = mcorr.NewDurableMonitor(watched.Slice(start, trainEnd), mcfg, cfg)
+		fmt.Printf("training on %s .. %s (%d measurements, %d shards), durable state in %s\n",
+			start.Format(time.RFC3339), trainEnd.Format(time.RFC3339), len(selected), dcfg.shards, dcfg.dataDir)
+		dm, err = mcorr.NewDurableMonitor(watched.Slice(start, trainEnd), mcfg, cfg, mcorr.WithShards(dcfg.shards))
 		if err != nil {
 			return err
 		}
 	}
-	ids := dm.Manager().IDs()
+	ids := dm.Fleet().IDs()
 	step := ds.Get(ids[0]).Step
 	for t := dm.Cursor(); t.Before(end); t = t.Add(step) {
 		if dcfg.pace > 0 {
@@ -331,9 +354,9 @@ func runDurable(ds *timeseries.Dataset, start, trainEnd, end time.Time, mcfg man
 		}
 	}
 
-	mgr := dm.Manager()
-	fmt.Printf("mean system fitness Q = %.4f over %d rows\n", mgr.SystemMean(), mgr.Steps())
-	if loc := mgr.Localize(); len(loc.Machines) > 0 {
+	fleet := dm.Fleet()
+	fmt.Printf("mean system fitness Q = %.4f over %d rows\n", fleet.SystemMean(), fleet.Steps())
+	if loc := fleet.Localize(); len(loc.Machines) > 0 {
 		fmt.Printf("worst machine: %s Q=%.4f\n", loc.Machines[0].Machine, loc.Machines[0].Score)
 	}
 	fmt.Printf("alarms: %d\n", memory.Len())

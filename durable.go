@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
 	"mcorr/internal/manager"
+	"mcorr/internal/shard"
 	"mcorr/internal/tsdb"
 	"mcorr/internal/wal"
 )
@@ -31,8 +33,15 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParseSyncPolicy(
 // DurabilityConfig locates and tunes the on-disk state of a durable
 // pipeline. Layout under DataDir:
 //
-//	DataDir/checkpoint   versioned gob snapshot (manager + store + cursor)
-//	DataDir/wal/         segmented write-ahead log of acked samples
+//	DataDir/checkpoint             versioned gob snapshot (fleet + store + cursor)
+//	DataDir/wal/                   segmented write-ahead log of acked samples
+//	DataDir/shard-<k>/checkpoint-<epoch>   shard k's model fleet (sharded mode)
+//
+// In sharded mode the root checkpoint holds the coordinator state and an
+// epoch number; the per-shard files carrying that epoch hold the models.
+// Shard files are written first, the root checkpoint is atomically renamed
+// into place last, and stale epochs are garbage-collected afterwards — a
+// crash anywhere in the sequence recovers from the previous epoch.
 type DurabilityConfig struct {
 	// DataDir is the root of the durable state (required).
 	DataDir string
@@ -59,6 +68,14 @@ func (c DurabilityConfig) withDefaults() DurabilityConfig {
 func (c DurabilityConfig) checkpointPath() string { return filepath.Join(c.DataDir, "checkpoint") }
 func (c DurabilityConfig) walDir() string         { return filepath.Join(c.DataDir, "wal") }
 
+func (c DurabilityConfig) shardDir(k int) string {
+	return filepath.Join(c.DataDir, fmt.Sprintf("shard-%d", k))
+}
+
+func (c DurabilityConfig) shardCheckpointPath(k int, epoch uint64) string {
+	return filepath.Join(c.shardDir(k), fmt.Sprintf("checkpoint-%d", epoch))
+}
+
 func (c DurabilityConfig) walOptions() wal.Options {
 	return wal.Options{SegmentBytes: c.SegmentBytes, Sync: c.Fsync}
 }
@@ -83,7 +100,8 @@ type DurableMonitor struct {
 	log     *wal.Log
 	cfg     DurabilityConfig
 	cadence manager.Cadence
-	rows    int // cumulative scored rows, the cadence's progress counter
+	rows    int    // cumulative scored rows, the cadence's progress counter
+	epoch   uint64 // last committed sharded-checkpoint epoch
 	closed  bool
 
 	replayApplied int
@@ -94,7 +112,7 @@ type DurableMonitor struct {
 // and makes it durable under cfg.DataDir: a WAL is attached to the store
 // and an initial checkpoint of the freshly trained fleet is written before
 // returning, so even an immediate crash recovers to the trained state.
-func NewDurableMonitor(history *Dataset, mcfg ManagerConfig, cfg DurabilityConfig) (*DurableMonitor, error) {
+func NewDurableMonitor(history *Dataset, mcfg ManagerConfig, cfg DurabilityConfig, opts ...MonitorOption) (*DurableMonitor, error) {
 	cfg = cfg.withDefaults()
 	if cfg.DataDir == "" {
 		return nil, fmt.Errorf("durable monitor: DataDir is required")
@@ -102,13 +120,13 @@ func NewDurableMonitor(history *Dataset, mcfg ManagerConfig, cfg DurabilityConfi
 	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 		return nil, fmt.Errorf("durable monitor: %w", err)
 	}
-	mon, err := NewMonitor(history, mcfg)
+	mon, err := NewMonitor(history, mcfg, opts...)
 	if err != nil {
 		return nil, err
 	}
 	log, err := wal.Open(cfg.walDir(), cfg.walOptions())
 	if err != nil {
-		mon.mgr.Close()
+		mon.fleet.Close()
 		return nil, err
 	}
 	mon.store.AttachWAL(log)
@@ -116,7 +134,7 @@ func NewDurableMonitor(history *Dataset, mcfg ManagerConfig, cfg DurabilityConfi
 		cadence: manager.Cadence{EverySteps: cfg.CheckpointEvery, Interval: cfg.CheckpointInterval}}
 	if err := d.checkpointLocked(); err != nil {
 		log.Close()
-		mon.mgr.Close()
+		mon.fleet.Close()
 		return nil, err
 	}
 	return d, nil
@@ -134,28 +152,28 @@ func OpenDurableMonitor(cfg DurabilityConfig, sink AlarmSink) (*DurableMonitor, 
 	if err != nil {
 		return nil, nil, err
 	}
-	mgr, err := manager.LoadManager(bytes.NewReader(ck.Manager), sink)
+	fleet, coord, err := recoverFleet(cfg, ck, sink)
 	if err != nil {
-		return nil, nil, fmt.Errorf("recover manager: %w", err)
+		return nil, nil, err
 	}
 	store, err := tsdb.Restore(bytes.NewReader(ck.Store))
 	if err != nil {
-		mgr.Close()
+		fleet.Close()
 		return nil, nil, fmt.Errorf("recover store: %w", err)
 	}
 	applied, skipped, err := store.ReplayWAL(cfg.walDir(), ck.WALSeq)
 	if err != nil {
-		mgr.Close()
+		fleet.Close()
 		return nil, nil, err
 	}
 	log, err := wal.Open(cfg.walDir(), cfg.walOptions())
 	if err != nil {
-		mgr.Close()
+		fleet.Close()
 		return nil, nil, err
 	}
 	store.AttachWAL(log)
-	mon := &Monitor{store: store, mgr: mgr, step: store.Step(), cursor: ck.Cursor, ids: mgr.IDs()}
-	d := &DurableMonitor{mon: mon, log: log, cfg: cfg,
+	mon := &Monitor{store: store, fleet: fleet, coord: coord, step: store.Step(), cursor: ck.Cursor, ids: fleet.IDs()}
+	d := &DurableMonitor{mon: mon, log: log, cfg: cfg, epoch: ck.Epoch,
 		cadence:       manager.Cadence{EverySteps: cfg.CheckpointEvery, Interval: cfg.CheckpointInterval},
 		replayApplied: applied, replaySkipped: skipped}
 
@@ -178,11 +196,69 @@ func OpenDurableMonitor(cfg DurabilityConfig, sink AlarmSink) (*DurableMonitor, 
 	return d, recovered, nil
 }
 
+// recoverFleet restores the scoring fleet a checkpoint describes: the
+// single manager blob for the classic layout, or the coordinator state
+// plus every shard-<k>/checkpoint-<epoch> file for the sharded layout.
+func recoverFleet(cfg DurabilityConfig, ck *manager.Checkpoint, sink AlarmSink) (Fleet, *ShardCoordinator, error) {
+	if ck.Shards == 0 {
+		mgr, err := manager.LoadManager(bytes.NewReader(ck.Manager), sink)
+		if err != nil {
+			return nil, nil, fmt.Errorf("recover manager: %w", err)
+		}
+		return mgr, nil, nil
+	}
+	files := make([]*os.File, 0, ck.Shards)
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	blobs := make([]io.Reader, ck.Shards)
+	for k := 0; k < ck.Shards; k++ {
+		f, err := os.Open(cfg.shardCheckpointPath(k, ck.Epoch))
+		if err != nil {
+			return nil, nil, fmt.Errorf("recover shard %d (epoch %d): %w", k, ck.Epoch, err)
+		}
+		files = append(files, f)
+		blobs[k] = f
+	}
+	coord, err := shard.Load(bytes.NewReader(ck.Coord), blobs, sink)
+	if err != nil {
+		return nil, nil, fmt.Errorf("recover sharded fleet: %w", err)
+	}
+	return coord, coord, nil
+}
+
 // Monitor exposes the underlying monitor.
 func (d *DurableMonitor) Monitor() *Monitor { return d.mon }
 
-// Manager exposes the underlying model fleet.
+// Fleet exposes the scoring fleet (a *Manager or a *ShardCoordinator).
+func (d *DurableMonitor) Fleet() Fleet { return d.mon.Fleet() }
+
+// Manager exposes the underlying model fleet when unsharded; nil for a
+// sharded monitor (use Fleet or Coordinator).
 func (d *DurableMonitor) Manager() *Manager { return d.mon.Manager() }
+
+// Coordinator exposes the sharded fabric, or nil when unsharded.
+func (d *DurableMonitor) Coordinator() *ShardCoordinator { return d.mon.Coordinator() }
+
+// Reshard repartitions a sharded durable monitor across n shards and
+// immediately checkpoints the new topology (the checkpoint-split): the
+// new epoch's shard files are written before the root checkpoint flips,
+// so a crash during resharding recovers the old topology and a crash
+// after it recovers the new one — never a mix.
+func (d *DurableMonitor) Reshard(n int) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, fmt.Errorf("durable monitor: closed")
+	}
+	moved, err := d.mon.Reshard(n)
+	if err != nil {
+		return 0, err
+	}
+	return moved, d.checkpointLocked()
+}
 
 // Cursor returns the timestamp of the next row to be scored — after
 // recovery, the point a feeder should resume streaming from.
@@ -253,29 +329,91 @@ func (d *DurableMonitor) Checkpoint() error {
 // (replay is idempotent, so overlap is harmless).
 func (d *DurableMonitor) checkpointLocked() error {
 	seq := d.log.LastSeq()
-	var mbuf, sbuf bytes.Buffer
-	if err := d.mon.mgr.Save(&mbuf); err != nil {
-		return fmt.Errorf("checkpoint manager: %w", err)
-	}
-	if err := d.mon.store.Snapshot(&sbuf); err != nil {
-		return fmt.Errorf("checkpoint store: %w", err)
-	}
 	ck := &manager.Checkpoint{
 		CreatedAt: time.Now(),
 		Cursor:    d.mon.cursor,
 		WALSeq:    seq,
-		Steps:     d.mon.mgr.Steps(),
-		Manager:   mbuf.Bytes(),
-		Store:     sbuf.Bytes(),
+		Steps:     d.mon.fleet.Steps(),
 	}
+	if coord := d.mon.coord; coord != nil {
+		// Sharded layout: per-shard model files carry the next epoch; they
+		// are all durable before the root checkpoint (written last, below)
+		// makes that epoch authoritative.
+		epoch := d.epoch + 1
+		n := coord.NumShards()
+		for k := 0; k < n; k++ {
+			if err := os.MkdirAll(d.cfg.shardDir(k), 0o755); err != nil {
+				return fmt.Errorf("checkpoint shard %d: %w", k, err)
+			}
+			path := d.cfg.shardCheckpointPath(k, epoch)
+			if err := manager.AtomicWrite(path, func(f *os.File) error {
+				return coord.SaveShard(k, f)
+			}); err != nil {
+				return fmt.Errorf("checkpoint shard %d: %w", k, err)
+			}
+		}
+		var cbuf bytes.Buffer
+		if err := coord.SaveState(&cbuf); err != nil {
+			return fmt.Errorf("checkpoint coordinator: %w", err)
+		}
+		ck.Shards = n
+		ck.Epoch = epoch
+		ck.Coord = cbuf.Bytes()
+	} else {
+		var mbuf bytes.Buffer
+		if err := d.mon.Manager().Save(&mbuf); err != nil {
+			return fmt.Errorf("checkpoint manager: %w", err)
+		}
+		ck.Manager = mbuf.Bytes()
+	}
+	var sbuf bytes.Buffer
+	if err := d.mon.store.Snapshot(&sbuf); err != nil {
+		return fmt.Errorf("checkpoint store: %w", err)
+	}
+	ck.Store = sbuf.Bytes()
 	if err := manager.WriteCheckpointFile(d.cfg.checkpointPath(), ck); err != nil {
 		return err
 	}
+	d.epoch = ck.Epoch
 	d.cadence.Mark(d.rows, time.Now())
 	if err := d.log.TruncateBefore(seq); err != nil {
 		return fmt.Errorf("wal retention: %w", err)
 	}
+	if ck.Shards > 0 {
+		d.gcShardEpochs(ck.Shards, ck.Epoch)
+	}
 	return nil
+}
+
+// gcShardEpochs removes per-shard checkpoint files from superseded epochs
+// and shard directories beyond the current shard count (left behind when
+// a reshard shrank the fleet). Best-effort: the authoritative state is
+// the root checkpoint, and stale files are harmless until the next GC.
+func (d *DurableMonitor) gcShardEpochs(shards int, epoch uint64) {
+	keep := fmt.Sprintf("checkpoint-%d", epoch)
+	dirs, err := filepath.Glob(filepath.Join(d.cfg.DataDir, "shard-*"))
+	if err != nil {
+		return
+	}
+	for _, dir := range dirs {
+		var k int
+		if _, err := fmt.Sscanf(filepath.Base(dir), "shard-%d", &k); err != nil {
+			continue
+		}
+		if k >= shards {
+			os.RemoveAll(dir)
+			continue
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if e.Name() != keep {
+				os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
 }
 
 // Close writes a final checkpoint and releases the WAL and the manager's
@@ -292,7 +430,7 @@ func (d *DurableMonitor) Close() error {
 	if cerr := d.log.Close(); err == nil {
 		err = cerr
 	}
-	d.mon.mgr.Close()
+	d.mon.fleet.Close()
 	return err
 }
 

@@ -1,7 +1,3 @@
-// Package alarm carries problem notifications from the detection layer to
-// operators: typed alarms with severities and scopes, pluggable sinks, and
-// a deduplicating wrapper that suppresses repeats of the same alarm within
-// a holdoff window (one real problem spans many consecutive samples).
 package alarm
 
 import (

@@ -1,0 +1,21 @@
+// Package alarm carries problem notifications from the detection layer to
+// operators: typed alarms with severities and scopes, pluggable sinks, and
+// a deduplicating wrapper that suppresses repeats of the same alarm within
+// a holdoff window (one real problem spans many consecutive samples).
+//
+// # Scopes
+//
+// Alarms mirror the paper's three aggregation levels: ScopePair for a
+// broken link (Q^{a,b} or the transition probability below δ),
+// ScopeMeasurement for a sick measurement (Q^a below threshold), and
+// ScopeSystem for a system-wide drop (Q below threshold).
+//
+// # Sinks
+//
+// Sink is the single consumer interface. MemorySink records for tests and
+// reports, LogSink prints, ChannelSink feeds a channel, Multi fans out,
+// Deduper suppresses repeats within a holdoff, Escalator promotes repeated
+// conditions to critical, and CountingSink — wrapped around every sink a
+// manager.Config supplies — publishes alarm volume by severity and scope
+// to the obs registry (mcorr_alarm_raised_total).
+package alarm

@@ -1,18 +1,3 @@
-// Package baseline implements the two prior-work detectors the paper
-// compares its model against conceptually:
-//
-//   - LinearInvariant — the ARX linear-invariant model of Jiang et al. [1]
-//     and Munawar et al. [2]: fit y_t ≈ a·y_{t−1} + b0·x_t + b1·x_{t−1} + c
-//     on history, flag when the residual leaves its training band. Only
-//     meaningful for linearly related pairs.
-//
-//   - GMMEllipse — the Gaussian-mixture ellipse model of Guo et al. [3]:
-//     fit a 2-D mixture to history points and gate new points by their
-//     Mahalanobis distance to the nearest component. Spatial only — it
-//     cannot see temporal anomalies whose points stay inside the clusters.
-//
-// Both satisfy PairDetector, as does an adapter over the core transition
-// model, so the evaluation harness can run them side by side.
 package baseline
 
 import (

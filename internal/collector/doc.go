@@ -1,0 +1,15 @@
+// Package collector implements the monitoring-data pipeline between
+// machines and the analysis side: a compact length-prefixed binary protocol
+// over TCP, an Agent that batches and ships samples from a machine, and a
+// Server that receives them into a sink (normally a tsdb.Store).
+//
+// The paper's infrastructure streamed measurements from ~50 servers per
+// company at a 6-minute sampling rate; this package is the stand-in that
+// exercises the same online code path with real sockets.
+//
+// ReliableAgent layers reconnection with exponential backoff and a bounded
+// resend buffer over the plain Agent, so a collector restart never loses
+// acknowledged samples. The server publishes per-connection and per-agent
+// health to the obs registry (mcorr_collector_*), including a last-seen
+// gauge per agent that a scraper can alert on.
+package collector

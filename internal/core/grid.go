@@ -1,14 +1,3 @@
-// Package core implements the paper's contribution: a grid-based transition
-// probability model for the pairwise correlation of two system measurements.
-//
-// The two-dimensional measurement space is partitioned into a Grid of
-// rectangular cells adapted to the data density (a MAFIA-style merge of
-// fine-grained units, §4.1 of the paper). A TransitionMatrix over the cells
-// models P(c_i → c_j) with a spatial-closeness prior updated by Bayesian
-// multiplicative (log-additive) updates on every observed transition
-// (§4.2). A Model ties the two together and produces, for every new
-// observation, the transition probability and the rank-based fitness score
-// Q = 1 − (π(c_h) − 1)/s used for problem determination (§5).
 package core
 
 import (

@@ -1,0 +1,11 @@
+// Package eval reproduces the paper's evaluation: it builds the three
+// simulated infrastructure groups (A, B, C) with ground-truth problems,
+// selects measurements by the paper's criteria, and regenerates every
+// figure of the evaluation section as numeric tables plus ASCII charts,
+// with detection metrics against the injected ground truth.
+//
+// SelectMeasurements applies the variance filter (coefficient of
+// variation) and cap the paper used to pick which measurements to watch;
+// EvaluateDetection scores a system-fitness timeline against injected
+// fault windows as detected events, detection delay and false-alarm rate.
+package eval

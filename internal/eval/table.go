@@ -1,8 +1,3 @@
-// Package eval reproduces the paper's evaluation: it builds the three
-// simulated infrastructure groups (A, B, C) with ground-truth problems,
-// selects measurements by the paper's criteria, and regenerates every
-// figure of the evaluation section as numeric tables plus ASCII charts,
-// with detection metrics against the injected ground truth.
 package eval
 
 import (

@@ -41,6 +41,56 @@ type Checkpoint struct {
 	// Store is the tsdb gob snapshot (may be empty for manager-only
 	// checkpoints).
 	Store []byte
+
+	// Shards is the shard count of a sharded fleet; 0 (or 1 with a
+	// Manager blob) means the single-manager layout. Older checkpoints
+	// decode with Shards == 0, so the field doubles as the layout switch.
+	Shards int
+	// Epoch versions the per-shard snapshot files that pair with this
+	// checkpoint: shard k's models live in shard-<k>/checkpoint-<Epoch>.
+	// Shard files are written first and the coordinator checkpoint —
+	// which alone makes an epoch authoritative — is renamed into place
+	// last, so a crash mid-checkpoint leaves the previous epoch intact.
+	Epoch uint64
+	// Coord is the coordinator state blob (shard topology + central
+	// aggregator) when Shards > 0.
+	Coord []byte
+}
+
+// AtomicWrite writes a file crash-atomically: the payload goes to a
+// temporary file in the destination directory, is fsynced, renamed over
+// path, and the directory is fsynced — a crash at any point leaves either
+// the old file or the new one, never a torn write.
+func AtomicWrite(path string, write func(w *os.File) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomic write: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomic write sync: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomic write close: %w", err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("atomic write rename: %w", err)
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync() // best-effort: make the rename itself durable
+		d.Close()
+	}
+	return nil
 }
 
 // WriteCheckpointFile atomically persists a checkpoint: the gob is written
@@ -53,33 +103,13 @@ func WriteCheckpointFile(path string, ck *Checkpoint) (err error) {
 	if ck.Version == 0 {
 		ck.Version = CheckpointVersion
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("checkpoint write: %w", err)
-	}
-	tmpName := tmp.Name()
-	defer func() {
-		if err != nil {
-			tmp.Close()
-			os.Remove(tmpName)
+	if err := AtomicWrite(path, func(f *os.File) error {
+		if err := gob.NewEncoder(f).Encode(ck); err != nil {
+			return fmt.Errorf("checkpoint encode: %w", err)
 		}
-	}()
-	if err = gob.NewEncoder(tmp).Encode(ck); err != nil {
-		return fmt.Errorf("checkpoint encode: %w", err)
-	}
-	if err = tmp.Sync(); err != nil {
-		return fmt.Errorf("checkpoint sync: %w", err)
-	}
-	if err = tmp.Close(); err != nil {
-		return fmt.Errorf("checkpoint close: %w", err)
-	}
-	if err = os.Rename(tmpName, path); err != nil {
-		return fmt.Errorf("checkpoint rename: %w", err)
-	}
-	if d, derr := os.Open(dir); derr == nil {
-		_ = d.Sync() // best-effort: make the rename itself durable
-		d.Close()
+		return nil
+	}); err != nil {
+		return err
 	}
 	obsCheckpoints.Inc()
 	return nil

@@ -1,0 +1,36 @@
+// Package manager owns the model fleet: one pairwise transition-
+// probability model per measurement pair (l(l−1)/2 links for l
+// measurements), trained together and stepped in lockstep over
+// synchronized rows, with the paper's three-level fitness aggregation
+// Q^{a,b} → Q^a → Q and machine-level problem localization on top.
+//
+// # Scoring path
+//
+// Manager.Step scores one Row: a persistent worker pool fans the sorted
+// pair list out in fixed chunks (stable order → reproducible tie-breaks),
+// each pair's model produces an Outcome, and an Aggregator folds the
+// outcomes — always in canonical pair order — into per-measurement and
+// system accumulators, raising alarms through the configured sink. The
+// fold order is what makes trajectories bit-reproducible: the same rows
+// always produce the same float64s, whatever the worker count.
+//
+// # Split score/aggregate surface
+//
+// The scoring and aggregation halves are usable separately, which is how
+// the shard package composes them: Manager.ScoreInto scores a subset of
+// the global pair list directly into a shared Outcome slice at caller-
+// chosen indices, and a standalone Aggregator (NewAggregator, or
+// Manager.Aggregator for the built-in one) folds any such slice with the
+// exact same code path Step uses. NewSubset trains a manager over a
+// filtered pair set; FromModels rebuilds one around already-trained
+// models without retraining — the resharding primitive.
+//
+// # Persistence
+//
+// Save/LoadManager round-trip the full fleet (models + accumulators) as
+// versioned gob; Aggregator.Save/LoadAggregator do the same for a
+// standalone aggregator. Checkpoint and WriteCheckpointFile/
+// ReadCheckpointFile define the crash-atomic on-disk checkpoint format
+// shared by the durable pipeline, including the sharded layout's epoch
+// fields; Cadence decides when automatic checkpoints are due.
+package manager

@@ -1,10 +1,3 @@
-// Package manager orchestrates the paper's system-level analysis: it
-// maintains one pairwise correlation model per link of the measurement
-// graph (l(l−1)/2 models for l measurements, §5), feeds synchronized
-// sample rows through them concurrently, aggregates fitness scores at the
-// paper's three levels — pair Q^{a,b}, measurement Q^a, system Q — rolls
-// measurements up to machines for problem localization, and raises alarms
-// when scores breach thresholds.
 package manager
 
 import (
@@ -35,8 +28,25 @@ func MakePair(a, b timeseries.MeasurementID) Pair {
 	return Pair{A: a, B: b}
 }
 
-// String renders the pair as "a ~ b".
+// String renders the pair as "a ~ b". This is also the pair's canonical
+// shard key (see internal/shard): it must stay stable across releases or
+// persisted shard assignments would silently move.
 func (p Pair) String() string { return p.A.String() + " ~ " + p.B.String() }
+
+// Less orders pairs canonically: by A, then by B. It is the global pair
+// order every scoring fabric must use so aggregation sums floats in one
+// fixed sequence.
+func (p Pair) Less(q Pair) bool {
+	if p.A != q.A {
+		return p.A.Less(q.A)
+	}
+	return p.B.Less(q.B)
+}
+
+// SortPairs sorts pairs into the canonical global order (Pair.Less).
+func SortPairs(pairs []Pair) {
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Less(pairs[j]) })
+}
 
 // Config controls a Manager.
 type Config struct {
@@ -106,27 +116,24 @@ type Manager struct {
 	cfg Config
 	ids []timeseries.MeasurementID
 
-	mu      sync.Mutex
-	models  map[Pair]*core.Model
-	acc     map[timeseries.MeasurementID]*mathx.Online // running Q^a means
-	pairAcc map[Pair]*mathx.Online                     // running Q^{a,b} means
-	sysAcc  mathx.Online
-	steps   int
+	mu     sync.Mutex
+	models map[Pair]*core.Model
+	agg    *Aggregator
 
 	// Step-path state, built once by initRuntime: the stable sorted pair
 	// slice (chunked identically every step, so work distribution and any
 	// tie-dependent output are reproducible), per-pair measurement indices
-	// for map-free Q^a aggregation, reusable outcome/accumulation scratch,
-	// and the persistent worker pool.
-	pairs    []Pair
-	pairIdx  [][2]int      // pairs[i] → indices into ids
-	outcomes []pairOutcome // reused every step
-	sumBuf   []float64     // per-measurement fitness sums, reused
-	cntBuf   []int         // per-measurement scored-link counts, reused
-	alarmBuf []alarm.Alarm // alarms gathered during aggregation, reused
-	curRow   Row           // row being scored, read by pool workers
-	rangeFn  func(lo, hi int)
-	pool     *workerPool
+	// for map-free Q^a aggregation, reusable outcome scratch, and the
+	// persistent worker pool.
+	pairs     []Pair
+	pairIdx   [][2]int  // pairs[i] → indices into ids
+	outcomes  []Outcome // reused every step
+	curRow    Row       // row being scored, read by pool workers
+	curDst    []Outcome // ScoreInto destination, read by pool workers
+	curIdx    []int     // ScoreInto local→global index map
+	rangeFn   func(lo, hi int)
+	scatterFn func(lo, hi int)
+	pool      *workerPool
 }
 
 // workerPool is the manager's persistent scoring pool: a fixed set of
@@ -213,41 +220,56 @@ func (m *Manager) initRuntime() {
 	for p := range m.models {
 		m.pairs = append(m.pairs, p)
 	}
-	sort.Slice(m.pairs, func(i, j int) bool {
-		if m.pairs[i].A != m.pairs[j].A {
-			return m.pairs[i].A.Less(m.pairs[j].A)
-		}
-		return m.pairs[i].B.Less(m.pairs[j].B)
-	})
-	idIndex := make(map[timeseries.MeasurementID]int, len(m.ids))
-	for i, id := range m.ids {
+	SortPairs(m.pairs)
+	m.pairIdx = BuildPairIndex(m.ids, m.pairs)
+	m.outcomes = make([]Outcome, len(m.pairs))
+	m.rangeFn = m.scoreRange
+	m.scatterFn = m.scatterRange
+	if m.agg == nil {
+		m.agg = NewAggregator(m.ids, m.cfg)
+	}
+	if m.pool == nil {
+		m.pool = newWorkerPool(m.cfg.Workers)
+	}
+}
+
+// BuildPairIndex maps each pair to the indices of its endpoints in ids
+// (−1 when an endpoint is not in ids, which skips Q^a aggregation for
+// that link). Both the Manager and the sharded coordinator derive their
+// aggregation index from this one helper so the two paths cannot drift.
+func BuildPairIndex(ids []timeseries.MeasurementID, pairs []Pair) [][2]int {
+	idIndex := make(map[timeseries.MeasurementID]int, len(ids))
+	for i, id := range ids {
 		idIndex[id] = i
 	}
-	m.pairIdx = make([][2]int, len(m.pairs))
-	for i, p := range m.pairs {
+	out := make([][2]int, len(pairs))
+	for i, p := range pairs {
 		ia, oka := idIndex[p.A]
 		ib, okb := idIndex[p.B]
 		if !oka {
-			ia = -1 // defensive: a pair not covered by ids skips Q^a aggregation
+			ia = -1
 		}
 		if !okb {
 			ib = -1
 		}
-		m.pairIdx[i] = [2]int{ia, ib}
+		out[i] = [2]int{ia, ib}
 	}
-	m.outcomes = make([]pairOutcome, len(m.pairs))
-	m.sumBuf = make([]float64, len(m.ids))
-	m.cntBuf = make([]int, len(m.ids))
-	m.rangeFn = m.scoreRange
-	if m.pool == nil {
-		m.pool = newWorkerPool(m.cfg.Workers)
-	}
+	return out
 }
 
 // New trains one model per measurement pair from the history dataset.
 // Pairs whose aligned history is empty are skipped (and absent from
 // Pairs()). At least two measurements are required.
 func New(history *timeseries.Dataset, cfg Config) (*Manager, error) {
+	return NewSubset(history, cfg, nil)
+}
+
+// NewSubset trains a manager over only the pairs accepted by keep (nil
+// keeps every pair) — the building block of the sharded scoring fabric,
+// where each shard owns the models of its assigned pair subset. Unlike
+// New, a non-nil keep tolerates an empty resulting fleet: a shard with no
+// pairs is legal and simply scores nothing.
+func NewSubset(history *timeseries.Dataset, cfg Config, keep func(Pair) bool) (*Manager, error) {
 	trainStart := time.Now()
 	defer func() { obsTrainSeconds.Observe(time.Since(trainStart).Seconds()) }()
 	cfg = cfg.withDefaults()
@@ -259,11 +281,10 @@ func New(history *timeseries.Dataset, cfg Config) (*Manager, error) {
 		cfg:    cfg,
 		ids:    ids,
 		models: make(map[Pair]*core.Model),
-		acc:    make(map[timeseries.MeasurementID]*mathx.Online),
 	}
 	m.pool = newWorkerPool(cfg.Workers)
 
-	// Train the l(l−1)/2 links on the same pool that will score them; the
+	// Train the kept links on the same pool that will score them; the
 	// results slice keeps training deterministic (first error in pair
 	// order, not channel-arrival order).
 	pairs := history.Pairs()
@@ -275,6 +296,9 @@ func New(history *timeseries.Dataset, cfg Config) (*Manager, error) {
 	m.pool.run(len(pairs), cfg.Workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			pr := pairs[i]
+			if keep != nil && !keep(MakePair(pr[0], pr[1])) {
+				continue
+			}
 			pts, _, err := timeseries.AlignPair(history.Get(pr[0]), history.Get(pr[1]))
 			if err != nil || len(pts) == 0 {
 				// No overlap: skip this link.
@@ -297,9 +321,31 @@ func New(history *timeseries.Dataset, cfg Config) (*Manager, error) {
 			m.models[MakePair(pairs[i][0], pairs[i][1])] = r.model
 		}
 	}
-	if len(m.models) == 0 {
+	if len(m.models) == 0 && keep == nil {
 		m.Close()
 		return nil, fmt.Errorf("manager: no trainable pairs: %w", core.ErrNoData)
+	}
+	m.initRuntime()
+	return m, nil
+}
+
+// FromModels builds a manager around an already-trained model set without
+// retraining — the resharding primitive: live models (pointers, with all
+// their adaptive state) are moved between shard managers by constructing
+// new managers over re-partitioned subsets of one model fleet. The models
+// map is copied; the *core.Model values are shared.
+func FromModels(ids []timeseries.MeasurementID, models map[Pair]*core.Model, cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if len(ids) < 2 {
+		return nil, fmt.Errorf("manager needs at least 2 measurements, got %d", len(ids))
+	}
+	m := &Manager{
+		cfg:    cfg,
+		ids:    append([]timeseries.MeasurementID(nil), ids...),
+		models: make(map[Pair]*core.Model, len(models)),
+	}
+	for p, model := range models {
+		m.models[p] = model
 	}
 	m.initRuntime()
 	return m, nil
@@ -324,17 +370,23 @@ func (m *Manager) Model(a, b timeseries.MeasurementID) *core.Model {
 	return m.models[MakePair(a, b)]
 }
 
-// pairOutcome is one link's result for a step.
-type pairOutcome struct {
-	fitness float64
-	prob    float64
-	scored  bool
-	// gap marks a link reset by a missing/non-finite value; grown marks an
-	// adaptive grid growth. Both are tallied into obs counters during the
-	// single-threaded aggregation pass.
-	gap   bool
-	grown bool
+// Models returns the trained model set keyed by pair. The map is a copy;
+// the model pointers are the live models (used by resharding to move
+// fleets between shard managers without losing adaptive state).
+func (m *Manager) Models() map[Pair]*core.Model {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[Pair]*core.Model, len(m.models))
+	for p, model := range m.models {
+		out[p] = model
+	}
+	return out
 }
+
+// Aggregator exposes the manager's aggregation layer (running means,
+// localization, alarm thresholds). Shard managers built with NewSubset
+// never feed theirs; the sharded coordinator owns a separate one.
+func (m *Manager) Aggregator() *Aggregator { return m.agg }
 
 // Step scores one synchronized row across every link, updates the running
 // accumulators, and publishes alarms. The fan-out runs on the persistent
@@ -348,14 +400,6 @@ func (m *Manager) Step(row Row) StepReport {
 	sp := obs.StartSpan("manager.step")
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	report := StepReport{
-		Time:         row.Time,
-		System:       math.NaN(),
-		Measurements: make(map[timeseries.MeasurementID]float64),
-	}
-	if m.cfg.KeepPairScores {
-		report.Pairs = make(map[Pair]float64, len(m.pairs))
-	}
 
 	// Fan the links out over the persistent pool. The happens-before edges
 	// of the task channel and the wait group order the curRow/outcomes
@@ -365,111 +409,32 @@ func (m *Manager) Step(row Row) StepReport {
 	m.pool.run(len(m.pairs), m.cfg.Workers, m.rangeFn)
 	m.curRow = Row{}
 
-	// Aggregate Q^{a,b} → Q^a → Q into the reused index-based scratch.
-	// Alarms are gathered into the reused buffer and published together in
-	// the alarm phase, preserving the pair → measurement → system order.
+	// Aggregate Q^{a,b} → Q^a → Q and publish alarms through the shared
+	// Aggregator — the exact code the sharded coordinator runs, which is
+	// what keeps the two modes bit-identical.
 	sp.Phase("aggregate")
-	m.alarmBuf = m.alarmBuf[:0]
-	var gaps, growths uint64
-	for i := range m.sumBuf {
-		m.sumBuf[i] = 0
-		m.cntBuf[i] = 0
-	}
-	for i := range m.outcomes {
-		o := &m.outcomes[i]
-		if o.gap {
-			gaps++
-		}
-		if o.grown {
-			growths++
-		}
-		if !o.scored {
-			continue
-		}
-		p := m.pairs[i]
-		report.ScoredPairs++
-		obsFitnessPair.Observe(o.fitness)
-		if report.Pairs != nil {
-			report.Pairs[p] = o.fitness
-		}
-		if m.cfg.TrackPairMeans {
-			if m.pairAcc == nil {
-				m.pairAcc = make(map[Pair]*mathx.Online, len(m.models))
-			}
-			if m.pairAcc[p] == nil {
-				m.pairAcc[p] = &mathx.Online{}
-			}
-			m.pairAcc[p].Add(o.fitness)
-		}
-		if ab := m.pairIdx[i]; ab[0] >= 0 && ab[1] >= 0 {
-			m.sumBuf[ab[0]] += o.fitness
-			m.cntBuf[ab[0]]++
-			m.sumBuf[ab[1]] += o.fitness
-			m.cntBuf[ab[1]]++
-		}
-		if m.cfg.ProbDelta > 0 && o.prob < m.cfg.ProbDelta {
-			m.alarmBuf = append(m.alarmBuf, alarm.Alarm{
-				Time: row.Time, Severity: alarm.SeverityWarning, Scope: alarm.ScopePair,
-				Measurement: p.A, Peer: p.B,
-				Score: o.prob, Threshold: m.cfg.ProbDelta,
-				Message: "transition probability below delta",
-			})
-		}
-	}
-	var sysSum float64
-	var sysN int
-	for k, c := range m.cntBuf {
-		if c == 0 {
-			continue
-		}
-		id := m.ids[k]
-		q := m.sumBuf[k] / float64(c)
-		report.Measurements[id] = q
-		obsFitnessMeas.Observe(q)
-		if m.acc[id] == nil {
-			m.acc[id] = &mathx.Online{}
-		}
-		m.acc[id].Add(q)
-		sysSum += q
-		sysN++
-		if m.cfg.MeasurementThreshold > 0 && q < m.cfg.MeasurementThreshold {
-			m.alarmBuf = append(m.alarmBuf, alarm.Alarm{
-				Time: row.Time, Severity: alarm.SeverityWarning, Scope: alarm.ScopeMeasurement,
-				Measurement: id, Score: q, Threshold: m.cfg.MeasurementThreshold,
-				Message: "measurement fitness below threshold",
-			})
-		}
-	}
-	if sysN > 0 {
-		report.System = sysSum / float64(sysN)
-		obsFitnessSys.Observe(report.System)
-		m.sysAcc.Add(report.System)
-		m.steps++
-		if m.cfg.SystemThreshold > 0 && report.System < m.cfg.SystemThreshold {
-			m.alarmBuf = append(m.alarmBuf, alarm.Alarm{
-				Time: row.Time, Severity: alarm.SeverityCritical, Scope: alarm.ScopeSystem,
-				Score: report.System, Threshold: m.cfg.SystemThreshold,
-				Message: "system fitness below threshold",
-			})
-		}
-	}
-	sp.Phase("alarm")
-	for i := range m.alarmBuf {
-		m.publish(m.alarmBuf[i])
-	}
+	report := m.agg.Aggregate(row.Time, m.pairs, m.pairIdx, m.outcomes, sp)
 	sp.End()
-	obsRows.Inc()
-	if report.ScoredPairs > 0 {
-		obsPairsScored.Add(uint64(report.ScoredPairs))
-	}
-	if gaps > 0 {
-		obsGaps.Add(gaps)
-	}
-	if growths > 0 {
-		obsGrowths.Add(growths)
-	}
 	obsStepSeconds.Observe(time.Since(stepStart).Seconds())
 	return report
+}
+
+// ScoreInto scores every trained pair against row on the manager's own
+// worker pool, writing local pair i's outcome into dst[globalIdx[i]]
+// (dst[i] when globalIdx is nil). It advances model state exactly like
+// Step but performs no aggregation, accumulator updates or alarms — the
+// sharded coordinator scatters several managers' outcomes into one global
+// slice this way and aggregates them centrally. Distinct managers may
+// ScoreInto the same dst concurrently as long as their index sets are
+// disjoint.
+func (m *Manager) ScoreInto(row Row, globalIdx []int, dst []Outcome) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.curRow = row
+	m.curDst = dst
+	m.curIdx = globalIdx
+	m.pool.run(len(m.pairs), m.cfg.Workers, m.scatterFn)
+	m.curRow, m.curDst, m.curIdx = Row{}, nil, nil
 }
 
 // scoreRange scores pairs [lo, hi) of the current row into the outcome
@@ -482,36 +447,60 @@ func (m *Manager) scoreRange(lo, hi int) {
 	}
 }
 
+// scatterRange is scoreRange for ScoreInto: outcomes land in the caller's
+// buffer at translated global indices.
+func (m *Manager) scatterRange(lo, hi int) {
+	row, dst, idx := m.curRow, m.curDst, m.curIdx
+	if idx == nil {
+		for i := lo; i < hi; i++ {
+			dst[i] = m.stepPair(m.pairs[i], row)
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		dst[idx[i]] = m.stepPair(m.pairs[i], row)
+	}
+}
+
 // stepPair scores one link for the row. A missing or non-finite value on
 // either side is a monitoring gap: the link's chain resets unscored.
-func (m *Manager) stepPair(p Pair, row Row) pairOutcome {
+func (m *Manager) stepPair(p Pair, row Row) Outcome {
 	model := m.models[p]
 	va, oka := row.Values[p.A]
 	vb, okb := row.Values[p.B]
 	if !oka || !okb || math.IsNaN(va) || math.IsNaN(vb) {
 		model.Reset()
-		return pairOutcome{gap: true}
+		return Outcome{Gap: true}
 	}
 	res := model.Step(mathx.Point2{X: va, Y: vb})
-	return pairOutcome{fitness: res.Fitness, prob: res.Prob, scored: res.Scored, grown: res.Grown}
-}
-
-func (m *Manager) publish(a alarm.Alarm) {
-	if m.cfg.Sink != nil {
-		m.cfg.Sink.Publish(a)
-	}
+	return Outcome{Fitness: res.Fitness, Prob: res.Prob, Scored: res.Scored, Grown: res.Grown}
 }
 
 // Run replays a dataset through Step row by row over [from, to) and
 // returns the per-step reports. The dataset's series must share the
 // sampling grid.
 func (m *Manager) Run(ds *timeseries.Dataset, from, to time.Time) ([]StepReport, error) {
+	rows, err := BuildRows(ds, from, to)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]StepReport, 0, len(rows))
+	for _, row := range rows {
+		reports = append(reports, m.Step(row))
+	}
+	return reports, nil
+}
+
+// BuildRows materializes the synchronized rows of a dataset over
+// [from, to) at the dataset's sampling step — the replay input shared by
+// Manager.Run and the sharded coordinator's Run.
+func BuildRows(ds *timeseries.Dataset, from, to time.Time) ([]Row, error) {
 	ids := ds.IDs()
 	if len(ids) == 0 {
 		return nil, fmt.Errorf("manager run: empty dataset")
 	}
 	step := ds.Get(ids[0]).Step
-	var reports []StepReport
+	var rows []Row
 	for t := from; t.Before(to); t = t.Add(step) {
 		row := Row{Time: t, Values: make(map[timeseries.MeasurementID]float64, len(ids))}
 		for _, id := range ids {
@@ -520,47 +509,26 @@ func (m *Manager) Run(ds *timeseries.Dataset, from, to time.Time) ([]StepReport,
 				row.Values[id] = s.Values[i]
 			}
 		}
-		reports = append(reports, m.Step(row))
+		rows = append(rows, row)
 	}
-	return reports, nil
+	return rows, nil
 }
 
 // MeasurementMeans returns the running mean Q^a per measurement since the
 // last ResetAccumulators.
 func (m *Manager) MeasurementMeans() map[timeseries.MeasurementID]float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[timeseries.MeasurementID]float64, len(m.acc))
-	for id, o := range m.acc {
-		out[id] = o.Mean()
-	}
-	return out
+	return m.agg.MeasurementMeans()
 }
 
 // SystemMean returns the running mean system fitness Q.
-func (m *Manager) SystemMean() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.sysAcc.Mean()
-}
+func (m *Manager) SystemMean() float64 { return m.agg.SystemMean() }
 
 // Steps returns how many rows produced a system score.
-func (m *Manager) Steps() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.steps
-}
+func (m *Manager) Steps() int { return m.agg.Steps() }
 
 // ResetAccumulators clears the running means (e.g. between experiment
 // phases) without touching the models.
-func (m *Manager) ResetAccumulators() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.acc = make(map[timeseries.MeasurementID]*mathx.Online)
-	m.pairAcc = nil
-	m.sysAcc = mathx.Online{}
-	m.steps = 0
-}
+func (m *Manager) ResetAccumulators() { m.agg.Reset() }
 
 // PairScore is one link's accumulated mean fitness.
 type PairScore struct {
@@ -574,84 +542,17 @@ type PairScore struct {
 // last ResetAccumulators — the paper's Q^{a,b} drill-down ("all the links
 // leading to a measurement have problems ⇒ that measurement is the
 // source"). It requires Config.TrackPairMeans; otherwise it returns nil.
-func (m *Manager) WorstPairs(k int) []PairScore {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.pairAcc == nil {
-		return nil
-	}
-	out := make([]PairScore, 0, len(m.pairAcc))
-	for p, o := range m.pairAcc {
-		out = append(out, PairScore{Pair: p, Score: o.Mean(), Samples: o.N()})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score < out[j].Score
-		}
-		if out[i].Pair.A != out[j].Pair.A {
-			return out[i].Pair.A.Less(out[j].Pair.A)
-		}
-		return out[i].Pair.B.Less(out[j].Pair.B)
-	})
-	if k > 0 && len(out) > k {
-		out = out[:k]
-	}
-	return out
-}
+func (m *Manager) WorstPairs(k int) []PairScore { return m.agg.WorstPairs(k) }
 
 // PairMeans returns the accumulated mean fitness per link since the last
 // ResetAccumulators (nil unless Config.TrackPairMeans).
-func (m *Manager) PairMeans() map[Pair]float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.pairAcc == nil {
-		return nil
-	}
-	out := make(map[Pair]float64, len(m.pairAcc))
-	for p, o := range m.pairAcc {
-		out[p] = o.Mean()
-	}
-	return out
-}
+func (m *Manager) PairMeans() map[Pair]float64 { return m.agg.PairMeans() }
 
 // WorstPairDrops ranks links by how far their current mean fitness fell
-// below a baseline captured earlier with PairMeans — the robust form of
-// the Q^{a,b} drill-down: links differ in intrinsic predictability, so a
-// drop against the link's own normal level localizes better than the
-// absolute score. PairScore.Score holds the drop (baseline − current),
-// descending. Links absent from the baseline are skipped.
+// below a baseline captured earlier with PairMeans (see
+// Aggregator.WorstPairDrops).
 func (m *Manager) WorstPairDrops(baseline map[Pair]float64, k int) []PairScore {
-	current := m.PairMeans()
-	if current == nil || baseline == nil {
-		return nil
-	}
-	out := make([]PairScore, 0, len(current))
-	m.mu.Lock()
-	for p, cur := range current {
-		base, ok := baseline[p]
-		if !ok {
-			continue
-		}
-		n := 0
-		if acc := m.pairAcc[p]; acc != nil {
-			n = acc.N()
-		}
-		out = append(out, PairScore{Pair: p, Score: base - cur, Samples: n})
-	}
-	m.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		if out[i].Pair.A != out[j].Pair.A {
-			return out[i].Pair.A.Less(out[j].Pair.A)
-		}
-		return out[i].Pair.B.Less(out[j].Pair.B)
-	})
-	if k > 0 && len(out) > k {
-		out = out[:k]
-	}
-	return out
+	return m.agg.WorstPairDrops(baseline, k)
 }
 
 // MachineScore is one machine's average fitness (the paper's Figure 14).
@@ -680,31 +581,7 @@ func (l Localization) Suspect() string {
 // Localize rolls the accumulated per-measurement means up to machines and
 // ranks them worst-first (the paper's drill-down from Q to the problem
 // source).
-func (m *Manager) Localize() Localization {
-	means := m.MeasurementMeans()
-	sums := make(map[string]float64)
-	counts := make(map[string]int)
-	for id, q := range means {
-		if math.IsNaN(q) {
-			continue
-		}
-		sums[id.Machine] += q
-		counts[id.Machine]++
-	}
-	var out Localization
-	for machine, s := range sums {
-		out.Machines = append(out.Machines, MachineScore{
-			Machine: machine, Score: s / float64(counts[machine]), Measurements: counts[machine],
-		})
-	}
-	sort.Slice(out.Machines, func(i, j int) bool {
-		if out.Machines[i].Score != out.Machines[j].Score {
-			return out.Machines[i].Score < out.Machines[j].Score
-		}
-		return out.Machines[i].Machine < out.Machines[j].Machine
-	})
-	return out
-}
+func (m *Manager) Localize() Localization { return m.agg.Localize() }
 
 // SetAdaptive flips online updating on every model (offline vs adaptive
 // comparison runs).

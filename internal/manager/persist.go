@@ -60,20 +60,15 @@ func (m *Manager) Save(w io.Writer) error {
 			KeepPairScores:       m.cfg.KeepPairScores,
 			TrackPairMeans:       m.cfg.TrackPairMeans,
 		},
-		IDs:   append([]timeseries.MeasurementID(nil), m.ids...),
-		Steps: m.steps,
-	}
-	n, mean, m2 := m.sysAcc.State()
-	snap.SysAcc = [3]float64{float64(n), mean, m2}
-	for id, acc := range m.acc {
-		an, amean, am2 := acc.State()
-		snap.Acc = append(snap.Acc, accEntry{ID: id, State: [3]float64{float64(an), amean, am2}})
+		IDs: append([]timeseries.MeasurementID(nil), m.ids...),
 	}
 	models := make(map[Pair]*core.Model, len(m.models))
 	for p, model := range m.models {
 		models[p] = model
 	}
+	agg := m.agg
 	m.mu.Unlock()
+	snap.Acc, snap.SysAcc, snap.Steps = agg.state()
 
 	// Serialize models outside the manager lock (each model locks
 	// itself).
@@ -129,7 +124,6 @@ func LoadManager(r io.Reader, sink alarm.Sink) (*Manager, error) {
 		cfg:    cfg,
 		ids:    snap.IDs,
 		models: make(map[Pair]*core.Model, len(snap.Pairs)),
-		steps:  snap.Steps,
 	}
 	for i, p := range snap.Pairs {
 		model, err := core.LoadModel(bytes.NewReader(snap.Models[i]))
@@ -138,10 +132,85 @@ func LoadManager(r io.Reader, sink alarm.Sink) (*Manager, error) {
 		}
 		m.models[p] = model
 	}
-	m.acc = restoreAccumulators(snap.Acc)
-	m.sysAcc.Restore(int(snap.SysAcc[0]), snap.SysAcc[1], snap.SysAcc[2])
-	// Rebuild the derived step-path state (sorted pairs, scratch buffers)
-	// and start a fresh worker pool for the restored fleet.
+	// Rebuild the derived step-path state (sorted pairs, scratch buffers,
+	// a fresh aggregator) and start a fresh worker pool, then install the
+	// persisted accumulator state into the aggregator.
 	m.initRuntime()
+	m.agg.restore(snap.Acc, snap.SysAcc, snap.Steps)
 	return m, nil
+}
+
+// aggSnapshot is the gob wire form of a standalone Aggregator — the
+// sharded coordinator's durable aggregation state (the shard managers'
+// own aggregators are never fed and not persisted).
+type aggSnapshot struct {
+	Version int
+	Config  persistedConfig
+	IDs     []timeseries.MeasurementID
+	Acc     []accEntry
+	SysAcc  [3]float64
+	Steps   int
+}
+
+// Save serializes the aggregator: its measurement universe, thresholds
+// and running accumulators. The alarm sink is a live object and is not
+// serialized; LoadAggregator re-attaches one. Per-pair running means
+// (TrackPairMeans) rebuild from the stream after a restore, mirroring
+// Manager persistence.
+func (g *Aggregator) Save(w io.Writer) error {
+	g.mu.Lock()
+	cfg := g.cfg
+	snap := aggSnapshot{
+		Version: managerSnapshotVersion,
+		Config: persistedConfig{
+			Model:                cfg.Model,
+			Workers:              cfg.Workers,
+			MeasurementThreshold: cfg.MeasurementThreshold,
+			SystemThreshold:      cfg.SystemThreshold,
+			ProbDelta:            cfg.ProbDelta,
+			KeepPairScores:       cfg.KeepPairScores,
+			TrackPairMeans:       cfg.TrackPairMeans,
+		},
+		IDs: append([]timeseries.MeasurementID(nil), g.ids...),
+	}
+	g.mu.Unlock()
+	snap.Acc, snap.SysAcc, snap.Steps = g.state()
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("aggregator save: %w", err)
+	}
+	return nil
+}
+
+// LoadAggregator restores an aggregator saved by Aggregator.Save,
+// attaching the given alarm sink (nil discards alarms).
+func LoadAggregator(r io.Reader, sink alarm.Sink) (*Aggregator, error) {
+	var snap aggSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("aggregator load: %w", err)
+	}
+	if snap.Version != managerSnapshotVersion {
+		return nil, fmt.Errorf("aggregator load: snapshot version %d, want %d", snap.Version, managerSnapshotVersion)
+	}
+	cfg := Config{
+		Model:                snap.Config.Model,
+		Workers:              snap.Config.Workers,
+		MeasurementThreshold: snap.Config.MeasurementThreshold,
+		SystemThreshold:      snap.Config.SystemThreshold,
+		ProbDelta:            snap.Config.ProbDelta,
+		KeepPairScores:       snap.Config.KeepPairScores,
+		TrackPairMeans:       snap.Config.TrackPairMeans,
+		Sink:                 sink,
+	}
+	g := NewAggregator(snap.IDs, cfg)
+	g.restore(snap.Acc, snap.SysAcc, snap.Steps)
+	return g, nil
+}
+
+// Config returns the aggregator's effective configuration (with defaults
+// applied) — the sharded coordinator reads it back after recovery to size
+// its shard managers consistently.
+func (g *Aggregator) Config() Config {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cfg
 }

@@ -225,6 +225,18 @@ func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...s
 	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, bounds)}
 }
 
+// MetricNames returns every registered metric family name, sorted — the
+// documentation-coverage test walks this to cross-check the metrics
+// reference in OPERATIONS.md against what the code actually registers.
+func (r *Registry) MetricNames() []string {
+	fams := r.snapshotFamilies()
+	out := make([]string, len(fams))
+	for i, f := range fams {
+		out[i] = f.name
+	}
+	return out
+}
+
 // snapshotFamilies copies the family list sorted by name.
 func (r *Registry) snapshotFamilies() []*family {
 	r.mu.Lock()

@@ -1,0 +1,319 @@
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"mcorr/internal/core"
+	"mcorr/internal/manager"
+	"mcorr/internal/obs"
+	"mcorr/internal/timeseries"
+)
+
+// Config controls a Coordinator.
+type Config struct {
+	// Shards is the number of manager shards the pair graph is
+	// partitioned across (default 1). Each shard owns the models of the
+	// pairs rendezvous hashing assigns it, plus its own worker pool.
+	Shards int
+	// Manager is the shared fleet configuration: model settings,
+	// thresholds, alarm sink and reporting flags. Workers is interpreted
+	// as the total worker budget and divided across shards (default
+	// GOMAXPROCS).
+	Manager manager.Config
+}
+
+// Coordinator is the sharded scoring fabric: it partitions the l(l−1)/2
+// measurement pairs across N independent manager shards by rendezvous
+// hashing of the canonical pair key, fans each scored row out to all
+// shards in parallel, scatters their per-pair outcomes into one global
+// slice in canonical pair order, and aggregates Q^{a,b} → Q^a → Q through
+// the same manager.Aggregator code the single-manager path uses — so its
+// fitness trajectories are bit-identical to an unsharded Manager over the
+// same data, for any shard count.
+//
+// All methods are safe for concurrent use; rows must be fed in time
+// order. The zero value is not usable — construct with New or Load.
+type Coordinator struct {
+	mu      sync.Mutex
+	cfg     manager.Config // as supplied (Workers = total budget)
+	ids     []timeseries.MeasurementID
+	shards  []*manager.Manager
+	agg     *manager.Aggregator
+	closed  bool
+
+	// Derived fan-out state, rebuilt by rebuild() after construction and
+	// after every reshard.
+	pairs     []manager.Pair    // global canonical pair order
+	pairIdx   [][2]int          // pairs[i] → indices into ids
+	outcomes  []manager.Outcome // global scatter buffer, reused every step
+	localIdx  [][]int           // per shard: local pair position → global index
+	scoreHist []*obs.Histogram  // per-shard scoring latency, children cached
+}
+
+// perShardWorkers divides a total worker budget across n shards, at
+// least one worker each. budget <= 0 means GOMAXPROCS.
+func perShardWorkers(budget, n int) int {
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	per := budget / n
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// keepFor returns the pair filter selecting shard k of n.
+func keepFor(k, n int) func(manager.Pair) bool {
+	return func(p manager.Pair) bool { return Assign(p.String(), n) == k }
+}
+
+// New trains a sharded fleet from the history dataset: shard k trains
+// (concurrently with the others, on its own pool) exactly the pairs
+// rendezvous hashing assigns it. At least two measurements and one
+// trainable pair are required.
+func New(history *timeseries.Dataset, cfg Config) (*Coordinator, error) {
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	ids := history.IDs()
+	if len(ids) < 2 {
+		return nil, fmt.Errorf("shard coordinator needs at least 2 measurements, got %d", len(ids))
+	}
+	mcfg := cfg.Manager
+	mcfg.Workers = perShardWorkers(cfg.Manager.Workers, n)
+	shards := make([]*manager.Manager, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for k := range shards {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			shards[k], errs[k] = manager.NewSubset(history, mcfg, keepFor(k, n))
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, s := range shards {
+				if s != nil {
+					s.Close()
+				}
+			}
+			return nil, err
+		}
+	}
+	c := &Coordinator{
+		cfg: cfg.Manager,
+		ids: ids,
+		agg: manager.NewAggregator(ids, cfg.Manager),
+	}
+	c.rebuild(shards)
+	if len(c.pairs) == 0 {
+		c.Close()
+		return nil, fmt.Errorf("shard coordinator: no trainable pairs: %w", core.ErrNoData)
+	}
+	return c, nil
+}
+
+// rebuild installs a shard set and recomputes the derived fan-out state:
+// the global canonical pair order, each shard's local→global index map,
+// the aggregation index and the reusable scatter buffer. Callers hold
+// c.mu (or are constructing c).
+func (c *Coordinator) rebuild(shards []*manager.Manager) {
+	c.shards = shards
+	var all []manager.Pair
+	for _, s := range shards {
+		all = append(all, s.Pairs()...)
+	}
+	manager.SortPairs(all)
+	c.pairs = all
+	global := make(map[manager.Pair]int, len(all))
+	for i, p := range all {
+		global[p] = i
+	}
+	c.localIdx = make([][]int, len(shards))
+	c.scoreHist = make([]*obs.Histogram, len(shards))
+	for k, s := range shards {
+		local := s.Pairs()
+		idx := make([]int, len(local))
+		for i, p := range local {
+			idx[i] = global[p]
+		}
+		c.localIdx[k] = idx
+		c.scoreHist[k] = obsScoreSeconds.With(strconv.Itoa(k))
+		obsShardPairs.With(strconv.Itoa(k)).Set(float64(len(local)))
+	}
+	c.pairIdx = manager.BuildPairIndex(c.ids, all)
+	c.outcomes = make([]manager.Outcome, len(all))
+	obsShardCount.Set(float64(len(shards)))
+}
+
+// scoreShard runs shard k's scoring fan-out for row, scattering outcomes
+// into the global buffer, and records the shard's scoring latency.
+func (c *Coordinator) scoreShard(k int, row manager.Row) {
+	start := time.Now()
+	c.shards[k].ScoreInto(row, c.localIdx[k], c.outcomes)
+	c.scoreHist[k].Observe(time.Since(start).Seconds())
+}
+
+// Step scores one synchronized row: every shard scores its pair subset in
+// parallel (shard 0 on the calling goroutine), the outcomes land in one
+// global buffer in canonical pair order, and the shared Aggregator folds
+// them into Q^{a,b} → Q^a → Q and publishes alarms — the same code, in
+// the same order, as the single-manager path. The phases (score →
+// aggregate → alarm) are traced as span "shard.step".
+func (c *Coordinator) Step(row manager.Row) manager.StepReport {
+	start := time.Now()
+	sp := obs.StartSpan("shard.step")
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sp.Phase("score")
+	if len(c.shards) == 1 {
+		c.scoreShard(0, row)
+	} else {
+		var wg sync.WaitGroup
+		for k := 1; k < len(c.shards); k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				c.scoreShard(k, row)
+			}(k)
+		}
+		c.scoreShard(0, row)
+		wg.Wait()
+	}
+	sp.Phase("aggregate")
+	report := c.agg.Aggregate(row.Time, c.pairs, c.pairIdx, c.outcomes, sp)
+	sp.End()
+	obsStepSeconds.Observe(time.Since(start).Seconds())
+	return report
+}
+
+// Run replays a dataset through Step row by row over [from, to) and
+// returns the per-step reports (the sharded mirror of Manager.Run).
+func (c *Coordinator) Run(ds *timeseries.Dataset, from, to time.Time) ([]manager.StepReport, error) {
+	rows, err := manager.BuildRows(ds, from, to)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]manager.StepReport, 0, len(rows))
+	for _, row := range rows {
+		reports = append(reports, c.Step(row))
+	}
+	return reports, nil
+}
+
+// IDs returns the measurements the coordinator watches.
+func (c *Coordinator) IDs() []timeseries.MeasurementID {
+	return append([]timeseries.MeasurementID(nil), c.ids...)
+}
+
+// Pairs returns every trained link across all shards in the global
+// canonical order.
+func (c *Coordinator) Pairs() []manager.Pair {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]manager.Pair(nil), c.pairs...)
+}
+
+// NumShards returns the current shard count.
+func (c *Coordinator) NumShards() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.shards)
+}
+
+// ShardPairs returns the links owned by shard k (in that shard's sorted
+// order), or nil when k is out of range.
+func (c *Coordinator) ShardPairs(k int) []manager.Pair {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if k < 0 || k >= len(c.shards) {
+		return nil
+	}
+	return c.shards[k].Pairs()
+}
+
+// Model returns the trained model for a pair from whichever shard owns it
+// (nil when absent).
+func (c *Coordinator) Model(a, b timeseries.MeasurementID) *core.Model {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := manager.MakePair(a, b)
+	k := Assign(p.String(), len(c.shards))
+	return c.shards[k].Model(a, b)
+}
+
+// Aggregator exposes the coordinator's central aggregation layer.
+func (c *Coordinator) Aggregator() *manager.Aggregator { return c.agg }
+
+// Steps returns how many rows produced a system score.
+func (c *Coordinator) Steps() int { return c.agg.Steps() }
+
+// SystemMean returns the running mean system fitness Q.
+func (c *Coordinator) SystemMean() float64 { return c.agg.SystemMean() }
+
+// MeasurementMeans returns the running mean Q^a per measurement since the
+// last ResetAccumulators.
+func (c *Coordinator) MeasurementMeans() map[timeseries.MeasurementID]float64 {
+	return c.agg.MeasurementMeans()
+}
+
+// PairMeans returns the accumulated mean fitness per link (nil unless
+// Config.TrackPairMeans).
+func (c *Coordinator) PairMeans() map[manager.Pair]float64 { return c.agg.PairMeans() }
+
+// WorstPairs returns the k links with the lowest mean fitness — the
+// paper's Q^{a,b} drill-down (requires Config.TrackPairMeans).
+func (c *Coordinator) WorstPairs(k int) []manager.PairScore { return c.agg.WorstPairs(k) }
+
+// WorstPairDrops ranks links by fitness drop against a PairMeans baseline
+// (see Aggregator.WorstPairDrops).
+func (c *Coordinator) WorstPairDrops(baseline map[manager.Pair]float64, k int) []manager.PairScore {
+	return c.agg.WorstPairDrops(baseline, k)
+}
+
+// Localize rolls the accumulated per-measurement means up to machines and
+// ranks them worst-first.
+func (c *Coordinator) Localize() manager.Localization { return c.agg.Localize() }
+
+// ResetAccumulators clears the running means without touching any model.
+func (c *Coordinator) ResetAccumulators() { c.agg.Reset() }
+
+// SetAdaptive flips online updating on every model of every shard.
+func (c *Coordinator) SetAdaptive(adaptive bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.shards {
+		s.SetAdaptive(adaptive)
+	}
+}
+
+// ResetChains clears every model's Markov position on every shard.
+func (c *Coordinator) ResetChains() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.shards {
+		s.ResetChains()
+	}
+}
+
+// Close stops every shard's worker pool. Safe to call more than once;
+// the coordinator must not be stepped afterwards.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, s := range c.shards {
+		s.Close()
+	}
+}

@@ -1,0 +1,46 @@
+// Package shard is the sharded scoring fabric: it partitions the
+// l(l−1)/2 measurement-pair graph across N independent manager shards so
+// the per-row scoring fan-out, the model memory and the checkpoint I/O
+// scale horizontally — while the fitness trajectory stays bit-identical
+// to a single unsharded manager.
+//
+// # Partitioning
+//
+// Assign maps a canonical pair key ("a/x|b/y") to a shard by rendezvous
+// (highest-random-weight) hashing. The assignment is a pure function of
+// (key, shard count): no ownership table is persisted, recovery and
+// resharding simply recompute it. Growing the fleet from n to n+1 shards
+// moves only the ≈1/(n+1) of pairs the new shard wins; no pair ever moves
+// between two surviving shards.
+//
+// # Exactness
+//
+// Floating-point addition is not associative, so per-shard partial sums
+// would change Q in the last ulp. The Coordinator therefore never sums on
+// shards: each shard only *scores* its pairs (manager.Manager.ScoreInto),
+// scattering per-pair Outcomes into one global slice laid out in the
+// canonical sorted pair order, and a single central manager.Aggregator —
+// the same code the unsharded Manager.Step uses — folds that slice in the
+// identical order. Bit-identity for any shard count is structural, not
+// incidental; the property tests in this package and the SIGKILL crash
+// tests in internal/testkit enforce it at %.17g precision.
+//
+// # Resharding
+//
+// Coordinator.Reshard repartitions live: it drains in-flight scoring,
+// re-keys every trained model under the new shard count, rebuilds the
+// shard managers around the moved model pointers (no retraining), and
+// leaves the central aggregator untouched, so running Q accumulators
+// continue seamlessly across the topology change.
+//
+// # Persistence
+//
+// SaveState captures the coordinator's topology and aggregation state;
+// SaveShard captures one shard's models. The durable pipeline writes the
+// per-shard blobs first (one epoch-versioned file per shard) and flips
+// the root checkpoint last, making multi-file checkpoints crash-atomic;
+// Load reassembles the fleet from the blob set.
+//
+// Per-shard health is published as mcorr_shard_* metrics (step and
+// per-shard score latency, pair counts, reshard activity).
+package shard

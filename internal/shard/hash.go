@@ -1,0 +1,54 @@
+package shard
+
+// Rendezvous (highest-random-weight) hashing assigns each canonical pair
+// key to one of n shards. Every (key, shard) combination gets a
+// deterministic pseudo-random weight; the key lives on the shard with the
+// highest weight. The property that matters for resharding: when a shard
+// is added, the only keys that move are the ones whose new shard wins —
+// no key ever moves between two pre-existing shards; when a shard is
+// removed, only its own keys move. That keeps checkpoint-splitting
+// proportional to the data that actually changes owner.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// weight computes the HRW weight of key on shard k: an FNV-1a hash of the
+// key folded with the shard index, finished with a SplitMix64-style
+// avalanche so shard indices that differ in one bit still produce
+// uncorrelated weights.
+func weight(key string, k int) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	h ^= uint64(k)
+	h *= fnvPrime64
+	// SplitMix64 finalizer.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Assign returns the shard in [0, shards) owning key under rendezvous
+// hashing. It is a pure function of (key, shards): the pair→shard
+// topology needs no persisted map — recovery and resharding recompute it.
+// shards < 2 always yields 0.
+func Assign(key string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	best := 0
+	bestW := weight(key, 0)
+	for k := 1; k < shards; k++ {
+		if w := weight(key, k); w > bestW {
+			best, bestW = k, w
+		}
+	}
+	return best
+}

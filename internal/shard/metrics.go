@@ -1,0 +1,24 @@
+package shard
+
+import "mcorr/internal/obs"
+
+// Process-global sharding metrics (mcorr_shard_*). Per-shard children are
+// labeled by the shard index ("0".."n-1"): cardinality is bounded by the
+// configured shard count, and the Coordinator caches the children it needs
+// at rebuild time so the step hot path never touches a vec lookup.
+var (
+	obsStepSeconds = obs.Default().Histogram("mcorr_shard_step_seconds",
+		"Latency of Coordinator.Step: fan-out, scoring on every shard, and merge.",
+		obs.TimeBuckets())
+	obsScoreSeconds = obs.Default().HistogramVec("mcorr_shard_score_seconds",
+		"Per-shard scoring latency for one row (label: shard index).",
+		obs.TimeBuckets(), "shard")
+	obsShardCount = obs.Default().Gauge("mcorr_shard_count",
+		"Current number of manager shards in the scoring fabric.")
+	obsShardPairs = obs.Default().GaugeVec("mcorr_shard_pairs",
+		"Measurement pairs owned by each shard (label: shard index).", "shard")
+	obsReshards = obs.Default().Counter("mcorr_shard_reshards_total",
+		"Live resharding operations completed.")
+	obsPairsMoved = obs.Default().Counter("mcorr_shard_pairs_moved_total",
+		"Pair models that changed owner across all resharding operations.")
+)

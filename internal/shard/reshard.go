@@ -1,0 +1,69 @@
+package shard
+
+import (
+	"fmt"
+
+	"mcorr/internal/core"
+	"mcorr/internal/manager"
+)
+
+// Reshard repartitions the live pair graph across n shards without
+// retraining: the coordinator drains in-flight scoring (it holds the step
+// lock for the duration), collects every trained model, re-keys each pair
+// under the new shard count, builds the new shard managers around the
+// moved model pointers, and only then closes the old ones. The central
+// aggregator — and with it every running Q accumulator — is untouched, so
+// fitness trajectories continue bit-identically across the topology
+// change. Returns the number of pair models that changed owner.
+//
+// Thanks to rendezvous hashing the movement is minimal: growing from n to
+// n+1 shards moves only the pairs the new shard wins (≈1/(n+1) of the
+// graph); no pair ever moves between two surviving shards.
+func (c *Coordinator) Reshard(n int) (moved int, err error) {
+	if n < 1 {
+		return 0, fmt.Errorf("reshard: shard count must be >= 1, got %d", n)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, fmt.Errorf("reshard: coordinator is closed")
+	}
+	// Partition the union of live models under the new topology, counting
+	// owner changes against the old assignment.
+	parts := make([]map[manager.Pair]*core.Model, n)
+	for k := range parts {
+		parts[k] = make(map[manager.Pair]*core.Model)
+	}
+	for oldK, s := range c.shards {
+		for p, model := range s.Models() {
+			newK := Assign(p.String(), n)
+			parts[newK][p] = model
+			if newK != oldK {
+				moved++
+			}
+		}
+	}
+	mcfg := c.cfg
+	mcfg.Workers = perShardWorkers(c.cfg.Workers, n)
+	next := make([]*manager.Manager, n)
+	for k := range next {
+		m, err := manager.FromModels(c.ids, parts[k], mcfg)
+		if err != nil {
+			for _, s := range next {
+				if s != nil {
+					s.Close()
+				}
+			}
+			return 0, fmt.Errorf("reshard to %d: %w", n, err)
+		}
+		next[k] = m
+	}
+	prev := c.shards
+	c.rebuild(next)
+	for _, s := range prev {
+		s.Close()
+	}
+	obsReshards.Inc()
+	obsPairsMoved.Add(uint64(moved))
+	return moved, nil
+}

@@ -1,17 +1,3 @@
-// Package simulator generates synthetic monitoring data with the structure
-// the paper's evaluation relies on: a shared, periodic user-request workload
-// driving many measurements across many machines, producing linear,
-// smoothly non-linear and arbitrarily shaped pairwise correlations; plus
-// injected ground-truth faults that break correlations the way the paper's
-// "potential problems identified by the system administrators" did.
-//
-// The paper's data is proprietary (one month of monitoring from three
-// companies, ~50 machines each, sampled every 6 minutes). This package is
-// the documented substitution: what matters to the model is only the joint
-// evolution of measurement pairs, and every relevant property — workload-
-// driven correlation, diurnal/weekly periodicity, gradual drift,
-// heteroscedastic peak-hour noise, morning/afternoon fault windows — is an
-// explicit knob here.
 package simulator
 
 import (

@@ -1,7 +1,3 @@
-// Package testkit holds helpers for end-to-end tests that exercise the
-// real command binaries: building them once per test process, generating
-// deterministic datasets, and running (or killing) them while capturing
-// their step-by-step output.
 package testkit
 
 import (

@@ -1,8 +1,3 @@
-// Package timeseries provides the regular-interval time-series types the
-// monitoring pipeline works with: single measurements as Series, collections
-// of measurements as Dataset, pairwise alignment into 2-D points for the
-// correlation models, and calendar helpers matching the paper's evaluation
-// dates (May 29 – June 27, 2008, sampled every 6 minutes).
 package timeseries
 
 import (

@@ -1,7 +1,3 @@
-// Package tsdb is a small concurrency-safe in-memory time-series store: the
-// landing zone for samples streamed by the collector and the source the
-// models read from. Samples are kept on a fixed sampling grid per
-// measurement, with optional ring retention and gob snapshot/restore.
 package tsdb
 
 import (

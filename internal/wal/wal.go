@@ -1,21 +1,3 @@
-// Package wal is a segmented append-only write-ahead log: the durability
-// layer under the monitoring pipeline. Every record is CRC-framed and
-// carries a monotone sequence number; segments rotate at a size threshold
-// and old segments are dropped once a checkpoint covers them. A log opened
-// after a crash truncates the torn tail of its last segment and resumes
-// appending where the last intact record ended, so "logged before ack"
-// appends are never lost.
-//
-// Record frame (all integers big-endian):
-//
-//	uint32 length   // payload bytes
-//	uint32 crc      // CRC-32C (Castagnoli) over seq + payload
-//	uint64 seq      // record sequence number, strictly increasing
-//	[]byte payload
-//
-// Segment files are named <firstSeq as %016x>.wal and begin with an
-// 8-byte magic plus the first sequence number, so a directory listing
-// alone orders the log.
 package wal
 
 import (

@@ -1,40 +1,3 @@
-// Package mcorr is a Go implementation of the transition-probability
-// correlation model of Gao, Jiang, Chen and Han, "Modeling Probabilistic
-// Measurement Correlations for Problem Determination in Large-Scale
-// Distributed Systems" (ICDCS 2009), together with everything needed to
-// run it as a monitoring system: a time-series store, a TCP collection
-// pipeline, a model fleet with the paper's three-level fitness scoring,
-// problem localization, alarming, baselines from the cited prior work, and
-// a synthetic datacenter workload for experimentation.
-//
-// # The model in brief
-//
-// Two measurements observed together form a 2-D point per sampling
-// interval. The history of such points defines a grid over the plane
-// (density-adaptive per dimension) and a Markov transition matrix between
-// grid cells, initialized with a spatial-closeness prior and updated by
-// Bayesian multiplicative updates on every observed transition. A new
-// observation is scored by the rank of its landing cell in the predicted
-// transition distribution — the fitness score Q ∈ [0, 1]. Low fitness on
-// one link implicates a pair; consistently low fitness on all links of one
-// measurement implicates that measurement; aggregated per machine it
-// localizes the faulty server.
-//
-// # Quick start
-//
-//	history := []mcorr.Point{ ... }           // (m1, m2) per 6-minute sample
-//	model, err := mcorr.TrainModel(history, mcorr.ModelConfig{Adaptive: true})
-//	if err != nil { ... }
-//	for _, p := range online {
-//		res := model.Step(p)
-//		if res.Scored && res.Fitness < 0.3 {
-//			// the pair's correlation broke at this sample
-//		}
-//	}
-//
-// For whole-system monitoring use NewManager (one model per measurement
-// pair, Q^a and Q aggregation, localization) or Monitor (manager + store +
-// sample ingestion glue).
 package mcorr
 
 import (
@@ -48,6 +11,7 @@ import (
 	"mcorr/internal/manager"
 	"mcorr/internal/mathx"
 	"mcorr/internal/obs"
+	"mcorr/internal/shard"
 	"mcorr/internal/timeseries"
 	"mcorr/internal/tsdb"
 )
@@ -154,7 +118,53 @@ type (
 	Pair = manager.Pair
 	// Localization ranks machines by average fitness.
 	Localization = manager.Localization
+	// ShardCoordinator is the sharded scoring fabric: the pair graph
+	// partitioned across N manager shards with centrally merged,
+	// bit-identical Q^a/Q aggregation (see WithShards).
+	ShardCoordinator = shard.Coordinator
 )
+
+// Fleet is the scoring surface shared by the single Manager and the
+// sharded ShardCoordinator: everything a monitor needs to score rows,
+// read the three-level fitness state, and localize problems. Both
+// implementations produce bit-identical trajectories over the same rows.
+type Fleet interface {
+	// Step scores one synchronized row across every trained link.
+	Step(Row) StepReport
+	// Run replays a dataset through Step in time order.
+	Run(ds *Dataset, from, to time.Time) ([]StepReport, error)
+	// IDs returns the monitored measurements.
+	IDs() []MeasurementID
+	// Pairs returns every trained link in canonical order.
+	Pairs() []Pair
+	// Steps counts rows that produced a system score.
+	Steps() int
+	// SystemMean is the running mean system fitness Q.
+	SystemMean() float64
+	// MeasurementMeans is the running mean Q^a per measurement.
+	MeasurementMeans() map[MeasurementID]float64
+	// Localize ranks machines by mean fitness, worst first.
+	Localize() Localization
+	// ResetAccumulators clears the running means.
+	ResetAccumulators()
+	// SetAdaptive toggles online model updating.
+	SetAdaptive(bool)
+	// ResetChains clears every model's Markov position.
+	ResetChains()
+	// Close releases worker pools.
+	Close()
+}
+
+// Compile-time proof that both fleet shapes satisfy the interface.
+var (
+	_ Fleet = (*Manager)(nil)
+	_ Fleet = (*ShardCoordinator)(nil)
+)
+
+// ShardFor returns the shard in [0, shards) that owns the given pair
+// under the fabric's rendezvous hashing — useful for capacity planning
+// and for locating a pair's models on disk (data-dir/shard-<k>/).
+func ShardFor(p Pair, shards int) int { return shard.Assign(p.String(), shards) }
 
 // NewManager trains one model per pair of measurements in history.
 func NewManager(history *Dataset, cfg ManagerConfig) (*Manager, error) {
@@ -249,31 +259,69 @@ func DialCollector(addr, agentName string) (*CollectorAgent, error) {
 	return collector.Dial(addr, agentName)
 }
 
-// Monitor glues a store and a manager together for streaming use: ingest
-// samples as they arrive, and complete rows are scored automatically in
-// time order.
+// MonitorOption customizes monitor construction (see WithShards).
+type MonitorOption func(*monitorOptions)
+
+type monitorOptions struct {
+	shards int
+}
+
+// WithShards partitions the monitor's pair graph across n manager shards
+// (the sharded scoring fabric; see ShardCoordinator). n <= 1 keeps the
+// single-manager path. Fitness trajectories are bit-identical for every
+// shard count.
+func WithShards(n int) MonitorOption {
+	return func(o *monitorOptions) { o.shards = n }
+}
+
+// Monitor glues a store and a scoring fleet together for streaming use:
+// ingest samples as they arrive, and complete rows are scored
+// automatically in time order.
 type Monitor struct {
 	store  *Store
-	mgr    *Manager
+	fleet  Fleet
+	coord  *ShardCoordinator // non-nil iff the fleet is sharded
 	step   time.Duration
 	cursor time.Time
 	ids    []MeasurementID
 }
 
-// NewMonitor trains a manager on history and returns a monitor whose
-// cursor starts at the end of the history window.
-func NewMonitor(history *Dataset, cfg ManagerConfig) (*Monitor, error) {
+// newFleet trains either a single manager or a sharded coordinator.
+func newFleet(history *Dataset, cfg ManagerConfig, shards int) (Fleet, *ShardCoordinator, error) {
+	if shards > 1 {
+		coord, err := shard.New(history, shard.Config{Shards: shards, Manager: cfg})
+		if err != nil {
+			return nil, nil, err
+		}
+		return coord, coord, nil
+	}
+	mgr, err := manager.New(history, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mgr, nil, nil
+}
+
+// NewMonitor trains a scoring fleet on history and returns a monitor
+// whose cursor starts at the end of the history window. By default the
+// fleet is one Manager; WithShards(n) partitions it across n shards.
+func NewMonitor(history *Dataset, cfg ManagerConfig, opts ...MonitorOption) (*Monitor, error) {
+	var o monitorOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	ids := history.IDs()
 	if len(ids) < 2 {
 		return nil, fmt.Errorf("monitor needs at least 2 measurements, got %d", len(ids))
 	}
 	step := history.Get(ids[0]).Step
-	mgr, err := manager.New(history, cfg)
+	fleet, coord, err := newFleet(history, cfg, o.shards)
 	if err != nil {
 		return nil, err
 	}
 	store, err := tsdb.NewStore(step, 0)
 	if err != nil {
+		fleet.Close()
 		return nil, err
 	}
 	cursor := time.Time{}
@@ -282,11 +330,43 @@ func NewMonitor(history *Dataset, cfg ManagerConfig) (*Monitor, error) {
 			cursor = end
 		}
 	}
-	return &Monitor{store: store, mgr: mgr, step: step, cursor: cursor, ids: ids}, nil
+	return &Monitor{store: store, fleet: fleet, coord: coord, step: step, cursor: cursor, ids: ids}, nil
 }
 
-// Manager exposes the underlying model fleet.
-func (m *Monitor) Manager() *Manager { return m.mgr }
+// Fleet exposes the scoring fleet (a *Manager or a *ShardCoordinator).
+func (m *Monitor) Fleet() Fleet { return m.fleet }
+
+// Manager exposes the underlying model fleet when the monitor is
+// unsharded; it returns nil for a sharded monitor (use Fleet, or
+// Coordinator for the shard-specific surface).
+func (m *Monitor) Manager() *Manager {
+	if mgr, ok := m.fleet.(*Manager); ok {
+		return mgr
+	}
+	return nil
+}
+
+// Coordinator exposes the sharded fabric, or nil when unsharded.
+func (m *Monitor) Coordinator() *ShardCoordinator { return m.coord }
+
+// Shards returns the monitor's current shard count (1 when unsharded).
+func (m *Monitor) Shards() int {
+	if m.coord != nil {
+		return m.coord.NumShards()
+	}
+	return 1
+}
+
+// Reshard repartitions a sharded monitor across n shards without
+// retraining or disturbing the fitness trajectory (see
+// ShardCoordinator.Reshard). It returns the number of pair models that
+// changed owner, and an error on an unsharded monitor.
+func (m *Monitor) Reshard(n int) (int, error) {
+	if m.coord == nil {
+		return 0, fmt.Errorf("monitor: not sharded; construct with WithShards to reshard")
+	}
+	return m.coord.Reshard(n)
+}
 
 // Cursor returns the timestamp of the next row the monitor will score.
 func (m *Monitor) Cursor() time.Time { return m.cursor }
@@ -334,7 +414,7 @@ func (m *Monitor) flushUntil(until time.Time) []StepReport {
 				row.Values[id] = s.Values[0]
 			}
 		}
-		reports = append(reports, m.mgr.Step(row))
+		reports = append(reports, m.fleet.Step(row))
 		m.cursor = m.cursor.Add(m.step)
 	}
 	return reports

@@ -1,0 +1,59 @@
+package mcorr
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mcorr/internal/obs"
+)
+
+// TestOperationsDocCoverage keeps OPERATIONS.md honest: every flag the
+// shipped binaries declare and every metric family the live registry
+// exports must be mentioned in the runbook. New flags and metrics fail
+// this test until they are documented.
+func TestOperationsDocCoverage(t *testing.T) {
+	doc, err := os.ReadFile("OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("read OPERATIONS.md: %v", err)
+	}
+	text := string(doc)
+
+	flagDecl := regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Float64|Duration)\(\s*"([a-z][a-z-]*)"`)
+	for _, src := range []string{"cmd/mcdetect/main.go", "cmd/mccollect/main.go"} {
+		b, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatalf("read %s: %v", src, err)
+		}
+		matches := flagDecl.FindAllStringSubmatch(string(b), -1)
+		if len(matches) == 0 {
+			t.Fatalf("%s: found no flag declarations — regex out of date?", src)
+		}
+		for _, m := range matches {
+			if want := fmt.Sprintf("`-%s`", m[1]); !strings.Contains(text, want) {
+				t.Errorf("%s declares -%s but OPERATIONS.md does not mention %s", src, m[1], want)
+			}
+		}
+	}
+
+	// The process gauges register lazily when an ops server starts;
+	// spin one up so MetricNames reports the full surface an operator
+	// would actually scrape.
+	srv, err := obs.ServeOps("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServeOps: %v", err)
+	}
+	defer srv.Close()
+
+	names := obs.Default().MetricNames()
+	if len(names) == 0 {
+		t.Fatal("registry reports no metric families")
+	}
+	for _, name := range names {
+		if want := fmt.Sprintf("`%s`", name); !strings.Contains(text, want) {
+			t.Errorf("registry exports %s but OPERATIONS.md does not mention %s", name, want)
+		}
+	}
+}

@@ -41,6 +41,13 @@ func run() error {
 		dataDir   = flag.String("data-dir", "", "durable mode: WAL-log every acked sample here and replay on restart")
 		fsync     = flag.String("fsync", "batch", "durable mode: WAL fsync policy (always, batch, none)")
 		ckptEvery = flag.Int("checkpoint-every", 50, "durable mode: snapshot the collector store every this many rows")
+
+		flowQueue  = flag.Int("flow-queue", 0, "flow control: admission queue depth in batches between handlers and the store (0 = append inline)")
+		shedPolicy = flag.String("shed", "block", "flow control: full-queue policy (block, drop-oldest, reject)")
+		agentRate  = flag.Float64("agent-rate", 0, "flow control: per-agent rate limit in samples/s (0 = off)")
+		agentBurst = flag.Int("agent-burst", 0, "flow control: per-agent token-bucket burst in samples (0 = auto)")
+		writeTO    = flag.Duration("write-timeout", 0, "flow control: ack write deadline (0 = match the read idle timeout)")
+		scoreQueue = flag.Int("score-queue", 0, "bounded row queue depth between ingest and scoring (0 = score inline)")
 	)
 	flag.Parse()
 
@@ -68,7 +75,7 @@ func run() error {
 
 	log.Printf("training monitor on day 1 (%d measurements, %d shards)", ds.Len(), *shards)
 	mon, err := mcorr.NewMonitor(ds.Slice(timeseries.MonitoringStart, day1), mcorr.ManagerConfig{},
-		mcorr.WithShards(*shards))
+		mcorr.WithShards(*shards), mcorr.WithScoreQueue(*scoreQueue))
 	if err != nil {
 		return err
 	}
@@ -100,6 +107,20 @@ func run() error {
 	srv, err := mcorr.NewCollectorServer(store)
 	if err != nil {
 		return err
+	}
+	if *flowQueue > 0 || *agentRate > 0 || *writeTO > 0 {
+		policy, err := mcorr.ParseShedPolicy(*shedPolicy)
+		if err != nil {
+			return err
+		}
+		srv.SetFlow(mcorr.FlowConfig{
+			QueueDepth:   *flowQueue,
+			Shed:         policy,
+			AgentRate:    *agentRate,
+			AgentBurst:   *agentBurst,
+			WriteTimeout: *writeTO,
+		})
+		log.Printf("flow control: queue=%d shed=%s agent-rate=%.0f/s", *flowQueue, policy, *agentRate)
 	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {

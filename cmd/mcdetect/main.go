@@ -61,6 +61,7 @@ func run() error {
 		ckptIvl   = flag.Duration("checkpoint-interval", 0, "durable mode: also checkpoint after this much wall time (0 = off)")
 		fsync     = flag.String("fsync", "batch", "durable mode: WAL fsync policy (always, batch, none)")
 		pace      = flag.Duration("pace", 0, "durable mode: sleep between streamed rows")
+		scoreQ    = flag.Int("score-queue", 0, "durable mode: bounded row queue depth between ingest and scoring (0 = score inline; any depth is trajectory-identical)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -126,6 +127,7 @@ func run() error {
 		dcfg := durableConfig{
 			dataDir: *dataDir, every: *ckptEvery, interval: *ckptIvl,
 			fsync: *fsync, pace: *pace, maxMeas: *maxMeas, shards: *shards,
+			scoreQueue: *scoreQ,
 		}
 		return runDurable(ds, start, trainEnd, end, mcfg, dcfg, memory)
 	}
@@ -268,13 +270,14 @@ func max(a, b int) int {
 
 // durableConfig carries the -data-dir flag family into runDurable.
 type durableConfig struct {
-	dataDir  string
-	every    int
-	interval time.Duration
-	fsync    string
-	pace     time.Duration
-	maxMeas  int
-	shards   int
+	dataDir    string
+	every      int
+	interval   time.Duration
+	fsync      string
+	pace       time.Duration
+	maxMeas    int
+	shards     int
+	scoreQueue int
 }
 
 // runDurable is the crash-safe streaming mode: a DurableMonitor fed row by
@@ -299,7 +302,7 @@ func runDurable(ds *timeseries.Dataset, start, trainEnd, end time.Time, mcfg man
 		// The checkpoint's recorded topology wins over -shards: recovery
 		// must reopen the shard files the checkpoint references.
 		var recovered []mcorr.StepReport
-		dm, recovered, err = mcorr.OpenDurableMonitor(cfg, mcfg.Sink)
+		dm, recovered, err = mcorr.OpenDurableMonitor(cfg, mcfg.Sink, mcorr.WithScoreQueue(dcfg.scoreQueue))
 		if err != nil {
 			return err
 		}
@@ -317,7 +320,8 @@ func runDurable(ds *timeseries.Dataset, start, trainEnd, end time.Time, mcfg man
 		watched := eval.Subset(ds, selected)
 		fmt.Printf("training on %s .. %s (%d measurements, %d shards), durable state in %s\n",
 			start.Format(time.RFC3339), trainEnd.Format(time.RFC3339), len(selected), dcfg.shards, dcfg.dataDir)
-		dm, err = mcorr.NewDurableMonitor(watched.Slice(start, trainEnd), mcfg, cfg, mcorr.WithShards(dcfg.shards))
+		dm, err = mcorr.NewDurableMonitor(watched.Slice(start, trainEnd), mcfg, cfg,
+			mcorr.WithShards(dcfg.shards), mcorr.WithScoreQueue(dcfg.scoreQueue))
 		if err != nil {
 			return err
 		}

@@ -94,6 +94,14 @@ func HasCheckpoint(dataDir string) bool {
 // restores the last checkpoint, replays the WAL tail, and re-scores the
 // recovered rows — reproducing the exact fitness trajectory of an
 // uninterrupted run (scoring is deterministic).
+//
+// Flow control composes with durability: WithScoreQueue only pipelines
+// row assembly against scoring — a full queue blocks the producer, rows
+// are scored by a single consumer in time order, and nothing between the
+// WAL and the scorer ever sheds data — so trajectories stay bit-identical
+// with any queue depth, including across crash recovery. Overload
+// shedding is allowed only at the collector boundary, before a sample is
+// acked into the WAL (see CollectorServer.SetFlow).
 type DurableMonitor struct {
 	mu      sync.Mutex
 	mon     *Monitor
@@ -146,8 +154,12 @@ func NewDurableMonitor(history *Dataset, mcfg ManagerConfig, cfg DurabilityConfi
 // returns the reports of those re-scored rows (the post-crash replay of
 // the fitness trajectory). A missing checkpoint is manager.ErrNoCheckpoint
 // — cold-start with NewDurableMonitor instead.
-func OpenDurableMonitor(cfg DurabilityConfig, sink AlarmSink) (*DurableMonitor, []StepReport, error) {
+func OpenDurableMonitor(cfg DurabilityConfig, sink AlarmSink, opts ...MonitorOption) (*DurableMonitor, []StepReport, error) {
 	cfg = cfg.withDefaults()
+	var o monitorOptions
+	for _, opt := range opts {
+		opt(&o) // shard count comes from the checkpoint; WithShards is ignored here
+	}
 	ck, err := manager.ReadCheckpointFile(cfg.checkpointPath())
 	if err != nil {
 		return nil, nil, err
@@ -172,7 +184,7 @@ func OpenDurableMonitor(cfg DurabilityConfig, sink AlarmSink) (*DurableMonitor, 
 		return nil, nil, err
 	}
 	store.AttachWAL(log)
-	mon := &Monitor{store: store, fleet: fleet, coord: coord, step: store.Step(), cursor: ck.Cursor, ids: fleet.IDs()}
+	mon := &Monitor{store: store, fleet: fleet, coord: coord, step: store.Step(), cursor: ck.Cursor, ids: fleet.IDs(), scoreQueue: o.scoreQueue}
 	d := &DurableMonitor{mon: mon, log: log, cfg: cfg, epoch: ck.Epoch,
 		cadence:       manager.Cadence{EverySteps: cfg.CheckpointEvery, Interval: cfg.CheckpointInterval},
 		replayApplied: applied, replaySkipped: skipped}

@@ -1,0 +1,42 @@
+package mcorr
+
+import (
+	"mcorr/internal/collector"
+	"mcorr/internal/obs"
+)
+
+// Flow-control surface. The collector's overload-protection layer
+// (admission queue, shed policies, per-agent rate limits, ack throttle
+// hints) is configured through CollectorServer.SetFlow with these types;
+// the monitor's bounded row queue is configured with WithScoreQueue.
+type (
+	// FlowConfig tunes the collector server's flow-control layer (see
+	// CollectorServer.SetFlow). The zero value disables it.
+	FlowConfig = collector.FlowConfig
+	// ShedPolicy selects what the server does with a batch when the
+	// admission queue is full.
+	ShedPolicy = collector.ShedPolicy
+	// AckInfo is an ack's stored count plus the server's throttle hint.
+	AckInfo = collector.AckInfo
+)
+
+// Shed policies (see the collector package for semantics).
+const (
+	ShedBlock      = collector.ShedBlock
+	ShedDropOldest = collector.ShedDropOldest
+	ShedReject     = collector.ShedReject
+)
+
+// ParseShedPolicy parses "block", "drop-oldest" or "reject".
+func ParseShedPolicy(s string) (ShedPolicy, error) { return collector.ParseShedPolicy(s) }
+
+// Monitor-side flow metrics: the bounded row queue between ingest and
+// scoring. Shedding never happens here — a full queue blocks the
+// producer (explicit backpressure) so DurableMonitor trajectories stay
+// bit-identical; only the collector boundary is allowed to drop data.
+var (
+	obsFlowRowDepth = obs.Default().Gauge("mcorr_flow_row_queue_depth",
+		"Rows currently buffered between ingest and the scoring fleet.")
+	obsFlowRowBlocked = obs.Default().Counter("mcorr_flow_row_queue_blocked_total",
+		"Times the ingest side blocked on a full row queue (backpressure).")
+)

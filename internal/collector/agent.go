@@ -19,6 +19,7 @@ type Agent struct {
 	name   string
 	closed bool
 	sent   int
+	hint   AckInfo // throttle hint from the most recent ack
 }
 
 // Dial connects to the server at addr and introduces the agent by name.
@@ -53,6 +54,15 @@ func (a *Agent) Sent() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.sent
+}
+
+// LastHint returns the throttle hint carried on the most recent ack —
+// the server's advisory request to back off (Delay) and/or cap the next
+// batch (Credit). The zero AckInfo means the server is not throttling.
+func (a *Agent) LastHint() AckInfo {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AckInfo{Delay: a.hint.Delay, Credit: a.hint.Credit}
 }
 
 // PartialSendError reports a Send that delivered only a leading prefix of
@@ -129,10 +139,12 @@ func (a *Agent) sendOne(batch []tsdb.Sample) (acked int, err error) {
 	if f.Type != MsgAck {
 		return 0, fmt.Errorf("agent: expected ack, got %s", f.Type)
 	}
-	n, err := DecodeAck(f.Payload)
+	info, err := DecodeAckInfo(f.Payload)
 	if err != nil {
 		return 0, fmt.Errorf("agent decode ack: %w", err)
 	}
+	a.hint = info
+	n := info.Stored
 	if n > len(batch) {
 		return 0, fmt.Errorf("agent: server acked %d of %d samples", n, len(batch))
 	}

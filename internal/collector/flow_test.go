@@ -1,0 +1,571 @@
+package collector
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"mcorr/internal/timeseries"
+	"mcorr/internal/tsdb"
+)
+
+// countingSink records every sample it receives, keyed by identity, so
+// tests can assert exactly-once delivery: a duplicate shows up as a key
+// with count > 1 (a tsdb.Store would mask duplicates by rejecting them
+// as stale).
+type countingSink struct {
+	mu    sync.Mutex
+	seen  map[string]int
+	total int
+}
+
+func newCountingSink() *countingSink { return &countingSink{seen: make(map[string]int)} }
+
+func (c *countingSink) AppendBatch(batch []tsdb.Sample) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range batch {
+		key := fmt.Sprintf("%s|%s|%d", s.ID.Machine, s.ID.Metric, s.Time.UnixNano())
+		c.seen[key]++
+		c.total++
+	}
+	return nil
+}
+
+func (c *countingSink) duplicates() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var dups []string
+	for k, n := range c.seen {
+		if n > 1 {
+			dups = append(dups, fmt.Sprintf("%s x%d", k, n))
+		}
+	}
+	return dups
+}
+
+func (c *countingSink) counts() (unique, total int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.seen), c.total
+}
+
+// gatedSink blocks every AppendBatch until the test releases it, to
+// simulate a slow sink: entered receives a token when a batch reaches the
+// sink, release lets it through.
+type gatedSink struct {
+	next    Sink
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (g *gatedSink) AppendBatch(batch []tsdb.Sample) error {
+	g.entered <- struct{}{}
+	<-g.release
+	return g.next.AppendBatch(batch)
+}
+
+// newSinkServer starts a server over an arbitrary sink with the given
+// flow config.
+func newSinkServer(t *testing.T, sink Sink, flow FlowConfig) (*Server, string) {
+	t.Helper()
+	srv, err := NewServer(sink, nil)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	srv.SetFlow(flow)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr.String()
+}
+
+// batchFor builds n samples for one named machine with distinct times.
+func batchFor(machine string, n int) []tsdb.Sample {
+	out := make([]tsdb.Sample, n)
+	for i := range out {
+		out[i] = tsdb.Sample{
+			ID:    timeseries.MeasurementID{Machine: machine, Metric: "cpu"},
+			Time:  timeseries.MonitoringStart.Add(time.Duration(i) * timeseries.SampleStep),
+			Value: float64(i),
+		}
+	}
+	return out
+}
+
+// TestReliableAgentConcurrentSendExactlyOnce is the regression test for
+// the duplicate-delivery race: concurrent Send calls used to each copy
+// the full pending buffer, deliver overlapping prefixes, and both trim.
+// With the single-flight flusher every accepted sample must reach the
+// sink exactly once.
+func TestReliableAgentConcurrentSendExactlyOnce(t *testing.T) {
+	sink := newCountingSink()
+	_, addr := newSinkServer(t, sink, FlowConfig{})
+	ra := NewReliableAgent(addr, "rel-conc", ReliableConfig{Sleep: noSleep})
+	defer ra.Close()
+
+	const goroutines = 8
+	const batches = 20
+	const perBatch = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*batches)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				batch := make([]tsdb.Sample, perBatch)
+				for i := range batch {
+					batch[i] = tsdb.Sample{
+						ID:    timeseries.MeasurementID{Machine: fmt.Sprintf("m%d", g), Metric: fmt.Sprintf("metric%d", b)},
+						Time:  timeseries.MonitoringStart.Add(time.Duration(i) * timeseries.SampleStep),
+						Value: float64(i),
+					}
+				}
+				if err := ra.Send(batch); err != nil {
+					errs <- err
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := ra.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if p := ra.Pending(); p != 0 {
+		t.Errorf("Pending = %d after drain, want 0", p)
+	}
+	if d := ra.Dropped(); d != 0 {
+		t.Errorf("Dropped = %d, want 0", d)
+	}
+	want := goroutines * batches * perBatch
+	unique, total := sink.counts()
+	if dups := sink.duplicates(); len(dups) != 0 {
+		t.Errorf("duplicate deliveries: %v", dups)
+	}
+	if unique != want || total != want {
+		t.Errorf("sink saw %d samples (%d unique), want exactly %d", total, unique, want)
+	}
+}
+
+// TestReliableAgentCloseInterruptsBackoff: Close must wake a flusher
+// sleeping in backoff instead of letting it run out its (long) delay.
+func TestReliableAgentCloseInterruptsBackoff(t *testing.T) {
+	// Unreachable address, 30s backoff, default (interruptible) sleep.
+	ra := NewReliableAgent("127.0.0.1:1", "rel-int", ReliableConfig{
+		MaxAttempts: 100, Backoff: 30 * time.Second, MaxBackoff: 30 * time.Second,
+	})
+	done := make(chan error, 1)
+	go func() { done <- ra.Send(batchFor("m1", 1)) }()
+	time.Sleep(50 * time.Millisecond) // let the flusher reach the backoff sleep
+	if err := ra.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, errReliableClosed) {
+			t.Errorf("Send after Close = %v, want closed error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send still blocked 5s after Close — backoff sleep not interrupted")
+	}
+}
+
+// TestReliableAgentDialRacingCloseDoesNotLeak: a flusher mid-Dial when
+// Close runs must close the freshly dialed connection instead of
+// assigning it to the closed agent.
+func TestReliableAgentDialRacingCloseDoesNotLeak(t *testing.T) {
+	srv, _, addr := newTestServer(t)
+	dialing := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	ra := NewReliableAgent(addr, "rel-leak", ReliableConfig{
+		MaxAttempts: 1, Sleep: noSleep,
+		Dial: func(addr, name string) (*Agent, error) {
+			once.Do(func() { close(dialing) })
+			<-release
+			return Dial(addr, name)
+		},
+	})
+	done := make(chan error, 1)
+	go func() { done <- ra.Send(batchFor("m1", 1)) }()
+	<-dialing
+	if err := ra.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	close(release)
+	if err := <-done; !errors.Is(err, errReliableClosed) {
+		t.Errorf("Send = %v, want closed error", err)
+	}
+	// The dialed connection must be torn down, not left live.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Stats().Connections == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("connection leaked after Close raced Dial: %+v", srv.Stats())
+}
+
+// TestServerShedReject: with a full admission queue and the reject
+// policy, a new batch is acked stored-0 with a throttle hint immediately
+// — the handler never stalls on the slow sink.
+func TestServerShedReject(t *testing.T) {
+	gs := &gatedSink{next: newCountingSink(), entered: make(chan struct{}, 8), release: make(chan struct{}, 8)}
+	srv, addr := newSinkServer(t, gs, FlowConfig{QueueDepth: 1, Shed: ShedReject, ThrottleDelay: 80 * time.Millisecond})
+
+	a1 := dialT(t, addr, "m1")
+	a2 := dialT(t, addr, "m2")
+	a3 := dialT(t, addr, "m3")
+
+	r1 := make(chan error, 1)
+	go func() { r1 <- a1.Send(batchFor("m1", 4)) }()
+	<-gs.entered // batch 1 is inside the sink; the drainer is busy
+
+	r2 := make(chan error, 1)
+	go func() { r2 <- a2.Send(batchFor("m2", 4)) }()
+	waitQueueLen(t, srv, 1) // batch 2 fills the queue
+
+	// Batch 3 must be rejected promptly, while the sink is still stuck.
+	err := a3.Send(batchFor("m3", 4))
+	var pe *PartialSendError
+	if !errors.As(err, &pe) || pe.Sent != 0 || pe.Err != nil {
+		t.Fatalf("rejected Send = %v, want clean partial ack with Sent=0", err)
+	}
+	if hint := a3.LastHint(); hint.Delay != 80*time.Millisecond {
+		t.Errorf("reject hint delay = %v, want 80ms", hint.Delay)
+	}
+
+	gs.release <- struct{}{}
+	<-gs.entered
+	gs.release <- struct{}{}
+	if err := <-r1; err != nil {
+		t.Errorf("queued batch 1: %v", err)
+	}
+	if err := <-r2; err != nil {
+		t.Errorf("queued batch 2: %v", err)
+	}
+	if st := srv.Stats(); st.Shed != 1 {
+		t.Errorf("Shed = %d, want 1", st.Shed)
+	}
+}
+
+// TestServerShedDropOldest: the oldest queued batch is evicted (acked
+// stored-0 with a hint) to make room for the newest.
+func TestServerShedDropOldest(t *testing.T) {
+	sink := newCountingSink()
+	gs := &gatedSink{next: sink, entered: make(chan struct{}, 8), release: make(chan struct{}, 8)}
+	srv, addr := newSinkServer(t, gs, FlowConfig{QueueDepth: 1, Shed: ShedDropOldest, ThrottleDelay: 80 * time.Millisecond})
+
+	a1 := dialT(t, addr, "m1")
+	a2 := dialT(t, addr, "m2")
+	a3 := dialT(t, addr, "m3")
+
+	r1 := make(chan error, 1)
+	go func() { r1 <- a1.Send(batchFor("m1", 4)) }()
+	<-gs.entered
+
+	r2 := make(chan error, 1)
+	go func() { r2 <- a2.Send(batchFor("m2", 4)) }()
+	waitQueueLen(t, srv, 1)
+
+	r3 := make(chan error, 1)
+	go func() { r3 <- a3.Send(batchFor("m3", 4)) }()
+
+	// Batch 2 (the oldest queued) is evicted in favor of batch 3.
+	var pe *PartialSendError
+	if err := <-r2; !errors.As(err, &pe) || pe.Sent != 0 || pe.Err != nil {
+		t.Fatalf("evicted Send = %v, want clean partial ack with Sent=0", err)
+	}
+	if hint := a2.LastHint(); hint.Delay == 0 {
+		t.Error("evicted batch got no throttle hint")
+	}
+
+	gs.release <- struct{}{}
+	<-gs.entered
+	gs.release <- struct{}{}
+	if err := <-r1; err != nil {
+		t.Errorf("batch 1: %v", err)
+	}
+	if err := <-r3; err != nil {
+		t.Errorf("batch 3: %v", err)
+	}
+	if st := srv.Stats(); st.Shed != 1 {
+		t.Errorf("Shed = %d, want 1", st.Shed)
+	}
+	if _, total := sink.counts(); total != 8 {
+		t.Errorf("sink saw %d samples, want 8 (batches 1 and 3)", total)
+	}
+}
+
+// TestServerShedBlock: the block policy applies pure backpressure — every
+// batch is delivered, nothing is shed, senders just wait.
+func TestServerShedBlock(t *testing.T) {
+	sink := newCountingSink()
+	gs := &gatedSink{next: sink, entered: make(chan struct{}, 8), release: make(chan struct{}, 8)}
+	srv, addr := newSinkServer(t, gs, FlowConfig{QueueDepth: 1, Shed: ShedBlock})
+
+	const senders = 3
+	errs := make(chan error, senders)
+	for i := 0; i < senders; i++ {
+		a := dialT(t, addr, fmt.Sprintf("m%d", i))
+		go func(a *Agent, i int) { errs <- a.Send(batchFor(fmt.Sprintf("m%d", i), 4)) }(a, i)
+	}
+	for i := 0; i < senders; i++ {
+		<-gs.entered
+		gs.release <- struct{}{}
+	}
+	for i := 0; i < senders; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("Send: %v", err)
+		}
+	}
+	if st := srv.Stats(); st.Shed != 0 {
+		t.Errorf("Shed = %d, want 0", st.Shed)
+	}
+	if _, total := sink.counts(); total != senders*4 {
+		t.Errorf("sink saw %d samples, want %d", total, senders*4)
+	}
+}
+
+// TestServerAgentRateLimit: a batch over the per-agent token budget is
+// refused whole with a retry-after hint, and counted as throttled.
+func TestServerAgentRateLimit(t *testing.T) {
+	sink := newCountingSink()
+	srv, addr := newSinkServer(t, sink, FlowConfig{AgentRate: 1, AgentBurst: 30})
+	a := dialT(t, addr, "m1")
+
+	if err := a.Send(batchFor("m1", 30)); err != nil {
+		t.Fatalf("within-budget Send: %v", err)
+	}
+	err := a.Send(batchFor("m1", 30))
+	var pe *PartialSendError
+	if !errors.As(err, &pe) || pe.Sent != 0 || pe.Err != nil {
+		t.Fatalf("over-budget Send = %v, want clean partial ack with Sent=0", err)
+	}
+	if hint := a.LastHint(); hint.Delay <= 0 {
+		t.Errorf("throttled ack carries no delay hint: %+v", hint)
+	}
+	if st := srv.Stats(); st.Throttled != 1 {
+		t.Errorf("Throttled = %d, want 1", st.Throttled)
+	}
+	if _, total := sink.counts(); total != 30 {
+		t.Errorf("sink saw %d samples, want 30", total)
+	}
+}
+
+// TestServerAckWriteDeadline is the regression test for the unbounded
+// ack write: a peer that sends samples but never reads its acks must not
+// pin the handler goroutine forever.
+func TestServerAckWriteDeadline(t *testing.T) {
+	store, err := tsdb.NewStore(timeseries.SampleStep, 0)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	srv, err := NewServer(store, nil)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	srv.SetFlow(FlowConfig{WriteTimeout: 50 * time.Millisecond})
+
+	client, server := net.Pipe() // synchronous: writes block until read
+	defer client.Close()
+	srv.mu.Lock()
+	srv.conns[server] = &AgentStatus{Remote: "pipe", ConnectedAt: time.Now(), LastFrame: time.Now()}
+	srv.stats.Connections++
+	srv.mu.Unlock()
+	done := make(chan struct{})
+	go func() { srv.handle(server); close(done) }()
+
+	if err := WriteFrame(client, Frame{Type: MsgHello, Payload: []byte("stall")}); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	payload, err := EncodeSamples(batchFor("stall", 3))
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := WriteFrame(client, Frame{Type: MsgSamples, Payload: payload}); err != nil {
+		t.Fatalf("samples: %v", err)
+	}
+	// Never read the ack: the handler's write must hit its deadline.
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler still blocked writing the ack after 5s — no write deadline")
+	}
+}
+
+// dialT dials a plain agent and registers cleanup.
+func dialT(t *testing.T, addr, name string) *Agent {
+	t.Helper()
+	a, err := Dial(addr, name)
+	if err != nil {
+		t.Fatalf("Dial %s: %v", name, err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a
+}
+
+// waitQueueLen polls the admission queue until it holds n batches.
+func waitQueueLen(t *testing.T, srv *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(srv.queue) == n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue length never reached %d (have %d)", n, len(srv.queue))
+}
+
+func TestAckInfoRoundTrip(t *testing.T) {
+	// No hint: the legacy 4-byte form, readable by DecodeAck.
+	plain := EncodeAckInfo(AckInfo{Stored: 42})
+	if len(plain) != 4 {
+		t.Fatalf("hintless ack is %d bytes, want legacy 4", len(plain))
+	}
+	if n, err := DecodeAck(plain); err != nil || n != 42 {
+		t.Fatalf("DecodeAck(legacy) = %d, %v", n, err)
+	}
+
+	// With a hint: the extended form round-trips both fields.
+	want := AckInfo{Stored: 7, Delay: 250 * time.Millisecond, Credit: 1024}
+	ext := EncodeAckInfo(want)
+	if len(ext) != ackHintSize {
+		t.Fatalf("hinted ack is %d bytes, want %d", len(ext), ackHintSize)
+	}
+	got, err := DecodeAckInfo(ext)
+	if err != nil {
+		t.Fatalf("DecodeAckInfo: %v", err)
+	}
+	if got != want {
+		t.Errorf("round trip = %+v, want %+v", got, want)
+	}
+	if n, err := DecodeAck(ext); err != nil || n != 7 {
+		t.Errorf("DecodeAck(extended) = %d, %v; want 7", n, err)
+	}
+
+	// Sub-millisecond delays round up to 1ms rather than vanishing.
+	subMS, err := DecodeAckInfo(EncodeAckInfo(AckInfo{Delay: 100 * time.Microsecond}))
+	if err != nil || subMS.Delay != time.Millisecond {
+		t.Errorf("sub-ms delay = %v, %v; want 1ms", subMS.Delay, err)
+	}
+
+	if _, err := DecodeAckInfo(make([]byte, 7)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("7-byte ack: got %v, want ErrTruncated", err)
+	}
+}
+
+func TestParseShedPolicy(t *testing.T) {
+	for in, want := range map[string]ShedPolicy{
+		"block": ShedBlock, "drop-oldest": ShedDropOldest, "Reject": ShedReject,
+	} {
+		got, err := ParseShedPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseShedPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+		if back, err := ParseShedPolicy(got.String()); err != nil || back != want {
+			t.Errorf("String round trip of %v failed: %v, %v", want, back, err)
+		}
+	}
+	if _, err := ParseShedPolicy("yolo"); err == nil {
+		t.Error("unknown policy: want error")
+	}
+}
+
+func TestLimiterRefillAndCredit(t *testing.T) {
+	l := newLimiter(10, 20) // 10 samples/s, burst 20
+	base := time.Unix(1000, 0)
+
+	ok, _, credit := l.take("a", 15, base)
+	if !ok || credit != 5 {
+		t.Fatalf("first take: ok=%v credit=%d, want ok credit=5", ok, credit)
+	}
+	ok, wait, credit := l.take("a", 10, base)
+	if ok {
+		t.Fatal("over-budget take succeeded")
+	}
+	if wait != 500*time.Millisecond || credit != 5 {
+		t.Errorf("refusal: wait=%v credit=%d, want 500ms credit=5", wait, credit)
+	}
+	// One second refills 10 tokens (5 + 10 = 15 >= 10).
+	if ok, _, _ := l.take("a", 10, base.Add(time.Second)); !ok {
+		t.Error("take after refill should succeed")
+	}
+	// The bucket caps at burst, and agents are independent.
+	if ok, _, credit := l.take("b", 20, base); !ok || credit != 0 {
+		t.Errorf("fresh agent: ok=%v credit=%d, want full burst available", ok, credit)
+	}
+	l.forget("a")
+	if ok, _, _ := l.take("a", 20, base); !ok {
+		t.Error("forgotten agent should restart with a full bucket")
+	}
+}
+
+func TestRateMeterEWMA(t *testing.T) {
+	if d := halfLifeDecay(ewmaHalfLife.Seconds()); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("decay at one half-life = %v, want 0.5", d)
+	}
+	m := newRateMeter()
+	base := time.Unix(1000, 0)
+	if r := m.observe("a", 10, base); r != 10 {
+		t.Errorf("first observation rate = %v, want 10 (same-instant accumulate)", r)
+	}
+	// One half-life later at 1 sample/s instantaneous: halfway between.
+	r := m.observe("a", 10, base.Add(ewmaHalfLife))
+	if want := 10 + 0.5*(1-10.0); math.Abs(r-want) > 1e-9 {
+		t.Errorf("rate after one half-life = %v, want %v", r, want)
+	}
+	m.forget("a")
+	if r := m.observe("a", 4, base.Add(2*ewmaHalfLife)); r != 4 {
+		t.Errorf("rate after forget = %v, want fresh 4", r)
+	}
+}
+
+// BenchmarkFlowBookkeeping measures the per-batch flow-control overhead
+// on the accept path — one token-bucket take plus one EWMA observation —
+// which must stay allocation-free: it runs inside every handleSamples
+// call when flow control is on.
+func BenchmarkFlowBookkeeping(b *testing.B) {
+	l := newLimiter(1e9, 1<<30)
+	m := newRateMeter()
+	now := time.Unix(1000, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(time.Millisecond)
+		if ok, _, _ := l.take("agent", 64, now); !ok {
+			b.Fatal("unexpected refusal on the happy path")
+		}
+		m.observe("agent", 64, now)
+	}
+}
+
+// BenchmarkAckEncode covers the other per-batch cost flow control adds:
+// encoding the ack in its legacy (un-throttled) and extended forms.
+func BenchmarkAckEncode(b *testing.B) {
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			EncodeAckInfo(AckInfo{Stored: 64})
+		}
+	})
+	b.Run("hint", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			EncodeAckInfo(AckInfo{Stored: 64, Delay: time.Millisecond, Credit: 32})
+		}
+	})
+}

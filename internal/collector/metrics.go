@@ -31,3 +31,27 @@ var (
 		"Unix time of the last frame received from each named agent.",
 		"agent")
 )
+
+// Flow-control metrics (mcorr_flow_*). These cover the overload-protection
+// layer across the ingest path: the admission queue in front of the sink,
+// the shed policies, the per-agent token-bucket rate limits, and the
+// throttle hints carried on acks. The per-agent rate gauge is labeled by
+// agent name and deleted when the agent's last connection closes.
+var (
+	obsFlowQueueDepth = obs.Default().Gauge("mcorr_flow_queue_depth",
+		"Batches currently waiting in the admission queue.")
+	obsFlowQueueLimit = obs.Default().Gauge("mcorr_flow_queue_limit",
+		"Configured admission queue capacity in batches (0 = no queue).")
+	obsFlowShed = obs.Default().CounterVec("mcorr_flow_shed_total",
+		"Batches shed by the admission queue, by reason (drop_oldest, reject).",
+		"reason")
+	obsFlowShedSamples = obs.Default().Counter("mcorr_flow_shed_samples_total",
+		"Samples contained in shed batches.")
+	obsFlowThrottled = obs.Default().Counter("mcorr_flow_throttled_total",
+		"Batches refused whole by the per-agent rate limit.")
+	obsFlowHints = obs.Default().Counter("mcorr_flow_throttle_hints_total",
+		"Acks sent carrying a non-zero throttle hint (delay and/or credit).")
+	obsFlowAgentRate = obs.Default().GaugeVec("mcorr_flow_agent_rate",
+		"EWMA accepted-sample rate per agent, in samples per second.",
+		"agent")
+)

@@ -216,15 +216,82 @@ func DecodeHeartbeat(payload []byte) (time.Time, error) {
 	return time.Unix(0, int64(binary.BigEndian.Uint64(payload))).UTC(), nil
 }
 
-// EncodeAck serializes a sample-count acknowledgment.
+// EncodeAck serializes a sample-count acknowledgment (the legacy 4-byte
+// form, no throttle hint).
 func EncodeAck(n int) []byte {
 	return binary.BigEndian.AppendUint32(nil, uint32(n))
 }
 
-// DecodeAck parses an acknowledgment payload.
+// DecodeAck parses an acknowledgment payload, returning only the stored
+// count. Both the legacy 4-byte form and the extended form carrying a
+// throttle hint (see AckInfo) are accepted.
 func DecodeAck(payload []byte) (int, error) {
-	if len(payload) != 4 {
-		return 0, ErrTruncated
+	info, err := DecodeAckInfo(payload)
+	return info.Stored, err
+}
+
+// AckInfo is the full content of an ack frame: the count of samples the
+// server stored, plus an optional server-advertised throttle hint. The
+// hint is advisory flow control — a saturated server asks the agent to
+// back off (Delay) and/or cap its next batch (Credit) instead of being
+// hammered with immediate retries.
+type AckInfo struct {
+	// Stored is how many leading samples of the batch the server stored.
+	Stored int
+	// Delay asks the agent to wait this long before its next send.
+	// Zero means no throttling requested.
+	Delay time.Duration
+	// Credit caps the number of samples the server is willing to accept
+	// in the agent's next batch. Zero means no cap.
+	Credit int
+}
+
+// Throttled reports whether the ack carries a non-zero throttle hint.
+func (a AckInfo) Throttled() bool { return a.Delay > 0 || a.Credit > 0 }
+
+// ackHintSize is the wire size of the extended ack payload: 4-byte stored
+// count + 4-byte delay (milliseconds) + 4-byte credit.
+const ackHintSize = 12
+
+// maxAckDelayMillis caps the encodable delay hint (~49 days is absurd;
+// this keeps the uint32 wire field well-defined for any Duration input).
+const maxAckDelayMillis = 1<<32 - 1
+
+// EncodeAckInfo serializes an acknowledgment. When the hint is zero the
+// legacy 4-byte form is emitted, so agents that predate throttle hints
+// interoperate with a server that never needs to throttle; the extended
+// 12-byte form is used only when a hint is present.
+func EncodeAckInfo(info AckInfo) []byte {
+	if !info.Throttled() {
+		return EncodeAck(info.Stored)
 	}
-	return int(binary.BigEndian.Uint32(payload)), nil
+	buf := make([]byte, ackHintSize)
+	binary.BigEndian.PutUint32(buf[0:4], uint32(info.Stored))
+	millis := info.Delay.Milliseconds()
+	if millis > maxAckDelayMillis {
+		millis = maxAckDelayMillis
+	}
+	if millis == 0 && info.Delay > 0 {
+		millis = 1 // sub-millisecond hints round up, never down to "none"
+	}
+	binary.BigEndian.PutUint32(buf[4:8], uint32(millis))
+	binary.BigEndian.PutUint32(buf[8:12], uint32(info.Credit))
+	return buf
+}
+
+// DecodeAckInfo parses an acknowledgment payload in either form: the
+// legacy 4-byte stored count, or the extended count + throttle hint.
+func DecodeAckInfo(payload []byte) (AckInfo, error) {
+	switch len(payload) {
+	case 4:
+		return AckInfo{Stored: int(binary.BigEndian.Uint32(payload))}, nil
+	case ackHintSize:
+		return AckInfo{
+			Stored: int(binary.BigEndian.Uint32(payload[0:4])),
+			Delay:  time.Duration(binary.BigEndian.Uint32(payload[4:8])) * time.Millisecond,
+			Credit: int(binary.BigEndian.Uint32(payload[8:12])),
+		}, nil
+	default:
+		return AckInfo{}, ErrTruncated
+	}
 }

@@ -3,6 +3,7 @@ package collector
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -11,18 +12,23 @@ import (
 
 // ReliableConfig tunes a ReliableAgent.
 type ReliableConfig struct {
-	// MaxAttempts bounds connection attempts per Send (0 = 5).
+	// MaxAttempts bounds connection attempts per flush (0 = 5).
 	MaxAttempts int
-	// Backoff is the initial delay between attempts, doubling each retry
-	// (0 = 100ms).
+	// Backoff is the base delay between attempts, doubling each retry
+	// with equal jitter applied (0 = 100ms).
 	Backoff time.Duration
-	// MaxBackoff caps the delay (0 = 5s).
+	// MaxBackoff caps the delay before jitter (0 = 5s).
 	MaxBackoff time.Duration
 	// BufferLimit bounds the number of samples queued while the server
-	// is unreachable; beyond it the oldest samples are dropped (0 = 65536).
+	// is unreachable; beyond it the oldest samples not currently being
+	// delivered are dropped (0 = 65536).
 	BufferLimit int
-	// Sleep is the delay function, replaceable in tests (nil = time.Sleep).
+	// Sleep replaces the delay function in tests. When nil, backoff and
+	// throttle waits use a timer that Close interrupts; a custom Sleep
+	// is called as-is and is not interruptible.
 	Sleep func(time.Duration)
+	// Dial replaces the connection factory in tests (nil = Dial).
+	Dial func(addr, name string) (*Agent, error)
 }
 
 func (c ReliableConfig) withDefaults() ReliableConfig {
@@ -38,32 +44,45 @@ func (c ReliableConfig) withDefaults() ReliableConfig {
 	if c.BufferLimit <= 0 {
 		c.BufferLimit = 65536
 	}
-	if c.Sleep == nil {
-		c.Sleep = time.Sleep
+	if c.Dial == nil {
+		c.Dial = Dial
 	}
 	return c
 }
 
-// ReliableAgent wraps the plain Agent with reconnection, exponential
-// backoff, and a bounded resend buffer: samples accepted by Send are
-// delivered once a connection can be (re-)established, in order, with the
-// oldest dropped first under prolonged outages. Safe for concurrent use.
+var errReliableClosed = errors.New("reliable agent: closed")
+
+// ReliableAgent wraps the plain Agent with reconnection, jittered
+// exponential backoff, and a bounded resend buffer: samples accepted by
+// Send are delivered exactly once when a connection can be
+// (re-)established, in order, with the oldest dropped first under
+// prolonged outages. Delivery is single-flight — concurrent Send/Flush
+// calls coalesce onto one flusher instead of racing over the pending
+// buffer — and server throttle hints (ack delay/credit) are honored.
+// Safe for concurrent use.
 type ReliableAgent struct {
 	addr string
 	name string
 	cfg  ReliableConfig
 
-	mu      sync.Mutex
-	agent   *Agent
-	pending []tsdb.Sample
-	dropped int
-	closed  bool
+	mu       sync.Mutex
+	cond     sync.Cond // signaled when the active flusher finishes
+	agent    *Agent
+	pending  []tsdb.Sample
+	inflight int // leading samples of pending owned by the active flusher
+	credit   int // batch-size cap from the last throttle hint (0 = none)
+	dropped  int
+	flushing bool
+	closed   bool
+	closeCh  chan struct{}
 }
 
 // NewReliableAgent returns a reliable agent for the given server address.
 // No connection is attempted until the first Send.
 func NewReliableAgent(addr, name string, cfg ReliableConfig) *ReliableAgent {
-	return &ReliableAgent{addr: addr, name: name, cfg: cfg.withDefaults()}
+	r := &ReliableAgent{addr: addr, name: name, cfg: cfg.withDefaults(), closeCh: make(chan struct{})}
+	r.cond.L = &r.mu
+	return r
 }
 
 // Dropped reports how many samples were discarded due to the buffer limit.
@@ -81,65 +100,139 @@ func (r *ReliableAgent) Pending() int {
 }
 
 // Send queues the batch and attempts delivery of everything pending. It
-// returns nil when the queue is fully drained; otherwise the samples stay
-// buffered for the next Send and the last connection error is returned.
+// returns nil once the queue is drained (possibly by a concurrent flusher
+// that picked the samples up); otherwise the samples stay buffered for
+// the next Send and the last connection error is returned.
 func (r *ReliableAgent) Send(batch []tsdb.Sample) error {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
-		return errors.New("reliable agent: closed")
+		return errReliableClosed
 	}
 	r.pending = append(r.pending, batch...)
 	if over := len(r.pending) - r.cfg.BufferLimit; over > 0 {
-		r.pending = append(r.pending[:0], r.pending[over:]...)
-		r.dropped += over
+		// Drop the oldest samples the active flusher does not hold: the
+		// in-flight prefix is possibly already on the wire, so evicting
+		// it would corrupt the trim accounting when the ack lands.
+		keep := r.inflight
+		if over > len(r.pending)-keep {
+			over = len(r.pending) - keep
+		}
+		if over > 0 {
+			r.pending = append(r.pending[:keep], r.pending[keep+over:]...)
+			r.dropped += over
+		}
 	}
-	r.mu.Unlock()
-	return r.flush()
+	return r.flushLocked()
 }
 
 // Flush attempts delivery of everything pending without queueing new data.
-func (r *ReliableAgent) Flush() error { return r.flush() }
+func (r *ReliableAgent) Flush() error {
+	r.mu.Lock()
+	return r.flushLocked()
+}
 
-func (r *ReliableAgent) flush() error {
+// flushLocked drains the pending buffer, coalescing concurrent callers
+// onto a single flusher. Callers hold r.mu; it is released on return.
+func (r *ReliableAgent) flushLocked() error {
+	for {
+		if r.closed {
+			r.mu.Unlock()
+			return errReliableClosed
+		}
+		if len(r.pending) == 0 {
+			// Nothing left — either there was nothing to do, or the
+			// active flusher delivered our samples along with its own.
+			r.mu.Unlock()
+			return nil
+		}
+		if !r.flushing {
+			break
+		}
+		r.cond.Wait()
+	}
+	r.flushing = true
+	r.mu.Unlock()
+
+	err := r.deliver()
+
+	r.mu.Lock()
+	r.flushing = false
+	r.inflight = 0
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	return err
+}
+
+// deliver is the single-flight flush loop: dial if needed, send the
+// pending prefix, trim what the server acked, back off with jitter on
+// failure, and honor server throttle hints. Only one goroutine runs it
+// at a time.
+func (r *ReliableAgent) deliver() error {
 	backoff := r.cfg.Backoff
 	var lastErr error
 	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
 		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return errReliableClosed
+		}
 		if len(r.pending) == 0 {
 			r.mu.Unlock()
 			return nil
 		}
 		if r.agent == nil {
-			agent, err := Dial(r.addr, r.name)
+			r.mu.Unlock()
+			agent, err := r.cfg.Dial(r.addr, r.name)
+			r.mu.Lock()
+			if r.closed {
+				// Close ran while we were dialing: do not resurrect the
+				// connection it can no longer see.
+				r.mu.Unlock()
+				if err == nil {
+					_ = agent.Close()
+				}
+				return errReliableClosed
+			}
 			if err != nil {
 				r.mu.Unlock()
 				lastErr = err
-				r.cfg.Sleep(backoff)
-				backoff *= 2
-				if backoff > r.cfg.MaxBackoff {
-					backoff = r.cfg.MaxBackoff
+				if !r.sleep(jittered(backoff)) {
+					return errReliableClosed
 				}
+				backoff = nextBackoff(backoff, r.cfg.MaxBackoff)
 				continue
 			}
 			r.agent = agent
 		}
 		agent := r.agent
-		toSend := append([]tsdb.Sample(nil), r.pending...)
+		n := len(r.pending)
+		if r.credit > 0 && n > r.credit {
+			n = r.credit
+		}
+		toSend := append([]tsdb.Sample(nil), r.pending[:n]...)
+		r.inflight = n
 		r.mu.Unlock()
 
-		if err := agent.Send(toSend); err != nil {
-			lastErr = err
+		sendErr := agent.Send(toSend)
+		hint := agent.LastHint()
+
+		if sendErr != nil {
+			lastErr = sendErr
 			// A partial delivery acked a leading prefix: drop exactly
 			// those samples and resume from the right offset instead of
-			// re-sending data the server has already stored.
+			// re-sending data the server has already stored. A healthy
+			// ack-0 means the server shed or rate-limited the batch —
+			// the samples stay pending and the hint says when to retry.
 			acked, healthy := 0, false
 			var pe *PartialSendError
-			if errors.As(err, &pe) {
+			if errors.As(sendErr, &pe) {
 				acked, healthy = pe.Sent, pe.Err == nil
 			}
 			r.mu.Lock()
 			r.trimLocked(acked)
+			r.inflight = 0
+			r.credit = hint.Credit
 			if !healthy {
 				// The connection is suspect: drop it and retry from scratch.
 				_ = agent.Close()
@@ -151,22 +244,82 @@ func (r *ReliableAgent) flush() error {
 			if healthy && acked > 0 {
 				continue // progress over a live connection; no backoff
 			}
-			r.cfg.Sleep(backoff)
-			backoff *= 2
-			if backoff > r.cfg.MaxBackoff {
-				backoff = r.cfg.MaxBackoff
+			wait := jittered(backoff)
+			if healthy && hint.Delay > 0 {
+				wait = hint.Delay // the server said exactly how long
 			}
+			if !r.sleep(wait) {
+				return errReliableClosed
+			}
+			backoff = nextBackoff(backoff, r.cfg.MaxBackoff)
 			continue
 		}
 		r.mu.Lock()
-		// Remove exactly what was sent; new samples may have arrived.
+		// Remove exactly what was sent; new samples may have arrived
+		// behind the in-flight prefix.
 		r.trimLocked(len(toSend))
+		r.inflight = 0
+		r.credit = hint.Credit
+		done := len(r.pending) == 0
 		r.mu.Unlock()
+		if done {
+			return nil
+		}
+		if hint.Delay > 0 {
+			if !r.sleep(hint.Delay) {
+				return errReliableClosed
+			}
+		}
 	}
 	if lastErr == nil {
-		lastErr = errors.New("reliable agent: delivery incomplete")
+		lastErr = errors.New("delivery incomplete")
 	}
 	return fmt.Errorf("reliable agent: %w", lastErr)
+}
+
+// sleep waits for d, or until Close. It reports false when the agent
+// closed during the wait. A test-injected Sleep is called as-is.
+func (r *ReliableAgent) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return !r.isClosed()
+	}
+	if r.cfg.Sleep != nil {
+		r.cfg.Sleep(d)
+		return !r.isClosed()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-r.closeCh:
+		return false
+	}
+}
+
+func (r *ReliableAgent) isClosed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+// jittered applies equal jitter: a uniform draw from [d/2, d), so
+// synchronized agents spread their retries instead of stampeding.
+func jittered(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)))
+}
+
+// nextBackoff doubles the delay up to the cap.
+func nextBackoff(d, max time.Duration) time.Duration {
+	d *= 2
+	if d > max {
+		d = max
+	}
+	return d
 }
 
 // trimLocked drops the first n pending samples (the delivered prefix).
@@ -182,19 +335,24 @@ func (r *ReliableAgent) trimLocked(n int) {
 	r.pending = append(r.pending[:0], r.pending[n:]...)
 }
 
-// Close stops the agent; pending samples are discarded.
+// Close stops the agent: pending samples are discarded, a flusher blocked
+// in a backoff or throttle sleep is woken, and any connection a flusher
+// establishes concurrently is closed rather than leaked.
 func (r *ReliableAgent) Close() error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.closed {
+		r.mu.Unlock()
 		return nil
 	}
 	r.closed = true
 	r.pending = nil
-	if r.agent != nil {
-		err := r.agent.Close()
-		r.agent = nil
-		return err
+	agent := r.agent
+	r.agent = nil
+	close(r.closeCh)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	if agent != nil {
+		return agent.Close()
 	}
 	return nil
 }

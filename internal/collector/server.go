@@ -28,6 +28,8 @@ type ServerStats struct {
 	Samples     int
 	Heartbeats  int
 	Errors      int
+	Shed        int // batches dropped or rejected by the admission queue
+	Throttled   int // batches refused by the per-agent rate limit
 }
 
 // AgentStatus is the server's view of one connected agent — the ops
@@ -41,10 +43,17 @@ type AgentStatus struct {
 }
 
 // Server accepts agent connections and feeds their samples into a sink.
-// Construct with NewServer, start with Serve, stop with Close.
+// Construct with NewServer, configure flow control with SetFlow, start
+// with Serve, stop with Close.
 type Server struct {
 	sink Sink
 	log  *obs.Logger
+
+	flow    FlowConfig
+	limiter *limiter   // nil when rate limiting is off
+	meter   *rateMeter // nil when flow control is fully off
+	queue   chan *appendJob
+	drained chan struct{} // closed when the drainer has exited
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -89,6 +98,27 @@ func NewServerWithLogger(sink Sink, logger *obs.Logger) (*Server, error) {
 // Must be called before Serve.
 func (s *Server) SetIdleTimeout(d time.Duration) { s.readIdle = d }
 
+// SetFlow installs the flow-control layer: a bounded admission queue in
+// front of the sink with the configured shed policy, per-agent
+// token-bucket rate limits, ack write deadlines, and throttle hints on
+// overloaded acks. Must be called before Serve. The zero FlowConfig
+// restores the inline, unprotected path.
+func (s *Server) SetFlow(cfg FlowConfig) {
+	s.flow = cfg.withDefaults()
+	if s.flow.AgentRate > 0 {
+		s.limiter = newLimiter(s.flow.AgentRate, s.flow.AgentBurst)
+	} else {
+		s.limiter = nil
+	}
+	s.meter = newRateMeter()
+	if s.flow.QueueDepth > 0 {
+		s.queue = make(chan *appendJob, s.flow.QueueDepth)
+		obsFlowQueueLimit.Set(float64(s.flow.QueueDepth))
+	} else {
+		s.queue = nil
+	}
+}
+
 // Listen binds addr (e.g. "127.0.0.1:0") and starts serving in the
 // background. It returns the bound address.
 func (s *Server) Listen(addr string) (net.Addr, error) {
@@ -114,6 +144,10 @@ func (s *Server) Serve(ln net.Listener) error {
 		return errors.New("collector: server closed")
 	}
 	s.ln = ln
+	if s.queue != nil && s.drained == nil {
+		s.drained = make(chan struct{})
+		go s.drain()
+	}
 	s.mu.Unlock()
 
 	for {
@@ -152,17 +186,154 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
+// drain is the admission-queue consumer: a single goroutine applying
+// queued batches to the sink in FIFO order and replying to the handler
+// waiting on each job. It exits when the queue is closed (after every
+// handler has returned), having answered every queued job.
+func (s *Server) drain() {
+	defer close(s.drained)
+	for job := range s.queue {
+		obsFlowQueueDepth.Set(float64(len(s.queue)))
+		appendStart := time.Now()
+		err := s.sink.AppendBatch(job.batch)
+		obsAppendSeconds.Observe(time.Since(appendStart).Seconds())
+		job.reply <- appendResult{stored: storedOf(len(job.batch), err), err: err}
+	}
+	obsFlowQueueDepth.Set(0)
+}
+
+// storedOf converts a sink verdict into the acked sample count: the whole
+// batch on success, the applied prefix on a partial append, zero on an
+// opaque failure.
+func storedOf(batchLen int, err error) int {
+	if err == nil {
+		return batchLen
+	}
+	var pe *tsdb.PartialAppendError
+	if errors.As(err, &pe) {
+		return pe.Stored
+	}
+	return 0
+}
+
+// admit routes one decoded batch to the sink, through the admission queue
+// when one is configured, applying the shed policy when it is full. The
+// job (with its reply channel) is owned by the calling handler and reused
+// across batches.
+func (s *Server) admit(job *appendJob) appendResult {
+	if s.queue == nil {
+		appendStart := time.Now()
+		err := s.sink.AppendBatch(job.batch)
+		obsAppendSeconds.Observe(time.Since(appendStart).Seconds())
+		return appendResult{stored: storedOf(len(job.batch), err), err: err}
+	}
+	switch s.flow.Shed {
+	case ShedBlock:
+		s.queue <- job
+	case ShedReject:
+		select {
+		case s.queue <- job:
+		default:
+			s.countShed(len(job.batch), "reject")
+			return appendResult{dropped: true}
+		}
+	case ShedDropOldest:
+		for {
+			select {
+			case s.queue <- job:
+			default:
+				// Full: evict the oldest queued job (racing the drainer
+				// and other producers for it is fine — whoever receives
+				// it owns the verdict) and retry the enqueue.
+				select {
+				case old := <-s.queue:
+					s.countShed(len(old.batch), "drop_oldest")
+					old.reply <- appendResult{dropped: true}
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+	obsFlowQueueDepth.Set(float64(len(s.queue)))
+	return <-job.reply
+}
+
+// countShed records one shed batch on the stats and metrics surfaces.
+func (s *Server) countShed(samples int, reason string) {
+	s.mu.Lock()
+	s.stats.Shed++
+	s.mu.Unlock()
+	obsFlowShed.With(reason).Inc()
+	obsFlowShedSamples.Add(uint64(samples))
+}
+
+// writeAck sends an ack frame under the configured write deadline, so a
+// stalled agent that never reads cannot pin the handler goroutine. The
+// deadline is symmetric to the read-idle timeout unless FlowConfig
+// overrides it.
+func (s *Server) writeAck(conn net.Conn, info AckInfo) error {
+	timeout := s.flow.WriteTimeout
+	if timeout <= 0 {
+		timeout = s.readIdle
+	}
+	if timeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(timeout))
+	}
+	if info.Throttled() {
+		obsFlowHints.Inc()
+	}
+	err := WriteFrame(conn, Frame{Type: MsgAck, Payload: EncodeAckInfo(info)})
+	if timeout > 0 {
+		_ = conn.SetWriteDeadline(time.Time{})
+	}
+	return err
+}
+
+// queueHint returns the advisory delay to attach to an ack given the
+// admission queue's occupancy: zero below 3/4 full, the configured
+// throttle delay at or above it. A shed or rate-limited ack always
+// carries a delay regardless of occupancy.
+func (s *Server) queueHint() time.Duration {
+	if s.queue == nil {
+		return 0
+	}
+	if 4*len(s.queue) >= 3*cap(s.queue) {
+		return s.flow.ThrottleDelay
+	}
+	return 0
+}
+
 // handle runs one agent connection to completion.
 func (s *Server) handle(conn net.Conn) {
+	agent := conn.RemoteAddr().String()
+	named := false
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.stats.Connections--
+		last := named && !s.agentStillConnectedLocked(agent)
 		s.mu.Unlock()
 		obsConnections.Dec()
+		if last {
+			// Last connection for this agent name: drop its labeled
+			// series and limiter state so cardinality tracks the live
+			// fleet.
+			obsAgentLastSeen.Delete(agent)
+			obsFlowAgentRate.Delete(agent)
+			if s.limiter != nil {
+				s.limiter.forget(agent)
+			}
+			if s.meter != nil {
+				s.meter.forget(agent)
+			}
+		}
 	}()
-	agent := conn.RemoteAddr().String()
+	// job and its reply channel are reused for every batch on this
+	// connection, keeping the admission path allocation-free.
+	job := &appendJob{reply: make(chan appendResult, 1)}
 	for {
 		if s.readIdle > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.readIdle))
@@ -181,6 +352,7 @@ func (s *Server) handle(conn net.Conn) {
 		switch f.Type {
 		case MsgHello:
 			agent = string(f.Payload)
+			named = agent != ""
 			s.touch(conn, agent, 0)
 			s.log.Info("hello", "agent", agent)
 		case MsgHeartbeat:
@@ -202,35 +374,7 @@ func (s *Server) handle(conn net.Conn) {
 				s.log.Error("bad samples", "agent", agent, "err", err)
 				return
 			}
-			appendStart := time.Now()
-			err = s.sink.AppendBatch(batch)
-			obsAppendSeconds.Observe(time.Since(appendStart).Seconds())
-			stored := len(batch)
-			if err != nil {
-				// Sink errors (e.g. stale samples) are reported but do not
-				// kill the connection. The ack carries the stored prefix —
-				// 0 for an opaque failure, PartialAppendError.Stored when
-				// the sink applied the leading samples — so the agent can
-				// resume from the right offset instead of re-sending data
-				// the store has already accepted (and WAL-logged).
-				stored = 0
-				var pe *tsdb.PartialAppendError
-				if errors.As(err, &pe) {
-					stored = pe.Stored
-				}
-				s.countError()
-				obsSinkErrors.Inc()
-				s.log.Error("sink append failed", "agent", agent, "batch", len(batch), "stored", stored, "err", err)
-			}
-			if stored > 0 {
-				s.mu.Lock()
-				s.stats.Samples += stored
-				s.mu.Unlock()
-				obsSamples.Add(uint64(stored))
-				s.touch(conn, "", stored)
-			}
-			if err := WriteFrame(conn, Frame{Type: MsgAck, Payload: EncodeAck(stored)}); err != nil {
-				s.countError()
+			if !s.handleSamples(conn, agent, job, batch) {
 				return
 			}
 		case MsgBye:
@@ -242,6 +386,82 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// handleSamples admits one decoded batch and acks it, applying the rate
+// limit, the admission queue's shed policy, and throttle hints. It
+// reports whether the connection should stay up.
+func (s *Server) handleSamples(conn net.Conn, agent string, job *appendJob, batch []tsdb.Sample) bool {
+	// Per-agent rate limit: an over-budget batch is refused whole with a
+	// hint saying when to retry and how much the bucket can take now.
+	if s.limiter != nil {
+		ok, wait, credit := s.limiter.take(agent, len(batch), time.Now())
+		if !ok {
+			s.mu.Lock()
+			s.stats.Throttled++
+			s.mu.Unlock()
+			obsFlowThrottled.Inc()
+			if wait < s.flow.ThrottleDelay {
+				wait = s.flow.ThrottleDelay
+			}
+			if err := s.writeAck(conn, AckInfo{Stored: 0, Delay: wait, Credit: credit}); err != nil {
+				s.countError()
+				return false
+			}
+			return true
+		}
+	}
+
+	job.batch = batch
+	res := s.admit(job)
+	job.batch = nil
+	if res.dropped {
+		// Shed by the admission queue: acked as stored-0 so the agent
+		// keeps the samples buffered and backs off per the hint.
+		if err := s.writeAck(conn, AckInfo{Stored: 0, Delay: s.flow.ThrottleDelay}); err != nil {
+			s.countError()
+			return false
+		}
+		return true
+	}
+	stored := res.stored
+	if res.err != nil {
+		// Sink errors (e.g. stale samples) are reported but do not kill
+		// the connection. The ack carries the stored prefix — 0 for an
+		// opaque failure, PartialAppendError.Stored when the sink
+		// applied the leading samples — so the agent can resume from
+		// the right offset instead of re-sending data the store has
+		// already accepted (and WAL-logged).
+		s.countError()
+		obsSinkErrors.Inc()
+		s.log.Error("sink append failed", "agent", agent, "batch", len(batch), "stored", stored, "err", res.err)
+	}
+	if stored > 0 {
+		s.mu.Lock()
+		s.stats.Samples += stored
+		s.mu.Unlock()
+		obsSamples.Add(uint64(stored))
+		s.touch(conn, "", stored)
+		if s.meter != nil {
+			obsFlowAgentRate.With(agent).Set(s.meter.observe(agent, stored, time.Now()))
+		}
+	}
+	if err := s.writeAck(conn, AckInfo{Stored: stored, Delay: s.queueHint()}); err != nil {
+		s.countError()
+		return false
+	}
+	return true
+}
+
+// agentStillConnectedLocked reports whether any other live connection
+// claims the given agent name. Caller holds s.mu.
+func (s *Server) agentStillConnectedLocked(name string) bool {
+	for _, st := range s.conns {
+		if st.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // touch updates a connection's liveness record.
@@ -294,7 +514,7 @@ func (s *Server) Stats() ServerStats {
 }
 
 // Close stops accepting, closes every live connection, and waits for the
-// handlers to drain.
+// handlers (and the admission-queue drainer, if any) to drain.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -303,6 +523,7 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	ln := s.ln
+	drained := s.drained
 	for c := range s.conns {
 		c.Close()
 	}
@@ -312,5 +533,11 @@ func (s *Server) Close() error {
 		err = ln.Close()
 	}
 	s.wg.Wait()
+	if drained != nil {
+		// Every handler has returned, so no more jobs can be enqueued;
+		// closing the queue lets the drainer answer what is left and exit.
+		close(s.queue)
+		<-drained
+	}
 	return err
 }

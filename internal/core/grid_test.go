@@ -223,6 +223,56 @@ func TestGrowToIncludeBoundaryExactlyAtLambda(t *testing.T) {
 	}
 }
 
+func TestGrowToIncludeEdgeCases(t *testing.T) {
+	// Value exactly on Hi(): outside for Locate (hi-exclusive bound) and
+	// grown by exactly one interval, which then contains it as the first
+	// value of the new interval.
+	g, _ := UniformGrid(0, 10, 5, 0, 10, 5) // AvgWidth 2 on both axes
+	if _, ok := g.X.Locate(10); ok {
+		t.Error("Locate(Hi) must report outside (hi-exclusive)")
+	}
+	gr, grew := g.GrowToInclude(mathx.Point2{X: 10, Y: 5}, 3)
+	if !grew || gr.XHigh != 1 || gr.XLow+gr.YLow+gr.YHigh != 0 {
+		t.Fatalf("growth at Hi = %+v, grew=%v; want exactly one appended X interval", gr, grew)
+	}
+	if i, ok := g.X.Locate(10); !ok || i != 5 {
+		t.Errorf("Locate(10) after growth = %d, %v; want interval 5", i, ok)
+	}
+
+	// Exactly lambda·AvgWidth below Lo() is accepted, mirroring the high
+	// side; a hair past it is an outlier.
+	g2, _ := UniformGrid(0, 10, 5, 0, 10, 5)
+	if _, grew := g2.GrowToInclude(mathx.Point2{X: -6, Y: 5}, 3); !grew {
+		t.Error("point exactly lambda*AvgWidth below Lo should be accepted")
+	}
+	g3, _ := UniformGrid(0, 10, 5, 0, 10, 5)
+	if _, grew := g3.GrowToInclude(mathx.Point2{X: -6.01, Y: 5}, 3); grew {
+		t.Error("point past the low lambda boundary should be rejected")
+	}
+
+	// Growth on both axes at once, in opposite directions: X appends two
+	// intervals, Y prepends two.
+	g4, _ := UniformGrid(0, 10, 5, 0, 10, 5)
+	gr, grew = g4.GrowToInclude(mathx.Point2{X: 13, Y: -3}, 3)
+	if !grew || gr.XHigh != 2 || gr.YLow != 2 || gr.XLow != 0 || gr.YHigh != 0 {
+		t.Fatalf("both-axes growth = %+v, grew=%v; want XHigh=2 YLow=2", gr, grew)
+	}
+	if _, ok := g4.Locate(mathx.Point2{X: 13, Y: -3}); !ok {
+		t.Error("grown grid should contain the point")
+	}
+
+	// One in-range axis plus one outlier axis rejects the whole point
+	// without mutating either axis.
+	g5, _ := UniformGrid(0, 10, 5, 0, 10, 5)
+	before := g5.NumCells()
+	if _, grew := g5.GrowToInclude(mathx.Point2{X: 11, Y: 1e6}, 3); grew {
+		t.Error("outlier on one axis must reject the whole point")
+	}
+	if g5.NumCells() != before {
+		t.Error("rejected point must not mutate the grid")
+	}
+}
+
 func TestGridCloneIndependent(t *testing.T) {
 	g, _ := UniformGrid(0, 10, 5, 0, 10, 5)
 	c := g.Clone()

@@ -123,6 +123,10 @@ type CounterVec struct{ f *family }
 // first use. Hot paths must cache the result.
 func (v *CounterVec) With(values ...string) *Counter { return v.f.childFor(values).(*Counter) }
 
+// Delete drops the child with the given label values (no-op when absent)
+// — cardinality hygiene for per-entity series, e.g. a departed agent.
+func (v *CounterVec) Delete(values ...string) { v.f.deleteChild(values) }
+
 // GaugeVec is a gauge family with labels.
 type GaugeVec struct{ f *family }
 
@@ -137,6 +141,9 @@ type HistogramVec struct{ f *family }
 
 // With returns the histogram for the given label values.
 func (v *HistogramVec) With(values ...string) *Histogram { return v.f.childFor(values).(*Histogram) }
+
+// Delete drops the child with the given label values (no-op when absent).
+func (v *HistogramVec) Delete(values ...string) { v.f.deleteChild(values) }
 
 // Registry holds metric families and renders them. Registration is
 // idempotent: re-registering an existing name with the same kind and

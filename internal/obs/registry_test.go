@@ -160,6 +160,31 @@ func TestGaugeFuncAndVecDelete(t *testing.T) {
 	}
 }
 
+func TestCounterAndHistogramVecDelete(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("test_ops_total", "per agent ops", "agent")
+	cv.With("a1").Inc()
+	cv.With("a2").Inc()
+	cv.Delete("a1")
+	cv.Delete("never-existed") // no-op, must not panic
+	hv := r.HistogramVec("test_lat_seconds", "per agent latency", []float64{1}, "agent")
+	hv.With("a1").Observe(0.5)
+	hv.With("a2").Observe(0.5)
+	hv.Delete("a1")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, `agent="a1"`) || !strings.Contains(out, `agent="a2"`) {
+		t.Errorf("counter/histogram vec delete not honored: %s", out)
+	}
+	// A deleted child re-created by With starts from zero.
+	if v := cv.With("a1").Value(); v != 0 {
+		t.Errorf("recreated counter = %d, want 0", v)
+	}
+}
+
 func TestWriteJSON(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("test_n_total", "n").Add(7)

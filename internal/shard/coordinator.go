@@ -38,12 +38,12 @@ type Config struct {
 // All methods are safe for concurrent use; rows must be fed in time
 // order. The zero value is not usable — construct with New or Load.
 type Coordinator struct {
-	mu      sync.Mutex
-	cfg     manager.Config // as supplied (Workers = total budget)
-	ids     []timeseries.MeasurementID
-	shards  []*manager.Manager
-	agg     *manager.Aggregator
-	closed  bool
+	mu     sync.Mutex
+	cfg    manager.Config // as supplied (Workers = total budget)
+	ids    []timeseries.MeasurementID
+	shards []*manager.Manager
+	agg    *manager.Aggregator
+	closed bool
 
 	// Derived fan-out state, rebuilt by rebuild() after construction and
 	// after every reshard.

@@ -175,8 +175,8 @@ func TestReshardPreservesTrajectory(t *testing.T) {
 	defer coord.Close()
 	third := len(rows) / 3
 	steps := []struct {
-		rows   []manager.Row
-		newN   int // reshard to this count afterwards (0 = stop)
+		rows []manager.Row
+		newN int // reshard to this count afterwards (0 = stop)
 	}{
 		{rows[:third], 5},
 		{rows[third : 2*third], 1},

@@ -11,9 +11,11 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"mcorr/internal/simulator"
 	"mcorr/internal/timeseries"
+	"mcorr/internal/tsdb"
 )
 
 var (
@@ -185,6 +187,23 @@ func DiffStepMaps(want, got map[string]string) []string {
 		}
 	}
 	return diffs
+}
+
+// SlowSink is fault injection for flow-control tests: it delays every
+// AppendBatch by Delay before forwarding to Next, simulating a sink that
+// cannot keep up with ingest (the condition the collector's admission
+// queue and shed policies exist for). The Next field is typed
+// structurally so testkit stays import-cycle-free with the packages
+// under test; any store or sink with AppendBatch satisfies it.
+type SlowSink struct {
+	Next  interface{ AppendBatch([]tsdb.Sample) error }
+	Delay time.Duration
+}
+
+// AppendBatch sleeps for the configured delay, then forwards the batch.
+func (s *SlowSink) AppendBatch(batch []tsdb.Sample) error {
+	time.Sleep(s.Delay)
+	return s.Next.AppendBatch(batch)
 }
 
 func splitLines(s string) []string {

@@ -102,7 +102,10 @@ func (s *Store) Append(sm Sample) error {
 // failure partway through returns a *PartialAppendError carrying how many
 // leading samples were applied, so the sender can resume from that offset.
 // On a durable store exactly the applied prefix is logged to the WAL
-// before AppendBatch returns.
+// before AppendBatch returns. The collector server acks exactly this
+// Stored count back to agents (whether batches reach the store inline or
+// through the flow-control admission queue), which is what lets a
+// ReliableAgent resume mid-batch without duplicating WAL-logged samples.
 func (s *Store) AppendBatch(batch []Sample) error {
 	start := time.Now()
 	s.mu.Lock()

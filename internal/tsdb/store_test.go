@@ -2,6 +2,7 @@ package tsdb
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"sync"
 	"testing"
@@ -137,6 +138,41 @@ func TestAppendBatchStopsAtError(t *testing.T) {
 	}
 	if s.Len(idNet) != 0 {
 		t.Error("batch should stop at the failing sample")
+	}
+}
+
+func TestAppendBatchPartialResume(t *testing.T) {
+	s := newStore(t, 0)
+	batch := []Sample{
+		{ID: idCPU, Time: t0, Value: 1},
+		{ID: idCPU, Time: t0.Add(time.Minute), Value: 2},
+		{ID: idCPU, Time: t0, Value: 3}, // stale: stops the batch here
+		{ID: idNet, Time: t0, Value: 4},
+	}
+	err := s.AppendBatch(batch)
+	var pe *PartialAppendError
+	if !errors.As(err, &pe) {
+		t.Fatalf("AppendBatch: got %v, want *PartialAppendError", err)
+	}
+	if pe.Stored != 2 {
+		t.Fatalf("Stored = %d, want 2", pe.Stored)
+	}
+	// Resuming from the reported offset (skipping the poisoned sample, as
+	// a sender that trims its buffer by Stored and drops the reject would)
+	// must deliver the tail exactly once.
+	if err := s.AppendBatch(batch[pe.Stored+1:]); err != nil {
+		t.Fatalf("resume append: %v", err)
+	}
+	if got := s.Len(idCPU); got != 2 {
+		t.Errorf("cpu samples = %d, want 2 (no duplicates)", got)
+	}
+	if got := s.Len(idNet); got != 1 {
+		t.Errorf("net samples = %d, want 1", got)
+	}
+	// Re-sending the already-applied prefix must be rejected stale, not
+	// silently duplicated — the property the ack protocol relies on.
+	if err := s.AppendBatch(batch[:1]); err == nil {
+		t.Error("re-sent prefix: want stale error")
 	}
 }
 

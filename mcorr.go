@@ -263,7 +263,8 @@ func DialCollector(addr, agentName string) (*CollectorAgent, error) {
 type MonitorOption func(*monitorOptions)
 
 type monitorOptions struct {
-	shards int
+	shards     int
+	scoreQueue int
 }
 
 // WithShards partitions the monitor's pair graph across n manager shards
@@ -274,16 +275,27 @@ func WithShards(n int) MonitorOption {
 	return func(o *monitorOptions) { o.shards = n }
 }
 
+// WithScoreQueue bounds a row queue of the given depth between ingest and
+// the scoring fleet, so row assembly (store queries) overlaps with
+// scoring. A full queue blocks ingest — explicit backpressure, never
+// shedding — and a single consumer scores rows in time order, so fitness
+// trajectories are bit-identical to the unqueued path. depth <= 0 keeps
+// the inline path.
+func WithScoreQueue(depth int) MonitorOption {
+	return func(o *monitorOptions) { o.scoreQueue = depth }
+}
+
 // Monitor glues a store and a scoring fleet together for streaming use:
 // ingest samples as they arrive, and complete rows are scored
 // automatically in time order.
 type Monitor struct {
-	store  *Store
-	fleet  Fleet
-	coord  *ShardCoordinator // non-nil iff the fleet is sharded
-	step   time.Duration
-	cursor time.Time
-	ids    []MeasurementID
+	store      *Store
+	fleet      Fleet
+	coord      *ShardCoordinator // non-nil iff the fleet is sharded
+	step       time.Duration
+	cursor     time.Time
+	ids        []MeasurementID
+	scoreQueue int // bounded row-queue depth (0 = score inline)
 }
 
 // newFleet trains either a single manager or a sharded coordinator.
@@ -330,7 +342,7 @@ func NewMonitor(history *Dataset, cfg ManagerConfig, opts ...MonitorOption) (*Mo
 			cursor = end
 		}
 	}
-	return &Monitor{store: store, fleet: fleet, coord: coord, step: step, cursor: cursor, ids: ids}, nil
+	return &Monitor{store: store, fleet: fleet, coord: coord, step: step, cursor: cursor, ids: ids, scoreQueue: o.scoreQueue}, nil
 }
 
 // Fleet exposes the scoring fleet (a *Manager or a *ShardCoordinator).
@@ -405,17 +417,52 @@ func (m *Monitor) FlushUpTo(deadline time.Time) []StepReport {
 }
 
 func (m *Monitor) flushUntil(until time.Time) []StepReport {
-	var reports []StepReport
-	for m.cursor.Before(until) {
-		ds := m.store.QueryAll(m.cursor, m.cursor.Add(m.step))
-		row := Row{Time: m.cursor, Values: make(map[MeasurementID]float64, len(m.ids))}
-		for _, id := range m.ids {
-			if s := ds.Get(id); s != nil && s.Len() > 0 {
-				row.Values[id] = s.Values[0]
-			}
+	if m.scoreQueue <= 0 {
+		var reports []StepReport
+		for m.cursor.Before(until) {
+			reports = append(reports, m.fleet.Step(m.nextRow()))
 		}
-		reports = append(reports, m.fleet.Step(row))
-		m.cursor = m.cursor.Add(m.step)
+		return reports
 	}
+	// Pipelined path: row assembly (store queries) runs ahead of scoring
+	// through a bounded queue. A single consumer scores in time order —
+	// exactly the inline order, so trajectories stay bit-identical — and
+	// a full queue blocks this producer rather than dropping rows.
+	rows := make(chan Row, m.scoreQueue)
+	done := make(chan []StepReport, 1)
+	go func() {
+		var reports []StepReport
+		for row := range rows {
+			reports = append(reports, m.fleet.Step(row))
+		}
+		done <- reports
+	}()
+	for m.cursor.Before(until) {
+		row := m.nextRow()
+		select {
+		case rows <- row:
+		default:
+			obsFlowRowBlocked.Inc()
+			rows <- row // backpressure: wait for the scorer, never shed
+		}
+		obsFlowRowDepth.Set(float64(len(rows)))
+	}
+	close(rows)
+	reports := <-done
+	obsFlowRowDepth.Set(0)
 	return reports
+}
+
+// nextRow assembles the row at the cursor from the store and advances
+// the cursor one step.
+func (m *Monitor) nextRow() Row {
+	ds := m.store.QueryAll(m.cursor, m.cursor.Add(m.step))
+	row := Row{Time: m.cursor, Values: make(map[MeasurementID]float64, len(m.ids))}
+	for _, id := range m.ids {
+		if s := ds.Get(id); s != nil && s.Len() > 0 {
+			row.Values[id] = s.Values[0]
+		}
+	}
+	m.cursor = m.cursor.Add(m.step)
+	return row
 }

@@ -1,0 +1,114 @@
+// Command benchgate compares a fresh benchmark run against the committed
+// baseline (BENCH_scoring.json) and reports per-benchmark regressions
+// beyond a tolerance. Both inputs are benchjson documents, so the typical
+// flow is:
+//
+//	go test -run '^$' -bench ... -benchmem . | benchjson > /tmp/fresh.json
+//	benchgate -baseline BENCH_scoring.json -fresh /tmp/fresh.json
+//
+// Benchmark timings on shared or throttled hardware (CI runners
+// especially) are noisy, so the gate is advisory by default: it prints
+// every regression and exits 0 unless -strict is set. The committed
+// baseline stays the source of truth — when a change legitimately moves a
+// number, regenerate it with `make bench-json` and commit the diff.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// result mirrors cmd/benchjson's Result (only the fields the gate reads).
+type result struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// report mirrors cmd/benchjson's Report.
+type report struct {
+	Results []result `json:"results"`
+}
+
+func load(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64, len(rep.Results))
+	for _, r := range rep.Results {
+		if r.NsPerOp > 0 {
+			out[r.Name] = r.NsPerOp
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_scoring.json", "committed baseline benchjson document")
+	fresh := flag.String("fresh", "", "fresh benchjson document to compare (required)")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional slowdown before a benchmark counts as regressed")
+	strict := flag.Bool("strict", false, "exit non-zero on regressions instead of only reporting them")
+	flag.Parse()
+	if *fresh == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -fresh is required")
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*fresh)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressed := 0
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("MISSING  %-60s baseline %.0f ns/op, absent from fresh run\n", name, b)
+			continue
+		}
+		delta := (c - b) / b
+		switch {
+		case delta > *tolerance:
+			regressed++
+			fmt.Printf("REGRESS  %-60s %.0f -> %.0f ns/op (%+.1f%%, tolerance %.0f%%)\n",
+				name, b, c, 100*delta, 100**tolerance)
+		case delta < -*tolerance:
+			fmt.Printf("IMPROVE  %-60s %.0f -> %.0f ns/op (%+.1f%%) — consider re-baselining\n",
+				name, b, c, 100*delta)
+		default:
+			fmt.Printf("ok       %-60s %.0f -> %.0f ns/op (%+.1f%%)\n", name, b, c, 100*delta)
+		}
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("NEW      %-60s not in baseline — regenerate with `make bench-json`\n", name)
+		}
+	}
+	if regressed > 0 {
+		fmt.Printf("benchgate: %d benchmark(s) regressed beyond %.0f%%\n", regressed, 100**tolerance)
+		if *strict {
+			os.Exit(1)
+		}
+		fmt.Println("benchgate: advisory mode, not failing the build (use -strict to enforce)")
+	} else {
+		fmt.Println("benchgate: all benchmarks within tolerance")
+	}
+}

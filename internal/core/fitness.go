@@ -6,13 +6,13 @@ package core
 // probabilities at lower indices rank ahead of h.
 //
 // Because ranking only compares entries, row may equally be a vector of
-// unnormalized scores under any monotonically increasing transform of the
+// unnormalized scores under any strictly increasing transform of the
 // probabilities — raw kernel-Bayes log weights or Dirichlet counts rank
-// identically to the softmax/sum-normalized row, as long as the transform
-// does not collapse distinct entries into floating-point ties (exp maps
-// log weights that differ only in their final ulps onto the same float;
-// see TransitionMatrix.ScoreTransition for why the hot path therefore
-// ranks the cached normalized row rather than raw weights).
+// identically to the softmax/sum-normalized row in exact arithmetic. In
+// floats the two can differ only where exp collapses log weights that
+// differ in their final ulps into exact probability ties; the scoring hot
+// path ranks the raw row (see TransitionMatrix.ScoreTransition), which
+// keeps such cells distinct and costs no exponentials.
 func RankInRow(row []float64, h int) int {
 	rank := 1
 	ph := row[h]

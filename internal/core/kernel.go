@@ -173,6 +173,39 @@ func (k *Kernel) AddLogRow(dst []float64, xh, yh, nx, ny int) float64 {
 	return mx
 }
 
+// AddLogRowScaled adds m·log(Weight(xh−x, yh−y)) for every cell (x, y) of
+// an nx×ny grid, row-major, into dst, and returns the maximum entry of dst
+// after the addition. It coalesces m repeated identical observations of the
+// same destination cell into a single pass: in exact arithmetic the result
+// equals m sequential AddLogRow calls (the per-call re-centering the caller
+// performs is a row-constant shift that cancels under softmax), and the
+// float rounding is deterministic, so every caller that defers updates this
+// way lands on the same bits.
+func (k *Kernel) AddLogRowScaled(dst []float64, xh, yh, nx, ny int, m float64) float64 {
+	mx := math.Inf(-1)
+	j := 0
+	for x := 0; x < nx; x++ {
+		dx := x - xh
+		if dx < 0 {
+			dx = -dx
+		}
+		trow := k.logTab[dx*k.tabNY:]
+		for y := 0; y < ny; y++ {
+			dy := y - yh
+			if dy < 0 {
+				dy = -dy
+			}
+			v := dst[j] + m*trow[dy]
+			dst[j] = v
+			if v > mx {
+				mx = v
+			}
+			j++
+		}
+	}
+	return mx
+}
+
 // FillLogRow writes log(Weight(xi−x, yi−y)) for every cell (x, y) of an
 // nx×ny grid, row-major, into dst — the bulk form used to seed prior rows.
 func (k *Kernel) FillLogRow(dst []float64, xi, yi, nx, ny int) {

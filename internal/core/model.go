@@ -31,6 +31,14 @@ type Config struct {
 	// DirichletStrength is the prior pseudo-count mass per row when
 	// UpdateRule is UpdateDirichlet; default 10.
 	DirichletStrength float64
+	// OmitProbs skips computing the transition probability in Step:
+	// StepResult.Prob reports zero and the scoring hot path touches no
+	// normalizer (and thus no exponentials). Fitness is unaffected — it
+	// ranks the raw row either way. The manager layer enables this
+	// automatically when nothing consumes the probability (ProbDelta == 0).
+	// Explicit reads (Score, TransitionProbability, Explain, RowInto) still
+	// compute probabilities normally.
+	OmitProbs bool
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +79,13 @@ type StepResult struct {
 	// Grown reports that the grid was extended to accommodate the
 	// observation (adaptive models only).
 	Grown bool
+	// Steady reports that this observation entered or continued a frozen
+	// self-transition run: as long as subsequent observations land in the
+	// same cell, Step returns this exact result again (matrix updates are
+	// deferred and coalesced until the run breaks). The manager's
+	// incremental scheduler uses Steady plus SteadyBounds to skip
+	// re-scoring pairs whose inputs provably repeat.
+	Steady bool
 }
 
 // Stats summarizes a model's online history.
@@ -86,6 +101,19 @@ type Stats struct {
 // the 2-D measurement space plus a transition probability matrix over its
 // cells. Build one with Train, then feed the online stream through Step.
 //
+// Self-transition runs — consecutive observations in the same cell, the
+// dominant steady-state pattern — are frozen: the first self-transition is
+// scored fresh and its result cached (runRes); every continuation returns
+// the cached result and defers its matrix update (runLen), and the deferred
+// updates apply in one coalesced ObserveRun when the run breaks (cell
+// change, outlier, gap, growth, Reset, SetAdaptive). Deferral is part of
+// the model's defined update semantics, not an approximation: every scoring
+// path — full, incremental, recovered from a checkpoint — defers the same
+// way, so trajectories are bit-identical across them. One observable
+// consequence: read-only views of the matrix (Score, TransitionProbability,
+// Matrix, Explain) do not see a live run's deferred updates until the run
+// breaks.
+//
 // Model is safe for concurrent use.
 type Model struct {
 	mu    sync.Mutex
@@ -96,6 +124,13 @@ type Model struct {
 	armed bool // prev is valid
 	stats Stats
 	row   []float64 // scratch row buffer for Explain/Diagnose row reads
+
+	// Frozen self-run state: runValid marks runRes as the cached result of
+	// the live run in cell prev; runLen counts deferred adaptive updates
+	// not yet applied to the matrix. runLen > 0 implies a live run.
+	runValid bool
+	runLen   int
+	runRes   StepResult
 }
 
 // Train initializes the model from history data (the paper's snapshot of
@@ -158,6 +193,20 @@ func NewModelFromGrid(grid *Grid, cfg Config) (*Model, error) {
 	return &Model{cfg: cfg, grid: grid, tm: tm, prev: -1}, nil
 }
 
+// flushRunLocked applies any deferred self-run updates (one coalesced
+// ObserveRun on the run's cell) and invalidates the frozen result. Callers
+// hold m.mu. Every run break routes through here BEFORE the breaking event
+// mutates geometry (growth) or scores a new transition, so deferred updates
+// always land under the dims they were observed in.
+func (m *Model) flushRunLocked() {
+	if m.runLen > 0 {
+		// Cannot fail: prev is a valid cell of the current dims.
+		_ = m.tm.ObserveRun(m.prev, m.runLen)
+		m.runLen = 0
+	}
+	m.runValid = false
+}
+
 // Step feeds one online observation through the model. It returns the
 // transition probability and fitness score for the implied transition, and
 // — when the model is adaptive — updates the matrix (and grows the grid if
@@ -171,12 +220,23 @@ func (m *Model) Step(p mathx.Point2) StepResult {
 	var grown bool
 	if !ok && m.cfg.Adaptive {
 		if gr, grew := m.grid.GrowToInclude(p, m.cfg.Lambda); grew {
+			// Deferred self-run updates belong to the old geometry; apply
+			// them before the matrix is remapped.
+			m.flushRunLocked()
+			oldNy := m.tm.ny
 			// Growth cannot fail here: the matrix dims track the grid.
 			if err := m.tm.Grow(m.grid, gr); err != nil {
 				// Inconsistent internal state would be a bug; surface it
 				// loudly in the result rather than panicking.
 				m.armed = false
 				return StepResult{OutOfGrid: true, Cell: -1}
+			}
+			// Prepended intervals shift every pre-existing cell index (and
+			// any Y growth changes the row stride); remap the chain
+			// position so the next transition scores out of the right row.
+			if m.armed {
+				oxi, oyi := m.prev/oldNy, m.prev%oldNy
+				m.prev = (oxi+gr.XLow)*m.tm.ny + (oyi + gr.YLow)
 			}
 			grown = true
 			m.stats.Growths++
@@ -186,18 +246,43 @@ func (m *Model) Step(p mathx.Point2) StepResult {
 	if !ok {
 		// Outlier: zero probability and fitness, no update (paper §4.2),
 		// and the chain restarts at the next in-grid point.
+		m.flushRunLocked()
 		m.stats.Outliers++
 		res := StepResult{Scored: m.armed, OutOfGrid: true, Cell: -1}
 		m.armed = false
 		return res
 	}
 
+	if m.armed && m.runValid && cell == m.prev {
+		// Frozen self-run continuation: the row cannot have changed since
+		// runRes was scored (the run's own updates are deferred), so the
+		// cached result repeats bit-for-bit. grown is never true here —
+		// growth targets a cell outside the old grid, never the remapped
+		// previous cell — and flushRunLocked above cleared runValid on
+		// every growth path regardless.
+		if m.cfg.Adaptive {
+			m.runLen++
+			m.stats.Updates++
+		}
+		m.stats.Scored++
+		return m.runRes
+	}
+	// Any live run just broke: apply its deferred updates before scoring
+	// the new transition out of the (now up-to-date) row.
+	m.flushRunLocked()
+
 	res := StepResult{Cell: cell, Grown: grown}
 	if m.armed {
 		// Softmax-free hot path: the rank comes straight from the raw row
-		// and the probability from the cached normalizer, so no probability
-		// row is materialized into scratch here.
-		prob, fitness, err := m.tm.ScoreTransition(m.prev, cell)
+		// and the probability (when wanted at all) from the cached
+		// normalizer, so no probability row is materialized here.
+		var prob, fitness float64
+		var err error
+		if m.cfg.OmitProbs {
+			fitness, err = m.tm.FitnessAt(m.prev, cell)
+		} else {
+			prob, fitness, err = m.tm.ScoreTransition(m.prev, cell)
+		}
 		if err == nil {
 			res.Scored = true
 			res.Prob = prob
@@ -205,13 +290,63 @@ func (m *Model) Step(p mathx.Point2) StepResult {
 			m.stats.Scored++
 		}
 		if m.cfg.Adaptive {
-			if err := m.tm.Observe(m.prev, cell); err == nil {
+			if cell == m.prev {
+				// Entering a self-run: defer this update (and the run's
+				// continuations) so the frozen result stays exact.
+				m.runLen = 1
+				m.stats.Updates++
+			} else if err := m.tm.Observe(m.prev, cell); err == nil {
 				m.stats.Updates++
 			}
+		}
+		if res.Scored && cell == m.prev {
+			res.Steady = true
+			m.runRes = res
+			m.runValid = true
 		}
 	}
 	m.prev, m.armed = cell, true
 	return res
+}
+
+// NoteSkipped records that the caller skipped re-scoring this model for an
+// observation that provably repeats the live frozen self-run (both values
+// stayed inside SteadyBounds). It mirrors the frozen-run branch of Step
+// exactly: counters advance and, for adaptive models, the matrix update is
+// deferred onto the run — a later flush is bit-identical to having called
+// Step. It returns false, and records nothing, when no frozen run is live
+// (the model was reset, re-armed or mutated since the caller cached its
+// outcome); the caller must then re-score via Step.
+func (m *Model) NoteSkipped() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.armed || !m.runValid {
+		return false
+	}
+	m.stats.Observations++
+	m.stats.Scored++
+	if m.cfg.Adaptive {
+		m.runLen++
+		m.stats.Updates++
+	}
+	return true
+}
+
+// SteadyBounds returns the half-open value bounds [xlo,xhi) × [ylo,yhi) of
+// the cell the model's live frozen self-run occupies. While both series
+// stay inside these bounds the next observation is guaranteed to land in
+// the same cell and Step would return the frozen result — the contract the
+// manager's incremental skip test is built on (a plain half-open comparison
+// replicates Axis.Locate exactly, including NaN rejection). ok is false
+// when no frozen run is live.
+func (m *Model) SteadyBounds() (xlo, xhi, ylo, yhi float64, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.armed || !m.runValid {
+		return 0, 0, 0, 0, false
+	}
+	xlo, xhi, ylo, yhi = m.grid.CellBounds(m.prev)
+	return xlo, xhi, ylo, yhi, true
 }
 
 // Score evaluates the transition from the model's current position to p
@@ -235,17 +370,21 @@ func (m *Model) Score(p mathx.Point2) (prob, fitness float64, ok bool) {
 }
 
 // Reset clears the Markov chain position (e.g. across a data gap) without
-// touching the learned matrix.
+// touching the learned matrix. A live self-run breaks: its deferred
+// updates apply first.
 func (m *Model) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.flushRunLocked()
 	m.armed = false
 }
 
-// SetAdaptive switches online updating on or off.
+// SetAdaptive switches online updating on or off. A live self-run breaks:
+// updates deferred under the old regime apply before the flip.
 func (m *Model) SetAdaptive(adaptive bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.flushRunLocked()
 	m.cfg.Adaptive = adaptive
 }
 

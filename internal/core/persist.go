@@ -23,11 +23,20 @@ type modelSnapshot struct {
 	Prev                 int
 	Armed                bool
 	ModelStats           Stats
+
+	// Frozen self-run state (since version 2). Persisted verbatim — a run
+	// live at checkpoint time must NOT be flushed by Save, or the matrix
+	// trajectory would depend on checkpoint cadence and recovery would
+	// fork from an uninterrupted run.
+	RunValid bool
+	RunLen   int
+	RunRes   StepResult
 }
 
 // snapshotVersion guards against loading snapshots from incompatible
-// releases.
-const snapshotVersion = 1
+// releases. Version 2 added the frozen self-run state; version-1 snapshots
+// (no live run, by construction) still load.
+const snapshotVersion = 2
 
 // Save serializes the model (gob). The model may keep being used
 // concurrently; Save takes a consistent snapshot under the model lock.
@@ -48,6 +57,9 @@ func (m *Model) Save(w io.Writer) error {
 		Prev:       m.prev,
 		Armed:      m.armed,
 		ModelStats: m.stats,
+		RunValid:   m.runValid,
+		RunLen:     m.runLen,
+		RunRes:     m.runRes,
 	}
 	m.mu.Unlock()
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
@@ -62,8 +74,8 @@ func LoadModel(r io.Reader) (*Model, error) {
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("model load: %w", err)
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("model load: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	if snap.Version < 1 || snap.Version > snapshotVersion {
+		return nil, fmt.Errorf("model load: snapshot version %d, want 1..%d", snap.Version, snapshotVersion)
 	}
 	if len(snap.XEdges) < 2 || len(snap.YEdges) < 2 {
 		return nil, fmt.Errorf("model load: degenerate grid (%d x %d edges)", len(snap.XEdges), len(snap.YEdges))
@@ -94,11 +106,14 @@ func LoadModel(r io.Reader) (*Model, error) {
 		weights: snap.Weights, strength: snap.Strength, observed: snap.Observed,
 	}
 	return &Model{
-		cfg:   cfg,
-		grid:  grid,
-		tm:    tm,
-		prev:  snap.Prev,
-		armed: snap.Armed,
-		stats: snap.ModelStats,
+		cfg:      cfg,
+		grid:     grid,
+		tm:       tm,
+		prev:     snap.Prev,
+		armed:    snap.Armed,
+		stats:    snap.ModelStats,
+		runValid: snap.RunValid,
+		runLen:   snap.RunLen,
+		runRes:   snap.RunRes,
 	}, nil
 }

@@ -25,12 +25,16 @@ func referenceRow(t *testing.T, tm *TransitionMatrix, i int) []float64 {
 	return ref
 }
 
-// requireRowsMatch asserts RowInto, Prob and ScoreTransition all agree
-// bit-for-bit with the reference normalization of every row.
+// requireRowsMatch asserts RowInto and Prob agree bit-for-bit with the
+// reference normalization of every row, and that ScoreTransition/FitnessAt
+// rank the raw row (the defined scoring semantics — see ScoreTransition;
+// TestSoftmaxFreeRankMatchesMaterialized pins down when the raw rank equals
+// the materialized rank).
 func requireRowsMatch(t *testing.T, tm *TransitionMatrix, context string) {
 	t.Helper()
 	for i := 0; i < tm.NumCells(); i++ {
 		ref := referenceRow(t, tm, i)
+		raw := append([]float64(nil), tm.row(i)...)
 		got, err := tm.RowInto(nil, i)
 		if err != nil {
 			t.Fatalf("%s: RowInto(%d): %v", context, i, err)
@@ -55,14 +59,14 @@ func requireRowsMatch(t *testing.T, tm *TransitionMatrix, context string) {
 			if prob != ref[h] {
 				t.Fatalf("%s: ScoreTransition(%d,%d) prob %v != %v", context, i, h, prob, ref[h])
 			}
-			if want := FitnessFromRow(ref, h); fitness != want {
+			if want := FitnessFromRow(raw, h); fitness != want {
 				t.Fatalf("%s: ScoreTransition(%d,%d) fitness %v != %v", context, i, h, fitness, want)
 			}
 			fit, err := tm.FitnessAt(i, h)
 			if err != nil {
 				t.Fatalf("%s: FitnessAt(%d,%d): %v", context, i, h, err)
 			}
-			if want := FitnessFromRow(ref, h); fit != want {
+			if want := FitnessFromRow(raw, h); fit != want {
 				t.Fatalf("%s: FitnessAt(%d,%d) = %v, want %v", context, i, h, fit, want)
 			}
 		}

@@ -54,14 +54,21 @@ type TransitionMatrix struct {
 	// UpdateDirichlet they are nonnegative pseudo-counts (sum-normalized
 	// on read).
 	weights []float64
-	// probs caches materialized probability rows in the same row-major
-	// layout as weights; norm caches each row's normalizer and clean marks
-	// which cache rows are valid. All three are allocated lazily on first
-	// read, so freshly built or deserialized matrices pay nothing until
-	// they are actually scored against.
-	probs []float64
-	norm  []float64
-	clean []bool
+	// Two caches, both invalidated per row by Observe/ObserveRun/Grow and
+	// allocated lazily so freshly built or deserialized matrices pay
+	// nothing until they are actually read:
+	//
+	//   norm/normOK — each row's normalizer (log-sum-exp for kernel-Bayes,
+	//   the count sum for Dirichlet). This is all the scoring hot path
+	//   needs: fitness ranks the raw row directly and a single probability
+	//   is one exp against the cached normalizer.
+	//
+	//   probs/clean — fully materialized probability rows, kept only for
+	//   bulk readers (RowInto) that want the whole distribution.
+	probs  []float64
+	norm   []float64
+	normOK []bool
+	clean  []bool
 	// strength is the prior pseudo-count mass per row for UpdateDirichlet.
 	strength float64
 	observed int
@@ -149,10 +156,44 @@ func (tm *TransitionMatrix) Observe(i, h int) error {
 	return nil
 }
 
+// ObserveRun incorporates count repeated observations of the self-transition
+// c→c in one coalesced pass. In exact arithmetic it equals count sequential
+// Observe(c, c) calls — for kernel-Bayes the per-call re-centering is a
+// row-constant shift that cancels under normalization, so adding count·L and
+// re-centering once is the same posterior; for Dirichlet the count simply
+// lands on one entry. The float rounding differs from the sequential path
+// but is deterministic, and every scoring path defers self-runs through this
+// method (see Model.Step), so trajectories stay bit-identical across full
+// and incremental scoring, checkpoints, and reshards.
+func (tm *TransitionMatrix) ObserveRun(c, count int) error {
+	if c < 0 || c >= tm.n {
+		return fmt.Errorf("observe run at cell %d in %d-cell matrix: out of range", c, tm.n)
+	}
+	if count <= 0 {
+		return nil
+	}
+	tm.observed += count
+	tm.invalidateRow(c)
+	row := tm.row(c)
+	if tm.rule == UpdateDirichlet {
+		row[c] += float64(count)
+		return nil
+	}
+	xc, yc := tm.coords(c)
+	mx := tm.kernel.AddLogRowScaled(row, xc, yc, tm.nx, tm.ny, float64(count))
+	for j := range row {
+		row[j] -= mx
+	}
+	return nil
+}
+
 // invalidateRow marks row i's cached normalizer stale.
 func (tm *TransitionMatrix) invalidateRow(i int) {
 	if tm.clean != nil {
 		tm.clean[i] = false
+	}
+	if tm.normOK != nil {
+		tm.normOK[i] = false
 	}
 }
 
@@ -169,35 +210,72 @@ func (tm *TransitionMatrix) probRow(i int) []float64 {
 	return tm.probs[i*tm.n : (i+1)*tm.n]
 }
 
-// refreshRow recomputes row i's normalizer and materialized probability
-// row. The arithmetic mirrors mathx.SoftmaxInto / mathx.Normalize exactly
-// (including their uniform fallback for degenerate rows) so cached reads
-// are bit-for-bit identical to the uncached normalize-on-read path.
+// ensureNorm computes and caches row i's normalizer if it is stale, and
+// returns it: the log-sum-exp of the raw row for kernel-Bayes, the count
+// sum for Dirichlet.
+func (tm *TransitionMatrix) ensureNorm(i int) float64 {
+	if tm.normOK == nil {
+		tm.norm = make([]float64, tm.n)
+		tm.normOK = make([]bool, tm.n)
+	}
+	if !tm.normOK[i] {
+		raw := tm.row(i)
+		if tm.rule == UpdateKernelBayes {
+			tm.norm[i] = mathx.LogSumExp(raw)
+		} else {
+			tm.norm[i] = mathx.Sum(raw)
+		}
+		tm.normOK[i] = true
+	}
+	return tm.norm[i]
+}
+
+// probAt returns the single normalized probability P(c_i → c_h) from the
+// cached normalizer — one exp (kernel-Bayes) or one multiply (Dirichlet)
+// per read. The arithmetic is the per-entry expression of refreshRow, so
+// the value is bit-for-bit what the materialized row holds, including the
+// uniform fallback for degenerate rows.
+func (tm *TransitionMatrix) probAt(i, h int) float64 {
+	norm := tm.ensureNorm(i)
+	raw := tm.row(i)
+	if tm.rule == UpdateKernelBayes {
+		if math.IsInf(norm, -1) {
+			return 1 / float64(tm.n)
+		}
+		return math.Exp(raw[h] - norm)
+	}
+	if norm <= 0 || math.IsInf(norm, 0) || math.IsNaN(norm) {
+		return 1 / float64(tm.n)
+	}
+	inv := 1 / norm
+	return raw[h] * inv
+}
+
+// refreshRow materializes row i's probability cache from the cached
+// normalizer. The arithmetic mirrors mathx.SoftmaxInto / mathx.Normalize
+// exactly (including their uniform fallback for degenerate rows) so cached
+// reads are bit-for-bit identical to the uncached normalize-on-read path.
 func (tm *TransitionMatrix) refreshRow(i int) {
 	if tm.clean == nil {
 		tm.probs = make([]float64, tm.n*tm.n)
-		tm.norm = make([]float64, tm.n)
 		tm.clean = make([]bool, tm.n)
 	}
 	raw := tm.row(i)
 	dst := tm.probs[i*tm.n : (i+1)*tm.n]
+	norm := tm.ensureNorm(i)
 	if tm.rule == UpdateKernelBayes {
-		lse := mathx.LogSumExp(raw)
-		tm.norm[i] = lse
-		if math.IsInf(lse, -1) {
+		if math.IsInf(norm, -1) {
 			uniformFill(dst)
 		} else {
 			for j, x := range raw {
-				dst[j] = math.Exp(x - lse)
+				dst[j] = math.Exp(x - norm)
 			}
 		}
 	} else {
-		sum := mathx.Sum(raw)
-		tm.norm[i] = sum
-		if sum <= 0 || math.IsInf(sum, 0) || math.IsNaN(sum) {
+		if norm <= 0 || math.IsInf(norm, 0) || math.IsNaN(norm) {
 			uniformFill(dst)
 		} else {
-			inv := 1 / sum
+			inv := 1 / norm
 			for j, x := range raw {
 				dst[j] = x * inv
 			}
@@ -230,7 +308,8 @@ func (tm *TransitionMatrix) RowInto(dst []float64, i int) ([]float64, error) {
 }
 
 // Prob returns P(c_i → c_j) from the cached row normalizer — amortized
-// O(1): only the first read after a mutation of row i renormalizes.
+// O(1): only the first read after a mutation of row i renormalizes, and a
+// single probability never materializes the full row.
 func (tm *TransitionMatrix) Prob(i, j int) (float64, error) {
 	if i < 0 || i >= tm.n {
 		return 0, fmt.Errorf("row %d of %d-cell matrix: out of range", i, tm.n)
@@ -238,38 +317,41 @@ func (tm *TransitionMatrix) Prob(i, j int) (float64, error) {
 	if j < 0 || j >= tm.n {
 		return 0, fmt.Errorf("column %d of %d-cell matrix: out of range", j, tm.n)
 	}
-	return tm.probRow(i)[j], nil
+	return tm.probAt(i, j), nil
 }
 
 // ScoreTransition returns P(c_i → c_h) and the rank-based fitness score Q
-// for the observed transition i→h, straight off the row cache: the
-// probability is a lookup and the rank a comparison scan over the cached
-// normalized row — no copy is made and no softmax is recomputed; a clean
-// row performs no exponentials at all.
+// for the observed transition i→h. The fitness ranks the raw row directly —
+// softmax (kernel-Bayes) and count normalization (Dirichlet) are strictly
+// monotonic per row, so the raw rank is the normalized rank without
+// computing a single exponential; ties, including raw-weight ties, break by
+// lower index exactly as RankInRow does on a materialized row. The
+// probability comes from the cached normalizer (one exp), bit-identical to
+// the materialized entry.
 //
-// Ranking the cached row rather than the raw log weights is deliberate:
-// softmax is monotonic in exact arithmetic, but in floats it collapses
-// raw weights that differ only in their last ulps (common between
-// symmetric cells, whose sums accumulate in different rounding order)
-// into exact probability ties that RankInRow breaks by index. Ranking the
-// materialized row keeps scores bit-for-bit identical to normalizing on
-// every read.
+// Note the one deliberate divergence from ranking a materialized row:
+// softmax can collapse raw weights that differ only in their last ulps into
+// exact probability ties. Ranking the raw row keeps such cells distinct.
+// Every scoring path ranks the same way, so trajectories remain
+// bit-identical across full and incremental scoring.
 func (tm *TransitionMatrix) ScoreTransition(i, h int) (prob, fitness float64, err error) {
 	if i < 0 || i >= tm.n || h < 0 || h >= tm.n {
 		return 0, 0, fmt.Errorf("score transition %d→%d in %d-cell matrix: out of range", i, h, tm.n)
 	}
-	row := tm.probRow(i)
-	return row[h], FitnessFromRow(row, h), nil
+	return tm.probAt(i, h), FitnessFromRow(tm.row(i), h), nil
 }
 
 // FitnessAt returns only the fitness score for the transition i→h — the
 // read used when the caller does not need the probability, e.g. offline
-// mean-fitness replays. On a clean row it is a pure comparison scan.
+// mean-fitness replays and scoring with the probability gate disabled. It
+// is a pure comparison scan over the raw row: no normalizer, no
+// exponentials (see ScoreTransition for why the raw rank is the normalized
+// rank).
 func (tm *TransitionMatrix) FitnessAt(i, h int) (float64, error) {
 	if i < 0 || i >= tm.n || h < 0 || h >= tm.n {
 		return 0, fmt.Errorf("fitness of transition %d→%d in %d-cell matrix: out of range", i, h, tm.n)
 	}
-	return FitnessFromRow(tm.probRow(i), h), nil
+	return FitnessFromRow(tm.row(i), h), nil
 }
 
 // Grow remaps the matrix after the grid grew from oldGrid dims to the
@@ -294,7 +376,8 @@ func (tm *TransitionMatrix) Grow(g *Grid, gr Growth) error {
 	tm.weights = make([]float64, tm.n*tm.n)
 	// Every cached normalizer is sized for the old dims; drop them all and
 	// let the next read rebuild lazily.
-	tm.probs, tm.norm, tm.clean = nil, nil, nil
+	tm.probs, tm.clean = nil, nil
+	tm.norm, tm.normOK = nil, nil
 
 	penalty := tm.kernel.StepPenalty()
 	for i := 0; i < tm.n; i++ {

@@ -28,6 +28,10 @@ type Outcome struct {
 	Gap bool
 	// Grown marks an adaptive grid growth during this step.
 	Grown bool
+	// Steady marks an outcome the incremental scheduler may carry forward:
+	// the link's model froze a self-transition run, so identical-cell
+	// observations repeat this outcome bit-for-bit (see core.StepResult).
+	Steady bool
 }
 
 // Aggregator folds per-pair Outcomes into the paper's three fitness
@@ -191,6 +195,7 @@ func (g *Aggregator) Aggregate(t time.Time, pairs []Pair, pairIdx [][2]int, outc
 	if growths > 0 {
 		obsGrowths.Add(growths)
 	}
+	report.GrownPairs = int(growths)
 	return report
 }
 

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mcorr/internal/alarm"
@@ -73,6 +74,13 @@ type Config struct {
 	// TrackPairMeans maintains a running mean fitness per link, enabling
 	// WorstPairs — the paper's finest drill-down level (Q^{a,b}).
 	TrackPairMeans bool
+	// FullRescore disables the incremental dirty-pair scheduler: every
+	// pair re-scores through its model on every row, exactly as if no
+	// outcome had ever been cached. Trajectories are bit-identical either
+	// way — the incremental path's carry-forward is exact by construction —
+	// so this exists as the reference mode for property tests and as an
+	// operational escape hatch.
+	FullRescore bool
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +92,13 @@ func (c Config) withDefaults() Config {
 	// when the caller provides no sink at all.
 	if _, counted := c.Sink.(alarm.CountingSink); !counted {
 		c.Sink = alarm.CountingSink{Next: c.Sink}
+	}
+	// With the probability gate off (δ = 0) nothing downstream reads
+	// Outcome.Prob — StepReport never carries it — so the models can skip
+	// the normalizer entirely on the scoring hot path. Fitness is
+	// unaffected (see core.Config.OmitProbs).
+	if c.ProbDelta <= 0 {
+		c.Model.OmitProbs = true
 	}
 	return c
 }
@@ -108,6 +123,10 @@ type StepReport struct {
 	Pairs map[Pair]float64
 	// ScoredPairs counts the links that produced a score this step.
 	ScoredPairs int
+	// GrownPairs counts the links whose adaptive grid grew this step —
+	// zero once the fleet has settled on the stream's operating region
+	// (benchmarks warm up until a full pass reports no growth).
+	GrownPairs int
 }
 
 // Manager owns the model fleet. All methods are safe for concurrent use,
@@ -127,13 +146,36 @@ type Manager struct {
 	// persistent worker pool.
 	pairs     []Pair
 	pairIdx   [][2]int  // pairs[i] → indices into ids
-	outcomes  []Outcome // reused every step
+	outcomes  []Outcome // reused every step; doubles as the carry-forward cache
 	curRow    Row       // row being scored, read by pool workers
 	curDst    []Outcome // ScoreInto destination, read by pool workers
 	curIdx    []int     // ScoreInto local→global index map
 	rangeFn   func(lo, hi int)
 	scatterFn func(lo, hi int)
 	pool      *workerPool
+
+	// Incremental dirty-pair state. steadyOK[i] marks pair i as steady: its
+	// model holds a frozen self-run whose outcome is cached in outcomes[i],
+	// and steadyB[4i:4i+4] = {xlo, xhi, ylo, yhi} are the run cell's bounds.
+	// While both of the pair's values stay inside those half-open bounds the
+	// next Step provably repeats the cached outcome, so the pair is skipped
+	// (the model just logs the deferred update via NoteSkipped). Any rebuild
+	// of the runtime (New/NewSubset/FromModels/LoadManager, and therefore
+	// every reshard and recovery) starts all-dirty; the models re-freeze on
+	// the first row and the caches repopulate deterministically.
+	steadyOK []bool
+	steadyB  []float64
+	// valBuf/okBuf hold the current row's values indexed by measurement
+	// position in ids, filled once per row so the per-pair hot loop reads
+	// slices instead of hashing the row map twice per pair.
+	valBuf []float64
+	okBuf  []bool
+	// stepSkipped counts skipped pairs of the row being scored; workers add
+	// atomically per chunk, Step/ScoreInto read it after the pool drains.
+	stepSkipped uint64
+	// lastDirty is the dirty (re-scored) pair count of the last row, for
+	// the ops gauge (the coordinator sums it across shards).
+	lastDirty int
 }
 
 // workerPool is the manager's persistent scoring pool: a fixed set of
@@ -223,6 +265,12 @@ func (m *Manager) initRuntime() {
 	SortPairs(m.pairs)
 	m.pairIdx = BuildPairIndex(m.ids, m.pairs)
 	m.outcomes = make([]Outcome, len(m.pairs))
+	// All-dirty: every pair re-scores on the first row after a (re)build,
+	// which is what lets reshard and recovery skip persisting these caches.
+	m.steadyOK = make([]bool, len(m.pairs))
+	m.steadyB = make([]float64, 4*len(m.pairs))
+	m.valBuf = make([]float64, len(m.ids))
+	m.okBuf = make([]bool, len(m.ids))
 	m.rangeFn = m.scoreRange
 	m.scatterFn = m.scatterRange
 	if m.agg == nil {
@@ -406,8 +454,12 @@ func (m *Manager) Step(row Row) StepReport {
 	// accesses between this goroutine and the workers.
 	sp.Phase("score")
 	m.curRow = row
+	m.prefetchRow(row)
+	atomic.StoreUint64(&m.stepSkipped, 0)
 	m.pool.run(len(m.pairs), m.cfg.Workers, m.rangeFn)
 	m.curRow = Row{}
+	m.noteDirty(int(atomic.LoadUint64(&m.stepSkipped)))
+	obsDirtyPairs.Set(float64(m.lastDirty))
 
 	// Aggregate Q^{a,b} → Q^a → Q and publish alarms through the shared
 	// Aggregator — the exact code the sharded coordinator runs, which is
@@ -433,8 +485,43 @@ func (m *Manager) ScoreInto(row Row, globalIdx []int, dst []Outcome) {
 	m.curRow = row
 	m.curDst = dst
 	m.curIdx = globalIdx
+	m.prefetchRow(row)
+	atomic.StoreUint64(&m.stepSkipped, 0)
 	m.pool.run(len(m.pairs), m.cfg.Workers, m.scatterFn)
 	m.curRow, m.curDst, m.curIdx = Row{}, nil, nil
+	// The dirty-pair gauge is left to the coordinator, which sums
+	// LastDirtyPairs across shards after the fan-out; per-shard Set calls
+	// would race each other to a meaningless value.
+	m.noteDirty(int(atomic.LoadUint64(&m.stepSkipped)))
+}
+
+// prefetchRow loads the row's values into the index-addressed buffers the
+// scoring hot loop reads (two slice loads per pair instead of two map
+// hashes). Callers hold m.mu; the worker pool's happens-before edges
+// publish the buffers to the chunk workers.
+func (m *Manager) prefetchRow(row Row) {
+	for i, id := range m.ids {
+		v, ok := row.Values[id]
+		m.valBuf[i] = v
+		m.okBuf[i] = ok
+	}
+}
+
+// noteDirty records the last row's dirty/skipped split and feeds the
+// cumulative skip counter. Callers hold m.mu.
+func (m *Manager) noteDirty(skipped int) {
+	m.lastDirty = len(m.pairs) - skipped
+	if skipped > 0 {
+		obsSkippedPairs.Add(uint64(skipped))
+	}
+}
+
+// LastDirtyPairs returns how many pairs actually re-scored on the most
+// recent row (the rest carried their cached outcome forward).
+func (m *Manager) LastDirtyPairs() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastDirty
 }
 
 // scoreRange scores pairs [lo, hi) of the current row into the outcome
@@ -442,38 +529,89 @@ func (m *Manager) ScoreInto(row Row, globalIdx []int, dst []Outcome) {
 // itself for the first chunk).
 func (m *Manager) scoreRange(lo, hi int) {
 	row := m.curRow
+	skipped := uint64(0)
 	for i := lo; i < hi; i++ {
-		m.outcomes[i] = m.stepPair(m.pairs[i], row)
+		m.outcomes[i] = m.stepPairAt(i, row, &skipped)
+	}
+	if skipped > 0 {
+		atomic.AddUint64(&m.stepSkipped, skipped)
 	}
 }
 
 // scatterRange is scoreRange for ScoreInto: outcomes land in the caller's
-// buffer at translated global indices.
+// buffer at translated global indices (and, like every scored row, in the
+// local carry-forward cache).
 func (m *Manager) scatterRange(lo, hi int) {
 	row, dst, idx := m.curRow, m.curDst, m.curIdx
-	if idx == nil {
-		for i := lo; i < hi; i++ {
-			dst[i] = m.stepPair(m.pairs[i], row)
-		}
-		return
-	}
+	skipped := uint64(0)
 	for i := lo; i < hi; i++ {
-		dst[idx[i]] = m.stepPair(m.pairs[i], row)
+		out := m.stepPairAt(i, row, &skipped)
+		m.outcomes[i] = out
+		if idx == nil {
+			dst[i] = out
+		} else {
+			dst[idx[i]] = out
+		}
+	}
+	if skipped > 0 {
+		atomic.AddUint64(&m.stepSkipped, skipped)
 	}
 }
 
-// stepPair scores one link for the row. A missing or non-finite value on
-// either side is a monitoring gap: the link's chain resets unscored.
-func (m *Manager) stepPair(p Pair, row Row) Outcome {
+// stepPairAt scores link i for the row — or skips it. A missing or
+// non-finite value on either side is a monitoring gap: the link's chain
+// resets unscored. The skip test is the incremental scheduler's core: a
+// steady pair whose two values stayed inside the cached cell bounds
+// provably repeats the cached outcome bit-for-bit (the half-open
+// comparisons replicate core Axis.Locate, so NaN and boundary crossings
+// always fall through to a real re-score), and the model only needs to be
+// told the run continued. NoteSkipped returning false means the model was
+// reset or mutated behind the cache (e.g. SetAdaptive); the pair then
+// re-scores late-dirty, which is always safe.
+func (m *Manager) stepPairAt(i int, row Row, skipped *uint64) Outcome {
+	p := m.pairs[i]
 	model := m.models[p]
-	va, oka := row.Values[p.A]
-	vb, okb := row.Values[p.B]
+	var va, vb float64
+	var oka, okb bool
+	if idx := m.pairIdx[i]; idx[0] >= 0 && idx[1] >= 0 {
+		va, oka = m.valBuf[idx[0]], m.okBuf[idx[0]]
+		vb, okb = m.valBuf[idx[1]], m.okBuf[idx[1]]
+	} else {
+		// An endpoint outside the manager's measurement universe (possible
+		// after FromModels with a narrower id set) falls back to the map.
+		va, oka = row.Values[p.A]
+		vb, okb = row.Values[p.B]
+	}
+	if m.steadyOK[i] && !m.cfg.FullRescore && oka && okb {
+		b := m.steadyB[4*i : 4*i+4 : 4*i+4]
+		if va >= b[0] && va < b[1] && vb >= b[2] && vb < b[3] && model.NoteSkipped() {
+			*skipped++
+			return m.outcomes[i]
+		}
+	}
 	if !oka || !okb || math.IsNaN(va) || math.IsNaN(vb) {
 		model.Reset()
+		m.steadyOK[i] = false
 		return Outcome{Gap: true}
 	}
 	res := model.Step(mathx.Point2{X: va, Y: vb})
-	return Outcome{Fitness: res.Fitness, Prob: res.Prob, Scored: res.Scored, Grown: res.Grown}
+	if res.Steady {
+		if !m.steadyOK[i] {
+			// The pair just entered a steady run: cache its cell bounds. A
+			// pair that was already steady and re-scored dirty (FullRescore
+			// or a late-dirty fallback) kept the same cell — a cell change
+			// breaks the run and reports Steady=false — so its cached
+			// bounds remain valid.
+			if xlo, xhi, ylo, yhi, ok := model.SteadyBounds(); ok {
+				b := m.steadyB[4*i : 4*i+4 : 4*i+4]
+				b[0], b[1], b[2], b[3] = xlo, xhi, ylo, yhi
+				m.steadyOK[i] = true
+			}
+		}
+	} else {
+		m.steadyOK[i] = false
+	}
+	return Outcome{Fitness: res.Fitness, Prob: res.Prob, Scored: res.Scored, Grown: res.Grown, Steady: res.Steady}
 }
 
 // Run replays a dataset through Step row by row over [from, to) and

@@ -22,6 +22,10 @@ var (
 		"Adaptive grid growth events across the model fleet.")
 	obsPoolQueueDepth = obs.Default().Gauge("mcorr_manager_pool_queue_depth",
 		"Scoring chunks left queued to the worker pool at the last dispatch.")
+	obsDirtyPairs = obs.Default().Gauge("mcorr_manager_dirty_pairs",
+		"Pairs the incremental scheduler actually re-scored on the last row (the rest carried cached outcomes forward).")
+	obsSkippedPairs = obs.Default().Counter("mcorr_manager_skipped_pairs_total",
+		"Pair scorings skipped by the incremental scheduler because the cached steady outcome provably repeats.")
 	obsCheckpointSeconds = obs.Default().Histogram("mcorr_checkpoint_seconds",
 		"Latency of writing one durable checkpoint (snapshot encode + fsync + rename).",
 		obs.TimeBuckets())
@@ -35,3 +39,10 @@ var (
 	obsFitnessMeas = obsFitness.With("measurement")
 	obsFitnessSys  = obsFitness.With("system")
 )
+
+// RecordDirtyPairs publishes a fleet-wide dirty-pair count on the
+// mcorr_manager_dirty_pairs gauge. Manager.Step records its own count;
+// multi-manager fabrics (the sharded coordinator) sum LastDirtyPairs
+// across their managers and publish the total here instead, so the gauge
+// always reflects the whole fleet's last row.
+func RecordDirtyPairs(n int) { obsDirtyPairs.Set(float64(n)) }

@@ -37,6 +37,7 @@ type persistedConfig struct {
 	ProbDelta            float64
 	KeepPairScores       bool
 	TrackPairMeans       bool
+	FullRescore          bool
 }
 
 type accEntry struct {
@@ -59,6 +60,7 @@ func (m *Manager) Save(w io.Writer) error {
 			ProbDelta:            m.cfg.ProbDelta,
 			KeepPairScores:       m.cfg.KeepPairScores,
 			TrackPairMeans:       m.cfg.TrackPairMeans,
+			FullRescore:          m.cfg.FullRescore,
 		},
 		IDs: append([]timeseries.MeasurementID(nil), m.ids...),
 	}
@@ -118,6 +120,7 @@ func LoadManager(r io.Reader, sink alarm.Sink) (*Manager, error) {
 		ProbDelta:            snap.Config.ProbDelta,
 		KeepPairScores:       snap.Config.KeepPairScores,
 		TrackPairMeans:       snap.Config.TrackPairMeans,
+		FullRescore:          snap.Config.FullRescore,
 		Sink:                 sink,
 	}.withDefaults()
 	m := &Manager{
@@ -170,6 +173,7 @@ func (g *Aggregator) Save(w io.Writer) error {
 			ProbDelta:            cfg.ProbDelta,
 			KeepPairScores:       cfg.KeepPairScores,
 			TrackPairMeans:       cfg.TrackPairMeans,
+			FullRescore:          cfg.FullRescore,
 		},
 		IDs: append([]timeseries.MeasurementID(nil), g.ids...),
 	}
@@ -199,6 +203,7 @@ func LoadAggregator(r io.Reader, sink alarm.Sink) (*Aggregator, error) {
 		ProbDelta:            snap.Config.ProbDelta,
 		KeepPairScores:       snap.Config.KeepPairScores,
 		TrackPairMeans:       snap.Config.TrackPairMeans,
+		FullRescore:          snap.Config.FullRescore,
 		Sink:                 sink,
 	}
 	g := NewAggregator(snap.IDs, cfg)

@@ -188,6 +188,13 @@ func (c *Coordinator) Step(row manager.Row) manager.StepReport {
 		c.scoreShard(0, row)
 		wg.Wait()
 	}
+	// Publish the fleet-wide dirty-pair count: each shard tracks its own
+	// incremental scheduler, the coordinator owns the process gauge.
+	dirty := 0
+	for _, s := range c.shards {
+		dirty += s.LastDirtyPairs()
+	}
+	manager.RecordDirtyPairs(dirty)
 	sp.Phase("aggregate")
 	report := c.agg.Aggregate(row.Time, c.pairs, c.pairIdx, c.outcomes, sp)
 	sp.End()

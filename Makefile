@@ -54,7 +54,9 @@ benchgate:
 
 # ops-smoke boots the live pipeline demo with the ops server, scrapes
 # /metrics and /healthz while rows stream, and asserts the collector and
-# manager counters are moving — the end-to-end observability gate.
+# manager counters are moving — the end-to-end observability gate. The
+# diagnosis engine is on by default, so the incident API and the build
+# info series must answer too.
 OPS_SMOKE_ADDR ?= 127.0.0.1:6464
 ops-smoke:
 	$(GO) build -o /tmp/mcorr-smoke-mccollect ./cmd/mccollect
@@ -68,7 +70,10 @@ ops-smoke:
 	grep -Eq '^mcorr_collector_samples_total [1-9]' /tmp/mcorr-smoke-metrics.txt || { echo 'ops-smoke: collector samples counter not moving'; exit 1; }; \
 	grep -Eq '^mcorr_manager_step_seconds_count [1-9]' /tmp/mcorr-smoke-metrics.txt || { echo 'ops-smoke: manager step histogram not moving'; exit 1; }; \
 	grep -q '^# TYPE mcorr_alarm_raised_total counter' /tmp/mcorr-smoke-metrics.txt || { echo 'ops-smoke: alarm counter family missing'; exit 1; }; \
+	grep -q '^mcorr_build_info{' /tmp/mcorr-smoke-metrics.txt || { echo 'ops-smoke: build info series missing'; exit 1; }; \
 	curl -fsS http://$(OPS_SMOKE_ADDR)/statusz | grep -q 'manager.step' || { echo 'ops-smoke: /statusz has no manager.step spans'; exit 1; }; \
+	curl -fsS http://$(OPS_SMOKE_ADDR)/api/v1/incidents | grep -q '"total"' || { echo 'ops-smoke: /api/v1/incidents not answering'; exit 1; }; \
+	curl -fsS http://$(OPS_SMOKE_ADDR)/debug/spans | grep -q '"spans"' || { echo 'ops-smoke: /debug/spans not answering'; exit 1; }; \
 	echo 'ops-smoke OK'
 
 # fuzz-short runs each decoder fuzz target for a bounded time (go only

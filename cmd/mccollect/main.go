@@ -21,6 +21,10 @@ import (
 	"mcorr/internal/timeseries"
 )
 
+// version identifies the build on /metrics (mcorr_build_info); override
+// with -ldflags "-X main.version=v1.2.3".
+var version = "dev"
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "mccollect:", err)
@@ -48,8 +52,12 @@ func run() error {
 		agentBurst = flag.Int("agent-burst", 0, "flow control: per-agent token-bucket burst in samples (0 = auto)")
 		writeTO    = flag.Duration("write-timeout", 0, "flow control: ack write deadline (0 = match the read idle timeout)")
 		scoreQueue = flag.Int("score-queue", 0, "bounded row queue depth between ingest and scoring (0 = score inline)")
+
+		incident     = flag.Bool("incident", true, "run the incident diagnosis engine (digests under /api/v1/incidents on the ops server)")
+		incOpenBelow = flag.Float64("incident-open-below", 0.8, "open an incident when system Q stays below this")
 	)
 	flag.Parse()
+	mcorr.RegisterBuildInfo(version, *shards)
 
 	if *opsAddr != "" {
 		ops, err := mcorr.ServeOps(*opsAddr)
@@ -74,8 +82,11 @@ func run() error {
 	}
 
 	log.Printf("training monitor on day 1 (%d measurements, %d shards)", ds.Len(), *shards)
-	mon, err := mcorr.NewMonitor(ds.Slice(timeseries.MonitoringStart, day1), mcorr.ManagerConfig{},
-		mcorr.WithShards(*shards), mcorr.WithScoreQueue(*scoreQueue))
+	monOpts := []mcorr.MonitorOption{mcorr.WithShards(*shards), mcorr.WithScoreQueue(*scoreQueue)}
+	if *incident {
+		monOpts = append(monOpts, mcorr.WithDiagnosis(mcorr.DiagnosisConfig{OpenBelow: *incOpenBelow}))
+	}
+	mon, err := mcorr.NewMonitor(ds.Slice(timeseries.MonitoringStart, day1), mcorr.ManagerConfig{}, monOpts...)
 	if err != nil {
 		return err
 	}
@@ -207,6 +218,12 @@ func run() error {
 	if *dataDir != "" {
 		if err := mcorr.CheckpointStore(*dataDir, store); err != nil {
 			return err
+		}
+	}
+	if diag := mon.Diagnosis(); diag != nil {
+		for _, d := range diag.Incidents() {
+			log.Printf("INCIDENT %s state=%s severity=%s impact=%s suspect=%s candidates=%d",
+				d.ID, d.State, d.Severity, d.ImpactTime.Format("15:04"), d.Suspect, len(d.Candidates))
 		}
 	}
 	log.Printf("done: %d low-fitness rows flagged; server stats: %+v", alarms, srv.Stats())

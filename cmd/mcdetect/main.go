@@ -32,6 +32,10 @@ import (
 	_ "mcorr/internal/collector"
 )
 
+// version identifies the build on /metrics (mcorr_build_info); override
+// with -ldflags "-X main.version=v1.2.3".
+var version = "dev"
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "mcdetect:", err)
@@ -62,11 +66,18 @@ func run() error {
 		fsync     = flag.String("fsync", "batch", "durable mode: WAL fsync policy (always, batch, none)")
 		pace      = flag.Duration("pace", 0, "durable mode: sleep between streamed rows")
 		scoreQ    = flag.Int("score-queue", 0, "durable mode: bounded row queue depth between ingest and scoring (0 = score inline; any depth is trajectory-identical)")
+
+		incident     = flag.Bool("incident", false, "run the incident diagnosis engine and print root-cause digests (INCIDENT lines)")
+		incOpenBelow = flag.Float64("incident-open-below", 0.8, "open an incident when system Q stays below this")
+		incOpenAfter = flag.Int("incident-open-after", 2, "consecutive below-threshold rows before an incident opens (1 = open on first dip)")
+		incBreak     = flag.Float64("incident-break", 0.5, "a measurement counts as broken below this Q^a during root-cause analysis")
 	)
 	flag.Parse()
 	if *dataPath == "" {
 		return fmt.Errorf("-data is required")
 	}
+	obs.RegisterBuildInfo(version, *shards)
+	diagCfg := mcorr.DiagnosisConfig{OpenBelow: *incOpenBelow, OpenAfter: *incOpenAfter, MeasurementBreak: *incBreak}
 	if *opsAddr != "" {
 		ops, err := obs.ServeOps(*opsAddr)
 		if err != nil {
@@ -127,7 +138,7 @@ func run() error {
 		dcfg := durableConfig{
 			dataDir: *dataDir, every: *ckptEvery, interval: *ckptIvl,
 			fsync: *fsync, pace: *pace, maxMeas: *maxMeas, shards: *shards,
-			scoreQueue: *scoreQ,
+			scoreQueue: *scoreQ, incident: *incident, incidentCfg: diagCfg,
 		}
 		return runDurable(ds, start, trainEnd, end, mcfg, dcfg, memory)
 	}
@@ -171,6 +182,11 @@ func run() error {
 		}
 	}
 
+	var diag *mcorr.DiagnosisEngine
+	if *incident {
+		diag = mcorr.NewDiagnosisEngine(diagCfg, fleet)
+	}
+
 	fmt.Printf("detecting on %s .. %s (adaptive=%v)\n", trainEnd.Format(time.RFC3339), end.Format(time.RFC3339), *adaptive)
 	started := time.Now()
 	reports, err := fleet.Run(watched.Slice(trainEnd, end), trainEnd, end)
@@ -178,6 +194,13 @@ func run() error {
 		return err
 	}
 	elapsed := time.Since(started)
+	if diag != nil {
+		// Batch mode scores the whole window first; the engine replays the
+		// report stream afterwards — same digests, off the scoring path.
+		for _, r := range reports {
+			diag.Observe(r)
+		}
+	}
 
 	timeline := eval.SystemTimeline(reports)
 	fmt.Printf("\nprocessed %d rows in %v (%v per row)\n", len(reports), elapsed.Round(time.Millisecond),
@@ -230,6 +253,7 @@ func run() error {
 		}
 	}
 	fmt.Printf("\nalarms: %d (deduped, holdoff %v)\n", memory.Len(), *holdoff)
+	printIncidents(diag)
 
 	if *saveTo != "" {
 		mgr, ok := fleet.(*manager.Manager)
@@ -270,14 +294,16 @@ func max(a, b int) int {
 
 // durableConfig carries the -data-dir flag family into runDurable.
 type durableConfig struct {
-	dataDir    string
-	every      int
-	interval   time.Duration
-	fsync      string
-	pace       time.Duration
-	maxMeas    int
-	shards     int
-	scoreQueue int
+	dataDir     string
+	every       int
+	interval    time.Duration
+	fsync       string
+	pace        time.Duration
+	maxMeas     int
+	shards      int
+	scoreQueue  int
+	incident    bool
+	incidentCfg mcorr.DiagnosisConfig
 }
 
 // runDurable is the crash-safe streaming mode: a DurableMonitor fed row by
@@ -297,12 +323,16 @@ func runDurable(ds *timeseries.Dataset, start, trainEnd, end time.Time, mcfg man
 		CheckpointInterval: dcfg.interval,
 		Fsync:              policy,
 	}
+	opts := []mcorr.MonitorOption{mcorr.WithScoreQueue(dcfg.scoreQueue)}
+	if dcfg.incident {
+		opts = append(opts, mcorr.WithDiagnosis(dcfg.incidentCfg))
+	}
 	var dm *mcorr.DurableMonitor
 	if mcorr.HasCheckpoint(dcfg.dataDir) {
 		// The checkpoint's recorded topology wins over -shards: recovery
 		// must reopen the shard files the checkpoint references.
 		var recovered []mcorr.StepReport
-		dm, recovered, err = mcorr.OpenDurableMonitor(cfg, mcfg.Sink, mcorr.WithScoreQueue(dcfg.scoreQueue))
+		dm, recovered, err = mcorr.OpenDurableMonitor(cfg, mcfg.Sink, opts...)
 		if err != nil {
 			return err
 		}
@@ -321,7 +351,7 @@ func runDurable(ds *timeseries.Dataset, start, trainEnd, end time.Time, mcfg man
 		fmt.Printf("training on %s .. %s (%d measurements, %d shards), durable state in %s\n",
 			start.Format(time.RFC3339), trainEnd.Format(time.RFC3339), len(selected), dcfg.shards, dcfg.dataDir)
 		dm, err = mcorr.NewDurableMonitor(watched.Slice(start, trainEnd), mcfg, cfg,
-			mcorr.WithShards(dcfg.shards), mcorr.WithScoreQueue(dcfg.scoreQueue))
+			append(opts, mcorr.WithShards(dcfg.shards))...)
 		if err != nil {
 			return err
 		}
@@ -364,7 +394,31 @@ func runDurable(ds *timeseries.Dataset, start, trainEnd, end time.Time, mcfg man
 		fmt.Printf("worst machine: %s Q=%.4f\n", loc.Machines[0].Machine, loc.Machines[0].Score)
 	}
 	fmt.Printf("alarms: %d\n", memory.Len())
+	printIncidents(dm.Diagnosis())
 	return dm.Close()
+}
+
+// printIncidents emits one deterministic line per incident digest. Like
+// the STEP lines, these compare bit for bit between an uninterrupted
+// durable run and one recovered after a crash: incident IDs, impact
+// times and rankings are functions of the replayed trajectory.
+func printIncidents(eng *mcorr.DiagnosisEngine) {
+	if eng == nil {
+		return
+	}
+	digests := eng.Incidents()
+	fmt.Printf("incidents: %d\n", len(digests))
+	for _, d := range digests {
+		suspect, top := d.Suspect, "-"
+		if suspect == "" {
+			suspect = "-"
+		}
+		if len(d.Candidates) > 0 {
+			top = d.Candidates[0].Measurement
+		}
+		fmt.Printf("INCIDENT %s state=%s severity=%s impact=%s low=%.17g broken=%d suspect=%s top=%s\n",
+			d.ID, d.State, d.Severity, d.ImpactTime.Format(time.RFC3339), d.SystemLow, d.Broken, suspect, top)
+	}
 }
 
 // printStep emits one row's fitness with full float precision; the crash-

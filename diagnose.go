@@ -1,0 +1,57 @@
+package mcorr
+
+import (
+	"mcorr/internal/diagnose"
+	"mcorr/internal/obs"
+)
+
+// Diagnosis surface: the incident intelligence layer (see the
+// internal/diagnose package). A monitor constructed with WithDiagnosis
+// feeds every finished StepReport into a diagnosis engine that keeps
+// bounded fitness histories, opens an incident when the system fitness
+// Q stays below a threshold, and maintains a ranked root-cause digest —
+// who broke first, fan-out of broken pair models, machine rollup via
+// Localize, families, temporal chain, severity.
+type (
+	// DiagnosisConfig tunes the incident engine (zero value = defaults).
+	DiagnosisConfig = diagnose.Config
+	// DiagnosisEngine is the anomaly-triggered root-cause engine.
+	DiagnosisEngine = diagnose.Engine
+	// IncidentDigest is the compact explanation of one incident.
+	IncidentDigest = diagnose.Digest
+	// IncidentCandidate is one ranked root-cause candidate.
+	IncidentCandidate = diagnose.Candidate
+)
+
+// WithDiagnosis attaches an incident diagnosis engine to the monitor.
+// The engine observes the alarm stream and every step report strictly
+// after scoring (nothing on the Manager.Step hot path), and its JSON API
+// is mounted on every ops server under /api/v1/ (incidents, fitness,
+// topology). For a durable monitor the engine's state rides in every
+// checkpoint, so incidents — IDs and rankings included — survive crash
+// recovery.
+func WithDiagnosis(cfg DiagnosisConfig) MonitorOption {
+	return func(o *monitorOptions) { o.diagnosis = &cfg }
+}
+
+// NewDiagnosisEngine builds a standalone incident engine wired to an
+// already-trained fleet: the fleet's Localize backs the machine rollup
+// and the diagnosis API is mounted under /api/v1/ on every ops server.
+// Feed it StepReports with Observe after each scored row. Prefer
+// WithDiagnosis when constructing a Monitor — this constructor is for
+// batch flows (e.g. mcdetect replaying a file through Fleet.Run) that
+// never build one.
+func NewDiagnosisEngine(cfg DiagnosisConfig, fleet Fleet) *DiagnosisEngine {
+	eng := diagnose.NewEngine(cfg)
+	attachDiagnosis(eng, fleet)
+	return eng
+}
+
+// attachDiagnosis finishes wiring an engine once the fleet exists: the
+// Localize rollup source and the versioned ops API (the fleet also backs
+// /api/v1/topology when it exposes the topology surface).
+func attachDiagnosis(eng *DiagnosisEngine, fleet Fleet) {
+	eng.SetLocalizeFn(fleet.Localize)
+	fv, _ := fleet.(diagnose.FleetView)
+	obs.RegisterOpsHandler("/api/v1/", diagnose.NewAPI(eng, fv))
+}

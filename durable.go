@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"mcorr/internal/diagnose"
 	"mcorr/internal/manager"
 	"mcorr/internal/shard"
 	"mcorr/internal/tsdb"
@@ -164,9 +165,28 @@ func OpenDurableMonitor(cfg DurabilityConfig, sink AlarmSink, opts ...MonitorOpt
 	if err != nil {
 		return nil, nil, err
 	}
+	var diag *DiagnosisEngine
+	if o.diagnosis != nil {
+		// The engine and its sink wrapper exist before the fleet so the
+		// replayed rows' alarms flow through it, and its checkpointed
+		// state is restored before any row replays — the replay then
+		// continues the incident state machine exactly where the
+		// pre-crash run left it (same IDs, same rankings).
+		diag = diagnose.NewEngine(*o.diagnosis)
+		sink = diag.WrapSink(sink)
+	}
 	fleet, coord, err := recoverFleet(cfg, ck, sink)
 	if err != nil {
 		return nil, nil, err
+	}
+	if diag != nil {
+		if len(ck.Diagnose) > 0 {
+			if err := diag.UnmarshalState(ck.Diagnose); err != nil {
+				fleet.Close()
+				return nil, nil, fmt.Errorf("recover diagnosis: %w", err)
+			}
+		}
+		attachDiagnosis(diag, fleet)
 	}
 	store, err := tsdb.Restore(bytes.NewReader(ck.Store))
 	if err != nil {
@@ -184,10 +204,11 @@ func OpenDurableMonitor(cfg DurabilityConfig, sink AlarmSink, opts ...MonitorOpt
 		return nil, nil, err
 	}
 	store.AttachWAL(log)
-	mon := &Monitor{store: store, fleet: fleet, coord: coord, step: store.Step(), cursor: ck.Cursor, ids: fleet.IDs(), scoreQueue: o.scoreQueue}
+	mon := &Monitor{store: store, fleet: fleet, coord: coord, step: store.Step(), cursor: ck.Cursor, ids: fleet.IDs(), scoreQueue: o.scoreQueue, diag: diag}
 	d := &DurableMonitor{mon: mon, log: log, cfg: cfg, epoch: ck.Epoch,
 		cadence:       manager.Cadence{EverySteps: cfg.CheckpointEvery, Interval: cfg.CheckpointInterval},
 		replayApplied: applied, replaySkipped: skipped}
+	manager.RecordCheckpointEpoch(ck.Epoch)
 
 	// Re-score everything the store holds beyond the checkpoint cursor.
 	// WAL records are whole ingest batches (CRC-framed, torn tails
@@ -253,6 +274,10 @@ func (d *DurableMonitor) Manager() *Manager { return d.mon.Manager() }
 
 // Coordinator exposes the sharded fabric, or nil when unsharded.
 func (d *DurableMonitor) Coordinator() *ShardCoordinator { return d.mon.Coordinator() }
+
+// Diagnosis exposes the incident diagnosis engine, or nil when built
+// without WithDiagnosis.
+func (d *DurableMonitor) Diagnosis() *DiagnosisEngine { return d.mon.Diagnosis() }
 
 // Reshard repartitions a sharded durable monitor across n shards and
 // immediately checkpoints the new topology (the checkpoint-split): the
@@ -341,17 +366,21 @@ func (d *DurableMonitor) Checkpoint() error {
 // (replay is idempotent, so overlap is harmless).
 func (d *DurableMonitor) checkpointLocked() error {
 	seq := d.log.LastSeq()
+	// Every checkpoint advances the epoch (in the sharded layout it also
+	// versions the per-shard files); the committed value lands on the
+	// mcorr_checkpoint_epoch gauge below.
+	epoch := d.epoch + 1
 	ck := &manager.Checkpoint{
 		CreatedAt: time.Now(),
 		Cursor:    d.mon.cursor,
 		WALSeq:    seq,
 		Steps:     d.mon.fleet.Steps(),
+		Epoch:     epoch,
 	}
 	if coord := d.mon.coord; coord != nil {
 		// Sharded layout: per-shard model files carry the next epoch; they
 		// are all durable before the root checkpoint (written last, below)
 		// makes that epoch authoritative.
-		epoch := d.epoch + 1
 		n := coord.NumShards()
 		for k := 0; k < n; k++ {
 			if err := os.MkdirAll(d.cfg.shardDir(k), 0o755); err != nil {
@@ -369,7 +398,6 @@ func (d *DurableMonitor) checkpointLocked() error {
 			return fmt.Errorf("checkpoint coordinator: %w", err)
 		}
 		ck.Shards = n
-		ck.Epoch = epoch
 		ck.Coord = cbuf.Bytes()
 	} else {
 		var mbuf bytes.Buffer
@@ -377,6 +405,13 @@ func (d *DurableMonitor) checkpointLocked() error {
 			return fmt.Errorf("checkpoint manager: %w", err)
 		}
 		ck.Manager = mbuf.Bytes()
+	}
+	if d.mon.diag != nil {
+		blob, err := d.mon.diag.MarshalState()
+		if err != nil {
+			return fmt.Errorf("checkpoint diagnosis: %w", err)
+		}
+		ck.Diagnose = blob
 	}
 	var sbuf bytes.Buffer
 	if err := d.mon.store.Snapshot(&sbuf); err != nil {
@@ -387,6 +422,7 @@ func (d *DurableMonitor) checkpointLocked() error {
 		return err
 	}
 	d.epoch = ck.Epoch
+	manager.RecordCheckpointEpoch(ck.Epoch)
 	d.cadence.Mark(d.rows, time.Now())
 	if err := d.log.TruncateBefore(seq); err != nil {
 		return fmt.Errorf("wal retention: %w", err)

@@ -1,0 +1,130 @@
+package alarm
+
+import (
+	"testing"
+	"time"
+
+	"mcorr/internal/obs"
+)
+
+// Boundary semantics under test: an alarm ages out of the window when it
+// is exactly Window old (>=), while re-escalation of a condition is
+// allowed again exactly Window after the last escalation (<).
+
+func TestEscalatorThresholdExactlyMet(t *testing.T) {
+	var m MemorySink
+	e := NewEscalator(&m, 2, 30*time.Minute)
+	// Second alarm exactly Window after the first: the first has aged out
+	// at the comparison instant, so the pair never coexists in the window.
+	e.Publish(mkAlarm(t0, ScopePair, SeverityWarning))
+	e.Publish(mkAlarm(t0.Add(30*time.Minute), ScopePair, SeverityWarning))
+	if m.Len() != 2 {
+		t.Fatalf("published = %d, want 2 (no escalation at exact window age)", m.Len())
+	}
+	// One nanosecond tighter and both fall inside the window: escalate.
+	var m2 MemorySink
+	e2 := NewEscalator(&m2, 2, 30*time.Minute)
+	e2.Publish(mkAlarm(t0, ScopePair, SeverityWarning))
+	e2.Publish(mkAlarm(t0.Add(30*time.Minute-time.Nanosecond), ScopePair, SeverityWarning))
+	alarms := m2.Alarms()
+	if len(alarms) != 3 {
+		t.Fatalf("published = %d, want 3 (2 originals + escalation)", len(alarms))
+	}
+	if alarms[2].Severity != SeverityCritical {
+		t.Errorf("escalated severity = %v", alarms[2].Severity)
+	}
+}
+
+func TestEscalatorReescalationAtExactWindow(t *testing.T) {
+	var m MemorySink
+	w := time.Hour
+	e := NewEscalator(&m, 2, w)
+	// First escalation fires at te = t0+1m.
+	e.Publish(mkAlarm(t0, ScopePair, SeverityWarning))
+	e.Publish(mkAlarm(t0.Add(time.Minute), ScopePair, SeverityWarning))
+	te := t0.Add(time.Minute)
+	if crit := criticalCount(m.Alarms()); crit != 1 {
+		t.Fatalf("criticals after first burst = %d, want 1", crit)
+	}
+	// A second burst within the suppression window repeats the condition
+	// but must not re-escalate.
+	e.Publish(mkAlarm(te.Add(29*time.Minute), ScopePair, SeverityWarning))
+	e.Publish(mkAlarm(te.Add(30*time.Minute), ScopePair, SeverityWarning))
+	if crit := criticalCount(m.Alarms()); crit != 1 {
+		t.Fatalf("criticals inside suppression window = %d, want 1", crit)
+	}
+	// Exactly Window after the escalation the suppression lapses: the next
+	// qualifying alarm escalates again (the burst above is still recent
+	// enough to count toward the threshold).
+	e.Publish(mkAlarm(te.Add(w), ScopePair, SeverityWarning))
+	if crit := criticalCount(m.Alarms()); crit != 2 {
+		t.Fatalf("criticals at exactly te+window = %d, want 2", crit)
+	}
+}
+
+func criticalCount(alarms []Alarm) int {
+	n := 0
+	for _, a := range alarms {
+		if a.Severity == SeverityCritical {
+			n++
+		}
+	}
+	return n
+}
+
+// TestEscalatedAlarmCountedExactlyOnce pins the metric contract of the
+// manager's sink chain (CountingSink → Escalator → downstream): original
+// alarms are counted by the CountingSink they pass through, escalated
+// copies are counted inside the Escalator — each alarm lands in
+// mcorr_alarm_raised_total exactly once.
+func TestEscalatedAlarmCountedExactlyOnce(t *testing.T) {
+	raised := obs.Default().CounterVec("mcorr_alarm_raised_total",
+		"Alarms published through a CountingSink, by severity and scope.",
+		"severity", "scope")
+	warnBefore := raised.With("warning", "pair").Value()
+	critBefore := raised.With("critical", "pair").Value()
+
+	var m MemorySink
+	sink := CountingSink{Next: NewEscalator(&m, 2, time.Hour)}
+	sink.Publish(mkAlarm(t0, ScopePair, SeverityWarning))
+	sink.Publish(mkAlarm(t0.Add(time.Minute), ScopePair, SeverityWarning))
+
+	if m.Len() != 3 {
+		t.Fatalf("downstream saw %d alarms, want 3", m.Len())
+	}
+	if got := raised.With("warning", "pair").Value() - warnBefore; got != 2 {
+		t.Errorf("warning/pair counted %d times, want 2", got)
+	}
+	if got := raised.With("critical", "pair").Value() - critBefore; got != 1 {
+		t.Errorf("critical/pair (escalated) counted %d times, want exactly 1", got)
+	}
+}
+
+// TestCountingSinkDoubleWrapGuard: wrapping an already-counting sink in a
+// second CountingSink double-counts by construction — the manager guards
+// against it by type assertion. Verify both halves of that contract.
+func TestCountingSinkDoubleWrapGuard(t *testing.T) {
+	raised := obs.Default().CounterVec("mcorr_alarm_raised_total",
+		"Alarms published through a CountingSink, by severity and scope.",
+		"severity", "scope")
+	before := raised.With("info", "system").Value()
+
+	var m MemorySink
+	inner := Sink(CountingSink{Next: &m})
+	// The guard the manager applies in Config.withDefaults:
+	if _, counted := inner.(CountingSink); !counted {
+		t.Fatal("type assertion failed to detect an existing CountingSink")
+	}
+	inner.Publish(mkAlarm(t0, ScopeSystem, SeverityInfo))
+	if got := raised.With("info", "system").Value() - before; got != 1 {
+		t.Fatalf("single wrap counted %d times, want 1", got)
+	}
+
+	// Without the guard, the naive double wrap counts twice — the behavior
+	// the assertion exists to prevent.
+	outer := CountingSink{Next: inner}
+	outer.Publish(mkAlarm(t0.Add(time.Minute), ScopeSystem, SeverityInfo))
+	if got := raised.With("info", "system").Value() - before; got != 3 {
+		t.Fatalf("double wrap counted %d total, want 3 (1 + 2)", got)
+	}
+}

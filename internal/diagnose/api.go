@@ -1,0 +1,197 @@
+package diagnose
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"mcorr/internal/manager"
+	"mcorr/internal/timeseries"
+)
+
+// FleetView is the slice of a scoring fleet the topology endpoint
+// reads. Both *manager.Manager and the sharded *shard.Coordinator
+// satisfy it.
+type FleetView interface {
+	// IDs returns the watched measurements.
+	IDs() []timeseries.MeasurementID
+	// PairStates returns every link's live scheduler state in canonical
+	// pair order.
+	PairStates() []manager.PairState
+	// PairMeans returns the accumulated mean fitness per link (nil
+	// unless pair-mean tracking is on).
+	PairMeans() map[manager.Pair]float64
+}
+
+// API serves the diagnosis engine over HTTP as versioned JSON:
+//
+//	/api/v1/incidents        all retained incidents, open first
+//	/api/v1/incidents/{id}   one incident digest
+//	/api/v1/fitness          ?measurement=metric@machine&window=N
+//	                         fitness history (system when measurement
+//	                         is omitted)
+//	/api/v1/topology         the pair graph with per-pair fitness and
+//	                         dirty/steady state
+//
+// Mount it at /api/ (it routes on the full path). fleet may be nil, in
+// which case /api/v1/topology answers 404.
+type API struct {
+	eng   *Engine
+	fleet FleetView
+}
+
+// NewAPI builds the HTTP surface over an engine and an optional fleet.
+func NewAPI(eng *Engine, fleet FleetView) *API {
+	return &API{eng: eng, fleet: fleet}
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, "/api/v1/")
+	switch {
+	case path == "incidents":
+		a.serveIncidents(w)
+	case strings.HasPrefix(path, "incidents/"):
+		a.serveIncident(w, strings.TrimPrefix(path, "incidents/"))
+	case path == "fitness":
+		a.serveFitness(w, r)
+	case path == "topology":
+		a.serveTopology(w)
+	default:
+		writeJSONError(w, http.StatusNotFound, "unknown endpoint; see /api/v1/incidents /api/v1/fitness /api/v1/topology")
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// incidentsResponse is the /api/v1/incidents payload.
+type incidentsResponse struct {
+	Open      int      `json:"open"`
+	Total     int      `json:"total"`
+	Incidents []Digest `json:"incidents"`
+}
+
+func (a *API) serveIncidents(w http.ResponseWriter) {
+	incidents := a.eng.Incidents()
+	if incidents == nil {
+		incidents = []Digest{}
+	}
+	writeJSON(w, incidentsResponse{
+		Open:      a.eng.OpenCount(),
+		Total:     len(incidents),
+		Incidents: incidents,
+	})
+}
+
+func (a *API) serveIncident(w http.ResponseWriter, id string) {
+	d, ok := a.eng.Incident(id)
+	if !ok {
+		writeJSONError(w, http.StatusNotFound, "no incident "+id)
+		return
+	}
+	writeJSON(w, d)
+}
+
+// fitnessResponse is the /api/v1/fitness payload.
+type fitnessResponse struct {
+	// Measurement is "metric@machine", or "system" for the system
+	// aggregate.
+	Measurement string         `json:"measurement"`
+	Points      []FitnessPoint `json:"points"`
+}
+
+func (a *API) serveFitness(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	window := 0
+	if ws := q.Get("window"); ws != "" {
+		n, err := strconv.Atoi(ws)
+		if err != nil || n < 0 {
+			writeJSONError(w, http.StatusBadRequest, "window must be a non-negative integer")
+			return
+		}
+		window = n
+	}
+	name := q.Get("measurement")
+	if name == "" || name == "system" {
+		pts := a.eng.SystemHistory(window)
+		if pts == nil {
+			pts = []FitnessPoint{}
+		}
+		writeJSON(w, fitnessResponse{Measurement: "system", Points: pts})
+		return
+	}
+	pts, ok := a.eng.HistoryByName(name, window)
+	if !ok {
+		writeJSONError(w, http.StatusNotFound, "unknown measurement "+name)
+		return
+	}
+	if pts == nil {
+		pts = []FitnessPoint{}
+	}
+	writeJSON(w, fitnessResponse{Measurement: name, Points: pts})
+}
+
+// topologyPair is one edge of the pair graph in /api/v1/topology.
+type topologyPair struct {
+	A     string `json:"a"`
+	B     string `json:"b"`
+	Shard int    `json:"shard"`
+	// Steady reports the incremental scheduler's dirty/steady state:
+	// steady pairs carry a cached outcome forward instead of re-scoring.
+	Steady bool `json:"steady"`
+	Scored bool `json:"scored"`
+	// Fitness is the link's last Q^{a,b}.
+	Fitness float64 `json:"fitness"`
+	// Mean is the link's accumulated mean fitness (omitted unless the
+	// fleet tracks pair means).
+	Mean *float64 `json:"mean,omitempty"`
+}
+
+// topologyResponse is the /api/v1/topology payload.
+type topologyResponse struct {
+	Measurements []string       `json:"measurements"`
+	Pairs        []topologyPair `json:"pairs"`
+}
+
+func (a *API) serveTopology(w http.ResponseWriter) {
+	if a.fleet == nil {
+		writeJSONError(w, http.StatusNotFound, "no fleet attached")
+		return
+	}
+	ids := a.fleet.IDs()
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = id.String()
+	}
+	means := a.fleet.PairMeans()
+	states := a.fleet.PairStates()
+	pairs := make([]topologyPair, len(states))
+	for i, st := range states {
+		tp := topologyPair{
+			A:       st.Pair.A.String(),
+			B:       st.Pair.B.String(),
+			Shard:   st.Shard,
+			Steady:  st.Steady,
+			Scored:  st.Scored,
+			Fitness: st.Fitness,
+		}
+		if m, ok := means[st.Pair]; ok {
+			mv := m
+			tp.Mean = &mv
+		}
+		pairs[i] = tp
+	}
+	writeJSON(w, topologyResponse{Measurements: names, Pairs: pairs})
+}

@@ -1,0 +1,401 @@
+package diagnose
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"mcorr/internal/alarm"
+	"mcorr/internal/manager"
+	"mcorr/internal/timeseries"
+)
+
+var (
+	t0    = timeseries.TestStart
+	step  = timeseries.SampleStep
+	mCPU1 = timeseries.MeasurementID{Machine: "m1", Metric: "cpu"}
+	mNET1 = timeseries.MeasurementID{Machine: "m1", Metric: "net"}
+	mCPU2 = timeseries.MeasurementID{Machine: "m2", Metric: "cpu"}
+	mNET2 = timeseries.MeasurementID{Machine: "m2", Metric: "net"}
+	all   = []timeseries.MeasurementID{mCPU1, mNET1, mCPU2, mNET2}
+)
+
+// rep builds one step report at row i. Every measurement scores q except
+// the overrides.
+func rep(i int, sys, q float64, override map[timeseries.MeasurementID]float64) manager.StepReport {
+	meas := make(map[timeseries.MeasurementID]float64, len(all))
+	for _, id := range all {
+		meas[id] = q
+	}
+	for id, v := range override {
+		meas[id] = v
+	}
+	return manager.StepReport{Time: t0.Add(time.Duration(i) * step), System: sys, Measurements: meas}
+}
+
+// faultStream drives an engine through a canonical incident: healthy rows,
+// a fault window where cpu@m1 collapses, then recovery. Returns the row
+// index after the stream.
+func faultStream(e *Engine, healthy, faulty, recovery int) int {
+	i := 0
+	for ; i < healthy; i++ {
+		e.Observe(rep(i, 0.9, 0.9, nil))
+	}
+	for j := 0; j < faulty; j++ {
+		e.Observe(rep(i, 0.55, 0.65, map[timeseries.MeasurementID]float64{mCPU1: 0.1}))
+		i++
+	}
+	for j := 0; j < recovery; j++ {
+		e.Observe(rep(i, 0.9, 0.9, nil))
+		i++
+	}
+	return i
+}
+
+func TestIncidentOpensRanksAndCloses(t *testing.T) {
+	e := NewEngine(Config{})
+	cfg := e.Config()
+
+	faultStream(e, 10, cfg.OpenAfter, 0)
+	if e.OpenCount() != 1 {
+		t.Fatalf("OpenCount after %d low rows = %d, want 1", cfg.OpenAfter, e.OpenCount())
+	}
+	incs := e.Incidents()
+	if len(incs) != 1 {
+		t.Fatalf("Incidents = %d, want 1", len(incs))
+	}
+	d := incs[0]
+	impact := t0.Add(10 * step)
+	if !d.ImpactTime.Equal(impact) {
+		t.Errorf("ImpactTime = %v, want first low row %v", d.ImpactTime, impact)
+	}
+	wantID := fmt.Sprintf("inc-1-%s", impact.UTC().Format("20060102T150405Z"))
+	if d.ID != wantID {
+		t.Errorf("ID = %q, want %q", d.ID, wantID)
+	}
+	if d.State != StateOpen {
+		t.Errorf("State = %q, want open", d.State)
+	}
+	if len(d.Candidates) != 1 || d.Candidates[0].Measurement != mCPU1.String() {
+		t.Fatalf("Candidates = %+v, want exactly cpu@m1", d.Candidates)
+	}
+	c := d.Candidates[0]
+	if c.Ring != 0 {
+		t.Errorf("Ring = %d, want 0 (broke on the impact row)", c.Ring)
+	}
+	if got, want := c.Drop, 0.8; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("Drop = %v, want baseline 0.9 - lowest 0.1 = %v", got, want)
+	}
+	if d.Suspect != "m1" {
+		t.Errorf("Suspect = %q, want m1", d.Suspect)
+	}
+	if d.Broken != 1 {
+		t.Errorf("Broken = %d, want 1", d.Broken)
+	}
+	if len(d.Chain) != 1 || d.Chain[0].Measurement != mCPU1.String() || d.Chain[0].Q != 0.1 {
+		t.Errorf("Chain = %+v", d.Chain)
+	}
+	if d.SystemLow != 0.55 {
+		t.Errorf("SystemLow = %v, want 0.55", d.SystemLow)
+	}
+	// One broken measurement out of four, Q well below threshold*0.95:
+	// warning, not critical (0.55 > 0.8*0.75 = 0.6 is false — 0.55 < 0.6,
+	// so critical).
+	if d.Severity != "critical" {
+		t.Errorf("Severity = %q, want critical (SystemLow 0.55 < 0.6)", d.Severity)
+	}
+
+	// Recovery closes the incident after CloseAfter healthy rows.
+	e2 := NewEngine(Config{})
+	faultStream(e2, 10, 6, e2.Config().CloseAfter)
+	if e2.OpenCount() != 0 {
+		t.Fatalf("incident still open after %d healthy rows", e2.Config().CloseAfter)
+	}
+	incs = e2.Incidents()
+	if len(incs) != 1 || incs[0].State != StateClosed {
+		t.Fatalf("Incidents after close = %+v", incs)
+	}
+	if incs[0].ClosedAt.IsZero() || incs[0].ClosedAt.Before(incs[0].OpenedAt) {
+		t.Errorf("ClosedAt = %v not after OpenedAt %v", incs[0].ClosedAt, incs[0].OpenedAt)
+	}
+	if got, ok := e2.Incident(incs[0].ID); !ok || got.ID != incs[0].ID {
+		t.Errorf("Incident(%q) lookup failed", incs[0].ID)
+	}
+	if _, ok := e2.Incident("inc-404-nope"); ok {
+		t.Error("Incident on unknown id reported ok")
+	}
+}
+
+func TestOpenAfterDebouncesBlips(t *testing.T) {
+	e := NewEngine(Config{OpenAfter: 3})
+	// Two low rows, then recovery: no incident.
+	e.Observe(rep(0, 0.9, 0.9, nil))
+	e.Observe(rep(1, 0.5, 0.6, nil))
+	e.Observe(rep(2, 0.5, 0.6, nil))
+	e.Observe(rep(3, 0.9, 0.9, nil))
+	if e.OpenCount() != 0 {
+		t.Fatal("blip below OpenAfter opened an incident")
+	}
+	// Three consecutive low rows open one.
+	for i := 4; i < 7; i++ {
+		e.Observe(rep(i, 0.5, 0.6, nil))
+	}
+	if e.OpenCount() != 1 {
+		t.Fatal("sustained low run did not open an incident")
+	}
+}
+
+func TestFanOutFromPairScoresAndAlarms(t *testing.T) {
+	e := NewEngine(Config{})
+	for i := 0; i < 8; i++ {
+		e.Observe(rep(i, 0.9, 0.9, nil))
+	}
+	// Pair scores below PairBreak stamp both endpoints.
+	r := rep(8, 0.5, 0.65, map[timeseries.MeasurementID]float64{mCPU1: 0.1})
+	r.Pairs = map[manager.Pair]float64{
+		{A: mCPU1, B: mNET1}: 0.2,
+		{A: mCPU1, B: mCPU2}: 0.3,
+		{A: mNET2, B: mCPU2}: 0.9, // healthy link: no stamp
+	}
+	e.Observe(r)
+	// A pair alarm also stamps its endpoints.
+	sink := e.WrapSink(nil)
+	sink.Publish(alarm.Alarm{
+		Time: r.Time, Scope: alarm.ScopePair, Severity: alarm.SeverityWarning,
+		Measurement: mCPU1, Peer: mNET2, Score: 0.1, Threshold: 0.5,
+	})
+	e.Observe(rep(9, 0.5, 0.65, map[timeseries.MeasurementID]float64{mCPU1: 0.1}))
+
+	incs := e.Incidents()
+	if len(incs) != 1 || len(incs[0].Candidates) == 0 {
+		t.Fatalf("Incidents = %+v", incs)
+	}
+	c := incs[0].Candidates[0]
+	if c.Measurement != mCPU1.String() {
+		t.Fatalf("top candidate = %q", c.Measurement)
+	}
+	if c.FanOut != 3 {
+		t.Errorf("FanOut = %d, want 3 (two broken pair scores + one pair alarm)", c.FanOut)
+	}
+	if incs[0].PairAlarms != 1 {
+		t.Errorf("PairAlarms = %d, want 1", incs[0].PairAlarms)
+	}
+}
+
+func TestAlarmCountsArePerIncidentDeltas(t *testing.T) {
+	e := NewEngine(Config{})
+	sink := e.WrapSink(nil)
+	// Alarms before the incident land in the baseline snapshot.
+	for i := 0; i < 3; i++ {
+		sink.Publish(alarm.Alarm{Time: t0, Scope: alarm.ScopeMeasurement, Severity: alarm.SeverityInfo, Measurement: mCPU2})
+	}
+	i := faultStream(e, 6, 1, 0)
+	sink.Publish(alarm.Alarm{Time: t0.Add(time.Duration(i) * step), Scope: alarm.ScopeSystem, Severity: alarm.SeverityWarning})
+	faultStreamAt(e, i, 3)
+	incs := e.Incidents()
+	if len(incs) != 1 {
+		t.Fatalf("Incidents = %d", len(incs))
+	}
+	if incs[0].MeasurementAlarms != 0 {
+		t.Errorf("MeasurementAlarms = %d, want 0 (all pre-incident)", incs[0].MeasurementAlarms)
+	}
+	if incs[0].SystemAlarms != 1 {
+		t.Errorf("SystemAlarms = %d, want 1", incs[0].SystemAlarms)
+	}
+}
+
+// faultStreamAt continues the canonical fault rows from row index i.
+func faultStreamAt(e *Engine, i, faulty int) {
+	for j := 0; j < faulty; j++ {
+		e.Observe(rep(i+j, 0.55, 0.65, map[timeseries.MeasurementID]float64{mCPU1: 0.1}))
+	}
+}
+
+func TestHistoryRingsAndWindows(t *testing.T) {
+	e := NewEngine(Config{History: 4})
+	for i := 0; i < 6; i++ {
+		e.Observe(rep(i, 0.9, 0.9, nil))
+	}
+	sys := e.SystemHistory(0)
+	if len(sys) != 4 {
+		t.Fatalf("SystemHistory retained %d, want ring capacity 4", len(sys))
+	}
+	if !sys[0].T.Equal(t0.Add(2*step)) || !sys[3].T.Equal(t0.Add(5*step)) {
+		t.Errorf("SystemHistory window = [%v .. %v], want rows 2..5", sys[0].T, sys[3].T)
+	}
+	for i := 1; i < len(sys); i++ {
+		if !sys[i].T.After(sys[i-1].T) {
+			t.Fatalf("SystemHistory not in time order at %d", i)
+		}
+	}
+	pts, ok := e.History(mCPU1, 2)
+	if !ok || len(pts) != 2 || !pts[1].T.Equal(t0.Add(5*step)) {
+		t.Errorf("History(cpu@m1, 2) = %v ok=%v", pts, ok)
+	}
+	if _, ok := e.History(timeseries.MeasurementID{Machine: "nope", Metric: "x"}, 0); ok {
+		t.Error("History on unknown measurement reported ok")
+	}
+	byName, ok := e.HistoryByName("cpu@m1", 0)
+	if !ok || len(byName) != 4 {
+		t.Errorf("HistoryByName = %d points ok=%v", len(byName), ok)
+	}
+	if _, ok := e.HistoryByName("ghost@m9", 0); ok {
+		t.Error("HistoryByName on unknown name reported ok")
+	}
+	ids := e.Measurements()
+	if len(ids) != 4 {
+		t.Fatalf("Measurements = %v", ids)
+	}
+	for i := 1; i < len(ids); i++ {
+		if !ids[i-1].Less(ids[i]) {
+			t.Fatalf("Measurements not sorted: %v", ids)
+		}
+	}
+}
+
+func TestFamiliesGroupByMachineAndMetric(t *testing.T) {
+	e := NewEngine(Config{})
+	for i := 0; i < 8; i++ {
+		e.Observe(rep(i, 0.9, 0.9, nil))
+	}
+	// Both m1 measurements break: the machine family dominates.
+	low := map[timeseries.MeasurementID]float64{mCPU1: 0.1, mNET1: 0.2}
+	for j := 8; j < 10; j++ {
+		e.Observe(rep(j, 0.5, 0.7, low))
+	}
+	incs := e.Incidents()
+	if len(incs) != 1 {
+		t.Fatalf("Incidents = %d", len(incs))
+	}
+	d := incs[0]
+	if d.Broken != 2 {
+		t.Fatalf("Broken = %d, want 2", d.Broken)
+	}
+	if len(d.Families) == 0 || d.Families[0].Kind != "machine" || d.Families[0].Key != "m1" || d.Families[0].Size != 2 {
+		t.Errorf("top family = %+v, want machine m1 size 2", d.Families)
+	}
+	if len(d.Rings) != len(e.Config().Rings)+1 {
+		t.Fatalf("Rings = %d buckets, want %d", len(d.Rings), len(e.Config().Rings)+1)
+	}
+	if d.Rings[0].Broken != 2 {
+		t.Errorf("innermost ring Broken = %d, want 2", d.Rings[0].Broken)
+	}
+	if d.Rings[len(d.Rings)-1].Radius != -1 {
+		t.Errorf("outer ring radius = %d, want -1", d.Rings[len(d.Rings)-1].Radius)
+	}
+}
+
+func TestLocalizeRollupAttachesOutsideLock(t *testing.T) {
+	e := NewEngine(Config{})
+	e.SetLocalizeFn(func() manager.Localization {
+		return manager.Localization{Machines: []manager.MachineScore{
+			{Machine: "m1", Score: 0.2, Measurements: 2},
+			{Machine: "m2", Score: 0.8, Measurements: 2},
+		}}
+	})
+	faultStream(e, 6, 2, 0)
+	incs := e.Incidents()
+	if len(incs) != 1 {
+		t.Fatalf("Incidents = %d", len(incs))
+	}
+	if len(incs[0].Machines) != 2 || incs[0].Machines[0].Machine != "m1" {
+		t.Errorf("Machines rollup = %+v", incs[0].Machines)
+	}
+}
+
+func TestClosedIncidentRetentionCap(t *testing.T) {
+	e := NewEngine(Config{MaxIncidents: 2, OpenAfter: 1, CloseAfter: 1})
+	i := 0
+	for k := 0; k < 4; k++ {
+		for j := 0; j < 3; j++ {
+			e.Observe(rep(i, 0.9, 0.9, nil))
+			i++
+		}
+		e.Observe(rep(i, 0.5, 0.6, nil))
+		i++
+		e.Observe(rep(i, 0.9, 0.9, nil))
+		i++
+	}
+	incs := e.Incidents()
+	if len(incs) != 2 {
+		t.Fatalf("retained %d closed incidents, want cap 2", len(incs))
+	}
+	// Newest first, and the oldest two evicted.
+	if !strings.HasPrefix(incs[0].ID, "inc-4-") || !strings.HasPrefix(incs[1].ID, "inc-3-") {
+		t.Errorf("retained = %q, %q; want inc-4-*, inc-3-*", incs[0].ID, incs[1].ID)
+	}
+}
+
+func TestPersistRoundTripMidIncident(t *testing.T) {
+	cfg := Config{}
+	full := NewEngine(cfg)
+	faultStream(full, 10, 4, 3)
+
+	// Same stream, interrupted mid-incident by a save/restore cycle.
+	a := NewEngine(cfg)
+	i := 0
+	for ; i < 10; i++ {
+		a.Observe(rep(i, 0.9, 0.9, nil))
+	}
+	faultStreamAt(a, i, 2)
+	i += 2
+
+	var buf bytes.Buffer
+	if err := a.SaveState(&buf); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	b := NewEngine(cfg)
+	if err := b.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	faultStreamAt(b, i, 2)
+	i += 2
+	for j := 0; j < 3; j++ {
+		b.Observe(rep(i, 0.9, 0.9, nil))
+		i++
+	}
+
+	want, got := full.Incidents(), b.Incidents()
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("incidents diverge across save/restore:\nwant %+v\ngot  %+v", want, got)
+	}
+	if !reflect.DeepEqual(full.SystemHistory(0), b.SystemHistory(0)) {
+		t.Error("system history diverges across save/restore")
+	}
+	wp, _ := full.History(mCPU1, 0)
+	gp, _ := b.History(mCPU1, 0)
+	if !reflect.DeepEqual(wp, gp) {
+		t.Error("measurement history diverges across save/restore")
+	}
+}
+
+func TestMarshalStateRejectsBadBlob(t *testing.T) {
+	e := NewEngine(Config{})
+	if err := e.UnmarshalState([]byte("not a gob blob")); err == nil {
+		t.Fatal("UnmarshalState accepted garbage")
+	}
+	blob, err := e.MarshalState()
+	if err != nil {
+		t.Fatalf("MarshalState: %v", err)
+	}
+	if err := NewEngine(Config{}).UnmarshalState(blob); err != nil {
+		t.Fatalf("round trip of empty engine: %v", err)
+	}
+}
+
+func TestDigestClonesAreIndependent(t *testing.T) {
+	e := NewEngine(Config{})
+	faultStream(e, 6, 2, 0)
+	a := e.Incidents()[0]
+	if len(a.Candidates) == 0 {
+		t.Fatal("no candidates")
+	}
+	a.Candidates[0].Measurement = "mutated"
+	b := e.Incidents()[0]
+	if b.Candidates[0].Measurement == "mutated" {
+		t.Error("Incidents returned a shared slice; digests must be deep copies")
+	}
+}

@@ -1,0 +1,19 @@
+package diagnose
+
+import "mcorr/internal/obs"
+
+// Process-global incident metrics (mcorr_incident_*). The gauge tracks
+// the engine's currently open incident; the counters accumulate over the
+// process lifetime (a crash-recovered engine re-publishes the gauge from
+// its restored state but never replays counter increments).
+var (
+	obsOpenIncidents = obs.Default().Gauge("mcorr_incident_open",
+		"Currently open incidents (0 or 1: the engine tracks one system-level incident at a time).")
+	obsOpened = obs.Default().Counter("mcorr_incident_opened_total",
+		"Incidents opened by the diagnosis engine.")
+	obsClosed = obs.Default().Counter("mcorr_incident_closed_total",
+		"Incidents closed after the system fitness recovered.")
+	obsRefreshSeconds = obs.Default().Histogram("mcorr_incident_refresh_seconds",
+		"Latency of recomputing an open incident's digest (candidate ranking, families, temporal chain).",
+		obs.TimeBuckets())
+)

@@ -55,6 +55,12 @@ type Checkpoint struct {
 	// Coord is the coordinator state blob (shard topology + central
 	// aggregator) when Shards > 0.
 	Coord []byte
+
+	// Diagnose is the diagnosis engine's state blob (fitness histories,
+	// baselines, open/closed incidents) when the pipeline runs with
+	// diagnosis attached; empty otherwise. Older checkpoints decode with
+	// a nil slice, so the field is backward-compatible within Version 1.
+	Diagnose []byte
 }
 
 // AtomicWrite writes a file crash-atomically: the payload goes to a

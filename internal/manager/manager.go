@@ -614,6 +614,38 @@ func (m *Manager) stepPairAt(i int, row Row, skipped *uint64) Outcome {
 	return Outcome{Fitness: res.Fitness, Prob: res.Prob, Scored: res.Scored, Grown: res.Grown, Steady: res.Steady}
 }
 
+// PairState is one link's live scheduler state, the unit of the ops
+// topology view: the pair, which shard owns it, whether the incremental
+// scheduler holds it steady (cached outcome carried forward), and its
+// last outcome.
+type PairState struct {
+	Pair Pair
+	// Shard is the owning shard's index — always 0 for an unsharded
+	// Manager; the sharded coordinator rewrites it when merging.
+	Shard int
+	// Steady reports whether the pair sits in a frozen self-transition
+	// run with valid cached cell bounds (skip-eligible).
+	Steady bool
+	// Scored reports whether the last row produced a score for this
+	// link (false right after a gap or before the first row).
+	Scored bool
+	// Fitness is the link's last Q^{a,b} (0 until the first scored row).
+	Fitness float64
+}
+
+// PairStates returns every link's live scheduler state in the manager's
+// canonical pair order.
+func (m *Manager) PairStates() []PairState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]PairState, len(m.pairs))
+	for i, p := range m.pairs {
+		o := m.outcomes[i]
+		out[i] = PairState{Pair: p, Steady: m.steadyOK[i], Scored: o.Scored, Fitness: o.Fitness}
+	}
+	return out
+}
+
 // Run replays a dataset through Step row by row over [from, to) and
 // returns the per-step reports. The dataset's series must share the
 // sampling grid.

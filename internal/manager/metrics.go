@@ -31,6 +31,8 @@ var (
 		obs.TimeBuckets())
 	obsCheckpoints = obs.Default().Counter("mcorr_checkpoints_written_total",
 		"Checkpoints durably written.")
+	obsCheckpointEpoch = obs.Default().Gauge("mcorr_checkpoint_epoch",
+		"Epoch of the last durable checkpoint (versions the per-shard snapshot files; 0 before the first checkpoint).")
 
 	obsFitness = obs.Default().HistogramVec("mcorr_manager_fitness",
 		"Fitness scores by aggregation level: pair (Q^{a,b}), measurement (Q^a), system (Q).",
@@ -46,3 +48,9 @@ var (
 // across their managers and publish the total here instead, so the gauge
 // always reflects the whole fleet's last row.
 func RecordDirtyPairs(n int) { obsDirtyPairs.Set(float64(n)) }
+
+// RecordCheckpointEpoch publishes the epoch of the checkpoint that just
+// committed on the mcorr_checkpoint_epoch gauge (the durable monitor
+// calls this after the root checkpoint rename, and once at recovery with
+// the restored epoch).
+func RecordCheckpointEpoch(epoch uint64) { obsCheckpointEpoch.Set(float64(epoch)) }

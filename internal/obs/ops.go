@@ -1,12 +1,15 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -31,13 +34,67 @@ func registerProcessMetrics() {
 	})
 }
 
+// opsHandlers is the process-wide table of dynamically registered /api/
+// handlers. The ops mux dispatches /api/ requests through it at request
+// time, so handlers registered after a server boots (the monitor wires
+// its diagnosis API in only once the fleet exists) are still reachable.
+var (
+	opsHandlersMu sync.RWMutex
+	opsHandlers   []opsHandler
+)
+
+type opsHandler struct {
+	pattern string
+	h       http.Handler
+}
+
+// RegisterOpsHandler mounts a handler on every ops server (current and
+// future) under the given pattern, which must start with "/api/". A
+// request dispatches to the registered pattern that is the longest
+// prefix of its path (a pattern ending in "/" matches a subtree; other
+// patterns match exactly). Re-registering a pattern replaces the
+// previous handler, so a restarted pipeline can rebind its API.
+func RegisterOpsHandler(pattern string, h http.Handler) {
+	if !strings.HasPrefix(pattern, "/api/") {
+		panic("obs: RegisterOpsHandler pattern must start with /api/")
+	}
+	opsHandlersMu.Lock()
+	defer opsHandlersMu.Unlock()
+	for i := range opsHandlers {
+		if opsHandlers[i].pattern == pattern {
+			opsHandlers[i].h = h
+			return
+		}
+	}
+	opsHandlers = append(opsHandlers, opsHandler{pattern: pattern, h: h})
+}
+
+// lookupOpsHandler finds the longest registered pattern matching path.
+func lookupOpsHandler(path string) http.Handler {
+	opsHandlersMu.RLock()
+	defer opsHandlersMu.RUnlock()
+	var best http.Handler
+	bestLen := -1
+	for _, oh := range opsHandlers {
+		match := oh.pattern == path ||
+			(strings.HasSuffix(oh.pattern, "/") && strings.HasPrefix(path, oh.pattern))
+		if match && len(oh.pattern) > bestLen {
+			best, bestLen = oh.h, len(oh.pattern)
+		}
+	}
+	return best
+}
+
 // NewOpsMux builds the ops HTTP handler for a registry and tracer:
 //
 //	/metrics       Prometheus text exposition format
 //	/vars          the same registry as expvar-style JSON
 //	/healthz       liveness probe ("ok")
-//	/statusz       human-readable status: process info, metric summary,
+//	/statusz       human-readable status: process info, fabric summary,
 //	               recent spans with per-phase timings
+//	/debug/spans   the span ring as JSON (?n= caps the span count)
+//	/api/          handlers mounted with RegisterOpsHandler (e.g. the
+//	               diagnosis API), resolved at request time
 //	/debug/pprof/  the standard net/http/pprof handlers
 //
 // Nil registry/tracer default to the process-wide ones.
@@ -68,6 +125,18 @@ func NewOpsMux(reg *Registry, tracer *Tracer) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		writeStatusz(w, reg, tracer)
 	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		writeSpansJSON(w, r, tracer)
+	})
+	mux.HandleFunc("/api/", func(w http.ResponseWriter, r *http.Request) {
+		if h := lookupOpsHandler(r.URL.Path); h != nil {
+			h.ServeHTTP(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(http.StatusNotFound)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": "no handler registered for " + r.URL.Path})
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -79,9 +148,62 @@ func NewOpsMux(reg *Registry, tracer *Tracer) *http.ServeMux {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "mcorr ops server — endpoints: /metrics /vars /healthz /statusz /debug/pprof/")
+		fmt.Fprintln(w, "mcorr ops server — endpoints: /metrics /vars /healthz /statusz /debug/spans /api/v1/... /debug/pprof/")
 	})
 	return mux
+}
+
+// spanJSON is one completed span in the /debug/spans payload.
+type spanJSON struct {
+	Name       string      `json:"name"`
+	Start      time.Time   `json:"start"`
+	DurationNS int64       `json:"duration_ns"`
+	Phases     []phaseJSON `json:"phases,omitempty"`
+}
+
+// phaseJSON is one named phase inside a span.
+type phaseJSON struct {
+	Name       string `json:"name"`
+	DurationNS int64  `json:"duration_ns"`
+}
+
+// writeSpansJSON renders the span ring as JSON, newest first. ?n= caps
+// the span count (default 64, 0 for the whole ring).
+func writeSpansJSON(w http.ResponseWriter, r *http.Request, tracer *Tracer) {
+	n := 64
+	if ns := r.URL.Query().Get("n"); ns != "" {
+		v, err := strconv.Atoi(ns)
+		if err != nil || v < 0 {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.WriteHeader(http.StatusBadRequest)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "n must be a non-negative integer"})
+			return
+		}
+		n = v
+	}
+	recent := tracer.Recent(n)
+	spans := make([]spanJSON, len(recent))
+	for i, rec := range recent {
+		s := spanJSON{Name: rec.Name, Start: rec.Start, DurationNS: rec.Duration.Nanoseconds()}
+		for _, ph := range rec.Phases {
+			s.Phases = append(s.Phases, phaseJSON{Name: ph.Name, DurationNS: ph.Duration.Nanoseconds()})
+		}
+		spans[i] = s
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{"total": tracer.Total(), "spans": spans})
+}
+
+// fabricRows lists the registry metrics the /statusz fabric summary
+// shows. Each subsystem registers its metric only when linked in and
+// used, so absent rows are simply skipped.
+var fabricRows = []struct{ label, metric string }{
+	{"shards", "mcorr_shard_count"},
+	{"dirty pairs (last row)", "mcorr_manager_dirty_pairs"},
+	{"checkpoint epoch", "mcorr_checkpoint_epoch"},
+	{"open incidents", "mcorr_incident_open"},
 }
 
 // writeStatusz renders the human-readable status page.
@@ -93,6 +215,22 @@ func writeStatusz(w http.ResponseWriter, reg *Registry, tracer *Tracer) {
 	fmt.Fprintf(w, "go:          %s\n", runtime.Version())
 	fmt.Fprintf(w, "goroutines:  %d\n", runtime.NumGoroutine())
 	fmt.Fprintf(w, "gomaxprocs:  %d\n", runtime.GOMAXPROCS(0))
+
+	// Fabric summary: the handful of gauges that say what the scoring
+	// fabric is doing right now, pulled straight from the registry.
+	fmt.Fprintf(w, "\nfabric\n------\n")
+	shown := 0
+	for _, row := range fabricRows {
+		v, ok := reg.Value(row.metric)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "%-24s %s\n", row.label+":", formatFloat(v))
+		shown++
+	}
+	if shown == 0 {
+		fmt.Fprintln(w, "(no fabric metrics registered)")
+	}
 
 	fmt.Fprintf(w, "\nrecent spans (%d total recorded)\n--------------------------------\n", tracer.Total())
 	recent := tracer.Recent(32)

@@ -232,6 +232,30 @@ func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...s
 	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, bounds)}
 }
 
+// Value returns the current value of an unlabeled counter or gauge by
+// name (GaugeFunc-aware). The second result is false for unknown names,
+// labeled families and histograms — callers like the /statusz fabric
+// block read whatever subsystems happen to be linked in and skip the
+// rest.
+func (r *Registry) Value(name string) (float64, bool) {
+	r.mu.Lock()
+	f, ok := r.byName[name]
+	r.mu.Unlock()
+	if !ok || f.labels != nil {
+		return 0, false
+	}
+	switch f.kind {
+	case kindCounter:
+		return float64(f.single.(*Counter).Value()), true
+	case kindGauge:
+		if f.gaugeFn != nil {
+			return f.gaugeFn(), true
+		}
+		return f.single.(*Gauge).Value(), true
+	}
+	return 0, false
+}
+
 // MetricNames returns every registered metric family name, sorted — the
 // documentation-coverage test walks this to cross-check the metrics
 // reference in OPERATIONS.md against what the code actually registers.

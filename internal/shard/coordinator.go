@@ -229,6 +229,22 @@ func (c *Coordinator) Pairs() []manager.Pair {
 	return append([]manager.Pair(nil), c.pairs...)
 }
 
+// PairStates returns every link's live scheduler state across all
+// shards, merged into the global canonical pair order with each state's
+// Shard field set to its owner.
+func (c *Coordinator) PairStates() []manager.PairState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]manager.PairState, len(c.pairs))
+	for k, s := range c.shards {
+		for i, st := range s.PairStates() {
+			st.Shard = k
+			out[c.localIdx[k][i]] = st
+		}
+	}
+	return out
+}
+
 // NumShards returns the current shard count.
 func (c *Coordinator) NumShards() int {
 	c.mu.Lock()

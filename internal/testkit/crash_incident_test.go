@@ -1,0 +1,82 @@
+package testkit_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mcorr/internal/simulator"
+	"mcorr/internal/testkit"
+	"mcorr/internal/timeseries"
+)
+
+// TestCrashRecoveryReproducesIncidents extends the durability contract to
+// the diagnosis layer: a run that is SIGKILLed mid-incident and restarted
+// from the same -data-dir must print the same INCIDENT digest lines —
+// same deterministic ids, same suspect, same top candidate, same low-water
+// mark at full float64 precision — as an uninterrupted run over the data.
+func TestCrashRecoveryReproducesIncidents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real binaries; skipped in -short")
+	}
+	mcdetect := testkit.BuildBinary(t, "mcorr/cmd/mcdetect")
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "group.csv")
+	day3 := timeseries.MonitoringStart.AddDate(0, 0, 2)
+	testkit.WriteGroupCSV(t, csv, simulator.GroupConfig{
+		Name: "A", Machines: 3, Days: 3, Seed: 7,
+		Faults: []simulator.Fault{{
+			ID: "crash-inc", Machine: simulator.MachineName("A", 1),
+			Kind:  simulator.FaultFlapping,
+			Start: day3.Add(6 * time.Hour), End: day3.Add(9 * time.Hour),
+		}},
+	})
+	args := func(dataDir, pace string) []string {
+		return []string{
+			"-data", csv,
+			"-train-days", "2",
+			"-max-measurements", "12",
+			"-incident",
+			"-incident-open-after", "1",
+			"-data-dir", dataDir,
+			"-checkpoint-every", "40",
+			"-fsync", "batch",
+			"-pace", pace,
+		}
+	}
+
+	baseline := incidentLines(testkit.Run(t, mcdetect, args(filepath.Join(dir, "base"), "0")...))
+	if len(baseline) == 0 {
+		t.Fatal("baseline run reported no INCIDENT lines; fault did not open an incident")
+	}
+
+	// The fault spans streamed rows 60..90; kill at row 70 so the engine
+	// dies with the incident open and its state split between the row-40
+	// checkpoint and the WAL tail replayed on recovery.
+	crashDir := filepath.Join(dir, "crash")
+	testkit.RunKillAfterSteps(t, mcdetect, 70, args(crashDir, "2ms")...)
+	resumed := incidentLines(testkit.Run(t, mcdetect, args(crashDir, "0")...))
+
+	if len(resumed) != len(baseline) {
+		t.Fatalf("resumed run printed %d INCIDENT lines, baseline %d:\nresumed:\n%s\nbaseline:\n%s",
+			len(resumed), len(baseline),
+			strings.Join(resumed, "\n"), strings.Join(baseline, "\n"))
+	}
+	for i := range baseline {
+		if resumed[i] != baseline[i] {
+			t.Errorf("INCIDENT line %d diverges after crash recovery:\nbaseline: %s\nresumed:  %s",
+				i, baseline[i], resumed[i])
+		}
+	}
+}
+
+func incidentLines(lines []string) []string {
+	var out []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "INCIDENT ") {
+			out = append(out, l)
+		}
+	}
+	return out
+}

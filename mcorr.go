@@ -8,6 +8,7 @@ import (
 	"mcorr/internal/alarm"
 	"mcorr/internal/collector"
 	"mcorr/internal/core"
+	"mcorr/internal/diagnose"
 	"mcorr/internal/manager"
 	"mcorr/internal/mathx"
 	"mcorr/internal/obs"
@@ -254,6 +255,12 @@ type (
 // stop it.
 func ServeOps(addr string) (*OpsServer, error) { return obs.ServeOps(addr) }
 
+// RegisterBuildInfo publishes the mcorr_build_info identity gauge
+// (constant 1, labeled with the binary's version, the Go runtime version
+// and the shard count) on the process-wide registry. Call once at
+// startup; a later call replaces the previous series.
+func RegisterBuildInfo(version string, shards int) { obs.RegisterBuildInfo(version, shards) }
+
 // DialCollector connects an agent to a collector server.
 func DialCollector(addr, agentName string) (*CollectorAgent, error) {
 	return collector.Dial(addr, agentName)
@@ -265,6 +272,7 @@ type MonitorOption func(*monitorOptions)
 type monitorOptions struct {
 	shards     int
 	scoreQueue int
+	diagnosis  *DiagnosisConfig
 }
 
 // WithShards partitions the monitor's pair graph across n manager shards
@@ -295,7 +303,8 @@ type Monitor struct {
 	step       time.Duration
 	cursor     time.Time
 	ids        []MeasurementID
-	scoreQueue int // bounded row-queue depth (0 = score inline)
+	scoreQueue int              // bounded row-queue depth (0 = score inline)
+	diag       *DiagnosisEngine // non-nil iff built with WithDiagnosis
 }
 
 // newFleet trains either a single manager or a sharded coordinator.
@@ -327,9 +336,19 @@ func NewMonitor(history *Dataset, cfg ManagerConfig, opts ...MonitorOption) (*Mo
 		return nil, fmt.Errorf("monitor needs at least 2 measurements, got %d", len(ids))
 	}
 	step := history.Get(ids[0]).Step
+	var diag *DiagnosisEngine
+	if o.diagnosis != nil {
+		// The engine wraps the alarm sink before the fleet exists so it
+		// sees the full stream from the first scored row.
+		diag = diagnose.NewEngine(*o.diagnosis)
+		cfg.Sink = diag.WrapSink(cfg.Sink)
+	}
 	fleet, coord, err := newFleet(history, cfg, o.shards)
 	if err != nil {
 		return nil, err
+	}
+	if diag != nil {
+		attachDiagnosis(diag, fleet)
 	}
 	store, err := tsdb.NewStore(step, 0)
 	if err != nil {
@@ -342,7 +361,7 @@ func NewMonitor(history *Dataset, cfg ManagerConfig, opts ...MonitorOption) (*Mo
 			cursor = end
 		}
 	}
-	return &Monitor{store: store, fleet: fleet, coord: coord, step: step, cursor: cursor, ids: ids, scoreQueue: o.scoreQueue}, nil
+	return &Monitor{store: store, fleet: fleet, coord: coord, step: step, cursor: cursor, ids: ids, scoreQueue: o.scoreQueue, diag: diag}, nil
 }
 
 // Fleet exposes the scoring fleet (a *Manager or a *ShardCoordinator).
@@ -360,6 +379,10 @@ func (m *Monitor) Manager() *Manager {
 
 // Coordinator exposes the sharded fabric, or nil when unsharded.
 func (m *Monitor) Coordinator() *ShardCoordinator { return m.coord }
+
+// Diagnosis exposes the incident diagnosis engine, or nil when the
+// monitor was built without WithDiagnosis.
+func (m *Monitor) Diagnosis() *DiagnosisEngine { return m.diag }
 
 // Shards returns the monitor's current shard count (1 when unsharded).
 func (m *Monitor) Shards() int {
@@ -416,11 +439,22 @@ func (m *Monitor) FlushUpTo(deadline time.Time) []StepReport {
 	return m.flushUntil(deadline)
 }
 
+// scoreRow steps the fleet and, when diagnosis is attached, feeds the
+// finished report to the engine — after scoring, never inside it, so the
+// diagnosis layer stays off the Manager.Step hot path.
+func (m *Monitor) scoreRow(row Row) StepReport {
+	report := m.fleet.Step(row)
+	if m.diag != nil {
+		m.diag.Observe(report)
+	}
+	return report
+}
+
 func (m *Monitor) flushUntil(until time.Time) []StepReport {
 	if m.scoreQueue <= 0 {
 		var reports []StepReport
 		for m.cursor.Before(until) {
-			reports = append(reports, m.fleet.Step(m.nextRow()))
+			reports = append(reports, m.scoreRow(m.nextRow()))
 		}
 		return reports
 	}
@@ -433,7 +467,7 @@ func (m *Monitor) flushUntil(until time.Time) []StepReport {
 	go func() {
 		var reports []StepReport
 		for row := range rows {
-			reports = append(reports, m.fleet.Step(row))
+			reports = append(reports, m.scoreRow(row))
 		}
 		done <- reports
 	}()

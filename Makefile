@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check docs-check bench bench-json benchgate figures examples ops-smoke fuzz-short crash-test clean
+.PHONY: all build vet test race check docs-check bench bench-json benchgate quality figures examples ops-smoke fuzz-short crash-test clean
 
 all: build check
 
@@ -36,7 +36,7 @@ bench:
 # Run the scoring hot-path benchmarks and record them as JSON for diffing.
 # ObsCounterHotPath tracks the metric-instrumentation overhead (must stay
 # allocation-free and < 50ns per manager step sample).
-BENCH_SCORING = '^Benchmark(Observe|RowInto|Prob|FitnessHotPath|ModelStepAdaptive|ModelStepOffline|ManagerStep|ManagerStepSharded|ManagerStepIncremental|ObsCounterHotPath)$$'
+BENCH_SCORING = '^Benchmark(Observe|RowInto|Prob|FitnessHotPath|ModelStepAdaptive|ModelStepOffline|ManagerStep|ManagerStepSharded|ManagerStepIncremental|ManagerStepBudget|DiscoverStep|ObsCounterHotPath)$$'
 bench-json:
 	$(GO) test -run '^$$' -bench $(BENCH_SCORING) -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_scoring.json
@@ -86,6 +86,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSamples$$' -fuzztime $(FUZZTIME) ./internal/collector
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSegment$$' -fuzztime $(FUZZTIME) ./internal/wal
 	$(GO) test -run '^$$' -fuzz '^FuzzReadRecord$$' -fuzztime $(FUZZTIME) ./internal/wal
+	$(GO) test -run '^$$' -fuzz '^FuzzSketchOps$$' -fuzztime $(FUZZTIME) ./internal/discover
 
 # crash-test is the durability gate: build mcdetect, SIGKILL it mid-stream,
 # restart from the same -data-dir, and require the per-step fitness
@@ -93,6 +94,14 @@ fuzz-short:
 # across every sharded topology.
 crash-test:
 	$(GO) test -race -count=1 -run '^TestCrashRecovery' -v ./internal/testkit
+
+# quality runs the detection-quality harness: the incident acceptance
+# scenario at a sweep of pair budgets (full, 50%, 25%, 10%), scored for
+# recall, precision, time-to-detect and localization rank. QUALITY.json
+# is the committed budget-tuning reference; CI uploads a fresh copy as an
+# advisory artifact.
+quality:
+	$(GO) run ./cmd/mcquality -out QUALITY.json
 
 # Regenerate every paper figure against the default environment.
 figures:

@@ -19,6 +19,7 @@ import (
 
 	"mcorr"
 	"mcorr/internal/core"
+	"mcorr/internal/discover"
 	"mcorr/internal/eval"
 	"mcorr/internal/manager"
 	"mcorr/internal/mathx"
@@ -244,6 +245,9 @@ func benchManagerStep(b *testing.B, machines int) {
 func BenchmarkManagerStep(b *testing.B) {
 	b.Run("l=12", func(b *testing.B) { benchManagerStep(b, 2) })
 	b.Run("l=36", func(b *testing.B) { benchManagerStep(b, 6) })
+	// l=48 (1128 pairs) is the full-graph baseline the pair-budget
+	// benchmark (BenchmarkManagerStepBudget) is measured against.
+	b.Run("l=48", func(b *testing.B) { benchManagerStep(b, 8) })
 }
 
 // benchManagerStepIncremental pins the dirty fraction instead of taking
@@ -540,4 +544,110 @@ func BenchmarkFaultKindSweep(b *testing.B) { benchFigure(b, eval.FaultKindSweep)
 
 func BenchmarkTimeConditionedExtension(b *testing.B) {
 	benchFigure(b, func(e *eval.Env) (*eval.Figure, error) { return eval.TimeConditionedExtension(e, 8) })
+}
+
+// benchBudgetFleet trains the discovery-bounded benchmark fleet at a
+// percentage pair budget on the same data as benchFleet, warmed the same
+// way (replay passes until adaptive growth settles).
+func benchBudgetFleet(b *testing.B, machines int, budget string) (mcorr.DiscoveryFleet, []manager.Row) {
+	b.Helper()
+	ds, _, err := simulator.Generate(simulator.GroupConfig{Name: "Z", Machines: machines, Days: 2, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	day1 := timeseries.MonitoringStart.AddDate(0, 0, 1)
+	n, err := mcorr.ParsePairBudget(budget, ds.Len())
+	if err != nil {
+		b.Fatal(err)
+	}
+	df, err := mcorr.NewDiscoveryFleet(ds.Slice(timeseries.MonitoringStart, day1),
+		manager.Config{Model: core.Config{Adaptive: true, Grid: core.GridConfig{MaxIntervals: 12}}},
+		mcorr.DiscoveryConfig{Budget: n}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := benchDayRows(ds, day1)
+	for pass := 0; pass < 4; pass++ {
+		grown := 0
+		for _, row := range rows {
+			grown += df.Step(row).GrownPairs
+		}
+		if grown == 0 {
+			break
+		}
+	}
+	df.DrainDiscoveryEvents()
+	return df, rows
+}
+
+// BenchmarkManagerStepBudget is the pair-budget acceptance benchmark:
+// one synchronized row through a warmed l=48 fleet modeling only 25% of
+// the 1128-pair graph (sketch maintenance for the admitted pairs and the
+// probe batch included). Compare against BenchmarkManagerStep/l=48 —
+// the budget must buy at least the 3x step speedup that justifies it.
+func BenchmarkManagerStepBudget(b *testing.B) {
+	b.Run("l=48/budget=25%", func(b *testing.B) {
+		df, rows := benchBudgetFleet(b, 8, "25%")
+		defer df.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			df.Step(rows[i%len(rows)])
+		}
+	})
+}
+
+// benchDiscoverRows builds synthetic correlated rows for a fleet of l
+// series without the simulator (which would dominate setup at l=1024):
+// a shared latent driver plus a per-series deterministic LCG wobble.
+func benchDiscoverRows(l, n int) ([]timeseries.MeasurementID, []manager.Row) {
+	ids := make([]timeseries.MeasurementID, l)
+	for i := range ids {
+		ids[i] = timeseries.MeasurementID{
+			Machine: fmt.Sprintf("m%03d", i/6),
+			Metric:  fmt.Sprintf("c%d", i%6),
+		}
+	}
+	state := uint64(1)
+	lcg := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+	start := timeseries.MonitoringStart
+	rows := make([]manager.Row, n)
+	for k := range rows {
+		latent := math.Sin(float64(k) / 7)
+		vals := make(map[timeseries.MeasurementID]float64, l)
+		for i, id := range ids {
+			vals[id] = latent*float64(1+i%5) + 0.3*lcg()
+		}
+		rows[k] = manager.Row{Time: start.Add(time.Duration(k) * timeseries.SampleStep), Values: vals}
+	}
+	return ids, rows
+}
+
+// BenchmarkDiscoverStep isolates the discovery tier's per-row cost —
+// ingest into the history rings, sketch updates for admitted + probed
+// pairs, and the amortized round policy — at growing fleet sizes under a
+// 10% pair budget. This is the O(l + admitted + probe) bound the tier
+// promises, versus the O(l^2) full graph it replaces.
+func BenchmarkDiscoverStep(b *testing.B) {
+	for _, l := range []int{48, 256, 1024} {
+		l := l
+		b.Run(fmt.Sprintf("l=%d", l), func(b *testing.B) {
+			ids, rows := benchDiscoverRows(l, 128)
+			budget, err := mcorr.ParsePairBudget("10%", l)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := discover.New(ids, discover.Config{Budget: budget})
+			if err != nil {
+				b.Fatal(err)
+			}
+			d.Bootstrap(rows)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Observe(rows[i%len(rows)])
+			}
+		})
+	}
 }

@@ -55,6 +55,12 @@ func run() error {
 
 		incident     = flag.Bool("incident", true, "run the incident diagnosis engine (digests under /api/v1/incidents on the ops server)")
 		incOpenBelow = flag.Float64("incident-open-below", 0.8, "open an incident when system Q stays below this")
+
+		pairBudget = flag.String("pair-budget", "", "bound the modeled pair graph and enable streaming discovery: \"full\", \"N%\" of l(l-1)/2, or an absolute pair count (empty = full graph, discovery off)")
+		discTopK   = flag.Int("discover-top-k", 8, "discovery: admission prefers up to this many pairs per measurement")
+		discEvict  = flag.Float64("discover-evict-below", 0.15, "discovery: evict an admitted pair whose |correlation| stays below this across rounds")
+		discRound  = flag.Int("discover-round", 120, "discovery: rows per probe round (graph changes apply at round boundaries)")
+		discLags   = flag.Int("discover-lags", 4, "discovery: scan correlation lags in [-L, L] sample steps (0 = lag 0 only)")
 	)
 	flag.Parse()
 	mcorr.RegisterBuildInfo(version, *shards)
@@ -86,11 +92,32 @@ func run() error {
 	if *incident {
 		monOpts = append(monOpts, mcorr.WithDiagnosis(mcorr.DiagnosisConfig{OpenBelow: *incOpenBelow}))
 	}
+	if *pairBudget != "" {
+		budget, err := mcorr.ParsePairBudget(*pairBudget, ds.Len())
+		if err != nil {
+			return err
+		}
+		lags := *discLags
+		if lags <= 0 {
+			lags = -1 // negative = lag 0 only; 0 would mean "default"
+		}
+		monOpts = append(monOpts, mcorr.WithDiscovery(mcorr.DiscoveryConfig{
+			Budget:     budget,
+			TopK:       *discTopK,
+			EvictBelow: *discEvict,
+			RoundRows:  *discRound,
+			Lags:       lags,
+		}))
+	}
 	mon, err := mcorr.NewMonitor(ds.Slice(timeseries.MonitoringStart, day1), mcorr.ManagerConfig{}, monOpts...)
 	if err != nil {
 		return err
 	}
 	defer mon.Fleet().Close()
+	if df, ok := mon.Fleet().(mcorr.DiscoveryFleet); ok {
+		admitted, budget, candidates := df.BudgetInfo()
+		log.Printf("pair budget: %d admitted of %d candidates (budget %d)", admitted, candidates, budget)
+	}
 
 	// The collector receives agent batches; we drain them into the
 	// monitor row by row. With -data-dir the store is WAL-backed: every
@@ -207,6 +234,12 @@ func run() error {
 				log.Printf("LOW FITNESS Q=%.3f at %s%s", r.System, r.Time.Format("15:04"), marker)
 			} else if r.Time.Minute() == 0 {
 				log.Printf("Q=%.3f at %s%s", r.System, r.Time.Format("15:04"), marker)
+			}
+		}
+		if df, ok := mon.Fleet().(mcorr.DiscoveryFleet); ok {
+			for _, ev := range df.DrainDiscoveryEvents() {
+				log.Printf("DISCOVER round=%d admitted=%d evicted=%d pairs=%d",
+					ev.Round, len(ev.Admitted), len(ev.Evicted), ev.Pairs)
 			}
 		}
 		if *dataDir != "" && *ckptEvery > 0 && (k+1)%*ckptEvery == 0 {

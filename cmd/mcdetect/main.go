@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"math"
 	"os"
@@ -71,6 +72,12 @@ func run() error {
 		incOpenBelow = flag.Float64("incident-open-below", 0.8, "open an incident when system Q stays below this")
 		incOpenAfter = flag.Int("incident-open-after", 2, "consecutive below-threshold rows before an incident opens (1 = open on first dip)")
 		incBreak     = flag.Float64("incident-break", 0.5, "a measurement counts as broken below this Q^a during root-cause analysis")
+
+		pairBudget = flag.String("pair-budget", "", "bound the modeled pair graph and enable streaming discovery: \"full\", \"N%\" of l(l-1)/2, or an absolute pair count (empty = full graph, discovery off)")
+		discTopK   = flag.Int("discover-top-k", 8, "discovery: admission prefers up to this many pairs per measurement")
+		discEvict  = flag.Float64("discover-evict-below", 0.15, "discovery: evict an admitted pair whose |correlation| stays below this across rounds")
+		discRound  = flag.Int("discover-round", 120, "discovery: rows per probe round (graph changes apply at round boundaries)")
+		discLags   = flag.Int("discover-lags", 4, "discovery: scan correlation lags in [-L, L] sample steps (0 = lag 0 only)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -134,11 +141,30 @@ func run() error {
 		TrackPairMeans:       true,
 	}
 
+	discCfg := func(l int) (mcorr.DiscoveryConfig, error) {
+		budget, err := mcorr.ParsePairBudget(*pairBudget, l)
+		if err != nil {
+			return mcorr.DiscoveryConfig{}, err
+		}
+		lags := *discLags
+		if lags <= 0 {
+			lags = -1 // discover.Config treats 0 as "default"; negative means lag 0 only
+		}
+		return mcorr.DiscoveryConfig{
+			Budget:     budget,
+			TopK:       *discTopK,
+			EvictBelow: *discEvict,
+			RoundRows:  *discRound,
+			Lags:       lags,
+		}, nil
+	}
+
 	if *dataDir != "" {
 		dcfg := durableConfig{
 			dataDir: *dataDir, every: *ckptEvery, interval: *ckptIvl,
 			fsync: *fsync, pace: *pace, maxMeas: *maxMeas, shards: *shards,
 			scoreQueue: *scoreQ, incident: *incident, incidentCfg: diagCfg,
+			pairBudget: *pairBudget, discCfg: discCfg,
 		}
 		return runDurable(ds, start, trainEnd, end, mcfg, dcfg, memory)
 	}
@@ -148,6 +174,9 @@ func run() error {
 	if *loadFrom != "" {
 		if *shards > 1 {
 			return fmt.Errorf("-load-models requires -shards=1 (sharded fleets persist via -data-dir checkpoints)")
+		}
+		if *pairBudget != "" {
+			return fmt.Errorf("-load-models cannot combine with -pair-budget (discovery state persists via -data-dir checkpoints)")
 		}
 		mf, err := os.Open(*loadFrom)
 		if err != nil {
@@ -172,7 +201,19 @@ func run() error {
 		fmt.Printf("training on %s .. %s (%d measurements, %d pairs, %d shards)\n",
 			start.Format(time.RFC3339), trainEnd.Format(time.RFC3339),
 			len(selected), len(selected)*(len(selected)-1)/2, *shards)
-		if *shards > 1 {
+		if *pairBudget != "" {
+			dcfg, derr := discCfg(len(selected))
+			if derr != nil {
+				return derr
+			}
+			var df mcorr.DiscoveryFleet
+			df, err = mcorr.NewDiscoveryFleet(watched.Slice(start, trainEnd), mcfg, dcfg, *shards)
+			if err == nil {
+				admitted, budget, candidates := df.BudgetInfo()
+				fmt.Printf("pair budget: %d admitted of %d candidates (budget %d)\n", admitted, candidates, budget)
+				fleet = df
+			}
+		} else if *shards > 1 {
 			fleet, err = shard.New(watched.Slice(start, trainEnd), shard.Config{Shards: *shards, Manager: mcfg})
 		} else {
 			fleet, err = manager.New(watched.Slice(start, trainEnd), mcfg)
@@ -194,6 +235,7 @@ func run() error {
 		return err
 	}
 	elapsed := time.Since(started)
+	printDiscover(fleet)
 	if diag != nil {
 		// Batch mode scores the whole window first; the engine replays the
 		// report stream afterwards — same digests, off the scoring path.
@@ -304,6 +346,11 @@ type durableConfig struct {
 	scoreQueue  int
 	incident    bool
 	incidentCfg mcorr.DiagnosisConfig
+
+	// pairBudget is the raw -pair-budget value ("" = discovery off);
+	// discCfg resolves it against a fleet size (percentages need l).
+	pairBudget string
+	discCfg    func(l int) (mcorr.DiscoveryConfig, error)
 }
 
 // runDurable is the crash-safe streaming mode: a DurableMonitor fed row by
@@ -331,6 +378,17 @@ func runDurable(ds *timeseries.Dataset, start, trainEnd, end time.Time, mcfg man
 	if mcorr.HasCheckpoint(dcfg.dataDir) {
 		// The checkpoint's recorded topology wins over -shards: recovery
 		// must reopen the shard files the checkpoint references.
+		if dcfg.pairBudget != "" {
+			// The checkpointed discovery config is authoritative on
+			// recovery (like shard topology); the flag value here only
+			// marks discovery as enabled, so resolve percentages against
+			// the measurement cap rather than the not-yet-known fleet.
+			disc, derr := dcfg.discCfg(dcfg.maxMeas)
+			if derr != nil {
+				return derr
+			}
+			opts = append(opts, mcorr.WithDiscovery(disc))
+		}
 		var recovered []mcorr.StepReport
 		dm, recovered, err = mcorr.OpenDurableMonitor(cfg, mcfg.Sink, opts...)
 		if err != nil {
@@ -350,10 +408,21 @@ func runDurable(ds *timeseries.Dataset, start, trainEnd, end time.Time, mcfg man
 		watched := eval.Subset(ds, selected)
 		fmt.Printf("training on %s .. %s (%d measurements, %d shards), durable state in %s\n",
 			start.Format(time.RFC3339), trainEnd.Format(time.RFC3339), len(selected), dcfg.shards, dcfg.dataDir)
+		if dcfg.pairBudget != "" {
+			disc, derr := dcfg.discCfg(len(selected))
+			if derr != nil {
+				return derr
+			}
+			opts = append(opts, mcorr.WithDiscovery(disc))
+		}
 		dm, err = mcorr.NewDurableMonitor(watched.Slice(start, trainEnd), mcfg, cfg,
 			append(opts, mcorr.WithShards(dcfg.shards))...)
 		if err != nil {
 			return err
+		}
+		if df, ok := dm.Fleet().(mcorr.DiscoveryFleet); ok {
+			admitted, budget, candidates := df.BudgetInfo()
+			fmt.Printf("pair budget: %d admitted of %d candidates (budget %d)\n", admitted, candidates, budget)
 		}
 	}
 	ids := dm.Fleet().IDs()
@@ -386,6 +455,7 @@ func runDurable(ds *timeseries.Dataset, start, trainEnd, end time.Time, mcfg man
 		for _, r := range forced {
 			printStep(r)
 		}
+		printDiscover(dm.Fleet())
 	}
 
 	fleet := dm.Fleet()
@@ -395,7 +465,38 @@ func runDurable(ds *timeseries.Dataset, start, trainEnd, end time.Time, mcfg man
 	}
 	fmt.Printf("alarms: %d\n", memory.Len())
 	printIncidents(dm.Diagnosis())
+	if _, ok := dm.Fleet().(mcorr.DiscoveryFleet); ok {
+		printPairGraph(dm.Fleet().Pairs())
+	}
 	return dm.Close()
+}
+
+// printDiscover emits one deterministic line per discovery round that
+// changed the pair graph. Like STEP lines, these compare bit for bit
+// between an uninterrupted durable run and a crash-recovered one.
+func printDiscover(f mcorr.Fleet) {
+	df, ok := f.(mcorr.DiscoveryFleet)
+	if !ok {
+		return
+	}
+	for _, ev := range df.DrainDiscoveryEvents() {
+		fmt.Printf("DISCOVER %s round=%d admitted=%d evicted=%d pairs=%d\n",
+			ev.Time.Format(time.RFC3339), ev.Round, len(ev.Admitted), len(ev.Evicted), ev.Pairs)
+	}
+}
+
+// printPairGraph fingerprints the final pair graph: the FNV-64a hash of
+// the canonically sorted pair list. The crash-recovery test compares the
+// line against an uninterrupted baseline to prove both runs converged on
+// the identical graph.
+func printPairGraph(pairs []mcorr.Pair) {
+	manager.SortPairs(pairs)
+	h := fnv.New64a()
+	for _, p := range pairs {
+		h.Write([]byte(p.String()))
+		h.Write([]byte{'\n'})
+	}
+	fmt.Printf("PAIRGRAPH pairs=%d hash=%016x\n", len(pairs), h.Sum64())
 }
 
 // printIncidents emits one deterministic line per incident digest. Like

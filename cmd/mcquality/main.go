@@ -1,0 +1,64 @@
+// Command mcquality runs the detection-quality harness: the incident
+// acceptance scenario (injected fault on one machine of a simulated
+// group) replayed at a sweep of pair budgets, scored for recall,
+// precision, time-to-detect and localization rank against the
+// simulator's ground truth. The JSON report answers "how small can the
+// pair budget go before detection degrades?" — the budget-tuning input
+// for -pair-budget.
+//
+// Usage:
+//
+//	mcquality -out QUALITY.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mcorr/internal/eval"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mcquality:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out     = flag.String("out", "", "write the JSON report here (empty = stdout table only)")
+		budgets = flag.String("budgets", strings.Join(eval.QualityBudgets, ","), "comma-separated pair-budget sweep (\"full\", \"N%\" or absolute counts)")
+	)
+	flag.Parse()
+	var sweep []string
+	for _, b := range strings.Split(*budgets, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			sweep = append(sweep, b)
+		}
+	}
+	rep, err := eval.RunQuality(sweep)
+	if err != nil {
+		return err
+	}
+	if err := eval.QualityTable(rep).Render(os.Stdout); err != nil {
+		return err
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		err = eval.WriteQualityJSON(f, rep)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}

@@ -53,5 +53,9 @@ func NewDiagnosisEngine(cfg DiagnosisConfig, fleet Fleet) *DiagnosisEngine {
 func attachDiagnosis(eng *DiagnosisEngine, fleet Fleet) {
 	eng.SetLocalizeFn(fleet.Localize)
 	fv, _ := fleet.(diagnose.FleetView)
-	obs.RegisterOpsHandler("/api/v1/", diagnose.NewAPI(eng, fv))
+	api := diagnose.NewAPI(eng, fv)
+	if dv, ok := fleet.(diagnose.DiscoveryView); ok {
+		api.SetDiscovery(dv)
+	}
+	obs.RegisterOpsHandler("/api/v1/", api)
 }

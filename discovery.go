@@ -1,0 +1,385 @@
+package mcorr
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"mcorr/internal/core"
+	"mcorr/internal/diagnose"
+	"mcorr/internal/discover"
+	"mcorr/internal/manager"
+	"mcorr/internal/shard"
+)
+
+// DiscoveryConfig tunes the correlation-discovery tier (see
+// internal/discover): the streaming sketch shape, the probe cadence, and
+// the admission/eviction policy over the bounded pair graph.
+type DiscoveryConfig = discover.Config
+
+// Discovery method constants (see discover.Method).
+const (
+	DiscoverPearson  = discover.Pearson
+	DiscoverSpearman = discover.Spearman
+)
+
+// DiscoveryEvent records one discovery round that changed the pair graph.
+type DiscoveryEvent struct {
+	// Time is the timestamp of the row whose round boundary decided the
+	// change.
+	Time time.Time
+	// Round is the 1-based discovery round.
+	Round uint64
+	// Admitted and Evicted are the pairs the round added and removed.
+	Admitted []Pair
+	Evicted  []Pair
+	// Pairs is the graph size after applying the round.
+	Pairs int
+}
+
+// WithPairBudget bounds the monitor's pair graph at n admitted pairs and
+// turns on the discovery tier with default policy settings: the strongest
+// n candidates are modeled (per-anchor top-K preferred), the rest are
+// probed by streaming correlation sketches, and flat-lined models are
+// evicted to make room. n <= 0 keeps the full l(l−1)/2 graph but still
+// runs discovery (eviction only frees genuinely dead links).
+func WithPairBudget(n int) MonitorOption {
+	return func(o *monitorOptions) {
+		if o.discovery == nil {
+			o.discovery = &DiscoveryConfig{}
+		}
+		if n < 0 {
+			n = 0
+		}
+		o.discovery.Budget = n
+	}
+}
+
+// WithDiscovery turns on the discovery tier with full control over the
+// sketch shape and admission/eviction policy. Compose with WithPairBudget
+// in either order (the budget set last wins if both set one).
+func WithDiscovery(cfg DiscoveryConfig) MonitorOption {
+	return func(o *monitorOptions) {
+		budget := 0
+		if o.discovery != nil && cfg.Budget == 0 {
+			budget = o.discovery.Budget
+		}
+		c := cfg
+		if budget != 0 {
+			c.Budget = budget
+		}
+		o.discovery = &c
+	}
+}
+
+// ParsePairBudget parses a -pair-budget flag value for a fleet of l
+// measurements: "" or "full" mean the full graph (budget 0), "25%" means
+// a quarter of l(l−1)/2 (rounded up, at least 1), and a bare integer is
+// an absolute pair count.
+func ParsePairBudget(s string, l int) (int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || strings.EqualFold(s, "full") {
+		return 0, nil
+	}
+	candidates := l * (l - 1) / 2
+	if pct, ok := strings.CutSuffix(s, "%"); ok {
+		f, err := strconv.ParseFloat(strings.TrimSpace(pct), 64)
+		if err != nil || f <= 0 || f > 100 {
+			return 0, fmt.Errorf("pair budget %q: want a percentage in (0, 100]", s)
+		}
+		n := int(math.Ceil(f / 100 * float64(candidates)))
+		if n < 1 {
+			n = 1
+		}
+		return n, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("pair budget %q: want \"full\", \"N%%\" or a non-negative pair count", s)
+	}
+	return n, nil
+}
+
+// DiscoveryFleet is the surface a discovery-bounded fleet adds on top of
+// Fleet: the graph-change event stream and the budget/score views. The
+// fleets built by NewDiscoveryFleet (and by a Monitor with WithPairBudget
+// or WithDiscovery) satisfy it.
+type DiscoveryFleet interface {
+	Fleet
+	// DrainDiscoveryEvents returns the graph changes applied since the
+	// last drain, oldest first, and clears the buffer.
+	DrainDiscoveryEvents() []DiscoveryEvent
+	// AdmissionScores returns each admitted pair's last correlation
+	// estimate.
+	AdmissionScores() map[Pair]float64
+	// BudgetInfo returns the admitted pair count, the budget (0 =
+	// unlimited) and the candidate count l(l−1)/2.
+	BudgetInfo() (admitted, budget, candidates int)
+	// MarshalDiscoveryState serializes the discovery tier's mutable
+	// state for a durable checkpoint.
+	MarshalDiscoveryState() ([]byte, error)
+}
+
+// NewDiscoveryFleet trains a discovery-bounded scoring fleet: the
+// discoverer bootstraps on the training history, only the admitted pairs
+// get transition models (across shards when shards > 1), and every
+// subsequent Step feeds the sketches and applies round-boundary graph
+// changes. This is the batch-flow mirror of building a Monitor with
+// WithPairBudget/WithDiscovery.
+func NewDiscoveryFleet(history *Dataset, cfg ManagerConfig, dcfg DiscoveryConfig, shards int) (DiscoveryFleet, error) {
+	return newDiscoveryFleet(history, cfg, dcfg, shards)
+}
+
+// discoveryFleet wraps a scoring fleet with the discovery tier: every
+// scored row also feeds the correlation sketches, and round boundaries
+// mutate the live pair graph (train+admit, evict) through the fleet's
+// graph-mutation primitives. Steps and graph mutations happen on the
+// caller's goroutine in row order, so trajectories and the graph itself
+// are deterministic functions of the row stream.
+type discoveryFleet struct {
+	inner Fleet
+	mgr   *Manager          // non-nil iff unsharded
+	coord *ShardCoordinator // non-nil iff sharded
+	disc  *discover.Discoverer
+	model ModelConfig // training config for admitted pairs
+
+	events []DiscoveryEvent
+}
+
+// Interface proofs: the wrapper must expose the scoring surface plus the
+// diagnosis topology and discovery views (interface embedding would not
+// promote these across the Fleet interface).
+var (
+	_ Fleet                  = (*discoveryFleet)(nil)
+	_ diagnose.FleetView     = (*discoveryFleet)(nil)
+	_ diagnose.DiscoveryView = (*discoveryFleet)(nil)
+)
+
+// newDiscoveryFleet bootstraps discovery on the training history, trains
+// models for only the admitted pairs, and wraps the resulting fleet.
+func newDiscoveryFleet(history *Dataset, cfg ManagerConfig, dcfg DiscoveryConfig, shards int) (*discoveryFleet, error) {
+	ids := history.IDs()
+	disc, err := discover.New(ids, dcfg)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := manager.BuildRows(history, datasetStart(history), datasetEnd(history))
+	if err != nil {
+		return nil, err
+	}
+	admitted := disc.Bootstrap(rows)
+	keep := make(map[Pair]bool, len(admitted))
+	for _, p := range admitted {
+		keep[p] = true
+	}
+	keepFn := func(p Pair) bool { return keep[p] }
+	d := &discoveryFleet{disc: disc}
+	if shards > 1 {
+		coord, err := shard.New(history, shard.Config{Shards: shards, Manager: cfg, Keep: keepFn})
+		if err != nil {
+			return nil, err
+		}
+		d.inner, d.coord = coord, coord
+		d.model = coord.Aggregator().Config().Model
+	} else {
+		mgr, err := manager.NewSubset(history, cfg, keepFn)
+		if err != nil {
+			return nil, err
+		}
+		d.inner, d.mgr = mgr, mgr
+		d.model = mgr.Config().Model
+	}
+	// Some admitted candidates may have no trainable overlap; resync the
+	// discoverer to the pairs that actually carry a model so the graph,
+	// the checkpoint, and the budget occupancy agree.
+	if got := d.inner.Pairs(); len(got) != len(admitted) {
+		disc.SyncAdmitted(got)
+	}
+	return d, nil
+}
+
+// wrapRecoveredFleet attaches discovery to a fleet restored from a
+// durable checkpoint: the discoverer's serialized state (when present)
+// reproduces sketches, probes and round position exactly; otherwise the
+// admitted set is resynced from the recovered pair graph with fresh
+// sketches.
+func wrapRecoveredFleet(fleet Fleet, dcfg DiscoveryConfig, state []byte) (*discoveryFleet, error) {
+	disc, err := discover.New(fleet.IDs(), dcfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &discoveryFleet{inner: fleet, disc: disc}
+	switch f := fleet.(type) {
+	case *Manager:
+		d.mgr = f
+		d.model = f.Config().Model
+	case *ShardCoordinator:
+		d.coord = f
+		d.model = f.Aggregator().Config().Model
+	default:
+		return nil, fmt.Errorf("discovery: unsupported fleet %T", fleet)
+	}
+	if len(state) > 0 {
+		if err := disc.UnmarshalState(state); err != nil {
+			return nil, err
+		}
+	} else {
+		disc.SyncAdmitted(fleet.Pairs())
+	}
+	return d, nil
+}
+
+// datasetStart returns the earliest series start in ds.
+func datasetStart(ds *Dataset) time.Time {
+	var t time.Time
+	for i, id := range ds.IDs() {
+		if s := ds.Get(id); i == 0 || s.Start.Before(t) {
+			t = s.Start
+		}
+	}
+	return t
+}
+
+// datasetEnd returns the latest series end in ds.
+func datasetEnd(ds *Dataset) time.Time {
+	var t time.Time
+	for _, id := range ds.IDs() {
+		if end := ds.Get(id).End(); end.After(t) {
+			t = end
+		}
+	}
+	return t
+}
+
+// Step scores the row on the wrapped fleet, feeds it to the discovery
+// sketches, and applies any round-boundary graph changes before the next
+// row: evictions free the model (and its shard slot), admissions train a
+// model from the discoverer's retained history window and graft it in
+// without touching neighbors.
+func (d *discoveryFleet) Step(row Row) StepReport {
+	report := d.inner.Step(row)
+	ch := d.disc.Observe(row)
+	if !ch.Empty() {
+		d.apply(row.Time, ch)
+	}
+	return report
+}
+
+// apply mutates the live pair graph per one round's changes and records
+// the event for DrainDiscoveryEvents.
+func (d *discoveryFleet) apply(t time.Time, ch discover.Changes) {
+	for _, p := range ch.Evict {
+		if d.coord != nil {
+			d.coord.RemovePair(p)
+		} else {
+			d.mgr.RemovePair(p)
+		}
+	}
+	var admitted []Pair
+	for _, p := range ch.Admit {
+		pts := d.disc.TrainingPoints(p)
+		if pts == nil {
+			continue // not enough joint history yet; the sketch stays live
+		}
+		model, err := core.Train(pts, d.model)
+		if err != nil {
+			continue // degenerate window (e.g. constant); retry next round
+		}
+		if d.coord != nil {
+			if d.coord.AddModel(p, model) != nil {
+				continue
+			}
+		} else if d.mgr.AddModel(p, model) != nil {
+			continue
+		}
+		admitted = append(admitted, p)
+	}
+	d.events = append(d.events, DiscoveryEvent{
+		Time:     t,
+		Round:    ch.Round,
+		Admitted: admitted,
+		Evicted:  append([]Pair(nil), ch.Evict...),
+		Pairs:    len(d.inner.Pairs()),
+	})
+}
+
+// DrainDiscoveryEvents returns the graph changes applied since the last
+// drain, oldest first, and clears the buffer.
+func (d *discoveryFleet) DrainDiscoveryEvents() []DiscoveryEvent {
+	ev := d.events
+	d.events = nil
+	return ev
+}
+
+// Run replays a dataset through Step in time order (the discovery mirror
+// of Manager.Run — the graph may change between rows).
+func (d *discoveryFleet) Run(ds *Dataset, from, to time.Time) ([]StepReport, error) {
+	rows, err := manager.BuildRows(ds, from, to)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]StepReport, 0, len(rows))
+	for _, row := range rows {
+		reports = append(reports, d.Step(row))
+	}
+	return reports, nil
+}
+
+// Fleet surface, delegated to the wrapped fleet.
+
+func (d *discoveryFleet) IDs() []MeasurementID { return d.inner.IDs() }
+func (d *discoveryFleet) Pairs() []Pair        { return d.inner.Pairs() }
+func (d *discoveryFleet) Steps() int           { return d.inner.Steps() }
+func (d *discoveryFleet) SystemMean() float64  { return d.inner.SystemMean() }
+func (d *discoveryFleet) MeasurementMeans() map[MeasurementID]float64 {
+	return d.inner.MeasurementMeans()
+}
+func (d *discoveryFleet) Localize() Localization { return d.inner.Localize() }
+func (d *discoveryFleet) ResetAccumulators()     { d.inner.ResetAccumulators() }
+func (d *discoveryFleet) SetAdaptive(on bool)    { d.inner.SetAdaptive(on) }
+func (d *discoveryFleet) ResetChains()           { d.inner.ResetChains() }
+func (d *discoveryFleet) Close()                 { d.inner.Close() }
+
+// Diagnosis topology surface (diagnose.FleetView), delegated to the
+// concrete fleet.
+
+// PairStates returns every link's live scheduler state.
+func (d *discoveryFleet) PairStates() []manager.PairState {
+	if d.coord != nil {
+		return d.coord.PairStates()
+	}
+	return d.mgr.PairStates()
+}
+
+// PairMeans returns the accumulated mean fitness per link.
+func (d *discoveryFleet) PairMeans() map[Pair]float64 {
+	if d.coord != nil {
+		return d.coord.PairMeans()
+	}
+	return d.mgr.PairMeans()
+}
+
+// WorstPairs returns the k links with the lowest mean fitness.
+func (d *discoveryFleet) WorstPairs(k int) []manager.PairScore {
+	if d.coord != nil {
+		return d.coord.WorstPairs(k)
+	}
+	return d.mgr.WorstPairs(k)
+}
+
+// Discovery surface (diagnose.DiscoveryView).
+
+// AdmissionScores returns each admitted pair's last correlation estimate.
+func (d *discoveryFleet) AdmissionScores() map[Pair]float64 { return d.disc.AdmissionScores() }
+
+// BudgetInfo returns (admitted, budget, candidates) for the pair graph.
+func (d *discoveryFleet) BudgetInfo() (admitted, budget, candidates int) {
+	return d.disc.BudgetInfo()
+}
+
+// MarshalDiscoveryState serializes the discovery tier for a checkpoint.
+func (d *discoveryFleet) MarshalDiscoveryState() ([]byte, error) {
+	return d.disc.MarshalState()
+}

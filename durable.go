@@ -179,6 +179,18 @@ func OpenDurableMonitor(cfg DurabilityConfig, sink AlarmSink, opts ...MonitorOpt
 	if err != nil {
 		return nil, nil, err
 	}
+	if o.discovery != nil {
+		// The discovery wrapper goes on before diagnosis attaches so the
+		// topology API sees the discovery views, and before replay so the
+		// re-scored rows drive the sketches (and any round boundaries)
+		// exactly like the pre-crash run.
+		df, derr := wrapRecoveredFleet(fleet, *o.discovery, ck.Discover)
+		if derr != nil {
+			fleet.Close()
+			return nil, nil, fmt.Errorf("recover discovery: %w", derr)
+		}
+		fleet = df
+	}
 	if diag != nil {
 		if len(ck.Diagnose) > 0 {
 			if err := diag.UnmarshalState(ck.Diagnose); err != nil {
@@ -412,6 +424,13 @@ func (d *DurableMonitor) checkpointLocked() error {
 			return fmt.Errorf("checkpoint diagnosis: %w", err)
 		}
 		ck.Diagnose = blob
+	}
+	if df, ok := d.mon.fleet.(*discoveryFleet); ok {
+		blob, err := df.MarshalDiscoveryState()
+		if err != nil {
+			return fmt.Errorf("checkpoint discovery: %w", err)
+		}
+		ck.Discover = blob
 	}
 	var sbuf bytes.Buffer
 	if err := d.mon.store.Snapshot(&sbuf); err != nil {

@@ -24,6 +24,17 @@ type FleetView interface {
 	PairMeans() map[manager.Pair]float64
 }
 
+// DiscoveryView is the slice of the discovery tier the topology endpoint
+// reads when a bounded pair graph is active (see internal/discover).
+type DiscoveryView interface {
+	// AdmissionScores returns each admitted pair's last best-lag
+	// correlation estimate.
+	AdmissionScores() map[manager.Pair]float64
+	// BudgetInfo returns the admitted pair count, the configured budget
+	// (0 = unlimited) and the full candidate count l(l−1)/2.
+	BudgetInfo() (admitted, budget, candidates int)
+}
+
 // API serves the diagnosis engine over HTTP as versioned JSON:
 //
 //	/api/v1/incidents        all retained incidents, open first
@@ -39,12 +50,17 @@ type FleetView interface {
 type API struct {
 	eng   *Engine
 	fleet FleetView
+	disc  DiscoveryView
 }
 
 // NewAPI builds the HTTP surface over an engine and an optional fleet.
 func NewAPI(eng *Engine, fleet FleetView) *API {
 	return &API{eng: eng, fleet: fleet}
 }
+
+// SetDiscovery attaches the discovery tier so /api/v1/topology reports
+// per-pair admission scores and the budget occupancy. Nil detaches.
+func (a *API) SetDiscovery(d DiscoveryView) { a.disc = d }
 
 // ServeHTTP implements http.Handler.
 func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -157,12 +173,26 @@ type topologyPair struct {
 	// Mean is the link's accumulated mean fitness (omitted unless the
 	// fleet tracks pair means).
 	Mean *float64 `json:"mean,omitempty"`
+	// Admission is the discovery tier's last correlation estimate for
+	// this link (omitted when no discovery tier is attached).
+	Admission *float64 `json:"admission,omitempty"`
+}
+
+// topologyDiscovery summarizes the discovery tier's budget state in
+// /api/v1/topology (present only when a bounded pair graph is active).
+type topologyDiscovery struct {
+	Admitted   int `json:"admitted"`
+	Budget     int `json:"budget"` // 0 = unlimited
+	Candidates int `json:"candidates"`
+	// Occupancy is admitted/budget (admitted/candidates when unlimited).
+	Occupancy float64 `json:"occupancy"`
 }
 
 // topologyResponse is the /api/v1/topology payload.
 type topologyResponse struct {
-	Measurements []string       `json:"measurements"`
-	Pairs        []topologyPair `json:"pairs"`
+	Measurements []string           `json:"measurements"`
+	Pairs        []topologyPair     `json:"pairs"`
+	Discovery    *topologyDiscovery `json:"discovery,omitempty"`
 }
 
 func (a *API) serveTopology(w http.ResponseWriter) {
@@ -176,6 +206,21 @@ func (a *API) serveTopology(w http.ResponseWriter) {
 		names[i] = id.String()
 	}
 	means := a.fleet.PairMeans()
+	var scores map[manager.Pair]float64
+	var disc *topologyDiscovery
+	if a.disc != nil {
+		scores = a.disc.AdmissionScores()
+		admitted, budget, candidates := a.disc.BudgetInfo()
+		den := budget
+		if den == 0 {
+			den = candidates
+		}
+		occ := 0.0
+		if den > 0 {
+			occ = float64(admitted) / float64(den)
+		}
+		disc = &topologyDiscovery{Admitted: admitted, Budget: budget, Candidates: candidates, Occupancy: occ}
+	}
 	states := a.fleet.PairStates()
 	pairs := make([]topologyPair, len(states))
 	for i, st := range states {
@@ -191,7 +236,11 @@ func (a *API) serveTopology(w http.ResponseWriter) {
 			mv := m
 			tp.Mean = &mv
 		}
+		if r, ok := scores[st.Pair]; ok {
+			rv := r
+			tp.Admission = &rv
+		}
 		pairs[i] = tp
 	}
-	writeJSON(w, topologyResponse{Measurements: names, Pairs: pairs})
+	writeJSON(w, topologyResponse{Measurements: names, Pairs: pairs, Discovery: disc})
 }

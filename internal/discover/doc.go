@@ -1,0 +1,26 @@
+// Package discover is the correlation-discovery tier: it decides which
+// measurement pairs deserve a transition model, so the scoring fabric can
+// run a bounded pair graph instead of the paper's full l(l−1)/2.
+//
+// The package has two layers:
+//
+//   - Sketch: a constant-space streaming correlation sketch for one pair
+//     candidate — exponentially-decayed co-moments plus a small lag window,
+//     so one Update is O(lags) and the best-lag Pearson estimate is read
+//     out in O(lags) with no sample buffer.
+//   - Discoverer: the admission/eviction policy over all candidates. The
+//     admitted pairs (at most the configured budget) carry a live sketch
+//     each; the remaining candidates are probed in rotating batches, so
+//     per-row work is O(l + admitted + probe), never O(l²). At the end of
+//     each round the Discoverer evicts admitted pairs whose correlation
+//     flat-lined and admits the strongest probed candidates under a
+//     top-K-per-anchor preference and the global budget.
+//
+// Every decision is a deterministic function of the observed row stream
+// and the serialized state (MarshalState/UnmarshalState): candidate order
+// is the canonical pair order, admission ranking breaks ties canonically,
+// and no wall-clock or randomness is consulted. That is what lets a
+// durable pipeline checkpoint the discoverer and reproduce the identical
+// pair graph — and therefore identical fitness trajectories — after a
+// crash.
+package discover

@@ -1,0 +1,70 @@
+package discover
+
+import (
+	"time"
+
+	"mcorr/internal/obs"
+)
+
+// Process-global discovery metrics (mcorr_discover_*). Gauges describe the
+// bounded pair graph as it stands; counters accumulate policy decisions;
+// the histogram tracks the per-row sketch-update cost so operators can see
+// what the discovery tier adds to the step path.
+var (
+	obsCandidatePairs = obs.Default().Gauge("mcorr_discover_candidate_pairs",
+		"Full pair-candidate count l(l-1)/2 over the monitored fleet.")
+	obsAdmittedPairs = obs.Default().Gauge("mcorr_discover_admitted_pairs",
+		"Pairs currently admitted to the bounded graph (carrying a transition model).")
+	obsPairBudget = obs.Default().Gauge("mcorr_discover_pair_budget",
+		"Configured global pair budget (0 = unlimited, the paper's full graph).")
+	obsBudgetOccupancy = obs.Default().Gauge("mcorr_discover_budget_occupancy",
+		"Admitted pairs as a fraction of the pair budget (admitted/candidates when unlimited).")
+	obsAdmittedTotal = obs.Default().Counter("mcorr_discover_admitted_total",
+		"Pairs admitted by the discovery policy since process start (bootstrap included).")
+	obsEvictedTotal = obs.Default().Counter("mcorr_discover_evicted_total",
+		"Flat-lined pairs evicted by the discovery policy since process start.")
+	obsProbeRounds = obs.Default().Counter("mcorr_discover_probe_rounds_total",
+		"Discovery rounds completed (each ends one probe batch and applies the admission/eviction policy).")
+	obsSketchSeconds = obs.Default().Histogram("mcorr_discover_sketch_update_seconds",
+		"Latency of updating every admitted and probe correlation sketch for one row.",
+		obs.TimeBuckets())
+)
+
+// recordBootstrap publishes the graph-shape gauges after bootstrap,
+// recovery, or a SyncAdmitted resync.
+func recordBootstrap(d *Discoverer) {
+	admitted, budget, candidates := d.BudgetInfo()
+	obsCandidatePairs.Set(float64(candidates))
+	obsAdmittedPairs.Set(float64(admitted))
+	obsPairBudget.Set(float64(budget))
+	obsBudgetOccupancy.Set(occupancy(admitted, budget, candidates))
+	obsAdmittedTotal.Add(uint64(admitted))
+}
+
+// recordRound publishes one round's policy outcome.
+func recordRound(d *Discoverer, ch Changes) {
+	admitted, budget, candidates := d.BudgetInfo()
+	obsAdmittedPairs.Set(float64(admitted))
+	obsBudgetOccupancy.Set(occupancy(admitted, budget, candidates))
+	obsAdmittedTotal.Add(uint64(len(ch.Admit)))
+	obsEvictedTotal.Add(uint64(len(ch.Evict)))
+	obsProbeRounds.Inc()
+}
+
+func occupancy(admitted, budget, candidates int) float64 {
+	den := budget
+	if den == 0 {
+		den = candidates
+	}
+	if den == 0 {
+		return 0
+	}
+	return float64(admitted) / float64(den)
+}
+
+// updateTimer times one row's sketch-update section.
+type updateTimer struct{ start time.Time }
+
+func sketchTimer() updateTimer { return updateTimer{start: time.Now()} }
+
+func (t updateTimer) observe() { obsSketchSeconds.Observe(time.Since(t.start).Seconds()) }

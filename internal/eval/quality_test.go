@@ -1,0 +1,72 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mcorr/internal/simulator"
+)
+
+// TestQualityLocalizationAtQuarterBudget is the pair-budget acceptance
+// gate: with only 25% of the pair graph modeled, the injected machine
+// must still rank worst in the localization for every fault kind. This
+// is the claim that makes -pair-budget safe to turn on — the budget
+// trades pair coverage for speed, not for the answer to "which machine".
+func TestQualityLocalizationAtQuarterBudget(t *testing.T) {
+	kinds := []simulator.FaultKind{
+		simulator.FaultFlapping,
+		simulator.FaultDecoupledSpike,
+		simulator.FaultCorrelationBreak,
+	}
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			fq, err := RunQualityScenario("25%", kind)
+			if err != nil {
+				t.Fatalf("RunQualityScenario: %v", err)
+			}
+			if fq.SuspectRank != 1 {
+				t.Errorf("injected machine ranked #%d at 25%% budget, want #1", fq.SuspectRank)
+			}
+			if fq.FalseAlarmRate > 0.05 {
+				t.Errorf("false-alarm rate %.3f at 25%% budget, want <= 0.05", fq.FalseAlarmRate)
+			}
+		})
+	}
+}
+
+// TestQualityReportShape runs a single-cell sweep and checks the JSON
+// and table renderings stay well-formed and deterministic.
+func TestQualityReportShape(t *testing.T) {
+	rep, err := RunQuality([]string{"10%"})
+	if err != nil {
+		t.Fatalf("RunQuality: %v", err)
+	}
+	if len(rep.Budgets) != 1 || len(rep.Budgets[0].Faults) != 3 {
+		t.Fatalf("unexpected report shape: %+v", rep)
+	}
+	bq := rep.Budgets[0]
+	if bq.Pairs <= 0 || bq.Pairs >= bq.Candidates {
+		t.Errorf("10%% budget modeled %d of %d pairs, want a strict fraction", bq.Pairs, bq.Candidates)
+	}
+	var buf bytes.Buffer
+	if err := WriteQualityJSON(&buf, rep); err != nil {
+		t.Fatalf("WriteQualityJSON: %v", err)
+	}
+	var decoded QualityReport
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if decoded.Threshold != QualityThreshold {
+		t.Errorf("threshold %g, want %g", decoded.Threshold, QualityThreshold)
+	}
+	var tbl bytes.Buffer
+	if err := QualityTable(rep).Render(&tbl); err != nil {
+		t.Fatalf("table render: %v", err)
+	}
+	if tbl.Len() == 0 {
+		t.Error("empty table rendering")
+	}
+}

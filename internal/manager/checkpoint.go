@@ -61,6 +61,12 @@ type Checkpoint struct {
 	// diagnosis attached; empty otherwise. Older checkpoints decode with
 	// a nil slice, so the field is backward-compatible within Version 1.
 	Diagnose []byte
+
+	// Discover is the discovery tier's state blob (admitted sketches,
+	// probe batch, round position, training history rings) when the
+	// pipeline runs a bounded pair graph; empty otherwise. Like Diagnose,
+	// older checkpoints decode with a nil slice within Version 1.
+	Discover []byte
 }
 
 // AtomicWrite writes a file crash-atomically: the payload goes to a

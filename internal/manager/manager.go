@@ -431,6 +431,43 @@ func (m *Manager) Models() map[Pair]*core.Model {
 	return out
 }
 
+// Config returns the manager's effective (defaulted) configuration — what
+// discovery needs to train a model for a newly admitted pair with the
+// exact settings of the existing fleet.
+func (m *Manager) Config() Config { return m.cfg }
+
+// AddModel grafts an already-trained model into the live pair graph
+// without touching any neighbor: the step-path state is rebuilt all-dirty
+// (the same invariant reshard and recovery rely on), so surviving pairs'
+// trajectories are unchanged bit for bit. Replacing an existing pair's
+// model is allowed. This is the discovery tier's admission primitive.
+func (m *Manager) AddModel(p Pair, model *core.Model) error {
+	if model == nil {
+		return fmt.Errorf("manager: add %s: nil model", p)
+	}
+	p = MakePair(p.A, p.B)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.models[p] = model
+	m.initRuntime()
+	return nil
+}
+
+// RemovePair drops a pair's model from the live graph, freeing the model
+// memory and its slice slots on the next runtime rebuild. Reports whether
+// the pair was present. This is the discovery tier's eviction primitive.
+func (m *Manager) RemovePair(p Pair) bool {
+	p = MakePair(p.A, p.B)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.models[p]; !ok {
+		return false
+	}
+	delete(m.models, p)
+	m.initRuntime()
+	return true
+}
+
 // Aggregator exposes the manager's aggregation layer (running means,
 // localization, alarm thresholds). Shard managers built with NewSubset
 // never feed theirs; the sharded coordinator owns a separate one.

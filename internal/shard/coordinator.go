@@ -24,6 +24,11 @@ type Config struct {
 	// as the total worker budget and divided across shards (default
 	// GOMAXPROCS).
 	Manager manager.Config
+	// Keep optionally restricts the trained pair graph: a pair is
+	// trained only when Keep accepts it (on top of its rendezvous shard
+	// assignment). Nil keeps every pair — the paper's full graph. The
+	// discovery tier passes its bootstrap admission set here.
+	Keep func(manager.Pair) bool
 }
 
 // Coordinator is the sharded scoring fabric: it partitions the l(l−1)/2
@@ -94,7 +99,12 @@ func New(history *timeseries.Dataset, cfg Config) (*Coordinator, error) {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			shards[k], errs[k] = manager.NewSubset(history, mcfg, keepFor(k, n))
+			keep := keepFor(k, n)
+			if extra := cfg.Keep; extra != nil {
+				inner := keep
+				keep = func(p manager.Pair) bool { return inner(p) && extra(p) }
+			}
+			shards[k], errs[k] = manager.NewSubset(history, mcfg, keep)
 		}(k)
 	}
 	wg.Wait()
@@ -114,11 +124,43 @@ func New(history *timeseries.Dataset, cfg Config) (*Coordinator, error) {
 		agg: manager.NewAggregator(ids, cfg.Manager),
 	}
 	c.rebuild(shards)
-	if len(c.pairs) == 0 {
+	// A non-nil Keep tolerates an empty initial graph (mirroring
+	// NewSubset): discovery may admit pairs later.
+	if len(c.pairs) == 0 && cfg.Keep == nil {
 		c.Close()
 		return nil, fmt.Errorf("shard coordinator: no trainable pairs: %w", core.ErrNoData)
 	}
 	return c, nil
+}
+
+// AddModel grafts a trained model into whichever shard rendezvous hashing
+// assigns the pair, then rebuilds the fan-out state — the sharded mirror
+// of Manager.AddModel. Surviving pairs are untouched (model pointers are
+// shared; shard managers rebuild all-dirty).
+func (c *Coordinator) AddModel(p manager.Pair, model *core.Model) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p = manager.MakePair(p.A, p.B)
+	k := Assign(p.String(), len(c.shards))
+	if err := c.shards[k].AddModel(p, model); err != nil {
+		return err
+	}
+	c.rebuild(c.shards)
+	return nil
+}
+
+// RemovePair drops a pair's model from its owning shard and rebuilds the
+// fan-out state. Reports whether the pair was present.
+func (c *Coordinator) RemovePair(p manager.Pair) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p = manager.MakePair(p.A, p.B)
+	k := Assign(p.String(), len(c.shards))
+	if !c.shards[k].RemovePair(p) {
+		return false
+	}
+	c.rebuild(c.shards)
+	return true
 }
 
 // rebuild installs a shard set and recomputes the derived fan-out state:

@@ -1,0 +1,132 @@
+package testkit_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"mcorr/internal/simulator"
+	"mcorr/internal/testkit"
+)
+
+// TestCrashRecoveryDiscovery kills mcdetect mid-discovery — after round
+// boundaries have already admitted and evicted pairs, before the next
+// checkpoint — and requires the recovered run to reproduce both the
+// scoring trajectory and the pair graph itself: the union of STEP lines
+// must be bit-identical to an uninterrupted baseline, and the final
+// PAIRGRAPH fingerprint (FNV-64a over the sorted pair list) must match.
+// This is the proof that discovery decisions are deterministic functions
+// of the row stream plus checkpointed sketch state, never of wall-clock
+// or restart history.
+func TestCrashRecoveryDiscovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real binaries; skipped in -short")
+	}
+	mcdetect := testkit.BuildBinary(t, "mcorr/cmd/mcdetect")
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "group.csv")
+	testkit.WriteGroupCSV(t, csv, simulator.GroupConfig{
+		Name: "A", Machines: 3, Days: 2, Seed: 7,
+	})
+	// Short rounds and an aggressive eviction floor force graph churn
+	// every few rounds; the 120-row checkpoint cadence leaves admissions
+	// in the WAL tail when the kill lands at step 100.
+	args := func(dataDir, pace string) []string {
+		return []string{
+			"-data", csv,
+			"-train-days", "1",
+			"-max-measurements", "12",
+			"-data-dir", dataDir,
+			"-checkpoint-every", "120",
+			"-fsync", "batch",
+			"-pace", pace,
+			"-pair-budget", "25%",
+			"-discover-round", "30",
+			"-discover-evict-below", "0.999",
+		}
+	}
+
+	baselineLines := testkit.Run(t, mcdetect, args(filepath.Join(dir, "base"), "0")...)
+	baseline := testkit.StepMap(baselineLines)
+	if len(baseline) == 0 {
+		t.Fatal("baseline run produced no STEP lines")
+	}
+	// The scenario must actually exercise discovery: without observed
+	// churn the test would pass vacuously.
+	adm, evi := discoverChurn(baselineLines)
+	if adm == 0 || evi == 0 {
+		t.Fatalf("baseline shows no discovery churn (admitted=%d evicted=%d); tighten the policy flags", adm, evi)
+	}
+	basePG := pairGraphLine(baselineLines)
+	if basePG == "" {
+		t.Fatal("baseline printed no PAIRGRAPH line")
+	}
+
+	// Kill at step 100: past three 30-row discovery rounds (so the graph
+	// has churned) and before the 120-row checkpoint covers them.
+	crashDir := filepath.Join(dir, "crash")
+	killed := testkit.RunKillAfterSteps(t, mcdetect, 100, args(crashDir, "2ms")...)
+	resumed := testkit.Run(t, mcdetect, args(crashDir, "0")...)
+
+	recovered := false
+	for _, l := range resumed {
+		if strings.Contains(l, "recovered from") {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatalf("restart did not report recovery; first lines:\n%s",
+			strings.Join(resumed[:min(5, len(resumed))], "\n"))
+	}
+
+	got := testkit.StepMap(append(append([]string(nil), killed...), resumed...))
+	if diffs := testkit.DiffStepMaps(baseline, got); len(diffs) > 0 {
+		sort.Strings(diffs)
+		max := len(diffs)
+		if max > 10 {
+			max = 10
+		}
+		t.Fatalf("recovered trajectory diverges from baseline at %d of %d steps:\n%s",
+			len(diffs), len(baseline), strings.Join(diffs[:max], "\n"))
+	}
+	gotPG := pairGraphLine(resumed)
+	if gotPG == "" {
+		t.Fatal("recovered run printed no PAIRGRAPH line")
+	}
+	if gotPG != basePG {
+		t.Fatalf("pair graph diverged after crash recovery:\n  baseline  %s\n  recovered %s", basePG, gotPG)
+	}
+}
+
+// discoverChurn totals admissions and evictions across DISCOVER lines.
+func discoverChurn(lines []string) (admitted, evicted int) {
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "DISCOVER ") {
+			continue
+		}
+		for _, f := range strings.Fields(l) {
+			var n int
+			if _, err := fmt.Sscanf(f, "admitted=%d", &n); err == nil {
+				admitted += n
+			}
+			if _, err := fmt.Sscanf(f, "evicted=%d", &n); err == nil {
+				evicted += n
+			}
+		}
+	}
+	return admitted, evicted
+}
+
+// pairGraphLine returns the last PAIRGRAPH line (the final graph state).
+func pairGraphLine(lines []string) string {
+	last := ""
+	for _, l := range lines {
+		if strings.HasPrefix(l, "PAIRGRAPH ") {
+			last = l
+		}
+	}
+	return last
+}

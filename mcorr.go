@@ -273,6 +273,7 @@ type monitorOptions struct {
 	shards     int
 	scoreQueue int
 	diagnosis  *DiagnosisConfig
+	discovery  *DiscoveryConfig
 }
 
 // WithShards partitions the monitor's pair graph across n manager shards
@@ -343,8 +344,19 @@ func NewMonitor(history *Dataset, cfg ManagerConfig, opts ...MonitorOption) (*Mo
 		diag = diagnose.NewEngine(*o.diagnosis)
 		cfg.Sink = diag.WrapSink(cfg.Sink)
 	}
-	fleet, coord, err := newFleet(history, cfg, o.shards)
-	if err != nil {
+	var (
+		fleet Fleet
+		coord *ShardCoordinator
+		err   error
+	)
+	if o.discovery != nil {
+		var df *discoveryFleet
+		df, err = newDiscoveryFleet(history, cfg, *o.discovery, o.shards)
+		if err != nil {
+			return nil, err
+		}
+		fleet, coord = df, df.coord
+	} else if fleet, coord, err = newFleet(history, cfg, o.shards); err != nil {
 		return nil, err
 	}
 	if diag != nil {
@@ -371,8 +383,21 @@ func (m *Monitor) Fleet() Fleet { return m.fleet }
 // unsharded; it returns nil for a sharded monitor (use Fleet, or
 // Coordinator for the shard-specific surface).
 func (m *Monitor) Manager() *Manager {
-	if mgr, ok := m.fleet.(*Manager); ok {
+	f := m.fleet
+	if df, ok := f.(*discoveryFleet); ok {
+		f = df.inner
+	}
+	if mgr, ok := f.(*Manager); ok {
 		return mgr
+	}
+	return nil
+}
+
+// Discovery exposes the discovery-bounded fleet surface, or nil when the
+// monitor was built without WithPairBudget/WithDiscovery.
+func (m *Monitor) Discovery() DiscoveryFleet {
+	if df, ok := m.fleet.(*discoveryFleet); ok {
+		return df
 	}
 	return nil
 }

@@ -52,16 +52,17 @@ benchgate:
 		| $(GO) run ./cmd/benchjson > /tmp/mcorr-bench-fresh.json
 	$(GO) run ./cmd/benchgate -baseline BENCH_scoring.json -fresh /tmp/mcorr-bench-fresh.json $(BENCHGATE_FLAGS)
 
-# ops-smoke boots the live pipeline demo with the ops server, scrapes
-# /metrics and /healthz while rows stream, and asserts the collector and
-# manager counters are moving — the end-to-end observability gate. The
-# diagnosis engine is on by default, so the incident API and the build
-# info series must answer too.
+# ops-smoke boots the live pipeline demo with the ops server — two
+# tenants on one collector — scrapes /metrics and /healthz while rows
+# stream, and asserts the collector and manager counters are moving,
+# per-tenant series stay isolated under their tenant label, and the
+# serving tier answers tenant listing, correlate queries and the
+# incident API for each tenant. The end-to-end observability gate.
 OPS_SMOKE_ADDR ?= 127.0.0.1:6464
 ops-smoke:
 	$(GO) build -o /tmp/mcorr-smoke-mccollect ./cmd/mccollect
 	@set -e; \
-	/tmp/mcorr-smoke-mccollect -machines 3 -rows 240 -pace 50ms -ops-addr $(OPS_SMOKE_ADDR) >/tmp/mcorr-smoke.log 2>&1 & \
+	/tmp/mcorr-smoke-mccollect -tenant alpha,beta -machines 3 -rows 240 -pace 50ms -ops-addr $(OPS_SMOKE_ADDR) >/tmp/mcorr-smoke.log 2>&1 & \
 	pid=$$!; \
 	trap 'kill $$pid 2>/dev/null || true' EXIT; \
 	sleep 3; \
@@ -71,8 +72,18 @@ ops-smoke:
 	grep -Eq '^mcorr_manager_step_seconds_count [1-9]' /tmp/mcorr-smoke-metrics.txt || { echo 'ops-smoke: manager step histogram not moving'; exit 1; }; \
 	grep -q '^# TYPE mcorr_alarm_raised_total counter' /tmp/mcorr-smoke-metrics.txt || { echo 'ops-smoke: alarm counter family missing'; exit 1; }; \
 	grep -q '^mcorr_build_info{' /tmp/mcorr-smoke-metrics.txt || { echo 'ops-smoke: build info series missing'; exit 1; }; \
+	grep -Eq '^mcorr_tenant_count 2' /tmp/mcorr-smoke-metrics.txt || { echo 'ops-smoke: tenant count gauge not 2'; exit 1; }; \
+	for tn in alpha beta; do \
+		grep -Eq "^mcorr_flow_tenant_samples_total\{tenant=\"$$tn\"\} [1-9]" /tmp/mcorr-smoke-metrics.txt || { echo "ops-smoke: no flow samples labeled tenant=$$tn"; exit 1; }; \
+		grep -Eq "^mcorr_tenant_rows_total\{tenant=\"$$tn\"\} [1-9]" /tmp/mcorr-smoke-metrics.txt || { echo "ops-smoke: no scored rows labeled tenant=$$tn"; exit 1; }; \
+		curl -fsS -X POST -d "{\"tenant\":\"$$tn\",\"anchor\":\"cpuUtil@L-srv-00\",\"window\":{\"last\":20}}" \
+			http://$(OPS_SMOKE_ADDR)/api/v1/correlate > /tmp/mcorr-smoke-correlate-$$tn.json; \
+		grep -q '"results"' /tmp/mcorr-smoke-correlate-$$tn.json || { echo "ops-smoke: correlate returned no results for $$tn"; exit 1; }; \
+		grep -q "\"tenant\": \"$$tn\"" /tmp/mcorr-smoke-correlate-$$tn.json || { echo "ops-smoke: correlate engine block names the wrong tenant for $$tn"; exit 1; }; \
+		curl -fsS "http://$(OPS_SMOKE_ADDR)/api/v1/incidents?tenant=$$tn" | grep -q '"total"' || { echo "ops-smoke: /api/v1/incidents not answering for $$tn"; exit 1; }; \
+	done; \
+	curl -fsS http://$(OPS_SMOKE_ADDR)/api/v1/tenants | grep -q '"total": 2' || { echo 'ops-smoke: /api/v1/tenants does not list both tenants'; exit 1; }; \
 	curl -fsS http://$(OPS_SMOKE_ADDR)/statusz | grep -q 'manager.step' || { echo 'ops-smoke: /statusz has no manager.step spans'; exit 1; }; \
-	curl -fsS http://$(OPS_SMOKE_ADDR)/api/v1/incidents | grep -q '"total"' || { echo 'ops-smoke: /api/v1/incidents not answering'; exit 1; }; \
 	curl -fsS http://$(OPS_SMOKE_ADDR)/debug/spans | grep -q '"spans"' || { echo 'ops-smoke: /debug/spans not answering'; exit 1; }; \
 	echo 'ops-smoke OK'
 
@@ -87,6 +98,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSegment$$' -fuzztime $(FUZZTIME) ./internal/wal
 	$(GO) test -run '^$$' -fuzz '^FuzzReadRecord$$' -fuzztime $(FUZZTIME) ./internal/wal
 	$(GO) test -run '^$$' -fuzz '^FuzzSketchOps$$' -fuzztime $(FUZZTIME) ./internal/discover
+	$(GO) test -run '^$$' -fuzz '^FuzzCorrelateRequest$$' -fuzztime $(FUZZTIME) .
 
 # crash-test is the durability gate: build mcdetect, SIGKILL it mid-stream,
 # restart from the same -data-dir, and require the per-step fitness

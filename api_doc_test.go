@@ -1,0 +1,57 @@
+package mcorr
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"mcorr/internal/obs"
+)
+
+// TestAPIDocCoverage is the API reference gate: every endpoint the
+// process can answer — the static ops surface, the diagnosis API and
+// the multi-tenant serving tier — must be documented in API.md as a
+// backticked `METHOD pattern`. Adding a route without documenting it
+// fails this test; so does documenting a route that no longer exists.
+func TestAPIDocCoverage(t *testing.T) {
+	// Touch every handler constructor so the full route table registers,
+	// exactly as a serving process would.
+	obs.NewOpsMux(obs.Default(), nil)
+	NewTenantAPI(nil)
+	wireDiagnosis(nil, nil)
+
+	routes := obs.Routes()
+	if len(routes) < 13 {
+		t.Fatalf("route table has only %d entries; registration is incomplete: %v", len(routes), routes)
+	}
+	doc, err := os.ReadFile("API.md")
+	if err != nil {
+		t.Fatalf("reading API.md: %v", err)
+	}
+	text := string(doc)
+	for _, r := range routes {
+		needle := fmt.Sprintf("`%s %s`", r.Method, r.Pattern)
+		if !strings.Contains(text, needle) {
+			t.Errorf("API.md does not document %s — add a section containing %s", needle, needle)
+		}
+	}
+
+	// The reverse direction: every documented route heading must still be
+	// registered, so the reference cannot drift ahead of the code.
+	known := make(map[string]bool, len(routes))
+	for _, r := range routes {
+		known[r.Method+" "+r.Pattern] = true
+	}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "### `") {
+			continue
+		}
+		entry := strings.TrimPrefix(line, "### `")
+		entry, _, ok := strings.Cut(entry, "`")
+		if !ok || !known[entry] {
+			t.Errorf("API.md documents %q but no such route is registered", entry)
+		}
+	}
+}

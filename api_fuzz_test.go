@@ -1,0 +1,72 @@
+package mcorr
+
+import (
+	"testing"
+)
+
+// FuzzCorrelateRequest hammers the correlate body parser — the only part
+// of the endpoint that touches attacker-controlled bytes before any
+// tenant lookup — and checks the invariants every accepted query must
+// satisfy, so the handler downstream can trust them.
+func FuzzCorrelateRequest(f *testing.F) {
+	seeds := []string{
+		`{"anchor":"cpu@srv-01","window":{"last":40}}`,
+		`{"tenant":"alpha","anchor":"cpu@srv-01","candidates":["mem@srv-01","net@srv-02"],"window":{"last":100},"lags":{"min":-4,"max":4}}`,
+		`{"anchor":"cpu@srv-01","window":{"start":"2008-05-30T00:00:00Z","end":"2008-05-31T00:00:00Z"}}`,
+		`{"anchor":"cpu@srv-01","candidates":["a","a","b"],"window":{"last":1},"lags":{"min":0,"max":0}}`,
+		`{"anchor":"","window":{"last":5}}`,
+		`{"anchor":"x","window":{}}`,
+		`{"anchor":"x","window":{"last":-1}}`,
+		`{"anchor":"x","window":{"last":5,"start":"2008-05-30T00:00:00Z"}}`,
+		`{"anchor":"x","window":{"start":"not-a-time","end":"2008-05-31T00:00:00Z"}}`,
+		`{"anchor":"x","window":{"last":5},"lags":{"min":9,"max":-9}}`,
+		`{"anchor":"x","window":{"last":5},"unknown_field":true}`,
+		`{"anchor":"x","window":{"last":5}}{"trailing":1}`,
+		`[]`,
+		`not json at all`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := parseCorrelateRequest(data)
+		if err != nil {
+			return // rejected bodies are fine; we only audit accepted ones
+		}
+		if q.anchor == "" {
+			t.Fatal("accepted query with empty anchor")
+		}
+		if q.tenant == "" {
+			t.Fatal("accepted query with empty tenant (must default)")
+		}
+		if q.minLag > q.maxLag || q.minLag < -maxCorrelateLag || q.maxLag > maxCorrelateLag {
+			t.Fatalf("accepted lag range [%d, %d] outside contract", q.minLag, q.maxLag)
+		}
+		if len(q.candidates) > maxCorrelateCandidates {
+			t.Fatalf("accepted %d candidates; cap is %d", len(q.candidates), maxCorrelateCandidates)
+		}
+		seen := make(map[string]bool, len(q.candidates))
+		for _, c := range q.candidates {
+			if c == "" {
+				t.Fatal("accepted empty candidate name")
+			}
+			if seen[c] {
+				t.Fatalf("candidate %q survived deduplication twice", c)
+			}
+			seen[c] = true
+		}
+		switch {
+		case q.last != 0:
+			if q.last < 1 || q.last > maxWindowRows {
+				t.Fatalf("accepted last=%d outside [1, %d]", q.last, maxWindowRows)
+			}
+			if !q.start.IsZero() || !q.end.IsZero() {
+				t.Fatal("last-form window carries explicit bounds")
+			}
+		default:
+			if !q.start.Before(q.end) {
+				t.Fatalf("accepted explicit window [%v, %v) with start >= end", q.start, q.end)
+			}
+		}
+	})
+}

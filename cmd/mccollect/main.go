@@ -1,12 +1,14 @@
 // Command mccollect is a live end-to-end demo of the monitoring pipeline:
-// it starts a collector server, trains a Monitor on one day of generated
-// history, then replays the next day through real TCP agents (one per
-// machine) at an accelerated pace while the monitor scores each completed
-// row and prints alarms.
+// it starts a multi-tenant collector server, creates one isolated tenant
+// per -tenant name (each with its own generated workload and a monitor
+// trained on day 1 of it), then replays day 2 through real TCP agents
+// (one per machine per tenant) at an accelerated pace while each tenant's
+// monitor scores its completed rows and prints alarms.
 //
 // Usage:
 //
 //	mccollect -machines 4 -rows 120 -addr 127.0.0.1:0
+//	mccollect -tenant alpha,beta -tenant-rate 5000 -ops-addr :6060
 package main
 
 import (
@@ -14,6 +16,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"mcorr"
@@ -34,29 +38,33 @@ func main() {
 
 func run() error {
 	var (
-		machines = flag.Int("machines", 4, "simulated machines / agents")
+		machines = flag.Int("machines", 4, "simulated machines / agents per tenant")
 		rows     = flag.Int("rows", 120, "monitoring rows to stream")
 		addr     = flag.String("addr", "127.0.0.1:0", "collector listen address")
-		seed     = flag.Int64("seed", 7, "simulation seed")
-		opsAddr  = flag.String("ops-addr", "", "serve ops endpoints (/metrics, /healthz, /statusz, /debug/pprof) on this address")
+		seed     = flag.Int64("seed", 7, "simulation seed (tenant i uses seed+i)")
+		opsAddr  = flag.String("ops-addr", "", "serve ops endpoints (/metrics, /healthz, /statusz, /api/v1, /debug/pprof) on this address")
 		pace     = flag.Duration("pace", 0, "sleep between streamed rows (lets an ops scraper watch the run)")
-		shards   = flag.Int("shards", 1, "partition the monitor's pair graph across this many manager shards")
+		shards   = flag.Int("shards", 1, "partition each tenant's pair graph across this many manager shards")
 
-		dataDir   = flag.String("data-dir", "", "durable mode: WAL-log every acked sample here and replay on restart")
+		tenantsArg = flag.String("tenant", "default", "comma-separated tenant names; each gets an isolated store, fleet and quotas")
+		tenantRate = flag.Float64("tenant-rate", 0, "per-tenant collector ingest rate limit in samples/s (0 = off)")
+		tenantMeas = flag.Int("tenant-measurements", 0, "per-tenant distinct-measurement quota (0 = unlimited)")
+
+		dataDir   = flag.String("data-dir", "", "durable mode: per-tenant WAL + checkpoints under here (tenants/<name>); restart recovers every tenant")
 		fsync     = flag.String("fsync", "batch", "durable mode: WAL fsync policy (always, batch, none)")
-		ckptEvery = flag.Int("checkpoint-every", 50, "durable mode: snapshot the collector store every this many rows")
+		ckptEvery = flag.Int("checkpoint-every", 50, "durable mode: checkpoint a tenant after this many scored rows")
 
-		flowQueue  = flag.Int("flow-queue", 0, "flow control: admission queue depth in batches between handlers and the store (0 = append inline)")
+		flowQueue  = flag.Int("flow-queue", 0, "flow control: admission queue depth in batches between handlers and the stores (0 = append inline)")
 		shedPolicy = flag.String("shed", "block", "flow control: full-queue policy (block, drop-oldest, reject)")
 		agentRate  = flag.Float64("agent-rate", 0, "flow control: per-agent rate limit in samples/s (0 = off)")
 		agentBurst = flag.Int("agent-burst", 0, "flow control: per-agent token-bucket burst in samples (0 = auto)")
 		writeTO    = flag.Duration("write-timeout", 0, "flow control: ack write deadline (0 = match the read idle timeout)")
 		scoreQueue = flag.Int("score-queue", 0, "bounded row queue depth between ingest and scoring (0 = score inline)")
 
-		incident     = flag.Bool("incident", true, "run the incident diagnosis engine (digests under /api/v1/incidents on the ops server)")
-		incOpenBelow = flag.Float64("incident-open-below", 0.8, "open an incident when system Q stays below this")
+		incident     = flag.Bool("incident", true, "run the incident diagnosis engine per tenant (digests under /api/v1/incidents?tenant=<name>)")
+		incOpenBelow = flag.Float64("incident-open-below", 0.8, "open an incident when a tenant's system Q stays below this")
 
-		pairBudget = flag.String("pair-budget", "", "bound the modeled pair graph and enable streaming discovery: \"full\", \"N%\" of l(l-1)/2, or an absolute pair count (empty = full graph, discovery off)")
+		pairBudget = flag.String("pair-budget", "", "bound each tenant's modeled pair graph and enable streaming discovery: \"full\", \"N%\" of l(l-1)/2, or an absolute pair count (empty = full graph, discovery off)")
 		discTopK   = flag.Int("discover-top-k", 8, "discovery: admission prefers up to this many pairs per measurement")
 		discEvict  = flag.Float64("discover-evict-below", 0.15, "discovery: evict an admitted pair whose |correlation| stays below this across rounds")
 		discRound  = flag.Int("discover-round", 120, "discovery: rows per probe round (graph changes apply at round boundaries)")
@@ -65,14 +73,52 @@ func run() error {
 	flag.Parse()
 	mcorr.RegisterBuildInfo(version, *shards)
 
+	var names []string
+	for _, n := range strings.Split(*tenantsArg, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("-tenant names no tenants")
+	}
+
 	if *opsAddr != "" {
 		ops, err := mcorr.ServeOps(*opsAddr)
 		if err != nil {
 			return err
 		}
 		defer ops.Close()
-		log.Printf("ops server on http://%s (metrics, healthz, statusz, pprof)", ops.Addr())
+		log.Printf("ops server on http://%s (metrics, healthz, statusz, api/v1, pprof)", ops.Addr())
 	}
+
+	monOpts := []mcorr.MonitorOption{mcorr.WithShards(*shards), mcorr.WithScoreQueue(*scoreQueue)}
+	if *incident {
+		monOpts = append(monOpts, mcorr.WithDiagnosis(mcorr.DiagnosisConfig{OpenBelow: *incOpenBelow}))
+	}
+	if *pairBudget != "" {
+		// Resolved against the per-tenant measurement count below; the
+		// budget string is validated here against a placeholder so typos
+		// fail before any tenant is built.
+		if _, err := mcorr.ParsePairBudget(*pairBudget, 2); err != nil {
+			return err
+		}
+	}
+
+	durCfg := mcorr.DurabilityConfig{CheckpointEvery: *ckptEvery}
+	if *dataDir != "" {
+		policy, err := mcorr.ParseSyncPolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		durCfg.Fsync = policy
+		log.Printf("durable tenants under %s (fsync=%s, checkpoint every %d rows)", *dataDir, policy, *ckptEvery)
+	}
+
+	reg := mcorr.NewTenantRegistry(*dataDir)
+	defer reg.Close()
 
 	day1 := timeseries.MonitoringStart.AddDate(0, 0, 1)
 	fault := simulator.Fault{
@@ -80,69 +126,72 @@ func run() error {
 		Kind:  simulator.FaultFlapping,
 		Start: day1.Add(6 * time.Hour), End: day1.Add(8 * time.Hour),
 	}
-	ds, _, err := simulator.Generate(simulator.GroupConfig{
-		Name: "L", Machines: *machines, Days: 2, Seed: *seed, Faults: []simulator.Fault{fault},
-	})
-	if err != nil {
-		return err
+	var alarms atomic.Int64
+	datasets := make(map[string]*timeseries.Dataset, len(names))
+	for i, name := range names {
+		ds, _, err := simulator.Generate(simulator.GroupConfig{
+			Name: "L", Machines: *machines, Days: 2, Seed: *seed + int64(i), Faults: []simulator.Fault{fault},
+		})
+		if err != nil {
+			return err
+		}
+		datasets[name] = ds
+		opts := monOpts
+		if *pairBudget != "" {
+			budget, err := mcorr.ParsePairBudget(*pairBudget, ds.Len())
+			if err != nil {
+				return err
+			}
+			lags := *discLags
+			if lags <= 0 {
+				lags = -1 // negative = lag 0 only; 0 would mean "default"
+			}
+			opts = append(append([]mcorr.MonitorOption{}, monOpts...), mcorr.WithDiscovery(mcorr.DiscoveryConfig{
+				Budget:     budget,
+				TopK:       *discTopK,
+				EvictBelow: *discEvict,
+				RoundRows:  *discRound,
+				Lags:       lags,
+			}))
+		}
+		log.Printf("tenant %s: training monitor on day 1 (%d measurements, %d shards)", name, ds.Len(), *shards)
+		t, err := reg.CreateTenant(mcorr.TenantConfig{
+			Name:    name,
+			History: ds.Slice(timeseries.MonitoringStart, day1),
+			Manager: mcorr.ManagerConfig{},
+			Quota: mcorr.TenantQuota{
+				MaxMeasurements:  *tenantMeas,
+				SamplesPerSecond: *tenantRate,
+			},
+			Durable:    *dataDir != "",
+			Durability: durCfg,
+			Options:    opts,
+			OnReport: func(tenant string, r mcorr.StepReport) {
+				marker := ""
+				if fault.ActiveAt(r.Time) {
+					marker = "  <- ground-truth fault window"
+				}
+				if r.System < 0.75 {
+					alarms.Add(1)
+					log.Printf("LOW FITNESS tenant=%s Q=%.3f at %s%s", tenant, r.System, r.Time.Format("15:04"), marker)
+				} else if r.Time.Minute() == 0 {
+					log.Printf("Q=%.3f tenant=%s at %s%s", r.System, tenant, r.Time.Format("15:04"), marker)
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		if df, ok := t.Fleet().(mcorr.DiscoveryFleet); ok {
+			admitted, budget, candidates := df.BudgetInfo()
+			log.Printf("tenant %s: pair budget: %d admitted of %d candidates (budget %d)", name, admitted, candidates, budget)
+		}
+		if n := len(t.Recovered()); n > 0 {
+			log.Printf("tenant %s: recovered, %d rows re-scored, resuming at %s", name, n, t.Monitor().Cursor().Format(time.RFC3339))
+		}
 	}
 
-	log.Printf("training monitor on day 1 (%d measurements, %d shards)", ds.Len(), *shards)
-	monOpts := []mcorr.MonitorOption{mcorr.WithShards(*shards), mcorr.WithScoreQueue(*scoreQueue)}
-	if *incident {
-		monOpts = append(monOpts, mcorr.WithDiagnosis(mcorr.DiagnosisConfig{OpenBelow: *incOpenBelow}))
-	}
-	if *pairBudget != "" {
-		budget, err := mcorr.ParsePairBudget(*pairBudget, ds.Len())
-		if err != nil {
-			return err
-		}
-		lags := *discLags
-		if lags <= 0 {
-			lags = -1 // negative = lag 0 only; 0 would mean "default"
-		}
-		monOpts = append(monOpts, mcorr.WithDiscovery(mcorr.DiscoveryConfig{
-			Budget:     budget,
-			TopK:       *discTopK,
-			EvictBelow: *discEvict,
-			RoundRows:  *discRound,
-			Lags:       lags,
-		}))
-	}
-	mon, err := mcorr.NewMonitor(ds.Slice(timeseries.MonitoringStart, day1), mcorr.ManagerConfig{}, monOpts...)
-	if err != nil {
-		return err
-	}
-	defer mon.Fleet().Close()
-	if df, ok := mon.Fleet().(mcorr.DiscoveryFleet); ok {
-		admitted, budget, candidates := df.BudgetInfo()
-		log.Printf("pair budget: %d admitted of %d candidates (budget %d)", admitted, candidates, budget)
-	}
-
-	// The collector receives agent batches; we drain them into the
-	// monitor row by row. With -data-dir the store is WAL-backed: every
-	// sample is durably logged before the agent's batch is acked, and a
-	// restarted collector replays the log instead of starting empty.
-	var store *mcorr.Store
-	if *dataDir != "" {
-		policy, err := mcorr.ParseSyncPolicy(*fsync)
-		if err != nil {
-			return err
-		}
-		var replayed int
-		store, replayed, err = mcorr.OpenDurableStore(*dataDir, timeseries.SampleStep, 0, policy)
-		if err != nil {
-			return err
-		}
-		defer mcorr.CloseDurableStore(store)
-		log.Printf("durable store in %s (fsync=%s): %d samples replayed from WAL", *dataDir, policy, replayed)
-	} else {
-		store, err = mcorr.NewStore(timeseries.SampleStep, 0)
-		if err != nil {
-			return err
-		}
-	}
-	srv, err := mcorr.NewCollectorServer(store)
+	srv, err := mcorr.NewTenantCollectorServer(reg)
 	if err != nil {
 		return err
 	}
@@ -165,16 +214,25 @@ func run() error {
 		return err
 	}
 	defer srv.Close()
-	log.Printf("collector listening on %s", bound)
+	log.Printf("collector listening on %s (%d tenants: %s)", bound, len(names), strings.Join(names, ", "))
 
-	// One reliable TCP agent per machine (reconnects with backoff, so a
-	// collector blip never loses samples), each with a heartbeat loop.
-	agents := make([]*mcorr.ReliableAgent, *machines)
-	for i := range agents {
-		agents[i] = mcorr.NewReliableAgent(bound.String(), simulator.MachineName("L", i), mcorr.ReliableConfig{})
-		defer agents[i].Close()
+	// One reliable TCP agent per machine per tenant (reconnects with
+	// backoff, so a collector blip never loses samples). The hello names
+	// the tenant; the server routes each connection's batches to it.
+	agents := make(map[string][]*mcorr.ReliableAgent, len(names))
+	for _, name := range names {
+		list := make([]*mcorr.ReliableAgent, *machines)
+		for i := range list {
+			agentName := simulator.MachineName("L", i)
+			if len(names) > 1 {
+				agentName = name + "-" + agentName
+			}
+			list[i] = mcorr.NewReliableAgent(bound.String(), agentName, mcorr.ReliableConfig{Tenant: name})
+			defer list[i].Close()
+		}
+		agents[name] = list
 	}
-	hb, err := mcorr.DialCollector(bound.String(), "heartbeat-probe")
+	hb, err := mcorr.DialCollectorTenant(bound.String(), "heartbeat-probe", names[0])
 	if err != nil {
 		return err
 	}
@@ -182,83 +240,59 @@ func run() error {
 	stopHB := hb.StartHeartbeats(2 * time.Second)
 	defer stopHB()
 
-	ids := ds.IDs()
 	if *rows > timeseries.SamplesPerDay {
 		*rows = timeseries.SamplesPerDay
 	}
-	log.Printf("streaming %d rows of day 2 through %d agents (fault: %s %s-%s)",
-		*rows, *machines, fault.Kind, fault.Start.Format("15:04"), fault.End.Format("15:04"))
-	alarms := 0
+	log.Printf("streaming %d rows of day 2 through %d agents x %d tenants (fault: %s %s-%s)",
+		*rows, *machines, len(names), fault.Kind, fault.Start.Format("15:04"), fault.End.Format("15:04"))
 	for k := 0; k < *rows; k++ {
 		if *pace > 0 {
 			time.Sleep(*pace)
 		}
 		tm := day1.Add(time.Duration(k) * timeseries.SampleStep)
-		// Each agent ships its machine's samples for this timestamp.
-		for i, a := range agents {
-			machine := simulator.MachineName("L", i)
-			var batch []mcorr.Sample
-			for _, id := range ids {
-				if id.Machine != machine {
-					continue
+		for _, name := range names {
+			ds := datasets[name]
+			ids := ds.IDs()
+			// Each agent ships its machine's samples for this timestamp;
+			// the server stores them in the tenant's store and the
+			// tenant's monitor scores each row that completes.
+			for i, a := range agents[name] {
+				machine := simulator.MachineName("L", i)
+				var batch []mcorr.Sample
+				for _, id := range ids {
+					if id.Machine != machine {
+						continue
+					}
+					s := ds.Get(id)
+					if idx, ok := s.IndexOf(tm); ok {
+						batch = append(batch, mcorr.Sample{ID: id, Time: tm, Value: s.Values[idx]})
+					}
 				}
-				s := ds.Get(id)
-				if idx, ok := s.IndexOf(tm); ok {
-					batch = append(batch, mcorr.Sample{ID: id, Time: tm, Value: s.Values[idx]})
+				if err := a.Send(batch); err != nil {
+					return fmt.Errorf("tenant %s agent %s: %w", name, machine, err)
 				}
 			}
-			if err := a.Send(batch); err != nil {
-				return fmt.Errorf("agent %s: %w", machine, err)
+			t, _ := reg.Tenant(name)
+			if df, ok := t.Fleet().(mcorr.DiscoveryFleet); ok {
+				for _, ev := range df.DrainDiscoveryEvents() {
+					log.Printf("DISCOVER tenant=%s round=%d admitted=%d evicted=%d pairs=%d",
+						name, ev.Round, len(ev.Admitted), len(ev.Evicted), ev.Pairs)
+				}
 			}
 		}
-		// Collect what the server stored for this row and feed the monitor.
-		rowDS := store.QueryAll(tm, tm.Add(timeseries.SampleStep))
-		var samples []mcorr.Sample
-		for _, id := range rowDS.IDs() {
-			s := rowDS.Get(id)
-			if s.Len() > 0 {
-				samples = append(samples, mcorr.Sample{ID: id, Time: tm, Value: s.Values[0]})
-			}
-		}
-		reports, err := mon.Ingest(samples...)
-		if err != nil {
+	}
+	for _, name := range names {
+		t, _ := reg.Tenant(name)
+		if err := t.Checkpoint(); err != nil {
 			return err
 		}
-		for _, r := range reports {
-			marker := ""
-			if fault.ActiveAt(r.Time) {
-				marker = "  <- ground-truth fault window"
-			}
-			if r.System < 0.75 {
-				alarms++
-				log.Printf("LOW FITNESS Q=%.3f at %s%s", r.System, r.Time.Format("15:04"), marker)
-			} else if r.Time.Minute() == 0 {
-				log.Printf("Q=%.3f at %s%s", r.System, r.Time.Format("15:04"), marker)
-			}
-		}
-		if df, ok := mon.Fleet().(mcorr.DiscoveryFleet); ok {
-			for _, ev := range df.DrainDiscoveryEvents() {
-				log.Printf("DISCOVER round=%d admitted=%d evicted=%d pairs=%d",
-					ev.Round, len(ev.Admitted), len(ev.Evicted), ev.Pairs)
-			}
-		}
-		if *dataDir != "" && *ckptEvery > 0 && (k+1)%*ckptEvery == 0 {
-			if err := mcorr.CheckpointStore(*dataDir, store); err != nil {
-				return err
+		if diag := t.Diagnosis(); diag != nil {
+			for _, d := range diag.Incidents() {
+				log.Printf("INCIDENT tenant=%s %s state=%s severity=%s impact=%s suspect=%s candidates=%d",
+					name, d.ID, d.State, d.Severity, d.ImpactTime.Format("15:04"), d.Suspect, len(d.Candidates))
 			}
 		}
 	}
-	if *dataDir != "" {
-		if err := mcorr.CheckpointStore(*dataDir, store); err != nil {
-			return err
-		}
-	}
-	if diag := mon.Diagnosis(); diag != nil {
-		for _, d := range diag.Incidents() {
-			log.Printf("INCIDENT %s state=%s severity=%s impact=%s suspect=%s candidates=%d",
-				d.ID, d.State, d.Severity, d.ImpactTime.Format("15:04"), d.Suspect, len(d.Candidates))
-		}
-	}
-	log.Printf("done: %d low-fitness rows flagged; server stats: %+v", alarms, srv.Stats())
+	log.Printf("done: %d low-fitness rows flagged; server stats: %+v", alarms.Load(), srv.Stats())
 	return nil
 }

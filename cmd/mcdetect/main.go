@@ -15,6 +15,7 @@ import (
 	"log"
 	"math"
 	"os"
+	"strings"
 	"time"
 
 	"mcorr"
@@ -78,9 +79,15 @@ func run() error {
 		discEvict  = flag.Float64("discover-evict-below", 0.15, "discovery: evict an admitted pair whose |correlation| stays below this across rounds")
 		discRound  = flag.Int("discover-round", 120, "discovery: rows per probe round (graph changes apply at round boundaries)")
 		discLags   = flag.Int("discover-lags", 4, "discovery: scan correlation lags in [-L, L] sample steps (0 = lag 0 only)")
+
+		tenantArg = flag.String("tenant", "", "tenant mode: a single tenant name (streams -data as that tenant, durable state under data-dir/tenants/<name>) or name=csv[,name2=csv2,...] for several isolated tenants in one process; STEP/INCIDENT/DISCOVER/PAIRGRAPH lines gain a tenant= suffix (empty = legacy single-system mode)")
 	)
 	flag.Parse()
-	if *dataPath == "" {
+	specs, err := parseTenantArg(*tenantArg, *dataPath)
+	if err != nil {
+		return err
+	}
+	if specs == nil && *dataPath == "" {
 		return fmt.Errorf("-data is required")
 	}
 	obs.RegisterBuildInfo(version, *shards)
@@ -95,6 +102,40 @@ func run() error {
 		if *linger > 0 {
 			defer time.Sleep(*linger)
 		}
+	}
+	discCfg := func(l int) (mcorr.DiscoveryConfig, error) {
+		budget, err := mcorr.ParsePairBudget(*pairBudget, l)
+		if err != nil {
+			return mcorr.DiscoveryConfig{}, err
+		}
+		lags := *discLags
+		if lags <= 0 {
+			lags = -1 // discover.Config treats 0 as "default"; negative means lag 0 only
+		}
+		return mcorr.DiscoveryConfig{
+			Budget:     budget,
+			TopK:       *discTopK,
+			EvictBelow: *discEvict,
+			RoundRows:  *discRound,
+			Lags:       lags,
+		}, nil
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
+	}
+	if specs != nil {
+		if *loadFrom != "" || *saveTo != "" || *truthPath != "" {
+			return fmt.Errorf("-tenant cannot combine with -load-models, -save-models or -truth")
+		}
+		return runTenants(specs, tenantParams{
+			trainDays: *trainDays, adaptive: *adaptive,
+			threshold: *threshold, sysThresh: *sysThresh, delta: *delta,
+			holdoff: *holdoff, maxMeas: *maxMeas, shards: *shards,
+			dataDir: *dataDir, every: *ckptEvery, interval: *ckptIvl,
+			fsync: *fsync, pace: *pace, scoreQueue: *scoreQ,
+			incident: *incident, incidentCfg: diagCfg,
+			pairBudget: *pairBudget, discCfg: discCfg,
+		})
 	}
 	f, err := os.Open(*dataPath)
 	if err != nil {
@@ -129,9 +170,6 @@ func run() error {
 	logSink := &alarm.LogSink{Logger: log.New(os.Stdout, "ALARM ", 0)}
 	sink := alarm.NewDeduper(alarm.Multi{memory, logSink}, *holdoff)
 
-	if *shards < 1 {
-		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
-	}
 	mcfg := manager.Config{
 		Model:                core.Config{Adaptive: *adaptive, Grid: core.GridConfig{MaxIntervals: 12}},
 		MeasurementThreshold: *threshold,
@@ -139,24 +177,6 @@ func run() error {
 		ProbDelta:            *delta,
 		Sink:                 sink,
 		TrackPairMeans:       true,
-	}
-
-	discCfg := func(l int) (mcorr.DiscoveryConfig, error) {
-		budget, err := mcorr.ParsePairBudget(*pairBudget, l)
-		if err != nil {
-			return mcorr.DiscoveryConfig{}, err
-		}
-		lags := *discLags
-		if lags <= 0 {
-			lags = -1 // discover.Config treats 0 as "default"; negative means lag 0 only
-		}
-		return mcorr.DiscoveryConfig{
-			Budget:     budget,
-			TopK:       *discTopK,
-			EvictBelow: *discEvict,
-			RoundRows:  *discRound,
-			Lags:       lags,
-		}, nil
 	}
 
 	if *dataDir != "" {
@@ -526,4 +546,306 @@ func printIncidents(eng *mcorr.DiagnosisEngine) {
 // recovery test compares these lines bit for bit across runs.
 func printStep(r mcorr.StepReport) {
 	fmt.Printf("STEP %s Q=%.17g scored=%d\n", r.Time.Format(time.RFC3339), r.System, r.ScoredPairs)
+}
+
+// tenantSpec names one tenant and the monitoring CSV it streams.
+type tenantSpec struct {
+	name string
+	csv  string
+}
+
+// parseTenantArg resolves -tenant: empty = legacy mode (nil specs); a
+// bare name list streams -data into each named tenant; the name=csv form
+// gives every tenant its own file.
+func parseTenantArg(arg, dataPath string) ([]tenantSpec, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	var specs []tenantSpec
+	seen := map[string]bool{}
+	for _, p := range strings.Split(arg, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		name, csv, hasCSV := strings.Cut(p, "=")
+		if !hasCSV {
+			csv = dataPath
+		}
+		if name == "" || csv == "" {
+			return nil, fmt.Errorf("-tenant entry %q: want name or name=csv (with -data set for the bare form)", p)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("-tenant names %q twice", name)
+		}
+		seen[name] = true
+		specs = append(specs, tenantSpec{name: name, csv: csv})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("-tenant names no tenants")
+	}
+	return specs, nil
+}
+
+// tenantParams carries the flag family into runTenants.
+type tenantParams struct {
+	trainDays  int
+	adaptive   bool
+	threshold  float64
+	sysThresh  float64
+	delta      float64
+	holdoff    time.Duration
+	maxMeas    int
+	shards     int
+	dataDir    string
+	every      int
+	interval   time.Duration
+	fsync      string
+	pace       time.Duration
+	scoreQueue int
+	incident   bool
+
+	incidentCfg mcorr.DiagnosisConfig
+	pairBudget  string
+	discCfg     func(l int) (mcorr.DiscoveryConfig, error)
+}
+
+// tenantRun is one tenant's streaming state inside runTenants.
+type tenantRun struct {
+	name string
+	t    *mcorr.Tenant
+	ds   *timeseries.Dataset
+	end  time.Time
+}
+
+// runTenants is the multi-tenant streaming mode: one isolated tenant per
+// spec inside a shared registry, each trained on the first -train-days of
+// its CSV (or recovered from data-dir/tenants/<name>) and fed row by row
+// on a merged clock. Every deterministic line (STEP, DISCOVER, INCIDENT,
+// PAIRGRAPH) carries a tenant= suffix so per-tenant trajectories can be
+// compared bit for bit across runs and process layouts.
+func runTenants(specs []tenantSpec, p tenantParams) error {
+	durable := p.dataDir != ""
+	var dcfg mcorr.DurabilityConfig
+	if durable {
+		policy, err := mcorr.ParseSyncPolicy(p.fsync)
+		if err != nil {
+			return err
+		}
+		dcfg = mcorr.DurabilityConfig{
+			CheckpointEvery:    p.every,
+			CheckpointInterval: p.interval,
+			Fsync:              policy,
+		}
+	}
+	reg := mcorr.NewTenantRegistry(p.dataDir)
+	defer reg.Close()
+
+	logSink := &alarm.LogSink{Logger: log.New(os.Stdout, "ALARM ", 0)}
+	runs := make([]tenantRun, 0, len(specs))
+	for _, spec := range specs {
+		f, err := os.Open(spec.csv)
+		if err != nil {
+			return err
+		}
+		ds, err := timeseries.ReadCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("tenant %s: %w", spec.name, err)
+		}
+		ids := ds.IDs()
+		if len(ids) == 0 {
+			return fmt.Errorf("tenant %s: empty dataset", spec.name)
+		}
+		start, end := ds.Get(ids[0]).Start, ds.Get(ids[0]).End()
+		for _, id := range ids {
+			s := ds.Get(id)
+			if s.Start.Before(start) {
+				start = s.Start
+			}
+			if s.End().After(end) {
+				end = s.End()
+			}
+		}
+		trainEnd := start.AddDate(0, 0, p.trainDays)
+		if !trainEnd.Before(end) {
+			return fmt.Errorf("tenant %s: training window (%d days) covers the whole file", spec.name, p.trainDays)
+		}
+
+		memory := &alarm.MemorySink{}
+		mcfg := manager.Config{
+			Model:                core.Config{Adaptive: p.adaptive, Grid: core.GridConfig{MaxIntervals: 12}},
+			MeasurementThreshold: p.threshold,
+			SystemThreshold:      p.sysThresh,
+			ProbDelta:            p.delta,
+			Sink:                 alarm.NewDeduper(alarm.Multi{memory, logSink}, p.holdoff),
+			TrackPairMeans:       true,
+		}
+		opts := []mcorr.MonitorOption{mcorr.WithScoreQueue(p.scoreQueue)}
+		if p.incident {
+			opts = append(opts, mcorr.WithDiagnosis(p.incidentCfg))
+		}
+
+		recovering := durable && mcorr.HasCheckpoint(mcorr.TenantDir(p.dataDir, spec.name))
+		var history *timeseries.Dataset
+		if recovering {
+			// The checkpoint's recorded topology and discovery config win
+			// on recovery; the flags only mark discovery as enabled, so
+			// percentages resolve against the measurement cap.
+			if p.pairBudget != "" {
+				disc, derr := p.discCfg(p.maxMeas)
+				if derr != nil {
+					return derr
+				}
+				opts = append(opts, mcorr.WithDiscovery(disc))
+			}
+		} else {
+			selected := eval.SelectMeasurements(ds, start, trainEnd, eval.SelectionCriteria{Max: p.maxMeas, MinCV: 0.01})
+			if len(selected) < 2 {
+				return fmt.Errorf("tenant %s: fewer than 2 measurements pass the variance filter", spec.name)
+			}
+			watched := eval.Subset(ds, selected)
+			history = watched.Slice(start, trainEnd)
+			fmt.Printf("training on %s .. %s (%d measurements, %d shards) tenant=%s\n",
+				start.Format(time.RFC3339), trainEnd.Format(time.RFC3339), len(selected), p.shards, spec.name)
+			if p.pairBudget != "" {
+				disc, derr := p.discCfg(len(selected))
+				if derr != nil {
+					return derr
+				}
+				opts = append(opts, mcorr.WithDiscovery(disc))
+			}
+			opts = append(opts, mcorr.WithShards(p.shards))
+		}
+
+		name := spec.name
+		t, err := reg.CreateTenant(mcorr.TenantConfig{
+			Name:       name,
+			History:    history,
+			Manager:    mcfg,
+			Durable:    durable,
+			Durability: dcfg,
+			Options:    opts,
+			OnReport: func(tenant string, r mcorr.StepReport) {
+				printStepTenant(r, tenant)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		if recovering {
+			applied, skipped := t.Durable().RecoveryStats()
+			fmt.Printf("recovered from %s: %d WAL samples replayed (%d skipped), %d rows re-scored, %d shards, resuming at %s tenant=%s\n",
+				mcorr.TenantDir(p.dataDir, name), applied, skipped, len(t.Recovered()),
+				t.Monitor().Shards(), t.Monitor().Cursor().Format(time.RFC3339), name)
+		}
+		if df, ok := t.Fleet().(mcorr.DiscoveryFleet); ok {
+			admitted, budget, candidates := df.BudgetInfo()
+			fmt.Printf("pair budget: %d admitted of %d candidates (budget %d) tenant=%s\n", admitted, candidates, budget, name)
+		}
+		runs = append(runs, tenantRun{name: name, t: t, ds: ds, end: end})
+	}
+
+	// Merged clock: every tenant advances through the same timestamps, so
+	// a crash interrupts all of them mid-stream rather than one at a time.
+	step := runs[0].ds.Get(runs[0].ds.IDs()[0]).Step
+	clock, horizon := runs[0].t.Monitor().Cursor(), runs[0].end
+	for _, rs := range runs {
+		if c := rs.t.Monitor().Cursor(); c.Before(clock) {
+			clock = c
+		}
+		if rs.end.After(horizon) {
+			horizon = rs.end
+		}
+	}
+	for tm := clock; tm.Before(horizon); tm = tm.Add(step) {
+		if p.pace > 0 {
+			time.Sleep(p.pace)
+		}
+		for _, rs := range runs {
+			if tm.Before(rs.t.Monitor().Cursor()) || !tm.Before(rs.end) {
+				continue
+			}
+			var batch []mcorr.Sample
+			for _, id := range rs.t.Fleet().IDs() {
+				s := rs.ds.Get(id)
+				if s == nil {
+					continue
+				}
+				if idx, ok := s.IndexOf(tm); ok {
+					batch = append(batch, mcorr.Sample{ID: id, Time: tm, Value: s.Values[idx]})
+				}
+			}
+			if _, err := rs.t.Ingest(batch...); err != nil {
+				return fmt.Errorf("tenant %s: %w", rs.name, err)
+			}
+			if _, err := rs.t.FlushUpTo(tm.Add(step)); err != nil {
+				return fmt.Errorf("tenant %s: %w", rs.name, err)
+			}
+			printDiscoverTenant(rs.t.Fleet(), rs.name)
+		}
+	}
+
+	for _, rs := range runs {
+		fleet := rs.t.Fleet()
+		fmt.Printf("mean system fitness Q = %.4f over %d rows tenant=%s\n", fleet.SystemMean(), fleet.Steps(), rs.name)
+		if loc := fleet.Localize(); len(loc.Machines) > 0 {
+			fmt.Printf("worst machine: %s Q=%.4f tenant=%s\n", loc.Machines[0].Machine, loc.Machines[0].Score, rs.name)
+		}
+		printIncidentsTenant(rs.t.Diagnosis(), rs.name)
+		if _, ok := fleet.(mcorr.DiscoveryFleet); ok {
+			printPairGraphTenant(fleet.Pairs(), rs.name)
+		}
+	}
+	return reg.Close()
+}
+
+// printStepTenant is printStep with the tenant suffix used in tenant mode.
+func printStepTenant(r mcorr.StepReport, tenant string) {
+	fmt.Printf("STEP %s Q=%.17g scored=%d tenant=%s\n", r.Time.Format(time.RFC3339), r.System, r.ScoredPairs, tenant)
+}
+
+// printDiscoverTenant is printDiscover with the tenant suffix.
+func printDiscoverTenant(f mcorr.Fleet, tenant string) {
+	df, ok := f.(mcorr.DiscoveryFleet)
+	if !ok {
+		return
+	}
+	for _, ev := range df.DrainDiscoveryEvents() {
+		fmt.Printf("DISCOVER %s round=%d admitted=%d evicted=%d pairs=%d tenant=%s\n",
+			ev.Time.Format(time.RFC3339), ev.Round, len(ev.Admitted), len(ev.Evicted), ev.Pairs, tenant)
+	}
+}
+
+// printIncidentsTenant is printIncidents with the tenant suffix.
+func printIncidentsTenant(eng *mcorr.DiagnosisEngine, tenant string) {
+	if eng == nil {
+		return
+	}
+	digests := eng.Incidents()
+	fmt.Printf("incidents: %d tenant=%s\n", len(digests), tenant)
+	for _, d := range digests {
+		suspect, top := d.Suspect, "-"
+		if suspect == "" {
+			suspect = "-"
+		}
+		if len(d.Candidates) > 0 {
+			top = d.Candidates[0].Measurement
+		}
+		fmt.Printf("INCIDENT %s state=%s severity=%s impact=%s low=%.17g broken=%d suspect=%s top=%s tenant=%s\n",
+			d.ID, d.State, d.Severity, d.ImpactTime.Format(time.RFC3339), d.SystemLow, d.Broken, suspect, top, tenant)
+	}
+}
+
+// printPairGraphTenant is printPairGraph with the tenant suffix.
+func printPairGraphTenant(pairs []mcorr.Pair, tenant string) {
+	manager.SortPairs(pairs)
+	h := fnv.New64a()
+	for _, p := range pairs {
+		h.Write([]byte(p.String()))
+		h.Write([]byte{'\n'})
+	}
+	fmt.Printf("PAIRGRAPH pairs=%d hash=%016x tenant=%s\n", len(pairs), h.Sum64(), tenant)
 }

@@ -51,11 +51,23 @@ func NewDiagnosisEngine(cfg DiagnosisConfig, fleet Fleet) *DiagnosisEngine {
 // Localize rollup source and the versioned ops API (the fleet also backs
 // /api/v1/topology when it exposes the topology surface).
 func attachDiagnosis(eng *DiagnosisEngine, fleet Fleet) {
-	eng.SetLocalizeFn(fleet.Localize)
+	obs.RegisterOpsHandler("/api/v1/", wireDiagnosis(eng, fleet))
+}
+
+// wireDiagnosis builds the per-fleet diagnosis API without mounting it on
+// the ops surface: the Localize rollup source is connected and the fleet's
+// topology/discovery views attached. Standalone monitors mount the result
+// themselves (attachDiagnosis); tenants hand it to the registry-level
+// TenantAPI, which dispatches by ?tenant=. eng may be nil for a tenant
+// without a diagnosis engine — the API then serves topology only.
+func wireDiagnosis(eng *DiagnosisEngine, fleet Fleet) *diagnose.API {
+	if eng != nil {
+		eng.SetLocalizeFn(fleet.Localize)
+	}
 	fv, _ := fleet.(diagnose.FleetView)
 	api := diagnose.NewAPI(eng, fv)
 	if dv, ok := fleet.(diagnose.DiscoveryView); ok {
 		api.SetDiscovery(dv)
 	}
-	obs.RegisterOpsHandler("/api/v1/", api)
+	return api
 }

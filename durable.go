@@ -12,6 +12,7 @@ import (
 
 	"mcorr/internal/diagnose"
 	"mcorr/internal/manager"
+	"mcorr/internal/obs"
 	"mcorr/internal/shard"
 	"mcorr/internal/tsdb"
 	"mcorr/internal/wal"
@@ -191,6 +192,7 @@ func OpenDurableMonitor(cfg DurabilityConfig, sink AlarmSink, opts ...MonitorOpt
 		}
 		fleet = df
 	}
+	var api *diagnose.API
 	if diag != nil {
 		if len(ck.Diagnose) > 0 {
 			if err := diag.UnmarshalState(ck.Diagnose); err != nil {
@@ -198,7 +200,10 @@ func OpenDurableMonitor(cfg DurabilityConfig, sink AlarmSink, opts ...MonitorOpt
 				return nil, nil, fmt.Errorf("recover diagnosis: %w", err)
 			}
 		}
-		attachDiagnosis(diag, fleet)
+		api = wireDiagnosis(diag, fleet)
+		if !o.tenantOwned {
+			obs.RegisterOpsHandler("/api/v1/", api)
+		}
 	}
 	store, err := tsdb.Restore(bytes.NewReader(ck.Store))
 	if err != nil {
@@ -216,7 +221,7 @@ func OpenDurableMonitor(cfg DurabilityConfig, sink AlarmSink, opts ...MonitorOpt
 		return nil, nil, err
 	}
 	store.AttachWAL(log)
-	mon := &Monitor{store: store, fleet: fleet, coord: coord, step: store.Step(), cursor: ck.Cursor, ids: fleet.IDs(), scoreQueue: o.scoreQueue, diag: diag}
+	mon := &Monitor{store: store, fleet: fleet, coord: coord, step: store.Step(), cursor: ck.Cursor, ids: fleet.IDs(), scoreQueue: o.scoreQueue, diag: diag, api: api}
 	d := &DurableMonitor{mon: mon, log: log, cfg: cfg, epoch: ck.Epoch,
 		cadence:       manager.Cadence{EverySteps: cfg.CheckpointEvery, Interval: cfg.CheckpointInterval},
 		replayApplied: applied, replaySkipped: skipped}

@@ -17,21 +17,30 @@ type Agent struct {
 	mu     sync.Mutex
 	conn   net.Conn
 	name   string
+	tenant string
 	closed bool
 	sent   int
 	hint   AckInfo // throttle hint from the most recent ack
 }
 
-// Dial connects to the server at addr and introduces the agent by name.
+// Dial connects to the server at addr and introduces the agent by name,
+// with no tenant field (a multi-tenant server routes it to the default
+// tenant).
 func Dial(addr, name string) (*Agent, error) {
+	return DialTenant(addr, name, "")
+}
+
+// DialTenant connects to the server at addr and introduces the agent by
+// name under the given tenant. An empty tenant emits the legacy hello.
+func DialTenant(addr, name, tenant string) (*Agent, error) {
 	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("agent dial %s: %w", addr, err)
 	}
-	a := &Agent{conn: conn, name: name}
-	if err := WriteFrame(conn, Frame{Type: MsgHello, Payload: []byte(name)}); err != nil {
+	a, err := NewAgentConnTenant(conn, name, tenant)
+	if err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("agent hello: %w", err)
+		return nil, err
 	}
 	return a, nil
 }
@@ -39,8 +48,14 @@ func Dial(addr, name string) (*Agent, error) {
 // NewAgentConn wraps an existing connection (e.g. one end of net.Pipe in
 // tests) as an agent, sending the hello frame.
 func NewAgentConn(conn net.Conn, name string) (*Agent, error) {
-	a := &Agent{conn: conn, name: name}
-	if err := WriteFrame(conn, Frame{Type: MsgHello, Payload: []byte(name)}); err != nil {
+	return NewAgentConnTenant(conn, name, "")
+}
+
+// NewAgentConnTenant wraps an existing connection as an agent for the
+// given tenant, sending the hello frame.
+func NewAgentConnTenant(conn net.Conn, name, tenant string) (*Agent, error) {
+	a := &Agent{conn: conn, name: name, tenant: tenant}
+	if err := WriteFrame(conn, Frame{Type: MsgHello, Payload: EncodeHello(name, tenant)}); err != nil {
 		return nil, fmt.Errorf("agent hello: %w", err)
 	}
 	return a, nil
@@ -48,6 +63,9 @@ func NewAgentConn(conn net.Conn, name string) (*Agent, error) {
 
 // Name returns the agent's name.
 func (a *Agent) Name() string { return a.name }
+
+// Tenant returns the tenant named in the agent's hello ("" = default).
+func (a *Agent) Tenant() string { return a.tenant }
 
 // Sent returns the number of samples successfully acknowledged.
 func (a *Agent) Sent() int {

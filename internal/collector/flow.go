@@ -100,12 +100,14 @@ func (c FlowConfig) withDefaults() FlowConfig {
 	return c
 }
 
-// appendJob is one queued sink append: the decoded batch plus the reply
-// channel its handler is waiting on. Each connection owns one job and one
-// reply channel and reuses them for every batch, keeping the admission
-// path allocation-free in steady state.
+// appendJob is one queued sink append: the decoded batch, the sink it
+// goes to (the connection's tenant sink, or the server's fixed sink),
+// plus the reply channel its handler is waiting on. Each connection owns
+// one job and one reply channel and reuses them for every batch, keeping
+// the admission path allocation-free in steady state.
 type appendJob struct {
 	batch []tsdb.Sample
+	sink  Sink
 	reply chan appendResult
 }
 

@@ -55,3 +55,14 @@ var (
 		"EWMA accepted-sample rate per agent, in samples per second.",
 		"agent")
 )
+
+// Tenant-labeled flow metrics. Only servers with a tenant router emit
+// these; cardinality is bounded by tenant count.
+var (
+	obsFlowTenantSamples = obs.Default().CounterVec("mcorr_flow_tenant_samples_total",
+		"Samples accepted into each tenant's sink.",
+		"tenant")
+	obsFlowTenantThrottled = obs.Default().CounterVec("mcorr_flow_tenant_throttled_total",
+		"Batches refused whole by a tenant's ingest rate limit.",
+		"tenant")
+)

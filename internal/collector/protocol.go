@@ -1,6 +1,7 @@
 package collector
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -29,7 +30,8 @@ const (
 type MsgType byte
 
 const (
-	// MsgHello introduces an agent (payload: agent name).
+	// MsgHello introduces an agent (payload: agent name, optionally
+	// followed by a NUL byte and a tenant name — see EncodeHello).
 	MsgHello MsgType = iota + 1
 	// MsgSamples carries a batch of samples.
 	MsgSamples
@@ -201,6 +203,36 @@ func readString(p []byte) (string, []byte, error) {
 		return "", nil, ErrTruncated
 	}
 	return string(p[2 : 2+n]), p[2+n:], nil
+}
+
+// helloSep separates the agent name from the tenant name in a MsgHello
+// payload. NUL cannot occur in either name, so the legacy payload (the
+// bare agent name) stays unambiguous.
+const helloSep = 0x00
+
+// EncodeHello serializes a hello payload. With an empty tenant the
+// payload is the bare agent name — byte-identical to the pre-tenant
+// wire format, so old servers keep accepting new agents that don't opt
+// into tenancy.
+func EncodeHello(agent, tenant string) []byte {
+	if tenant == "" {
+		return []byte(agent)
+	}
+	buf := make([]byte, 0, len(agent)+1+len(tenant))
+	buf = append(buf, agent...)
+	buf = append(buf, helloSep)
+	return append(buf, tenant...)
+}
+
+// DecodeHello parses a hello payload into the agent name and the tenant
+// name. A payload with no separator is a legacy hello: the whole
+// payload is the agent name and the tenant is "" (which servers map to
+// the default tenant).
+func DecodeHello(payload []byte) (agent, tenant string) {
+	if i := bytes.IndexByte(payload, helloSep); i >= 0 {
+		return string(payload[:i]), string(payload[i+1:])
+	}
+	return string(payload), ""
 }
 
 // EncodeHeartbeat serializes a heartbeat payload.

@@ -27,7 +27,12 @@ type ReliableConfig struct {
 	// throttle waits use a timer that Close interrupts; a custom Sleep
 	// is called as-is and is not interruptible.
 	Sleep func(time.Duration)
-	// Dial replaces the connection factory in tests (nil = Dial).
+	// Tenant is the tenant named in each (re)connection's hello frame.
+	// Empty emits the legacy hello, which a multi-tenant server routes
+	// to its default tenant. Ignored when Dial is set.
+	Tenant string
+	// Dial replaces the connection factory in tests (nil = DialTenant
+	// with the configured Tenant).
 	Dial func(addr, name string) (*Agent, error)
 }
 
@@ -45,7 +50,10 @@ func (c ReliableConfig) withDefaults() ReliableConfig {
 		c.BufferLimit = 65536
 	}
 	if c.Dial == nil {
-		c.Dial = Dial
+		tenant := c.Tenant
+		c.Dial = func(addr, name string) (*Agent, error) {
+			return DialTenant(addr, name, tenant)
+		}
 	}
 	return c
 }

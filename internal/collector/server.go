@@ -49,6 +49,9 @@ type Server struct {
 	sink Sink
 	log  *obs.Logger
 
+	router   TenantRouter   // nil = single-sink server
+	tlimiter *tenantLimiter // nil unless a router is installed
+
 	flow    FlowConfig
 	limiter *limiter   // nil when rate limiting is off
 	meter   *rateMeter // nil when flow control is fully off
@@ -195,7 +198,7 @@ func (s *Server) drain() {
 	for job := range s.queue {
 		obsFlowQueueDepth.Set(float64(len(s.queue)))
 		appendStart := time.Now()
-		err := s.sink.AppendBatch(job.batch)
+		err := job.sink.AppendBatch(job.batch)
 		obsAppendSeconds.Observe(time.Since(appendStart).Seconds())
 		job.reply <- appendResult{stored: storedOf(len(job.batch), err), err: err}
 	}
@@ -223,7 +226,7 @@ func storedOf(batchLen int, err error) int {
 func (s *Server) admit(job *appendJob) appendResult {
 	if s.queue == nil {
 		appendStart := time.Now()
-		err := s.sink.AppendBatch(job.batch)
+		err := job.sink.AppendBatch(job.batch)
 		obsAppendSeconds.Observe(time.Since(appendStart).Seconds())
 		return appendResult{stored: storedOf(len(job.batch), err), err: err}
 	}
@@ -291,6 +294,16 @@ func (s *Server) writeAck(conn net.Conn, info AckInfo) error {
 	return err
 }
 
+// throttleDelay returns the configured throttle-hint delay, defaulting
+// to 100ms when flow control was never configured (the tenant limiter
+// is active whenever a router is installed, SetFlow or not).
+func (s *Server) throttleDelay() time.Duration {
+	if s.flow.ThrottleDelay > 0 {
+		return s.flow.ThrottleDelay
+	}
+	return 100 * time.Millisecond
+}
+
 // queueHint returns the advisory delay to attach to an ack given the
 // admission queue's occupancy: zero below 3/4 full, the configured
 // throttle delay at or above it. A shed or rate-limited ack always
@@ -309,6 +322,11 @@ func (s *Server) queueHint() time.Duration {
 func (s *Server) handle(conn net.Conn) {
 	agent := conn.RemoteAddr().String()
 	named := false
+	// With a tenant router the connection's sink is resolved from its
+	// hello (or lazily, for legacy agents that send samples before —
+	// or without — a hello); otherwise it is the server's fixed sink.
+	tenant := ""
+	sink := s.sink
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
@@ -351,10 +369,20 @@ func (s *Server) handle(conn net.Conn) {
 		s.touch(conn, "", 0)
 		switch f.Type {
 		case MsgHello:
-			agent = string(f.Payload)
+			var wireTenant string
+			agent, wireTenant = DecodeHello(f.Payload)
 			named = agent != ""
 			s.touch(conn, agent, 0)
-			s.log.Info("hello", "agent", agent)
+			if s.router != nil {
+				name, tsink, rerr := s.router.SinkFor(wireTenant)
+				if rerr != nil {
+					s.countError()
+					s.log.Error("tenant refused", "agent", agent, "tenant", wireTenant, "err", rerr)
+					return
+				}
+				tenant, sink = name, tsink
+			}
+			s.log.Info("hello", "agent", agent, "tenant", tenant)
 		case MsgHeartbeat:
 			if _, err := DecodeHeartbeat(f.Payload); err != nil {
 				s.countError()
@@ -374,7 +402,18 @@ func (s *Server) handle(conn net.Conn) {
 				s.log.Error("bad samples", "agent", agent, "err", err)
 				return
 			}
-			if !s.handleSamples(conn, agent, job, batch) {
+			if sink == nil {
+				// Router installed, no hello yet: the legacy wire form
+				// maps to the router's default tenant.
+				name, tsink, rerr := s.router.SinkFor("")
+				if rerr != nil {
+					s.countError()
+					s.log.Error("tenant refused", "agent", agent, "tenant", "", "err", rerr)
+					return
+				}
+				tenant, sink = name, tsink
+			}
+			if !s.handleSamples(conn, agent, tenant, sink, job, batch) {
 				return
 			}
 		case MsgBye:
@@ -388,10 +427,34 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// handleSamples admits one decoded batch and acks it, applying the rate
-// limit, the admission queue's shed policy, and throttle hints. It
-// reports whether the connection should stay up.
-func (s *Server) handleSamples(conn net.Conn, agent string, job *appendJob, batch []tsdb.Sample) bool {
+// handleSamples admits one decoded batch into the connection's sink and
+// acks it, applying the tenant and per-agent rate limits, the admission
+// queue's shed policy, and throttle hints. It reports whether the
+// connection should stay up.
+func (s *Server) handleSamples(conn net.Conn, agent, tenant string, sink Sink, job *appendJob, batch []tsdb.Sample) bool {
+	// Tenant rate limit first: one tenant's firehose is refused before it
+	// can contend with other tenants for the shared admission queue.
+	if s.router != nil {
+		rate, burst := s.router.TenantLimit(tenant)
+		if rate > 0 {
+			ok, wait, credit := s.tlimiter.take(tenant, rate, float64(burst), len(batch), time.Now())
+			if !ok {
+				s.mu.Lock()
+				s.stats.Throttled++
+				s.mu.Unlock()
+				obsFlowTenantThrottled.With(tenant).Inc()
+				if wait < s.throttleDelay() {
+					wait = s.throttleDelay()
+				}
+				if err := s.writeAck(conn, AckInfo{Stored: 0, Delay: wait, Credit: credit}); err != nil {
+					s.countError()
+					return false
+				}
+				return true
+			}
+		}
+	}
+
 	// Per-agent rate limit: an over-budget batch is refused whole with a
 	// hint saying when to retry and how much the bucket can take now.
 	if s.limiter != nil {
@@ -413,6 +476,7 @@ func (s *Server) handleSamples(conn net.Conn, agent string, job *appendJob, batc
 	}
 
 	job.batch = batch
+	job.sink = sink
 	res := s.admit(job)
 	job.batch = nil
 	if res.dropped {
@@ -441,6 +505,9 @@ func (s *Server) handleSamples(conn net.Conn, agent string, job *appendJob, batc
 		s.stats.Samples += stored
 		s.mu.Unlock()
 		obsSamples.Add(uint64(stored))
+		if s.router != nil {
+			obsFlowTenantSamples.With(tenant).Add(uint64(stored))
+		}
 		s.touch(conn, "", stored)
 		if s.meter != nil {
 			obsFlowAgentRate.With(agent).Set(s.meter.observe(agent, stored, time.Now()))

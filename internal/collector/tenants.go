@@ -1,0 +1,101 @@
+package collector
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"mcorr/internal/obs"
+)
+
+// TenantRouter routes collector traffic to per-tenant sinks. The server
+// resolves the tenant an agent names in its hello frame ("" for the
+// legacy hello with no tenant field) once per connection; every batch
+// the connection delivers is appended to that tenant's sink and counted
+// against that tenant's rate limit.
+//
+// mcorr's tenant Registry satisfies this interface; tests supply small
+// fakes.
+type TenantRouter interface {
+	// SinkFor resolves a wire tenant name (possibly "") to the canonical
+	// tenant name and its sink. An error refuses the connection.
+	SinkFor(tenant string) (name string, sink Sink, err error)
+	// TenantLimit returns a tenant's ingest rate limit in samples per
+	// second and its token-bucket burst in samples. Rate 0 disables the
+	// limit; burst 0 picks max(rate, MaxBatch).
+	TenantLimit(name string) (rate float64, burst int)
+}
+
+// NewTenantServer returns a server that routes every connection's
+// batches through the router instead of a single fixed sink. logger may
+// be nil to discard diagnostics.
+func NewTenantServer(router TenantRouter, logger *obs.Logger) (*Server, error) {
+	if router == nil {
+		return nil, errors.New("collector: nil tenant router")
+	}
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
+	s := &Server{
+		log:      logger.With("component", "collector"),
+		conns:    make(map[net.Conn]*AgentStatus),
+		readIdle: 2 * time.Minute,
+	}
+	s.SetTenantRouter(router)
+	return s, nil
+}
+
+// SetTenantRouter installs (or replaces) the tenant router. Must be
+// called before Serve. With a router installed the server's fixed sink
+// (if any) is bypassed: every connection resolves its sink through the
+// router at hello time, and tenant-level token buckets meter ingest per
+// tenant ahead of the per-agent limit.
+func (s *Server) SetTenantRouter(r TenantRouter) {
+	s.router = r
+	s.tlimiter = &tenantLimiter{buckets: make(map[string]*tokenBucket)}
+}
+
+// tenantLimiter applies per-tenant token-bucket rate limits. Unlike the
+// per-agent limiter, the rate and burst are supplied per call (each
+// tenant has its own quota, looked up from the router), so buckets for
+// different tenants refill at different speeds. Cardinality is bounded
+// by tenant count.
+type tenantLimiter struct {
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+// take attempts to withdraw n tokens from the tenant's bucket at the
+// given rate/burst. Semantics match limiter.take: on refusal it reports
+// how long to wait and the currently available whole tokens.
+func (l *tenantLimiter) take(tenant string, rate float64, burst float64, n int, now time.Time) (ok bool, wait time.Duration, credit int) {
+	if burst <= 0 {
+		burst = rate
+		if burst < MaxBatch {
+			burst = MaxBatch
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, found := l.buckets[tenant]
+	if !found {
+		b = &tokenBucket{tokens: burst, last: now}
+		l.buckets[tenant] = b
+	} else {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens += dt * rate
+			if b.tokens > burst {
+				b.tokens = burst
+			}
+		}
+		b.last = now
+	}
+	need := float64(n)
+	if b.tokens >= need {
+		b.tokens -= need
+		return true, 0, int(b.tokens)
+	}
+	wait = time.Duration((need - b.tokens) / rate * float64(time.Second))
+	return false, wait, int(b.tokens)
+}

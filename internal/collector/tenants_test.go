@@ -1,0 +1,209 @@
+package collector
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mcorr/internal/timeseries"
+	"mcorr/internal/tsdb"
+)
+
+// fakeRouter is a minimal TenantRouter over named stores.
+type fakeRouter struct {
+	def    string
+	sinks  map[string]Sink
+	rates  map[string]float64
+	bursts map[string]int
+}
+
+func (r *fakeRouter) SinkFor(tenant string) (string, Sink, error) {
+	if tenant == "" {
+		tenant = r.def
+	}
+	s, ok := r.sinks[tenant]
+	if !ok {
+		return "", nil, fmt.Errorf("unknown tenant %q", tenant)
+	}
+	return tenant, s, nil
+}
+
+func (r *fakeRouter) TenantLimit(name string) (float64, int) {
+	return r.rates[name], r.bursts[name]
+}
+
+func newTenantStore(t *testing.T) *tsdb.Store {
+	t.Helper()
+	store, err := tsdb.NewStore(timeseries.SampleStep, 0)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	return store
+}
+
+func newTenantTestServer(t *testing.T, router TenantRouter) string {
+	t.Helper()
+	srv, err := NewTenantServer(router, nil)
+	if err != nil {
+		t.Fatalf("NewTenantServer: %v", err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr.String()
+}
+
+func TestHelloEncoding(t *testing.T) {
+	if got := EncodeHello("srv-01", ""); !bytes.Equal(got, []byte("srv-01")) {
+		t.Errorf("legacy hello = %q, want bare agent name", got)
+	}
+	agent, tenant := DecodeHello([]byte("srv-01"))
+	if agent != "srv-01" || tenant != "" {
+		t.Errorf("legacy decode = (%q, %q)", agent, tenant)
+	}
+	agent, tenant = DecodeHello(EncodeHello("srv-01", "alpha"))
+	if agent != "srv-01" || tenant != "alpha" {
+		t.Errorf("tenant decode = (%q, %q)", agent, tenant)
+	}
+}
+
+func TestTenantRoutingIsolation(t *testing.T) {
+	alpha, beta := newTenantStore(t), newTenantStore(t)
+	addr := newTenantTestServer(t, &fakeRouter{
+		def:   "alpha",
+		sinks: map[string]Sink{"alpha": alpha, "beta": beta},
+	})
+
+	a, err := DialTenant(addr, "srv-01", "alpha")
+	if err != nil {
+		t.Fatalf("DialTenant alpha: %v", err)
+	}
+	defer a.Close()
+	b, err := DialTenant(addr, "srv-01", "beta")
+	if err != nil {
+		t.Fatalf("DialTenant beta: %v", err)
+	}
+	defer b.Close()
+	legacy, err := Dial(addr, "srv-02")
+	if err != nil {
+		t.Fatalf("Dial legacy: %v", err)
+	}
+	defer legacy.Close()
+
+	batch := sampleBatch(10)
+	if err := a.Send(batch); err != nil {
+		t.Fatalf("alpha send: %v", err)
+	}
+	if err := b.Send(batch[:4]); err != nil {
+		t.Fatalf("beta send: %v", err)
+	}
+	// The legacy hello has no tenant field; the router maps it to the
+	// default tenant, so pre-tenancy agents keep working unchanged.
+	legacyBatch := make([]tsdb.Sample, 6)
+	for i := range legacyBatch {
+		legacyBatch[i] = tsdb.Sample{
+			ID:    timeseries.MeasurementID{Machine: "srv-02", Metric: "mem"},
+			Time:  timeseries.MonitoringStart.Add(time.Duration(i) * timeseries.SampleStep),
+			Value: float64(i),
+		}
+	}
+	if err := legacy.Send(legacyBatch); err != nil {
+		t.Fatalf("legacy send: %v", err)
+	}
+
+	if got := alpha.Len(batch[0].ID); got != 10 {
+		t.Errorf("alpha store has %d samples, want 10", got)
+	}
+	if got := alpha.Len(legacyBatch[0].ID); got != 6 {
+		t.Errorf("alpha store has %d legacy samples, want 6 (legacy hello must land on the default tenant)", got)
+	}
+	if got := beta.Len(batch[0].ID); got != 4 {
+		t.Errorf("beta store has %d samples, want 4", got)
+	}
+}
+
+func TestTenantUnknownRefused(t *testing.T) {
+	alpha := newTenantStore(t)
+	addr := newTenantTestServer(t, &fakeRouter{
+		def:   "alpha",
+		sinks: map[string]Sink{"alpha": alpha},
+	})
+	ghost, err := DialTenant(addr, "srv-01", "ghost")
+	if err != nil {
+		// The server may close the connection before the dial completes.
+		return
+	}
+	defer ghost.Close()
+	if err := ghost.Send(sampleBatch(5)); err == nil {
+		t.Error("send as unknown tenant succeeded; want refused connection")
+	}
+	if got := alpha.Len(sampleBatch(1)[0].ID); got != 0 {
+		t.Errorf("unknown tenant's samples reached the default store (%d)", got)
+	}
+}
+
+func TestTenantRateLimitThrottles(t *testing.T) {
+	alpha := newTenantStore(t)
+	addr := newTenantTestServer(t, &fakeRouter{
+		def:    "alpha",
+		sinks:  map[string]Sink{"alpha": alpha},
+		rates:  map[string]float64{"alpha": 10},
+		bursts: map[string]int{"alpha": 20},
+	})
+	a, err := DialTenant(addr, "srv-01", "alpha")
+	if err != nil {
+		t.Fatalf("DialTenant: %v", err)
+	}
+	defer a.Close()
+
+	// 30 samples exceed the 20-token bucket: the whole batch is refused
+	// with a throttle hint, and no tokens are consumed.
+	err = a.Send(sampleBatch(30))
+	var pe *PartialSendError
+	if !errors.As(err, &pe) || pe.Sent != 0 || pe.Err != nil {
+		t.Fatalf("oversized send: got %v, want healthy ack-0 PartialSendError", err)
+	}
+	if hint := a.LastHint(); hint.Delay <= 0 {
+		t.Errorf("throttled ack carried no delay hint: %+v", hint)
+	}
+	// A batch within the burst passes immediately.
+	if err := a.Send(sampleBatch(15)); err != nil {
+		t.Fatalf("within-burst send: %v", err)
+	}
+	if got := alpha.Len(sampleBatch(1)[0].ID); got != 15 {
+		t.Errorf("store has %d samples, want 15", got)
+	}
+}
+
+func TestTenantLimiterRefill(t *testing.T) {
+	l := &tenantLimiter{buckets: make(map[string]*tokenBucket)}
+	now := time.Unix(1000, 0)
+
+	ok, _, _ := l.take("a", 10, 5, 5, now)
+	if !ok {
+		t.Fatal("first take within burst refused")
+	}
+	ok, wait, credit := l.take("a", 10, 5, 5, now)
+	if ok || wait <= 0 {
+		t.Fatalf("empty bucket: ok=%v wait=%v", ok, wait)
+	}
+	if credit != 0 {
+		t.Errorf("credit = %d, want 0", credit)
+	}
+	// Half a second at 10/s refills 5 tokens.
+	if ok, _, _ = l.take("a", 10, 5, 5, now.Add(500*time.Millisecond)); !ok {
+		t.Error("refilled bucket refused")
+	}
+	// Buckets are independent per tenant.
+	if ok, _, _ = l.take("b", 10, 5, 5, now); !ok {
+		t.Error("fresh tenant bucket refused")
+	}
+	// burst <= 0 defaults to max(rate, MaxBatch): a full MaxBatch passes.
+	if ok, _, _ = l.take("c", 1, 0, MaxBatch, now); !ok {
+		t.Error("default burst refused a MaxBatch batch")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"mcorr/internal/manager"
+	"mcorr/internal/obs"
 	"mcorr/internal/timeseries"
 )
 
@@ -46,7 +47,11 @@ type DiscoveryView interface {
 //	                         dirty/steady state
 //
 // Mount it at /api/ (it routes on the full path). fleet may be nil, in
-// which case /api/v1/topology answers 404.
+// which case /api/v1/topology answers 404. eng may also be nil (a
+// tenant without a diagnosis engine still serves topology); the
+// incident and fitness endpoints then answer 404.
+//
+// Errors use the shared obs.APIError envelope.
 type API struct {
 	eng   *Engine
 	fleet FleetView
@@ -55,6 +60,10 @@ type API struct {
 
 // NewAPI builds the HTTP surface over an engine and an optional fleet.
 func NewAPI(eng *Engine, fleet FleetView) *API {
+	obs.RegisterRoute("GET", "/api/v1/incidents")
+	obs.RegisterRoute("GET", "/api/v1/incidents/{id}")
+	obs.RegisterRoute("GET", "/api/v1/fitness")
+	obs.RegisterRoute("GET", "/api/v1/topology")
 	return &API{eng: eng, fleet: fleet}
 }
 
@@ -75,7 +84,8 @@ func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case path == "topology":
 		a.serveTopology(w)
 	default:
-		writeJSONError(w, http.StatusNotFound, "unknown endpoint; see /api/v1/incidents /api/v1/fitness /api/v1/topology")
+		obs.WriteJSONError(w, http.StatusNotFound, "not_found",
+			"unknown endpoint; see /api/v1/incidents /api/v1/fitness /api/v1/topology")
 	}
 }
 
@@ -86,12 +96,6 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeJSONError(w http.ResponseWriter, code int, msg string) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
-}
-
 // incidentsResponse is the /api/v1/incidents payload.
 type incidentsResponse struct {
 	Open      int      `json:"open"`
@@ -100,6 +104,10 @@ type incidentsResponse struct {
 }
 
 func (a *API) serveIncidents(w http.ResponseWriter) {
+	if a.eng == nil {
+		obs.WriteJSONError(w, http.StatusNotFound, "not_found", "no diagnosis engine attached")
+		return
+	}
 	incidents := a.eng.Incidents()
 	if incidents == nil {
 		incidents = []Digest{}
@@ -112,9 +120,13 @@ func (a *API) serveIncidents(w http.ResponseWriter) {
 }
 
 func (a *API) serveIncident(w http.ResponseWriter, id string) {
+	if a.eng == nil {
+		obs.WriteJSONError(w, http.StatusNotFound, "not_found", "no diagnosis engine attached")
+		return
+	}
 	d, ok := a.eng.Incident(id)
 	if !ok {
-		writeJSONError(w, http.StatusNotFound, "no incident "+id)
+		obs.WriteJSONError(w, http.StatusNotFound, "unknown_incident", "no incident "+id)
 		return
 	}
 	writeJSON(w, d)
@@ -129,12 +141,16 @@ type fitnessResponse struct {
 }
 
 func (a *API) serveFitness(w http.ResponseWriter, r *http.Request) {
+	if a.eng == nil {
+		obs.WriteJSONError(w, http.StatusNotFound, "not_found", "no diagnosis engine attached")
+		return
+	}
 	q := r.URL.Query()
 	window := 0
 	if ws := q.Get("window"); ws != "" {
 		n, err := strconv.Atoi(ws)
 		if err != nil || n < 0 {
-			writeJSONError(w, http.StatusBadRequest, "window must be a non-negative integer")
+			obs.WriteJSONError(w, http.StatusBadRequest, "bad_request", "window must be a non-negative integer")
 			return
 		}
 		window = n
@@ -150,7 +166,7 @@ func (a *API) serveFitness(w http.ResponseWriter, r *http.Request) {
 	}
 	pts, ok := a.eng.HistoryByName(name, window)
 	if !ok {
-		writeJSONError(w, http.StatusNotFound, "unknown measurement "+name)
+		obs.WriteJSONError(w, http.StatusNotFound, "unknown_measurement", "unknown measurement "+name)
 		return
 	}
 	if pts == nil {
@@ -197,7 +213,7 @@ type topologyResponse struct {
 
 func (a *API) serveTopology(w http.ResponseWriter) {
 	if a.fleet == nil {
-		writeJSONError(w, http.StatusNotFound, "no fleet attached")
+		obs.WriteJSONError(w, http.StatusNotFound, "not_found", "no fleet attached")
 		return
 	}
 	ids := a.fleet.IDs()

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// APIError is the one JSON error envelope every HTTP surface of the
+// pipeline returns — the ops endpoints, the diagnosis API and the
+// multi-tenant serving tier all share it, so a client needs exactly one
+// error decoder. Wire form:
+//
+//	{"error": {"code": "bad_request", "message": "window.start must precede window.end"}}
+//
+// Code is a stable machine-readable slug (bad_request, not_found,
+// unknown_tenant, unknown_measurement, unknown_incident,
+// method_not_allowed, too_large); Message is human-readable detail.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// apiErrorBody is the envelope wrapper around APIError.
+type apiErrorBody struct {
+	Error APIError `json:"error"`
+}
+
+// WriteJSONError writes the shared error envelope with the given HTTP
+// status, machine-readable code and human-readable message.
+func WriteJSONError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(apiErrorBody{Error: APIError{Code: code, Message: msg}})
+}
+
+// RouteInfo describes one registered HTTP endpoint: the method it
+// serves and its path pattern ("{id}" marks a path parameter, a
+// trailing "/" marks a subtree).
+type RouteInfo struct {
+	Method  string
+	Pattern string
+}
+
+// routeTable is the process-wide table of every HTTP endpoint the ops
+// surface and the serving tier expose. The API reference gate
+// (TestAPIDocCoverage) walks it the way TestOperationsDocCoverage walks
+// flag declarations and metric families, so an endpoint cannot ship
+// undocumented.
+var (
+	routesMu   sync.Mutex
+	routeTable = map[RouteInfo]bool{}
+)
+
+// RegisterRoute records an endpoint in the process-wide route table.
+// Registration is idempotent; every handler constructor declares its
+// routes here so the table mirrors what a running server actually
+// answers.
+func RegisterRoute(method, pattern string) {
+	routesMu.Lock()
+	routeTable[RouteInfo{Method: method, Pattern: pattern}] = true
+	routesMu.Unlock()
+}
+
+// Routes snapshots the registered route table sorted by pattern then
+// method.
+func Routes() []RouteInfo {
+	routesMu.Lock()
+	out := make([]RouteInfo, 0, len(routeTable))
+	for r := range routeTable {
+		out = append(out, r)
+	}
+	routesMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pattern != out[j].Pattern {
+			return out[i].Pattern < out[j].Pattern
+		}
+		return out[i].Method < out[j].Method
+	})
+	return out
+}

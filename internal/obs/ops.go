@@ -69,6 +69,23 @@ func RegisterOpsHandler(pattern string, h http.Handler) {
 	opsHandlers = append(opsHandlers, opsHandler{pattern: pattern, h: h})
 }
 
+// opsRoutesOnce guards the route-table registration of the fixed ops
+// endpoints; NewOpsMux calls it so every ops server's static surface is
+// visible to Routes() (and therefore to the API.md coverage gate).
+var opsRoutesOnce sync.Once
+
+func registerOpsRoutes() {
+	opsRoutesOnce.Do(func() {
+		RegisterRoute("GET", "/")
+		RegisterRoute("GET", "/metrics")
+		RegisterRoute("GET", "/vars")
+		RegisterRoute("GET", "/healthz")
+		RegisterRoute("GET", "/statusz")
+		RegisterRoute("GET", "/debug/spans")
+		RegisterRoute("GET", "/debug/pprof/")
+	})
+}
+
 // lookupOpsHandler finds the longest registered pattern matching path.
 func lookupOpsHandler(path string) http.Handler {
 	opsHandlersMu.RLock()
@@ -108,6 +125,7 @@ func NewOpsMux(reg *Registry, tracer *Tracer) *http.ServeMux {
 	if reg == defaultRegistry {
 		registerProcessMetrics()
 	}
+	registerOpsRoutes()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -133,9 +151,7 @@ func NewOpsMux(reg *Registry, tracer *Tracer) *http.ServeMux {
 			h.ServeHTTP(w, r)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		w.WriteHeader(http.StatusNotFound)
-		_ = json.NewEncoder(w).Encode(map[string]string{"error": "no handler registered for " + r.URL.Path})
+		WriteJSONError(w, http.StatusNotFound, "not_found", "no handler registered for "+r.URL.Path)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -174,9 +190,7 @@ func writeSpansJSON(w http.ResponseWriter, r *http.Request, tracer *Tracer) {
 	if ns := r.URL.Query().Get("n"); ns != "" {
 		v, err := strconv.Atoi(ns)
 		if err != nil || v < 0 {
-			w.Header().Set("Content-Type", "application/json; charset=utf-8")
-			w.WriteHeader(http.StatusBadRequest)
-			_ = json.NewEncoder(w).Encode(map[string]string{"error": "n must be a non-negative integer"})
+			WriteJSONError(w, http.StatusBadRequest, "bad_request", "n must be a non-negative integer")
 			return
 		}
 		n = v

@@ -266,6 +266,14 @@ func DialCollector(addr, agentName string) (*CollectorAgent, error) {
 	return collector.Dial(addr, agentName)
 }
 
+// DialCollectorTenant connects an agent to a collector server, naming the
+// tenant that owns the agent's samples in the hello. An empty tenant
+// emits the legacy hello, which a multi-tenant server routes to its
+// default tenant.
+func DialCollectorTenant(addr, agentName, tenant string) (*CollectorAgent, error) {
+	return collector.DialTenant(addr, agentName, tenant)
+}
+
 // MonitorOption customizes monitor construction (see WithShards).
 type MonitorOption func(*monitorOptions)
 
@@ -274,6 +282,16 @@ type monitorOptions struct {
 	scoreQueue int
 	diagnosis  *DiagnosisConfig
 	discovery  *DiscoveryConfig
+	// tenantOwned suppresses the monitor-level /api/v1/ registration: a
+	// tenant's monitor must not shadow the registry-wide TenantAPI that
+	// dispatches to every tenant by name.
+	tenantOwned bool
+}
+
+// withTenantOwnedAPI marks the monitor as owned by a Tenant, which
+// mounts the API surface itself (through the registry's TenantAPI).
+func withTenantOwnedAPI() MonitorOption {
+	return func(o *monitorOptions) { o.tenantOwned = true }
 }
 
 // WithShards partitions the monitor's pair graph across n manager shards
@@ -306,6 +324,7 @@ type Monitor struct {
 	ids        []MeasurementID
 	scoreQueue int              // bounded row-queue depth (0 = score inline)
 	diag       *DiagnosisEngine // non-nil iff built with WithDiagnosis
+	api        *diagnose.API    // per-fleet API (nil unless diagnosis is on)
 }
 
 // newFleet trains either a single manager or a sharded coordinator.
@@ -359,8 +378,12 @@ func NewMonitor(history *Dataset, cfg ManagerConfig, opts ...MonitorOption) (*Mo
 	} else if fleet, coord, err = newFleet(history, cfg, o.shards); err != nil {
 		return nil, err
 	}
+	var api *diagnose.API
 	if diag != nil {
-		attachDiagnosis(diag, fleet)
+		api = wireDiagnosis(diag, fleet)
+		if !o.tenantOwned {
+			obs.RegisterOpsHandler("/api/v1/", api)
+		}
 	}
 	store, err := tsdb.NewStore(step, 0)
 	if err != nil {
@@ -373,7 +396,7 @@ func NewMonitor(history *Dataset, cfg ManagerConfig, opts ...MonitorOption) (*Mo
 			cursor = end
 		}
 	}
-	return &Monitor{store: store, fleet: fleet, coord: coord, step: step, cursor: cursor, ids: ids, scoreQueue: o.scoreQueue, diag: diag}, nil
+	return &Monitor{store: store, fleet: fleet, coord: coord, step: step, cursor: cursor, ids: ids, scoreQueue: o.scoreQueue, diag: diag, api: api}, nil
 }
 
 // Fleet exposes the scoring fleet (a *Manager or a *ShardCoordinator).

@@ -36,7 +36,7 @@ bench:
 # Run the scoring hot-path benchmarks and record them as JSON for diffing.
 # ObsCounterHotPath tracks the metric-instrumentation overhead (must stay
 # allocation-free and < 50ns per manager step sample).
-BENCH_SCORING = '^Benchmark(Observe|RowInto|Prob|FitnessHotPath|ModelStepAdaptive|ModelStepOffline|ManagerStep|ManagerStepSharded|ManagerStepIncremental|ManagerStepBudget|DiscoverStep|ObsCounterHotPath)$$'
+BENCH_SCORING = '^Benchmark(Observe|RowInto|Prob|FitnessHotPath|ModelStepAdaptive|ModelStepOffline|ManagerStep|ManagerStepSharded|ManagerStepIncremental|ManagerStepBudget|DiscoverStep|ObsCounterHotPath|ShardNetStep)$$'
 bench-json:
 	$(GO) test -run '^$$' -bench $(BENCH_SCORING) -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_scoring.json

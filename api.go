@@ -105,6 +105,16 @@ type httpError struct {
 
 func (e *httpError) Error() string { return e.msg }
 
+// invalidWindow builds the invalid_window envelope for degenerate query
+// windows — zero-length ranges, ranges that round to zero grid rows, or
+// trailing windows against a tenant that has no scoring grid yet. These
+// used to surface as generic bad_request (or, for some shapes, an empty
+// 200); the dedicated code lets clients distinguish "fix your window"
+// from "fix your JSON".
+func invalidWindow(msg string) *httpError {
+	return &httpError{http.StatusBadRequest, "invalid_window", msg}
+}
+
 func writeHTTPError(w http.ResponseWriter, err error) {
 	var he *httpError
 	if errors.As(err, &he) {
@@ -252,8 +262,11 @@ func parseCorrelateRequest(data []byte) (correlateQuery, error) {
 		if err != nil {
 			return correlateQuery{}, fmt.Errorf("window.end: %w", err)
 		}
+		if start.Equal(end) {
+			return correlateQuery{}, invalidWindow("window: start == end selects zero rows")
+		}
 		if !start.Before(end) {
-			return correlateQuery{}, errors.New("window: start must be before end")
+			return correlateQuery{}, invalidWindow("window: start must be before end")
 		}
 		q.start, q.end = start, end
 	default:
@@ -293,6 +306,11 @@ func (a *TenantAPI) serveCorrelate(w http.ResponseWriter, r *http.Request) {
 	}
 	q, err := parseCorrelateRequest(body)
 	if err != nil {
+		var he *httpError
+		if errors.As(err, &he) {
+			obs.WriteJSONError(w, he.status, he.code, he.msg)
+			return
+		}
 		obs.WriteJSONError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
@@ -378,9 +396,18 @@ func (t *Tenant) Correlate(q correlateQuery) (*correlateResponse, error) {
 	t.mu.Unlock()
 
 	// Resolve the window onto the store grid.
+	if step <= 0 {
+		return nil, invalidWindow("tenant has no scoring grid yet; no window can be resolved")
+	}
 	start, end := q.start, q.end
 	rows := q.last
 	if q.last > 0 {
+		if cursor.IsZero() || t.mon.Fleet().Steps() == 0 {
+			// No row ever scored: the trailing window ends at a cursor
+			// that nothing has streamed up to, so it rounds to zero
+			// samples instead of a real [start, end) range.
+			return nil, invalidWindow(fmt.Sprintf("window.last=%d rounds to zero samples: tenant has scored no rows yet", q.last))
+		}
 		end = cursor
 		start = end.Add(-time.Duration(q.last) * step)
 	} else {
@@ -394,7 +421,7 @@ func (t *Tenant) Correlate(q correlateQuery) (*correlateResponse, error) {
 		}
 	}
 	if rows <= 0 {
-		return nil, &httpError{http.StatusBadRequest, "bad_request", "window is empty"}
+		return nil, invalidWindow("window rounds to zero grid rows")
 	}
 
 	// Resolve measurement names against the fleet's trained set plus

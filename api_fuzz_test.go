@@ -19,6 +19,11 @@ func FuzzCorrelateRequest(f *testing.F) {
 		`{"anchor":"x","window":{"last":-1}}`,
 		`{"anchor":"x","window":{"last":5,"start":"2008-05-30T00:00:00Z"}}`,
 		`{"anchor":"x","window":{"start":"not-a-time","end":"2008-05-31T00:00:00Z"}}`,
+		// Boundary shapes for the invalid_window class: a zero-length
+		// explicit range (start == end) and a trailing window of zero
+		// rows, both of which must be rejected, never answered empty.
+		`{"anchor":"x","window":{"start":"2008-05-30T00:00:00Z","end":"2008-05-30T00:00:00Z"}}`,
+		`{"anchor":"x","window":{"last":0}}`,
 		`{"anchor":"x","window":{"last":5},"lags":{"min":9,"max":-9}}`,
 		`{"anchor":"x","window":{"last":5},"unknown_field":true}`,
 		`{"anchor":"x","window":{"last":5}}{"trailing":1}`,

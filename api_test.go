@@ -224,7 +224,10 @@ func TestAPIErrorContract(t *testing.T) {
 		{"negative last", "POST", "/api/v1/correlate", `{"anchor":"x@m1","window":{"last":-3}}`, 400, "bad_request"},
 		{"start after end", "POST", "/api/v1/correlate",
 			`{"anchor":"x@m1","window":{"start":"2008-05-31T00:00:00Z","end":"2008-05-30T00:00:00Z"}}`,
-			400, "bad_request"},
+			400, "invalid_window"},
+		{"start equals end", "POST", "/api/v1/correlate",
+			`{"anchor":"x@m1","window":{"start":"2008-05-31T00:00:00Z","end":"2008-05-31T00:00:00Z"}}`,
+			400, "invalid_window"},
 		{"window too wide", "POST", "/api/v1/correlate",
 			`{"anchor":"x@m1","window":{"start":"2008-01-01T00:00:00Z","end":"2010-01-01T00:00:00Z"}}`,
 			400, "bad_request"},
@@ -329,5 +332,20 @@ func TestTenantScopedEndpoints(t *testing.T) {
 	}
 	if status, body = get("/api/v1/incidents"); status != http.StatusOK {
 		t.Errorf("incidents: status %d: %s", status, body)
+	}
+}
+
+// TestCorrelateTrailingWindowBeforeFirstRow pins the invalid_window
+// contract for the last-form boundary: a tenant that has scored no rows
+// yet has no cursor, so any trailing window rounds to zero samples and
+// must be refused with the invalid_window envelope — not answered with
+// an empty 200 against a nonexistent grid range.
+func TestCorrelateTrailingWindowBeforeFirstRow(t *testing.T) {
+	srv, _ := newAPIServer(t, 0)
+	resp := postCorrelate(t, srv, `{"anchor":"x@m1","window":{"last":5}}`)
+	code, msg := decodeEnvelope(t, resp)
+	if resp.StatusCode != http.StatusBadRequest || code != "invalid_window" {
+		t.Fatalf("correlate before first row: status=%d code=%q (%s), want 400/invalid_window",
+			resp.StatusCode, code, msg)
 	}
 }

@@ -9,10 +9,13 @@
 package mcorr_test
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
+	"os/exec"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -25,7 +28,9 @@ import (
 	"mcorr/internal/mathx"
 	"mcorr/internal/obs"
 	"mcorr/internal/shard"
+	"mcorr/internal/shardnet"
 	"mcorr/internal/simulator"
+	"mcorr/internal/testkit"
 	"mcorr/internal/timeseries"
 )
 
@@ -371,6 +376,93 @@ func BenchmarkManagerStepSharded(b *testing.B) {
 			})
 		}
 	}
+}
+
+// startBenchShardWorker launches one mcshard worker process for the
+// networked-fabric benchmark and returns its parsed control address.
+func startBenchShardWorker(b *testing.B, bin, dir string) string {
+	b.Helper()
+	cmd := exec.Command(bin, "-data-dir", dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		b.Fatalf("mcshard stdout: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		b.Fatalf("start mcshard: %v", err)
+	}
+	b.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Process.Wait()
+		}
+	})
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		b.Fatalf("mcshard produced no LISTEN line: %v", err)
+	}
+	addr, ok := strings.CutPrefix(strings.TrimSpace(line), "LISTEN ")
+	if !ok {
+		b.Fatalf("unexpected first mcshard line %q", line)
+	}
+	go io.Copy(io.Discard, stdout)
+	return addr
+}
+
+// benchShardNetStep is benchManagerStepSharded with the shards moved out
+// of process: `workers` real mcshard processes score over TCP and return
+// outcomes through the collector's exactly-once path, while the central
+// aggregator merges. Process spawn, training, state transfer, and warm-up
+// all happen outside the timer; checkpointing is pushed past the horizon
+// so the loop measures pure fan-out/score/merge.
+func benchShardNetStep(b *testing.B, machines, workers int) {
+	bin := testkit.BuildBinary(b, "mcorr/cmd/mcshard")
+	addrs := make([]string, workers)
+	for k := range addrs {
+		addrs[k] = startBenchShardWorker(b, bin, b.TempDir())
+	}
+	ds, _, err := simulator.Generate(simulator.GroupConfig{Name: "Z", Machines: machines, Days: 2, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	day1 := timeseries.MonitoringStart.AddDate(0, 0, 1)
+	coord, err := shardnet.New(ds.Slice(timeseries.MonitoringStart, day1), shardnet.Config{
+		Workers: addrs,
+		Manager: manager.Config{
+			Model: core.Config{Adaptive: true, Grid: core.GridConfig{MaxIntervals: 12}},
+		},
+		CheckpointEvery: 1 << 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer coord.Close()
+	rows := benchDayRows(ds, day1)
+	// Warm until adaptive grid growth settles, as in benchFleet.
+	for pass := 0; pass < 4; pass++ {
+		grown := 0
+		for _, row := range rows {
+			grown += coord.Step(row).GrownPairs
+		}
+		if grown == 0 {
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coord.Step(rows[i%len(rows)])
+	}
+}
+
+// BenchmarkShardNetStep records the networked multi-process step latency
+// at l=48 (1128 pairs) across 4 worker processes — the distributed
+// counterpart of BenchmarkManagerStepSharded/l=48/shards=4. Recorded in
+// BENCH_scoring.json by `make bench-json`. Beating the in-process number
+// requires at least one spare core per worker: on a single-core host the
+// fan-out serializes onto the same CPU as in-process scoring and the
+// wire/wakeup overhead is pure loss, so compare the two entries with the
+// recording host's core count in mind.
+func BenchmarkShardNetStep(b *testing.B) {
+	b.Run("l=48/workers=4", func(b *testing.B) { benchShardNetStep(b, 8, 4) })
 }
 
 // benchMatrix builds a trained kernel-Bayes transition matrix on a 12×12

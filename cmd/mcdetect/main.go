@@ -61,13 +61,17 @@ func run() error {
 		opsAddr   = flag.String("ops-addr", "", "serve ops endpoints (/metrics, /healthz, /statusz, /debug/pprof) on this address")
 		linger    = flag.Duration("ops-linger", 0, "keep the ops server up this long after the run (for scraping final state)")
 
-		shards    = flag.Int("shards", 1, "partition the pair graph across this many manager shards (1 = unsharded; trajectories are bit-identical for any value)")
-		dataDir   = flag.String("data-dir", "", "durable mode: keep WAL + checkpoints here and recover from them on restart")
-		ckptEvery = flag.Int("checkpoint-every", 240, "durable mode: checkpoint after this many scored rows")
-		ckptIvl   = flag.Duration("checkpoint-interval", 0, "durable mode: also checkpoint after this much wall time (0 = off)")
-		fsync     = flag.String("fsync", "batch", "durable mode: WAL fsync policy (always, batch, none)")
-		pace      = flag.Duration("pace", 0, "durable mode: sleep between streamed rows")
-		scoreQ    = flag.Int("score-queue", 0, "durable mode: bounded row queue depth between ingest and scoring (0 = score inline; any depth is trajectory-identical)")
+		shards = flag.Int("shards", 1, "partition the pair graph across this many manager shards (1 = unsharded; trajectories are bit-identical for any value)")
+
+		shardWorkers = flag.String("shard-workers", "", "comma-separated mcshard control addresses: fan scoring out to networked worker processes (batch mode; trajectories are bit-identical to in-process runs)")
+		shardListen  = flag.String("shard-listen", "127.0.0.1:0", "outcome-return listen address for -shard-workers (must be dialable from the workers)")
+		printSteps   = flag.Bool("print-steps", false, "batch mode: print one STEP line per scored row, as durable mode does")
+		dataDir      = flag.String("data-dir", "", "durable mode: keep WAL + checkpoints here and recover from them on restart")
+		ckptEvery    = flag.Int("checkpoint-every", 240, "durable mode: checkpoint after this many scored rows")
+		ckptIvl      = flag.Duration("checkpoint-interval", 0, "durable mode: also checkpoint after this much wall time (0 = off)")
+		fsync        = flag.String("fsync", "batch", "durable mode: WAL fsync policy (always, batch, none)")
+		pace         = flag.Duration("pace", 0, "sleep between streamed rows (durable mode, and batch mode with -print-steps)")
+		scoreQ       = flag.Int("score-queue", 0, "durable mode: bounded row queue depth between ingest and scoring (0 = score inline; any depth is trajectory-identical)")
 
 		incident     = flag.Bool("incident", false, "run the incident diagnosis engine and print root-cause digests (INCIDENT lines)")
 		incOpenBelow = flag.Float64("incident-open-below", 0.8, "open an incident when system Q stays below this")
@@ -122,6 +126,11 @@ func run() error {
 	}
 	if *shards < 1 {
 		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
+	}
+	if *shardWorkers != "" {
+		if specs != nil || *dataDir != "" || *loadFrom != "" || *saveTo != "" || *pairBudget != "" {
+			return fmt.Errorf("-shard-workers cannot combine with -tenant, -data-dir, -load-models, -save-models or -pair-budget")
+		}
 	}
 	if specs != nil {
 		if *loadFrom != "" || *saveTo != "" || *truthPath != "" {
@@ -233,6 +242,15 @@ func run() error {
 				fmt.Printf("pair budget: %d admitted of %d candidates (budget %d)\n", admitted, candidates, budget)
 				fleet = df
 			}
+		} else if *shardWorkers != "" {
+			workers := strings.Split(*shardWorkers, ",")
+			fmt.Printf("fanning out to %d networked shard workers (outcome listener %s)\n", len(workers), *shardListen)
+			fleet, err = mcorr.NewShardNetFleet(watched.Slice(start, trainEnd), mcorr.ShardNetConfig{
+				Workers:         workers,
+				Listen:          *shardListen,
+				Manager:         mcfg,
+				CheckpointEvery: *ckptEvery,
+			})
 		} else if *shards > 1 {
 			fleet, err = shard.New(watched.Slice(start, trainEnd), shard.Config{Shards: *shards, Manager: mcfg})
 		} else {
@@ -248,10 +266,30 @@ func run() error {
 		diag = mcorr.NewDiagnosisEngine(diagCfg, fleet)
 	}
 
+	defer fleet.Close()
 	fmt.Printf("detecting on %s .. %s (adaptive=%v)\n", trainEnd.Format(time.RFC3339), end.Format(time.RFC3339), *adaptive)
 	started := time.Now()
-	reports, err := fleet.Run(watched.Slice(trainEnd, end), trainEnd, end)
-	if err != nil {
+	var reports []mcorr.StepReport
+	if *printSteps || *pace > 0 {
+		// Streamed variant of fleet.Run: same rows in the same order, with
+		// a STEP line (and optional pacing) per row so an external harness
+		// can watch — and interrupt — the run mid-stream.
+		rows, rerr := manager.BuildRows(watched.Slice(trainEnd, end), trainEnd, end)
+		if rerr != nil {
+			return rerr
+		}
+		reports = make([]mcorr.StepReport, 0, len(rows))
+		for _, row := range rows {
+			if *pace > 0 {
+				time.Sleep(*pace)
+			}
+			r := fleet.Step(row)
+			if *printSteps {
+				printStep(r)
+			}
+			reports = append(reports, r)
+		}
+	} else if reports, err = fleet.Run(watched.Slice(trainEnd, end), trainEnd, end); err != nil {
 		return err
 	}
 	elapsed := time.Since(started)

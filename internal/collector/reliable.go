@@ -73,16 +73,17 @@ type ReliableAgent struct {
 	name string
 	cfg  ReliableConfig
 
-	mu       sync.Mutex
-	cond     sync.Cond // signaled when the active flusher finishes
-	agent    *Agent
-	pending  []tsdb.Sample
-	inflight int // leading samples of pending owned by the active flusher
-	credit   int // batch-size cap from the last throttle hint (0 = none)
-	dropped  int
-	flushing bool
-	closed   bool
-	closeCh  chan struct{}
+	mu        sync.Mutex
+	cond      sync.Cond // signaled when the active flusher finishes
+	agent     *Agent
+	pending   []tsdb.Sample
+	inflight  int           // leading samples of pending owned by the active flusher
+	credit    int           // batch-size cap from the last throttle hint (0 = none)
+	hintDelay time.Duration // delay hint left over from a flush's final ack
+	dropped   int
+	flushing  bool
+	closed    bool
+	closeCh   chan struct{}
 }
 
 // NewReliableAgent returns a reliable agent for the given server address.
@@ -177,6 +178,19 @@ func (r *ReliableAgent) flushLocked() error {
 // failure, and honor server throttle hints. Only one goroutine runs it
 // at a time.
 func (r *ReliableAgent) deliver() error {
+	// Honor a delay hint that arrived with the final ack of the previous
+	// flush: there was no in-loop wait left to serve it then, so it is
+	// carried here and served before the first send — through sleep, so a
+	// concurrent Close interrupts it instead of waiting out the hint.
+	r.mu.Lock()
+	carried := r.hintDelay
+	r.hintDelay = 0
+	r.mu.Unlock()
+	if carried > 0 {
+		if !r.sleep(carried) {
+			return errReliableClosed
+		}
+	}
 	backoff := r.cfg.Backoff
 	var lastErr error
 	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
@@ -269,6 +283,12 @@ func (r *ReliableAgent) deliver() error {
 		r.inflight = 0
 		r.credit = hint.Credit
 		done := len(r.pending) == 0
+		if done {
+			// Nothing left to pace in this flush; stash the delay for the
+			// next one so the server's throttle survives the flush boundary
+			// the same way credit does.
+			r.hintDelay = hint.Delay
+		}
 		r.mu.Unlock()
 		if done {
 			return nil

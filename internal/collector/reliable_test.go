@@ -1,6 +1,8 @@
 package collector
 
 import (
+	"errors"
+	"net"
 	"testing"
 	"time"
 
@@ -143,5 +145,121 @@ func TestReliableAgentInterleavedDelivery(t *testing.T) {
 		if got.Values[i] != float64(i) {
 			t.Fatalf("out-of-order delivery at %d", i)
 		}
+	}
+}
+
+// hintServer is a minimal hand-rolled frame server that acks every
+// samples batch with a caller-chosen AckInfo — the deterministic way to
+// hand a reliable agent an exact throttle hint without racing a real
+// admission queue.
+func hintServer(t *testing.T, info func(batch int) AckInfo) (addr string, acked <-chan int) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	ackCh := make(chan int, 16)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				for {
+					f, err := ReadFrame(conn)
+					if err != nil {
+						return
+					}
+					switch f.Type {
+					case MsgSamples:
+						batch, err := DecodeSamples(f.Payload)
+						if err != nil {
+							return
+						}
+						ack := Frame{Type: MsgAck, Payload: EncodeAckInfo(info(len(batch)))}
+						if err := WriteFrame(conn, ack); err != nil {
+							return
+						}
+						select {
+						case ackCh <- len(batch):
+						default:
+						}
+					case MsgBye:
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), ackCh
+}
+
+// TestReliableAgentCloseInterruptsHintDelaySleep pins the shutdown
+// contract for throttle hints: when the server sheds a batch with a long
+// delay hint, the flusher parks in the hint wait — and a concurrent
+// Close must interrupt that wait immediately (the wait selects on
+// closeCh), not block shutdown for up to the hinted delay.
+func TestReliableAgentCloseInterruptsHintDelaySleep(t *testing.T) {
+	addr, acked := hintServer(t, func(int) AckInfo {
+		return AckInfo{Stored: 0, Delay: 10 * time.Second} // healthy shed: retry in 10s
+	})
+	// No test Sleep injected: the wait must go through the real
+	// closeCh-interruptible timer, which is exactly what is under test.
+	ra := NewReliableAgent(addr, "rel-hint-close", ReliableConfig{MaxAttempts: 3})
+	done := make(chan error, 1)
+	go func() { done <- ra.Send(sampleBatch(3)) }()
+	<-acked // the shed ack (with the 10s hint) reached the server side
+	start := time.Now()
+	if err := ra.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, errReliableClosed) {
+			t.Errorf("Send = %v, want closed error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send still blocked 5s after Close; hint-delay wait ignores closeCh")
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Errorf("Close took %v to unblock the hint wait", waited)
+	}
+}
+
+// TestReliableAgentFinalAckDelayCarriesToNextFlush covers the flush
+// boundary: a delay hint that arrives with the final ack of a flush has
+// no in-loop wait left to serve it, so it must be carried — like credit
+// already is — and honored at the start of the next flush.
+func TestReliableAgentFinalAckDelayCarriesToNextFlush(t *testing.T) {
+	const hinted = 150 * time.Millisecond
+	addr, _ := hintServer(t, func(n int) AckInfo {
+		return AckInfo{Stored: n, Delay: hinted} // store everything, ask for pacing
+	})
+	slept := make(chan time.Duration, 8)
+	ra := NewReliableAgent(addr, "rel-hint-carry", ReliableConfig{
+		Sleep: func(d time.Duration) { slept <- d },
+	})
+	defer ra.Close()
+	if err := ra.Send(sampleBatch(3)); err != nil {
+		t.Fatalf("first Send: %v", err)
+	}
+	select {
+	case d := <-slept:
+		t.Fatalf("first flush slept %v before any hint existed", d)
+	default:
+	}
+	if err := ra.Send(sampleBatch(2)); err != nil {
+		t.Fatalf("second Send: %v", err)
+	}
+	select {
+	case d := <-slept:
+		if d != hinted {
+			t.Errorf("second flush honored delay %v, want the carried hint %v", d, hinted)
+		}
+	default:
+		t.Error("second flush ignored the delay hint from the previous flush's final ack")
 	}
 }

@@ -35,8 +35,11 @@ type ServerStats struct {
 // AgentStatus is the server's view of one connected agent — the ops
 // surface for "which machines are reporting, and how recently".
 type AgentStatus struct {
-	Name        string
-	Remote      string
+	Name   string
+	Remote string
+	// Tenant is the resolved tenant owning this connection's batches
+	// ("" on a single-sink server, or before the hello resolves one).
+	Tenant      string
 	ConnectedAt time.Time
 	LastFrame   time.Time
 	Samples     int
@@ -381,6 +384,7 @@ func (s *Server) handle(conn net.Conn) {
 					return
 				}
 				tenant, sink = name, tsink
+				s.setConnTenant(conn, tenant)
 			}
 			s.log.Info("hello", "agent", agent, "tenant", tenant)
 		case MsgHeartbeat:
@@ -412,6 +416,7 @@ func (s *Server) handle(conn net.Conn) {
 					return
 				}
 				tenant, sink = name, tsink
+				s.setConnTenant(conn, tenant)
 			}
 			if !s.handleSamples(conn, agent, tenant, sink, job, batch) {
 				return
@@ -529,6 +534,16 @@ func (s *Server) agentStillConnectedLocked(name string) bool {
 		}
 	}
 	return false
+}
+
+// setConnTenant records the tenant a connection's hello resolved to, so
+// tenant teardown (ForgetTenant) can find the agents it owns.
+func (s *Server) setConnTenant(conn net.Conn, tenant string) {
+	s.mu.Lock()
+	if st, ok := s.conns[conn]; ok {
+		st.Tenant = tenant
+	}
+	s.mu.Unlock()
 }
 
 // touch updates a connection's liveness record.

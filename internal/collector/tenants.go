@@ -66,6 +66,65 @@ type tenantLimiter struct {
 	buckets map[string]*tokenBucket
 }
 
+// forget drops a tenant's token bucket so closed tenants do not pin
+// limiter state forever.
+func (l *tenantLimiter) forget(tenant string) {
+	l.mu.Lock()
+	delete(l.buckets, tenant)
+	l.mu.Unlock()
+}
+
+// ForgetTenant tears down the server-side footprint of a closed tenant:
+// the tenant-labeled mcorr_flow_* series, the tenant's rate-limit
+// bucket, and the per-agent mcorr_flow_* label children of every agent
+// whose live connections all belong to that tenant. Without it, a
+// tenant whose agents never disconnect leaks its label children forever
+// — the per-agent cleanup only runs on an agent's last disconnect,
+// which never comes for a long-lived idle connection.
+//
+// Safe to call while the agents are still connected: a surviving
+// connection that keeps sending merely fails against the closed
+// tenant's sink, and any series it re-creates is deleted again when the
+// connection finally drops.
+func (s *Server) ForgetTenant(name string) {
+	s.mu.Lock()
+	// An agent name may appear on connections of several tenants (shared
+	// relays); only forget names whose every connection is in the closed
+	// tenant.
+	owned := make(map[string]bool)
+	for _, st := range s.conns {
+		if st.Name == "" {
+			continue
+		}
+		if st.Tenant == name {
+			if _, seen := owned[st.Name]; !seen {
+				owned[st.Name] = true
+			}
+		} else {
+			owned[st.Name] = false
+		}
+	}
+	s.mu.Unlock()
+	for agent, only := range owned {
+		if !only {
+			continue
+		}
+		obsAgentLastSeen.Delete(agent)
+		obsFlowAgentRate.Delete(agent)
+		if s.limiter != nil {
+			s.limiter.forget(agent)
+		}
+		if s.meter != nil {
+			s.meter.forget(agent)
+		}
+	}
+	obsFlowTenantSamples.Delete(name)
+	obsFlowTenantThrottled.Delete(name)
+	if s.tlimiter != nil {
+		s.tlimiter.forget(name)
+	}
+}
+
 // take attempts to withdraw n tokens from the tenant's bucket at the
 // given rate/burst. Semantics match limiter.take: on refusal it reports
 // how long to wait and the currently available whole tokens.

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
+	"mcorr/internal/obs"
 	"mcorr/internal/timeseries"
 	"mcorr/internal/tsdb"
 )
@@ -176,6 +178,136 @@ func TestTenantRateLimitThrottles(t *testing.T) {
 	}
 	if got := alpha.Len(sampleBatch(1)[0].ID); got != 15 {
 		t.Errorf("store has %d samples, want 15", got)
+	}
+}
+
+// promSeries counts non-comment series lines in the process registry's
+// Prometheus exposition that contain substr (e.g. a label match like
+// `tenant="gamma"`). Tests use unique label values so counts are
+// unaffected by series other tests created.
+func promSeries(t *testing.T, substr string) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := obs.Default().WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	n := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Contains(line, substr) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestForgetTenantDeletesSeriesWhileAgentsConnected(t *testing.T) {
+	gamma, delta := newTenantStore(t), newTenantStore(t)
+	srv, err := NewTenantServer(&fakeRouter{
+		def:   "gamma",
+		sinks: map[string]Sink{"gamma": gamma, "delta": delta},
+	}, nil)
+	if err != nil {
+		t.Fatalf("NewTenantServer: %v", err)
+	}
+	// The zero flow config still installs the rate meter, so per-agent
+	// mcorr_flow_agent_rate series exist and can leak.
+	srv.SetFlow(FlowConfig{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+
+	dial := func(agent, tenant string) *Agent {
+		t.Helper()
+		a, err := DialTenant(addr.String(), agent, tenant)
+		if err != nil {
+			t.Fatalf("DialTenant(%s, %s): %v", agent, tenant, err)
+		}
+		t.Cleanup(func() { a.Close() })
+		return a
+	}
+	g1 := dial("ft-gamma-1", "gamma")
+	gShared := dial("ft-shared", "gamma")
+	dShared := dial("ft-shared", "delta") // same agent name serving another tenant
+	d1 := dial("ft-delta-1", "delta")
+
+	// Send waits for the ack, so after each call the server has metered
+	// the batch and every label child exists. Each agent writes its own
+	// measurement so batches landing in the same store never look stale.
+	batch := func(machine string) []tsdb.Sample {
+		out := make([]tsdb.Sample, 5)
+		for i := range out {
+			out[i] = tsdb.Sample{
+				ID:    timeseries.MeasurementID{Machine: machine, Metric: "cpu"},
+				Time:  timeseries.MonitoringStart.Add(time.Duration(i) * timeseries.SampleStep),
+				Value: float64(i),
+			}
+		}
+		return out
+	}
+	for name, a := range map[string]*Agent{
+		"ft-gamma-1": g1, "ft-shared-g": gShared, "ft-shared-d": dShared, "ft-delta-1": d1,
+	} {
+		if err := a.Send(batch(name)); err != nil {
+			t.Fatalf("send as %s: %v", name, err)
+		}
+	}
+
+	before := map[string]int{
+		`tenant="ft-t-gamma"`: 0, // guard against accidental matches
+		`tenant="gamma"`:      1, // mcorr_flow_tenant_samples_total
+		`agent="ft-gamma-1"`:  2, // last_seen + agent_rate
+		`agent="ft-shared"`:   2,
+		`agent="ft-delta-1"`:  2,
+		`tenant="delta"`:      1,
+	}
+	for substr, want := range before {
+		if got := promSeries(t, substr); got != want {
+			t.Fatalf("before ForgetTenant: %d series matching %s, want %d", got, substr, want)
+		}
+	}
+
+	// The bug under test: none of the agents disconnect, so the per-agent
+	// cleanup on last disconnect never runs. ForgetTenant must delete the
+	// closed tenant's label children anyway.
+	srv.ForgetTenant("gamma")
+
+	after := map[string]int{
+		`tenant="gamma"`:     0,
+		`agent="ft-gamma-1"`: 0,
+		// ft-shared also serves delta; its series must survive.
+		`agent="ft-shared"`:  2,
+		`agent="ft-delta-1"`: 2,
+		`tenant="delta"`:     1,
+	}
+	for substr, want := range after {
+		if got := promSeries(t, substr); got != want {
+			t.Errorf("after ForgetTenant: %d series matching %s, want %d", got, substr, want)
+		}
+	}
+
+	// Deleting label children must not unregister the families themselves.
+	names := obs.Default().MetricNames()
+	for _, fam := range []string{"mcorr_flow_tenant_samples_total", "mcorr_collector_agent_last_seen_seconds", "mcorr_flow_agent_rate"} {
+		found := false
+		for _, n := range names {
+			if n == fam {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("family %s missing from MetricNames after ForgetTenant", fam)
+		}
+	}
+
+	// The surviving tenant's agents are still live connections.
+	if err := d1.Send(sampleBatch(3)); err != nil {
+		t.Fatalf("delta send after ForgetTenant: %v", err)
 	}
 }
 

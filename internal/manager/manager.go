@@ -145,11 +145,12 @@ type Manager struct {
 	// for map-free Q^a aggregation, reusable outcome scratch, and the
 	// persistent worker pool.
 	pairs     []Pair
-	pairIdx   [][2]int  // pairs[i] → indices into ids
-	outcomes  []Outcome // reused every step; doubles as the carry-forward cache
-	curRow    Row       // row being scored, read by pool workers
-	curDst    []Outcome // ScoreInto destination, read by pool workers
-	curIdx    []int     // ScoreInto local→global index map
+	pairIdx   [][2]int      // pairs[i] → indices into ids
+	modelAt   []*core.Model // pairs[i]'s model, so the hot loop never hashes a Pair
+	outcomes  []Outcome     // reused every step; doubles as the carry-forward cache
+	curRow    Row           // row being scored, read by pool workers
+	curDst    []Outcome     // ScoreInto destination, read by pool workers
+	curIdx    []int         // ScoreInto local→global index map
 	rangeFn   func(lo, hi int)
 	scatterFn func(lo, hi int)
 	pool      *workerPool
@@ -264,6 +265,10 @@ func (m *Manager) initRuntime() {
 	}
 	SortPairs(m.pairs)
 	m.pairIdx = BuildPairIndex(m.ids, m.pairs)
+	m.modelAt = make([]*core.Model, len(m.pairs))
+	for i, p := range m.pairs {
+		m.modelAt[i] = m.models[p]
+	}
 	m.outcomes = make([]Outcome, len(m.pairs))
 	// All-dirty: every pair re-scores on the first row after a (re)build,
 	// which is what lets reshard and recovery skip persisting these caches.
@@ -409,6 +414,14 @@ func (m *Manager) Pairs() []Pair {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return append([]Pair(nil), m.pairs...)
+}
+
+// PairCount returns the number of trained links without copying the pair
+// slice — the per-row fast path for callers that only size buffers.
+func (m *Manager) PairCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pairs)
 }
 
 // Model returns the trained model for a pair (nil when absent).
@@ -607,7 +620,7 @@ func (m *Manager) scatterRange(lo, hi int) {
 // re-scores late-dirty, which is always safe.
 func (m *Manager) stepPairAt(i int, row Row, skipped *uint64) Outcome {
 	p := m.pairs[i]
-	model := m.models[p]
+	model := m.modelAt[i]
 	var va, vb float64
 	var oka, okb bool
 	if idx := m.pairIdx[i]; idx[0] >= 0 && idx[1] >= 0 {

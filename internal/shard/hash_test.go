@@ -73,3 +73,38 @@ func TestAssignMinimalMovement(t *testing.T) {
 		}
 	}
 }
+
+// TestAssignPinnedAssignments freezes the rendezvous placement of a
+// representative key set across every shard count 1–8. These values are
+// load-bearing beyond balance: epoch checkpoints and the networked shard
+// fabric both key worker state by Assign, so a hash change that silently
+// re-homes pairs would orphan every persisted shard directory. Any edit
+// to weight/Assign that alters placement must fail here loudly and be
+// shipped with a checkpoint-migration story, not slipped in.
+func TestAssignPinnedAssignments(t *testing.T) {
+	pinned := []struct {
+		key  string
+		want [8]int // want[n-1] = Assign(key, n)
+	}{
+		{"m-0/cpu|m-0/mem", [8]int{0, 1, 2, 2, 2, 2, 2, 7}},
+		{"m-0/cpu|m-1/cpu", [8]int{0, 0, 0, 0, 0, 0, 0, 0}},
+		{"m-0/mem|m-2/net", [8]int{0, 0, 0, 0, 0, 0, 6, 6}},
+		{"m-1/disk|m-3/cpu", [8]int{0, 0, 0, 3, 3, 3, 3, 3}},
+		{"m-2/cpu|m-2/mem", [8]int{0, 1, 1, 1, 1, 1, 1, 1}},
+		{"m-3/net|m-4/net", [8]int{0, 1, 1, 1, 1, 1, 1, 1}},
+		{"m-4/cpu|m-5/mem", [8]int{0, 0, 0, 0, 4, 4, 4, 4}},
+		{"m-5/disk|m-6/disk", [8]int{0, 0, 2, 3, 4, 4, 4, 4}},
+		{"m-6/cpu|m-7/net", [8]int{0, 0, 0, 3, 3, 3, 3, 3}},
+		{"m-7/mem|m-7/net", [8]int{0, 0, 0, 0, 0, 0, 6, 7}},
+		{"L-srv-00/cpuUtil|L-srv-01/cpuUtil", [8]int{0, 0, 0, 0, 0, 0, 0, 0}},
+		{"L-srv-02/memUsed|L-srv-03/netTx", [8]int{0, 0, 2, 3, 4, 4, 4, 4}},
+	}
+	for _, tc := range pinned {
+		for n := 1; n <= 8; n++ {
+			if got := Assign(tc.key, n); got != tc.want[n-1] {
+				t.Errorf("Assign(%q, %d) = %d, want pinned %d — the rendezvous hash changed; existing shard checkpoints would be orphaned",
+					tc.key, n, got, tc.want[n-1])
+			}
+		}
+	}
+}

@@ -1,11 +1,17 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 
 	"mcorr/internal/core"
 	"mcorr/internal/manager"
 )
+
+// ErrInvalidShardCount is returned by Reshard when the requested shard
+// count is not positive. Callers retuning topology from config or an
+// ops endpoint can match it with errors.Is instead of string-parsing.
+var ErrInvalidShardCount = errors.New("shard count must be >= 1")
 
 // Reshard repartitions the live pair graph across n shards without
 // retraining: the coordinator drains in-flight scoring (it holds the step
@@ -21,8 +27,13 @@ import (
 // graph); no pair ever moves between two surviving shards.
 func (c *Coordinator) Reshard(n int) (moved int, err error) {
 	if n < 1 {
-		return 0, fmt.Errorf("reshard: shard count must be >= 1, got %d", n)
+		return 0, fmt.Errorf("reshard: %w (got %d)", ErrInvalidShardCount, n)
 	}
+	// Taking the step lock is the drain: Step holds c.mu across the full
+	// score→aggregate round, so once the lock is acquired no scoreShard
+	// call is outstanding and every outcome of the previous row has been
+	// folded. Re-keying before that drain would hand a shard manager to
+	// Close mid-score.
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {

@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"mcorr/internal/manager"
+)
+
+// TestReshardInvalidCountTypedError pins the typed error contract: a
+// non-positive shard count must come back as ErrInvalidShardCount (never
+// a panic), matchable with errors.Is through the wrapped chain.
+func TestReshardInvalidCountTypedError(t *testing.T) {
+	_, history, _ := fixtures(t, 2, 1)
+	coord, err := New(history, Config{Shards: 2, Manager: manager.Config{Workers: 1}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer coord.Close()
+	for _, n := range []int{0, -1, -100} {
+		_, err := coord.Reshard(n)
+		if err == nil {
+			t.Fatalf("Reshard(%d): want error, got nil", n)
+		}
+		if !errors.Is(err, ErrInvalidShardCount) {
+			t.Errorf("Reshard(%d) error %v is not ErrInvalidShardCount", n, err)
+		}
+	}
+	if got := coord.NumShards(); got != 2 {
+		t.Fatalf("NumShards after rejected reshards = %d, want 2", got)
+	}
+}
+
+// TestReshardStepPairStatesInterleaved is the -race regression for the
+// reshard/in-flight-step race: one goroutine streams rows, one retunes
+// the topology through every count 1–4 (plus rejected counts), and one
+// reads PairStates/Pairs concurrently. Reshard must drain the in-flight
+// Step before re-keying, so no Step ever scores against a shard manager
+// that Reshard already closed. The race detector is the assertion; the
+// test also checks the pair graph survives intact.
+func TestReshardStepPairStatesInterleaved(t *testing.T) {
+	_, history, rows := fixtures(t, 3, 2)
+	coord, err := New(history, Config{Shards: 2, Manager: manager.Config{Workers: 2}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer coord.Close()
+	wantPairs := len(coord.Pairs())
+
+	if len(rows) > 80 {
+		rows = rows[:80]
+	}
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for _, row := range rows {
+			coord.Step(row)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			n := 1 + i%4
+			if _, err := coord.Reshard(n); err != nil {
+				t.Errorf("Reshard(%d): %v", n, err)
+			}
+			if _, err := coord.Reshard(-1); !errors.Is(err, ErrInvalidShardCount) {
+				t.Errorf("Reshard(-1) mid-stream: %v", err)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			states := coord.PairStates()
+			if len(states) != wantPairs {
+				t.Errorf("PairStates len = %d, want %d", len(states), wantPairs)
+			}
+			if got := len(coord.Pairs()); got != wantPairs {
+				t.Errorf("Pairs len = %d, want %d", got, wantPairs)
+			}
+			coord.NumShards()
+		}
+	}()
+	wg.Wait()
+
+	if got := len(coord.Pairs()); got != wantPairs {
+		t.Fatalf("pair count after interleaving = %d, want %d", got, wantPairs)
+	}
+}

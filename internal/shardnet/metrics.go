@@ -1,0 +1,41 @@
+package shardnet
+
+import "mcorr/internal/obs"
+
+// Process-global networked-fabric metrics (mcorr_shardnet_*). The
+// coordinator side labels per-shard children by shard index; cardinality
+// is bounded by the worker count. Worker processes publish the
+// mcorr_shardnet_worker_* families on their own ops surface.
+var (
+	obsStepSeconds = obs.Default().Histogram("mcorr_shardnet_step_seconds",
+		"Latency of one networked Step: broadcast, remote scoring on every worker, and central merge.",
+		obs.TimeBuckets())
+	obsRows = obs.Default().Counter("mcorr_shardnet_rows_total",
+		"Rows fanned out to networked shard workers.")
+	obsWorkerCount = obs.Default().Gauge("mcorr_shardnet_workers",
+		"Networked shard workers in the fabric.")
+	obsConnected = obs.Default().Gauge("mcorr_shardnet_workers_connected",
+		"Workers with a live control connection.")
+	obsReconnects = obs.Default().Counter("mcorr_shardnet_reconnects_total",
+		"Control-connection re-establishments after a worker or link failure.")
+	obsReplayedRows = obs.Default().Counter("mcorr_shardnet_replayed_rows_total",
+		"Rows re-sent from the coordinator's replay ring during recovery.")
+	obsDupOutcomes = obs.Default().Counter("mcorr_shardnet_duplicate_outcomes_total",
+		"Outcome sets dropped by the coordinator's exactly-once filter (retries of already-merged rows).")
+	obsStaleOutcomes = obs.Default().Counter("mcorr_shardnet_stale_outcomes_total",
+		"Outcome sets dropped for carrying an outdated rebalance plan version.")
+	obsRebalances = obs.Default().Counter("mcorr_shardnet_rebalances_total",
+		"Completed work-stealing rebalances between workers.")
+	obsPairsStolen = obs.Default().Counter("mcorr_shardnet_pairs_stolen_total",
+		"Pair models migrated between workers across all rebalances.")
+	obsShardLatency = obs.Default().GaugeVec("mcorr_shardnet_shard_latency_seconds",
+		"Exponentially weighted round-trip per shard: row broadcast to outcome arrival (label: shard index).",
+		"shard")
+
+	obsWorkerRows = obs.Default().Counter("mcorr_shardnet_worker_rows_total",
+		"Rows scored by this worker process.")
+	obsWorkerCheckpoints = obs.Default().Counter("mcorr_shardnet_worker_checkpoints_total",
+		"Checkpoints persisted by this worker process.")
+	obsWorkerSessions = obs.Default().Counter("mcorr_shardnet_worker_sessions_total",
+		"Control sessions accepted by this worker process.")
+)

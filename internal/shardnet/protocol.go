@@ -1,0 +1,359 @@
+// Package shardnet runs the sharded scoring fabric across processes: a
+// coordinator owning the authoritative Aggregator fans synchronized rows
+// out to shard workers over the collector wire protocol, and the workers
+// return their per-pair outcomes through the collector's ReliableAgent
+// exactly-once delivery machinery. The merged Q^a/Q trajectory is
+// bit-identical (Float64bits) to the in-process fabric for any worker
+// count: scoring advances the same models in the same canonical pair
+// order, and aggregation happens once, centrally, through the exact
+// Aggregate call the in-process Manager and shard Coordinator use.
+package shardnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"net"
+	"time"
+
+	"mcorr/internal/collector"
+	"mcorr/internal/manager"
+	"mcorr/internal/timeseries"
+)
+
+// Control-channel message types, layered on the collector frame format.
+// The collector reserves types below 16 for agent traffic; ReadFrame
+// passes unknown types through untouched, so both protocols share one
+// header, magic and size limit.
+const (
+	// MsgShardAssign (coordinator → worker) opens a control session: gob
+	// assignMsg naming the worker's shard, the fabric run, the outcome
+	// return address and the expected pair set.
+	MsgShardAssign collector.MsgType = 16
+	// MsgShardReady (worker → coordinator) answers an assign or a state
+	// transfer: gob readyMsg reporting the worker's recovered state.
+	MsgShardReady collector.MsgType = 17
+	// MsgShardState (coordinator → worker) carries one chunk of a trained
+	// manager blob (manager.Save bytes); the first payload byte flags the
+	// last chunk.
+	MsgShardState collector.MsgType = 18
+	// MsgShardRow (coordinator → worker) is one synchronized row in the
+	// compact binary layout of appendRowFrame.
+	MsgShardRow collector.MsgType = 19
+	// MsgShardPrune (coordinator → worker) orders the worker to drop pairs
+	// it no longer owns (gob pruneMsg); the worker checkpoints and
+	// answers MsgShardDone.
+	MsgShardPrune collector.MsgType = 20
+	// MsgShardExtract (coordinator → worker) asks for serialized models of
+	// the named pairs (gob extractMsg) without removing them; the worker
+	// answers with MsgShardModels chunks.
+	MsgShardExtract collector.MsgType = 21
+	// MsgShardModels (worker → coordinator) carries chunked gob modelSet
+	// bytes answering an extract.
+	MsgShardModels collector.MsgType = 22
+	// MsgShardInstall (coordinator → worker) carries chunked gob
+	// installMsg bytes: models migrating onto this worker. The worker
+	// installs, checkpoints and answers MsgShardDone.
+	MsgShardInstall collector.MsgType = 23
+	// MsgShardPlan (coordinator → worker) announces a new plan version
+	// after a rebalance (gob planMsg); the worker adopts it for subsequent
+	// outcomes and answers MsgShardDone.
+	MsgShardPlan collector.MsgType = 24
+	// MsgShardDone (worker → coordinator) acknowledges prune, install,
+	// plan, adaptive and reset-chains commands (gob doneMsg).
+	MsgShardDone collector.MsgType = 25
+	// MsgShardAdaptive (coordinator → worker) toggles online model
+	// updating (gob bool); answered with MsgShardDone.
+	MsgShardAdaptive collector.MsgType = 26
+	// MsgShardResetChains (coordinator → worker) clears every model's
+	// Markov position; answered with MsgShardDone.
+	MsgShardResetChains collector.MsgType = 27
+)
+
+// blobChunk bounds one state/model transfer chunk, comfortably under the
+// collector's MaxFrameSize.
+const blobChunk = 256 << 10
+
+// assignMsg opens (or re-opens) a worker's control session.
+type assignMsg struct {
+	// RunID identifies one coordinator lifetime. Workers ignore
+	// checkpoints from other runs, so a stale data-dir never resurrects
+	// models from a previous experiment.
+	RunID string
+	// K and N are the worker's shard index and the total shard count.
+	K, N int
+	// PlanVersion is the coordinator's current ownership-plan epoch.
+	PlanVersion uint64
+	// ReturnAddr is the coordinator's outcome collector address the
+	// worker's ReliableAgent dials back to.
+	ReturnAddr string
+	// CheckpointEvery is the worker checkpoint cadence in rows.
+	CheckpointEvery int
+	// IDs is the fleet's canonical measurement order; row frames index
+	// into it.
+	IDs []timeseries.MeasurementID
+	// Pairs is the pair set the plan assigns to shard K, canonical order.
+	Pairs []manager.Pair
+}
+
+// readyMsg reports a worker's state after an assign or state transfer.
+type readyMsg struct {
+	// HaveState is false when the worker holds no usable model state for
+	// this run and needs a MsgShardState transfer.
+	HaveState bool
+	// AppliedSeq is the last row sequence whose outcome the coordinator
+	// has acknowledged; replay must resume at AppliedSeq+1.
+	AppliedSeq uint64
+	// PlanVersion is the plan epoch the worker recovered with.
+	PlanVersion uint64
+	// Pairs is the worker's actual pair set, for ownership reconciliation.
+	Pairs []manager.Pair
+}
+
+type pruneMsg struct {
+	PlanVersion uint64
+	Pairs       []manager.Pair
+}
+
+type extractMsg struct {
+	Pairs []manager.Pair
+}
+
+// pairModel is one serialized model in flight between workers.
+type pairModel struct {
+	Pair manager.Pair
+	Blob []byte
+}
+
+type modelSet struct {
+	Models []pairModel
+}
+
+type installMsg struct {
+	PlanVersion uint64
+	Models      []pairModel
+}
+
+type planMsg struct {
+	PlanVersion uint64
+}
+
+// doneMsg acknowledges a control command; Err is a worker-side failure
+// description ("" on success).
+type doneMsg struct {
+	PlanVersion uint64
+	Err         string
+}
+
+// writeGob frames one gob-encoded control message.
+func writeGob(conn net.Conn, msgType collector.MsgType, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("shardnet: encode %d: %w", byte(msgType), err)
+	}
+	return collector.WriteFrame(conn, collector.Frame{Type: msgType, Payload: buf.Bytes()})
+}
+
+// decodeGob decodes a control payload into v.
+func decodeGob(payload []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(payload)).Decode(v)
+}
+
+// writeBlob streams data as MsgShardState/MsgShardModels/MsgShardInstall
+// chunks: each frame's first payload byte flags the final chunk.
+func writeBlob(conn net.Conn, msgType collector.MsgType, data []byte) error {
+	for {
+		n := len(data)
+		last := byte(0)
+		if n <= blobChunk {
+			last = 1
+		} else {
+			n = blobChunk
+		}
+		chunk := make([]byte, 1+n)
+		chunk[0] = last
+		copy(chunk[1:], data[:n])
+		if err := collector.WriteFrame(conn, collector.Frame{Type: msgType, Payload: chunk}); err != nil {
+			return err
+		}
+		data = data[n:]
+		if last == 1 {
+			return nil
+		}
+	}
+}
+
+// appendBlobChunk accumulates one received chunk; it reports whether the
+// chunk was the blob's last.
+func appendBlobChunk(acc *bytes.Buffer, payload []byte) (last bool, err error) {
+	if len(payload) < 1 {
+		return false, fmt.Errorf("shardnet: empty blob chunk")
+	}
+	acc.Write(payload[1:])
+	return payload[0] == 1, nil
+}
+
+// Row frame layout: u64 seq, i64 unix-nanos, u32 count, then count ×
+// {u16 measurement index, u64 value bits}. Only present measurements are
+// encoded; absent ones are monitoring gaps.
+type rowFrame struct {
+	Seq  uint64
+	Time time.Time
+	// Idx/Bits are parallel: Idx[i] indexes assignMsg.IDs.
+	Idx  []uint16
+	Bits []uint64
+}
+
+// encodeRowFrame packs one row against the fleet's canonical measurement
+// order. The same bytes are broadcast to every worker and retained for
+// replay.
+func encodeRowFrame(seq uint64, row manager.Row, ids []timeseries.MeasurementID) []byte {
+	buf := make([]byte, 20, 20+10*len(row.Values))
+	binary.BigEndian.PutUint64(buf[0:], seq)
+	binary.BigEndian.PutUint64(buf[8:], uint64(row.Time.UnixNano()))
+	n := 0
+	for i, id := range ids {
+		v, ok := row.Values[id]
+		if !ok {
+			continue
+		}
+		var cell [10]byte
+		binary.BigEndian.PutUint16(cell[0:], uint16(i))
+		binary.BigEndian.PutUint64(cell[2:], math.Float64bits(v))
+		buf = append(buf, cell[:]...)
+		n++
+	}
+	binary.BigEndian.PutUint32(buf[16:], uint32(n))
+	return buf
+}
+
+// decodeRowFrame unpacks a row frame. Slices are reused across calls via
+// the caller-owned frame.
+func decodeRowFrame(payload []byte, f *rowFrame) error {
+	if len(payload) < 20 {
+		return fmt.Errorf("shardnet: row frame too short (%d bytes)", len(payload))
+	}
+	f.Seq = binary.BigEndian.Uint64(payload[0:])
+	f.Time = time.Unix(0, int64(binary.BigEndian.Uint64(payload[8:]))).UTC()
+	n := int(binary.BigEndian.Uint32(payload[16:]))
+	if len(payload) != 20+10*n {
+		return fmt.Errorf("shardnet: row frame length %d does not match count %d", len(payload), n)
+	}
+	f.Idx = f.Idx[:0]
+	f.Bits = f.Bits[:0]
+	for i := 0; i < n; i++ {
+		cell := payload[20+10*i:]
+		f.Idx = append(f.Idx, binary.BigEndian.Uint16(cell[0:]))
+		f.Bits = append(f.Bits, binary.BigEndian.Uint64(cell[2:]))
+	}
+	return nil
+}
+
+// Outcome payloads travel inside tsdb samples through the collector: one
+// sample per (row, chunk), Machine "shard-<k>", Value the row sequence,
+// Metric the packed bytes below. Layout: u64 plan version, u32 total
+// outcome count, u32 chunk offset, u32 chunk count, then count × 17
+// bytes {u64 fitness bits, u64 prob bits, flags}.
+const (
+	outcomeHeader = 20
+	outcomeSize   = 17
+	// maxOutcomesPerChunk keeps each packed payload under the wire
+	// format's 64 KiB string limit.
+	maxOutcomesPerChunk = 3500
+
+	flagScored byte = 1 << 0
+	flagGap    byte = 1 << 1
+	flagGrown  byte = 1 << 2
+	flagSteady byte = 1 << 3
+)
+
+// packOutcomes encodes a worker's local outcome slice (canonical local
+// pair order) into one or more sample payload strings. scratch is an
+// optional reusable build buffer (each chunk still becomes its own
+// immutable string); the grown buffer is returned for the next call.
+func packOutcomes(scratch []byte, planVersion uint64, outs []manager.Outcome) ([]string, []byte) {
+	total := len(outs)
+	chunks := make([]string, 0, 1+total/maxOutcomesPerChunk)
+	for off := 0; off < total || off == 0; off += maxOutcomesPerChunk {
+		n := total - off
+		if n > maxOutcomesPerChunk {
+			n = maxOutcomesPerChunk
+		}
+		need := outcomeHeader + outcomeSize*n
+		if cap(scratch) < need {
+			scratch = make([]byte, need)
+		}
+		buf := scratch[:need]
+		binary.BigEndian.PutUint64(buf[0:], planVersion)
+		binary.BigEndian.PutUint32(buf[8:], uint32(total))
+		binary.BigEndian.PutUint32(buf[12:], uint32(off))
+		binary.BigEndian.PutUint32(buf[16:], uint32(n))
+		for i := 0; i < n; i++ {
+			o := outs[off+i]
+			cell := buf[outcomeHeader+outcomeSize*i:]
+			binary.BigEndian.PutUint64(cell[0:], math.Float64bits(o.Fitness))
+			binary.BigEndian.PutUint64(cell[8:], math.Float64bits(o.Prob))
+			var flags byte
+			if o.Scored {
+				flags |= flagScored
+			}
+			if o.Gap {
+				flags |= flagGap
+			}
+			if o.Grown {
+				flags |= flagGrown
+			}
+			if o.Steady {
+				flags |= flagSteady
+			}
+			cell[16] = flags
+		}
+		chunks = append(chunks, string(buf))
+		if total == 0 {
+			break
+		}
+	}
+	return chunks, scratch
+}
+
+// outcomeChunk is one decoded packed payload.
+type outcomeChunk struct {
+	PlanVersion uint64
+	Total       int
+	Offset      int
+	Outcomes    []manager.Outcome
+}
+
+// unpackOutcomes decodes one packed payload string.
+func unpackOutcomes(payload string, ch *outcomeChunk) error {
+	if len(payload) < outcomeHeader {
+		return fmt.Errorf("shardnet: outcome payload too short (%d bytes)", len(payload))
+	}
+	b := []byte(payload)
+	ch.PlanVersion = binary.BigEndian.Uint64(b[0:])
+	ch.Total = int(binary.BigEndian.Uint32(b[8:]))
+	ch.Offset = int(binary.BigEndian.Uint32(b[12:]))
+	n := int(binary.BigEndian.Uint32(b[16:]))
+	if len(b) != outcomeHeader+outcomeSize*n {
+		return fmt.Errorf("shardnet: outcome payload length %d does not match count %d", len(b), n)
+	}
+	if ch.Offset < 0 || ch.Total < 0 || ch.Offset+n > ch.Total {
+		return fmt.Errorf("shardnet: outcome chunk [%d, %d) exceeds total %d", ch.Offset, ch.Offset+n, ch.Total)
+	}
+	ch.Outcomes = ch.Outcomes[:0]
+	for i := 0; i < n; i++ {
+		cell := b[outcomeHeader+outcomeSize*i:]
+		flags := cell[16]
+		ch.Outcomes = append(ch.Outcomes, manager.Outcome{
+			Fitness: math.Float64frombits(binary.BigEndian.Uint64(cell[0:])),
+			Prob:    math.Float64frombits(binary.BigEndian.Uint64(cell[8:])),
+			Scored:  flags&flagScored != 0,
+			Gap:     flags&flagGap != 0,
+			Grown:   flags&flagGrown != 0,
+			Steady:  flags&flagSteady != 0,
+		})
+	}
+	return nil
+}

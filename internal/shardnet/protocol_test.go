@@ -1,0 +1,139 @@
+package shardnet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mcorr/internal/manager"
+	"mcorr/internal/timeseries"
+)
+
+func mid(machine, metric string) timeseries.MeasurementID {
+	return timeseries.MeasurementID{Machine: machine, Metric: metric}
+}
+
+func TestRowFrameRoundTrip(t *testing.T) {
+	ids := []timeseries.MeasurementID{
+		mid("m0", "cpu"), mid("m0", "mem"), mid("m1", "cpu"), mid("m1", "mem"),
+	}
+	row := manager.Row{
+		Time: time.Date(2008, time.May, 30, 12, 6, 0, 0, time.UTC),
+		Values: map[timeseries.MeasurementID]float64{
+			ids[0]: 0.25,
+			ids[2]: math.NaN(),
+			ids[3]: -1e300,
+		},
+	}
+	frame := encodeRowFrame(77, row, ids)
+	var f rowFrame
+	if err := decodeRowFrame(frame, &f); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if f.Seq != 77 {
+		t.Fatalf("seq = %d", f.Seq)
+	}
+	if !f.Time.Equal(row.Time) {
+		t.Fatalf("time = %v", f.Time)
+	}
+	if len(f.Idx) != 3 || len(f.Bits) != 3 {
+		t.Fatalf("got %d idx, %d bits", len(f.Idx), len(f.Bits))
+	}
+	got := make(map[timeseries.MeasurementID]float64, len(f.Idx))
+	for i, ix := range f.Idx {
+		got[ids[ix]] = math.Float64frombits(f.Bits[i])
+	}
+	for id, v := range row.Values {
+		g, ok := got[id]
+		if !ok {
+			t.Fatalf("missing %v", id)
+		}
+		if math.Float64bits(g) != math.Float64bits(v) {
+			t.Fatalf("%v: %x != %x", id, math.Float64bits(g), math.Float64bits(v))
+		}
+	}
+	if err := decodeRowFrame(frame[:10], &f); err == nil {
+		t.Fatal("truncated frame decoded")
+	}
+}
+
+func TestOutcomePackingRoundTrip(t *testing.T) {
+	outs := make([]manager.Outcome, 2*maxOutcomesPerChunk+17)
+	for i := range outs {
+		outs[i] = manager.Outcome{
+			Fitness: float64(i) * 0.001,
+			Prob:    1 / float64(i+1),
+			Scored:  i%2 == 0,
+			Gap:     i%3 == 0,
+			Grown:   i%5 == 0,
+			Steady:  i%7 == 0,
+		}
+	}
+	chunks, scratch := packOutcomes(nil, 42, outs)
+	if len(chunks) != 3 {
+		t.Fatalf("chunks = %d, want 3", len(chunks))
+	}
+	merged := make([]manager.Outcome, len(outs))
+	seen := 0
+	var ch outcomeChunk
+	for _, c := range chunks {
+		if err := unpackOutcomes(c, &ch); err != nil {
+			t.Fatalf("unpack: %v", err)
+		}
+		if ch.PlanVersion != 42 {
+			t.Fatalf("plan version = %d", ch.PlanVersion)
+		}
+		if ch.Total != len(outs) {
+			t.Fatalf("total = %d, want %d", ch.Total, len(outs))
+		}
+		copy(merged[ch.Offset:], ch.Outcomes)
+		seen += len(ch.Outcomes)
+	}
+	if seen != len(outs) {
+		t.Fatalf("merged %d outcomes, want %d", seen, len(outs))
+	}
+	for i, o := range outs {
+		if merged[i] != o {
+			t.Fatalf("outcome %d: %+v != %+v", i, merged[i], o)
+		}
+	}
+
+	empty, _ := packOutcomes(scratch, 7, nil)
+	if len(empty) != 1 {
+		t.Fatalf("empty shard must still emit one chunk, got %d", len(empty))
+	}
+	if err := unpackOutcomes(empty[0], &ch); err != nil || ch.Total != 0 || ch.PlanVersion != 7 {
+		t.Fatalf("empty chunk: %+v err %v", ch, err)
+	}
+	if err := unpackOutcomes("bogus", &ch); err == nil {
+		t.Fatal("malformed chunk unpacked")
+	}
+}
+
+func TestDiffPairs(t *testing.T) {
+	p := func(a, b string) manager.Pair {
+		return manager.Pair{A: mid(a, "x"), B: mid(b, "x")}
+	}
+	have := []manager.Pair{p("a", "b"), p("a", "c"), p("c", "d")}
+	want := []manager.Pair{p("a", "c"), p("b", "c"), p("c", "d"), p("d", "e")}
+	manager.SortPairs(have)
+	manager.SortPairs(want)
+	extras, missing := diffPairs(have, want)
+	if len(extras) != 1 || extras[0] != p("a", "b") {
+		t.Fatalf("extras = %v", extras)
+	}
+	if len(missing) != 2 {
+		t.Fatalf("missing = %v", missing)
+	}
+}
+
+func TestShardOf(t *testing.T) {
+	if k, ok := shardOf("shard-3"); !ok || k != 3 {
+		t.Fatalf("shard-3 -> %d %v", k, ok)
+	}
+	for _, bad := range []string{"shard-", "shard--1", "worker-3", "3"} {
+		if _, ok := shardOf(bad); ok {
+			t.Fatalf("%q parsed", bad)
+		}
+	}
+}

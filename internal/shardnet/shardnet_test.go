@@ -1,0 +1,318 @@
+package shardnet
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"mcorr/internal/core"
+	"mcorr/internal/manager"
+	"mcorr/internal/simulator"
+	"mcorr/internal/timeseries"
+)
+
+// fixtures builds a small group trace, a training slice, and a bounded
+// monitoring window shared by the bit-identity tests.
+func fixtures(t *testing.T, machines int, hours int) (*timeseries.Dataset, []manager.Row) {
+	t.Helper()
+	ds, _, err := simulator.Generate(simulator.GroupConfig{
+		Name: "N", Machines: machines, Days: 2, Seed: 43,
+		Faults: []simulator.Fault{{
+			ID: "f1", Machine: simulator.MachineName("N", 1), Kind: simulator.FaultLevelShift,
+			Start: timeseries.MonitoringStart.AddDate(0, 0, 1).Add(1 * time.Hour),
+			End:   timeseries.MonitoringStart.AddDate(0, 0, 1).Add(3 * time.Hour),
+		}},
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	trainEnd := timeseries.MonitoringStart.AddDate(0, 0, 1)
+	history := ds.Slice(timeseries.MonitoringStart, trainEnd)
+	rows, err := manager.BuildRows(ds, trainEnd, trainEnd.Add(time.Duration(hours)*time.Hour))
+	if err != nil {
+		t.Fatalf("BuildRows: %v", err)
+	}
+	return history, rows
+}
+
+// tinyModel keeps test models small: grid size drives the transition
+// matrix (and therefore every checkpoint and state-transfer blob)
+// quadratically, so tests pin it down the same way mcdetect does.
+func tinyModel(adaptive bool) core.Config {
+	return core.Config{Adaptive: adaptive, Grid: core.GridConfig{MaxIntervals: 8}}
+}
+
+func sameBits(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("%s: networked %v (%x) != reference %v (%x)",
+			what, got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+func compareReports(t *testing.T, step int, got, want manager.StepReport) {
+	t.Helper()
+	sameBits(t, fmt.Sprintf("step %d system", step), got.System, want.System)
+	if got.ScoredPairs != want.ScoredPairs {
+		t.Fatalf("step %d scored pairs = %d, want %d", step, got.ScoredPairs, want.ScoredPairs)
+	}
+	if got.GrownPairs != want.GrownPairs {
+		t.Fatalf("step %d grown pairs = %d, want %d", step, got.GrownPairs, want.GrownPairs)
+	}
+	for id, q := range want.Measurements {
+		sameBits(t, fmt.Sprintf("step %d %s", step, id), got.Measurements[id], q)
+	}
+}
+
+// fabric is an in-test worker fleet: real processes in production, real
+// TCP listeners with in-process goroutines here.
+type fabric struct {
+	t       *testing.T
+	dirs    []string
+	addrs   []string
+	workers []*Worker
+}
+
+func startFabric(t *testing.T, n int) *fabric {
+	t.Helper()
+	f := &fabric{t: t, dirs: make([]string, n), addrs: make([]string, n), workers: make([]*Worker, n)}
+	for k := 0; k < n; k++ {
+		f.dirs[k] = t.TempDir()
+		f.start(k, "127.0.0.1:0")
+	}
+	t.Cleanup(func() {
+		for _, w := range f.workers {
+			if w != nil {
+				w.Close()
+			}
+		}
+	})
+	return f
+}
+
+// start launches (or relaunches) worker k on addr, reusing its data dir.
+func (f *fabric) start(k int, addr string) {
+	f.t.Helper()
+	w, err := ListenWorker(addr, WorkerConfig{DataDir: f.dirs[k]})
+	if err != nil {
+		f.t.Fatalf("ListenWorker %d: %v", k, err)
+	}
+	go w.Serve()
+	f.workers[k] = w
+	f.addrs[k] = w.Addr().String()
+}
+
+// kill abruptly stops worker k, keeping its checkpoint directory.
+func (f *fabric) kill(k int) {
+	f.t.Helper()
+	f.workers[k].Close()
+	f.workers[k] = nil
+}
+
+// refRun holds the in-process reference trajectory and its end-of-run
+// accumulator values.
+type refRun struct {
+	reports []manager.StepReport
+	steps   int
+	mean    float64
+}
+
+func referenceRun(t *testing.T, history *timeseries.Dataset, cfg manager.Config, rows []manager.Row) refRun {
+	t.Helper()
+	ref, err := manager.New(history, cfg)
+	if err != nil {
+		t.Fatalf("manager.New: %v", err)
+	}
+	defer ref.Close()
+	reports := make([]manager.StepReport, len(rows))
+	for i, row := range rows {
+		reports[i] = ref.Step(row)
+	}
+	return refRun{reports: reports, steps: ref.Steps(), mean: ref.SystemMean()}
+}
+
+// TestShardNetBitIdenticalToManager is the tentpole property for the
+// networked fabric: for any worker count, fanning rows over TCP to
+// worker processes and merging their returned outcomes centrally yields
+// the exact Q^a/Q bit patterns of a single in-process Manager —
+// including in adaptive mode, where grid growth happens remotely.
+func TestShardNetBitIdenticalToManager(t *testing.T) {
+	for _, adaptive := range []bool{false, true} {
+		name := map[bool]string{false: "offline", true: "adaptive"}[adaptive]
+		t.Run(name, func(t *testing.T) {
+			mcfg := manager.Config{Model: tinyModel(adaptive)}
+			history, rows := fixtures(t, 3, 6)
+			want := referenceRun(t, history, mcfg, rows)
+			for _, n := range []int{1, 3} {
+				t.Run(fmt.Sprintf("workers=%d", n), func(t *testing.T) {
+					f := startFabric(t, n)
+					c, err := New(history, Config{Workers: f.addrs, Manager: mcfg})
+					if err != nil {
+						t.Fatalf("shardnet.New: %v", err)
+					}
+					defer c.Close()
+					for i, row := range rows {
+						compareReports(t, i, c.Step(row), want.reports[i])
+					}
+					sameBits(t, "system mean", c.SystemMean(), want.mean)
+					if c.Steps() != want.steps {
+						t.Fatalf("Steps = %d, want %d", c.Steps(), want.steps)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestShardNetWorkerRestartMidStream kills one worker between steps and
+// restarts it from its on-disk checkpoint on the same address: the
+// coordinator replays the missed rows from its ring and the merged
+// trajectory stays bit-identical to an uninterrupted in-process run.
+func TestShardNetWorkerRestartMidStream(t *testing.T) {
+	mcfg := manager.Config{Model: tinyModel(true)}
+	history, rows := fixtures(t, 3, 5)
+	want := referenceRun(t, history, mcfg, rows).reports
+
+	f := startFabric(t, 2)
+	c, err := New(history, Config{Workers: f.addrs, Manager: mcfg, CheckpointEvery: 7})
+	if err != nil {
+		t.Fatalf("shardnet.New: %v", err)
+	}
+	defer c.Close()
+
+	crashAt := len(rows) / 2
+	for i, row := range rows {
+		if i == crashAt {
+			addr := f.addrs[1]
+			f.kill(1)
+			f.start(1, addr)
+		}
+		compareReports(t, i, c.Step(row), want[i])
+	}
+}
+
+// TestShardNetRebalancePreservesBits migrates pairs between live workers
+// mid-stream and checks the trajectory is unchanged: moved models keep
+// their full state, and stale-plan outcomes never corrupt a merge.
+func TestShardNetRebalancePreservesBits(t *testing.T) {
+	mcfg := manager.Config{Model: tinyModel(true)}
+	history, rows := fixtures(t, 3, 4)
+	want := referenceRun(t, history, mcfg, rows).reports
+
+	f := startFabric(t, 2)
+	c, err := New(history, Config{Workers: f.addrs, Manager: mcfg})
+	if err != nil {
+		t.Fatalf("shardnet.New: %v", err)
+	}
+	defer c.Close()
+
+	pv0 := c.PlanVersion()
+	before := len(c.ShardPairs(0))
+	for i, row := range rows {
+		if i == len(rows)/3 {
+			moved, err := c.Rebalance(0, 1, 2)
+			if err != nil {
+				t.Fatalf("Rebalance: %v", err)
+			}
+			if moved != 2 {
+				t.Fatalf("moved = %d, want 2", moved)
+			}
+			if c.PlanVersion() != pv0+1 {
+				t.Fatalf("plan version = %d, want %d", c.PlanVersion(), pv0+1)
+			}
+			if got := len(c.ShardPairs(0)); got != before-2 {
+				t.Fatalf("shard 0 pairs = %d, want %d", got, before-2)
+			}
+		}
+		compareReports(t, i, c.Step(row), want[i])
+	}
+}
+
+// TestShardNetAutoRebalance seeds a skewed latency picture and checks
+// the work-stealing policy fires, migrates pairs toward the fast worker,
+// and leaves the trajectory bit-identical.
+func TestShardNetAutoRebalance(t *testing.T) {
+	mcfg := manager.Config{Model: tinyModel(false)}
+	history, rows := fixtures(t, 3, 3)
+	want := referenceRun(t, history, mcfg, rows).reports
+
+	f := startFabric(t, 2)
+	c, err := New(history, Config{
+		Workers: f.addrs, Manager: mcfg,
+		RebalanceEvery: 5, RebalanceFactor: 2,
+	})
+	if err != nil {
+		t.Fatalf("shardnet.New: %v", err)
+	}
+	defer c.Close()
+
+	slow := 0
+	if len(c.ShardPairs(1)) > len(c.ShardPairs(0)) {
+		slow = 1
+	}
+	before := len(c.ShardPairs(slow))
+	c.SetLatencyHint(slow, 1.0)
+	c.SetLatencyHint(1-slow, 0.01)
+	// Keep the seeded skew in place despite organic EWMA updates.
+	for i, row := range rows {
+		c.SetLatencyHint(slow, 1.0)
+		c.SetLatencyHint(1-slow, 0.01)
+		compareReports(t, i, c.Step(row), want[i])
+	}
+	if got := len(c.ShardPairs(slow)); got >= before {
+		t.Fatalf("work stealing never fired: slow shard still holds %d of %d pairs", got, before)
+	}
+	if c.PlanVersion() == 0 {
+		t.Fatal("plan version never advanced")
+	}
+}
+
+// TestShardNetFleetSurface sanity-checks the fleet methods the serving
+// and diagnosis layers rely on.
+func TestShardNetFleetSurface(t *testing.T) {
+	mcfg := manager.Config{Model: tinyModel(false), TrackPairMeans: true}
+	history, rows := fixtures(t, 3, 2)
+
+	f := startFabric(t, 2)
+	c, err := New(history, Config{Workers: f.addrs, Manager: mcfg})
+	if err != nil {
+		t.Fatalf("shardnet.New: %v", err)
+	}
+	defer c.Close()
+
+	if got := c.NumShards(); got != 2 {
+		t.Fatalf("NumShards = %d, want 2", got)
+	}
+	if len(c.IDs()) == 0 || len(c.Pairs()) == 0 {
+		t.Fatal("empty IDs or Pairs")
+	}
+	if got := len(c.ShardPairs(0)) + len(c.ShardPairs(1)); got != len(c.Pairs()) {
+		t.Fatalf("shard pair split %d != total %d", got, len(c.Pairs()))
+	}
+	c.SetAdaptive(false)
+	c.ResetChains()
+	for _, row := range rows {
+		c.Step(row)
+	}
+	if c.Steps() == 0 || c.Steps() > len(rows) {
+		t.Fatalf("Steps = %d, want 1..%d", c.Steps(), len(rows))
+	}
+	if len(c.MeasurementMeans()) != len(c.IDs()) {
+		t.Fatal("MeasurementMeans size mismatch")
+	}
+	if len(c.PairMeans()) != len(c.Pairs()) {
+		t.Fatal("PairMeans size mismatch")
+	}
+	if loc := c.Localize(); len(loc.Machines) == 0 {
+		t.Fatal("empty localization")
+	}
+	lats := c.Latencies()
+	if len(lats) != 2 || lats[0] <= 0 || lats[1] <= 0 {
+		t.Fatalf("latencies not populated: %v", lats)
+	}
+	c.ResetAccumulators()
+	if c.Steps() != 0 {
+		t.Fatal("ResetAccumulators did not clear steps")
+	}
+}

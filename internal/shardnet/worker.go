@@ -1,0 +1,596 @@
+package shardnet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcorr/internal/collector"
+	"mcorr/internal/core"
+	"mcorr/internal/manager"
+	"mcorr/internal/obs"
+	"mcorr/internal/timeseries"
+	"mcorr/internal/tsdb"
+)
+
+// checkpointVersion guards the worker checkpoint blob layout.
+const checkpointVersion = 1
+
+// workerCheckpoint is the durable state a worker persists under
+// data-dir/shard-<k>/: enough to rejoin the fabric after a SIGKILL with
+// the merged trajectory unchanged. AppliedSeq only ever names rows whose
+// outcomes the coordinator has acknowledged, so recovery re-scores
+// exactly the replayed suffix and never skips or double-advances a model.
+type workerCheckpoint struct {
+	Version     int
+	RunID       string
+	K, N        int
+	PlanVersion uint64
+	AppliedSeq  uint64
+	Manager     []byte
+}
+
+// WorkerConfig configures a shard worker process.
+type WorkerConfig struct {
+	// DataDir is the checkpoint root; the worker writes under
+	// DataDir/shard-<k>/. Required.
+	DataDir string
+	// CheckpointEvery overrides the coordinator-announced checkpoint
+	// cadence when > 0 (rows between checkpoints).
+	CheckpointEvery int
+	// Logger receives diagnostics; nil discards them.
+	Logger *obs.Logger
+}
+
+// Worker is a networked shard scorer: it owns one shard's trained models,
+// scores rows the coordinator streams over the control connection, and
+// returns outcome sets through a ReliableAgent to the coordinator's
+// collector. Model state survives control-session churn in memory and
+// SIGKILL through per-epoch checkpoints.
+type Worker struct {
+	cfg WorkerConfig
+	log *obs.Logger
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	sess   *session
+
+	// smu serializes all shard-state access across control sessions: a
+	// superseded session may still be draining a send when its
+	// replacement starts handling rows.
+	smu sync.Mutex
+	st  *shardState
+}
+
+// session is one accepted control connection.
+type session struct {
+	conn net.Conn
+	gone atomic.Bool // set when a newer session supersedes this one
+}
+
+// shardState is the worker's live shard: it persists across control
+// sessions within the process so a reconnect never retrains or reloads.
+type shardState struct {
+	runID       string
+	k, n        int
+	planVersion uint64
+	ids         []timeseries.MeasurementID
+	mgr         *manager.Manager
+	agent       *collector.ReliableAgent
+	returnAddr  string
+	machine     string // outcome sample machine label, "shard-<k>"
+
+	// ackedSeq is the last row whose outcome the coordinator acked;
+	// scoredSeq is the last row scored. They differ by at most one row
+	// (the one whose send a session swap may have interrupted), whose
+	// packed payload is kept for resend so the model is never re-stepped.
+	ackedSeq   uint64
+	scoredSeq  uint64
+	lastPacked []string
+	lastTime   time.Time
+
+	dst           []manager.Outcome
+	values        map[timeseries.MeasurementID]float64
+	frame         rowFrame
+	packBuf       []byte        // reusable packOutcomes build buffer
+	sampleBuf     []tsdb.Sample // reusable outcome sample slice
+	ckptEvery     int
+	rowsSinceCkpt int
+}
+
+// ListenWorker binds a shard worker to addr (":0" picks a free port).
+// Call Serve to accept coordinator sessions.
+func ListenWorker(addr string, cfg WorkerConfig) (*Worker, error) {
+	if cfg.DataDir == "" {
+		return nil, errors.New("shardnet: worker requires a data dir")
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("shardnet: listen %s: %w", addr, err)
+	}
+	return &Worker{cfg: cfg, log: cfg.Logger.With("component", "shardnet-worker"), ln: ln}, nil
+}
+
+// Addr returns the worker's control listen address.
+func (w *Worker) Addr() net.Addr { return w.ln.Addr() }
+
+// Serve accepts coordinator control sessions until Close. A new session
+// supersedes the previous one (the coordinator redials after any
+// connection failure it observes).
+func (w *Worker) Serve() error {
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			w.mu.Lock()
+			closed := w.closed
+			w.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		if w.sess != nil {
+			w.sess.gone.Store(true)
+			w.sess.conn.Close()
+		}
+		sess := &session{conn: conn}
+		w.sess = sess
+		w.mu.Unlock()
+		obsWorkerSessions.Add(1)
+		go func() {
+			if err := w.handle(sess); err != nil && !sess.gone.Load() {
+				w.log.Info("session ended", "err", err)
+			}
+			sess.conn.Close()
+		}()
+	}
+}
+
+// Close stops the worker: the listener, the active session and the
+// outcome agent.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	sess := w.sess
+	w.mu.Unlock()
+	err := w.ln.Close()
+	if sess != nil {
+		sess.gone.Store(true)
+		sess.conn.Close()
+	}
+	w.smu.Lock()
+	if w.st != nil {
+		if w.st.agent != nil {
+			w.st.agent.Close()
+		}
+		w.st.mgr.Close()
+		w.st = nil
+	}
+	w.smu.Unlock()
+	return err
+}
+
+// shardDir is the checkpoint directory for shard k.
+func (w *Worker) shardDir(k int) string {
+	return filepath.Join(w.cfg.DataDir, fmt.Sprintf("shard-%d", k))
+}
+
+func (w *Worker) checkpointPath(k int) string {
+	return filepath.Join(w.shardDir(k), "checkpoint.gob")
+}
+
+// handle runs one control session. All shard-state mutation happens under
+// w.smu so a superseded session draining its last send cannot race its
+// replacement.
+func (w *Worker) handle(sess *session) error {
+	f, err := collector.ReadFrame(sess.conn)
+	if err != nil {
+		return err
+	}
+	if f.Type != MsgShardAssign {
+		return fmt.Errorf("shardnet: expected assign, got type %d", byte(f.Type))
+	}
+	var a assignMsg
+	if err := decodeGob(f.Payload, &a); err != nil {
+		return err
+	}
+
+	w.smu.Lock()
+	st, err := w.adoptState(sess, a)
+	w.smu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	for {
+		f, err := collector.ReadFrame(sess.conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		w.smu.Lock()
+		err = w.dispatch(sess, st, f)
+		w.smu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// adoptState resolves the session's shard state — in-memory, checkpoint,
+// or a fresh state transfer — and completes the ready handshake. Callers
+// hold w.smu.
+func (w *Worker) adoptState(sess *session, a assignMsg) (*shardState, error) {
+	st := w.st
+	if st != nil && (st.runID != a.RunID || st.k != a.K) {
+		// A different run (or role) retires the old shard entirely.
+		if st.agent != nil {
+			st.agent.Close()
+		}
+		st.mgr.Close()
+		st, w.st = nil, nil
+	}
+	if st == nil {
+		if ck, mgr, err := w.loadCheckpoint(a); err == nil {
+			st = &shardState{
+				runID:     a.RunID,
+				k:         a.K,
+				n:         a.N,
+				mgr:       mgr,
+				ackedSeq:  ck.AppliedSeq,
+				scoredSeq: ck.AppliedSeq,
+			}
+			w.st = st
+			w.log.Info("recovered from checkpoint", "shard", a.K, "seq", ck.AppliedSeq)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			w.log.Info("checkpoint unusable", "shard", a.K, "err", err)
+		}
+	}
+	if st == nil {
+		// No usable state: ask for a transfer, install it, and persist the
+		// epoch-zero checkpoint before reporting ready — from here on a
+		// SIGKILL always has a checkpoint to recover from.
+		if err := writeGob(sess.conn, MsgShardReady, readyMsg{HaveState: false}); err != nil {
+			return nil, err
+		}
+		blob, err := w.readBlob(sess.conn, MsgShardState)
+		if err != nil {
+			return nil, err
+		}
+		mgr, err := manager.LoadManager(bytes.NewReader(blob), nil)
+		if err != nil {
+			return nil, fmt.Errorf("shardnet: load shard state: %w", err)
+		}
+		st = &shardState{runID: a.RunID, k: a.K, n: a.N, mgr: mgr}
+		w.st = st
+	}
+	st.planVersion = a.PlanVersion
+	st.ids = a.IDs
+	st.machine = fmt.Sprintf("shard-%d", st.k)
+	st.ckptEvery = a.CheckpointEvery
+	if w.cfg.CheckpointEvery > 0 {
+		st.ckptEvery = w.cfg.CheckpointEvery
+	}
+	if st.ckptEvery <= 0 {
+		st.ckptEvery = 240
+	}
+	if st.values == nil {
+		st.values = make(map[timeseries.MeasurementID]float64, len(st.ids))
+	}
+	if st.agent == nil || st.returnAddr != a.ReturnAddr {
+		if st.agent != nil {
+			st.agent.Close()
+		}
+		st.returnAddr = a.ReturnAddr
+		st.agent = collector.NewReliableAgent(a.ReturnAddr, st.machine, collector.ReliableConfig{
+			MaxAttempts: 4,
+			Backoff:     25 * time.Millisecond,
+			MaxBackoff:  250 * time.Millisecond,
+		})
+	}
+	if err := w.checkpoint(st); err != nil {
+		return nil, err
+	}
+	return st, writeGob(sess.conn, MsgShardReady, readyMsg{
+		HaveState:   true,
+		AppliedSeq:  st.ackedSeq,
+		PlanVersion: st.planVersion,
+		Pairs:       st.mgr.Pairs(),
+	})
+}
+
+// loadCheckpoint reads and validates the shard-k checkpoint for this run.
+func (w *Worker) loadCheckpoint(a assignMsg) (*workerCheckpoint, *manager.Manager, error) {
+	f, err := os.Open(w.checkpointPath(a.K))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var ck workerCheckpoint
+	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
+		return nil, nil, fmt.Errorf("decode: %w", err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, nil, fmt.Errorf("checkpoint version %d", ck.Version)
+	}
+	if ck.RunID != a.RunID || ck.K != a.K {
+		return nil, nil, fmt.Errorf("checkpoint is for run %q shard %d", ck.RunID, ck.K)
+	}
+	mgr, err := manager.LoadManager(bytes.NewReader(ck.Manager), nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("load manager: %w", err)
+	}
+	return &ck, mgr, nil
+}
+
+// checkpoint atomically persists the shard's models and applied sequence.
+func (w *Worker) checkpoint(st *shardState) error {
+	if err := os.MkdirAll(w.shardDir(st.k), 0o755); err != nil {
+		return err
+	}
+	var mblob bytes.Buffer
+	if err := st.mgr.Save(&mblob); err != nil {
+		return err
+	}
+	ck := workerCheckpoint{
+		Version:     checkpointVersion,
+		RunID:       st.runID,
+		K:           st.k,
+		N:           st.n,
+		PlanVersion: st.planVersion,
+		AppliedSeq:  st.ackedSeq,
+		Manager:     mblob.Bytes(),
+	}
+	err := manager.AtomicWrite(w.checkpointPath(st.k), func(f *os.File) error {
+		return gob.NewEncoder(f).Encode(&ck)
+	})
+	if err != nil {
+		return err
+	}
+	st.rowsSinceCkpt = 0
+	obsWorkerCheckpoints.Add(1)
+	return nil
+}
+
+// readBlob collects a chunked transfer of the given frame type.
+func (w *Worker) readBlob(conn net.Conn, msgType collector.MsgType) ([]byte, error) {
+	var acc bytes.Buffer
+	for {
+		f, err := collector.ReadFrame(conn)
+		if err != nil {
+			return nil, err
+		}
+		if f.Type != msgType {
+			return nil, fmt.Errorf("shardnet: expected type %d chunk, got %d", byte(msgType), byte(f.Type))
+		}
+		last, err := appendBlobChunk(&acc, f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if last {
+			return acc.Bytes(), nil
+		}
+	}
+}
+
+// dispatch handles one post-handshake control frame. Callers hold w.smu.
+func (w *Worker) dispatch(sess *session, st *shardState, f collector.Frame) error {
+	switch f.Type {
+	case MsgShardRow:
+		return w.handleRow(sess, st, f.Payload)
+	case MsgShardExtract:
+		var m extractMsg
+		if err := decodeGob(f.Payload, &m); err != nil {
+			return err
+		}
+		set := modelSet{Models: make([]pairModel, 0, len(m.Pairs))}
+		for _, p := range m.Pairs {
+			model := st.mgr.Model(p.A, p.B)
+			if model == nil {
+				return w.done(sess, st, fmt.Sprintf("extract: pair %s not owned", p))
+			}
+			var buf bytes.Buffer
+			if err := model.Save(&buf); err != nil {
+				return err
+			}
+			set.Models = append(set.Models, pairModel{Pair: p, Blob: buf.Bytes()})
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&set); err != nil {
+			return err
+		}
+		return writeBlob(sess.conn, MsgShardModels, buf.Bytes())
+	case MsgShardInstall:
+		blob, err := w.readBlobFirst(sess.conn, MsgShardInstall, f)
+		if err != nil {
+			return err
+		}
+		var m installMsg
+		if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&m); err != nil {
+			return err
+		}
+		for _, pm := range m.Models {
+			model, err := core.LoadModel(bytes.NewReader(pm.Blob))
+			if err != nil {
+				return w.done(sess, st, fmt.Sprintf("install %s: %v", pm.Pair, err))
+			}
+			if err := st.mgr.AddModel(pm.Pair, model); err != nil {
+				return w.done(sess, st, fmt.Sprintf("install %s: %v", pm.Pair, err))
+			}
+		}
+		st.planVersion = m.PlanVersion
+		if err := w.checkpoint(st); err != nil {
+			return err
+		}
+		return w.done(sess, st, "")
+	case MsgShardPrune:
+		var m pruneMsg
+		if err := decodeGob(f.Payload, &m); err != nil {
+			return err
+		}
+		for _, p := range m.Pairs {
+			st.mgr.RemovePair(p)
+		}
+		st.planVersion = m.PlanVersion
+		if err := w.checkpoint(st); err != nil {
+			return err
+		}
+		return w.done(sess, st, "")
+	case MsgShardPlan:
+		var m planMsg
+		if err := decodeGob(f.Payload, &m); err != nil {
+			return err
+		}
+		st.planVersion = m.PlanVersion
+		if err := w.checkpoint(st); err != nil {
+			return err
+		}
+		return w.done(sess, st, "")
+	case MsgShardAdaptive:
+		var adaptive bool
+		if err := decodeGob(f.Payload, &adaptive); err != nil {
+			return err
+		}
+		st.mgr.SetAdaptive(adaptive)
+		return w.done(sess, st, "")
+	case MsgShardResetChains:
+		st.mgr.ResetChains()
+		return w.done(sess, st, "")
+	case collector.MsgBye:
+		return io.EOF
+	default:
+		return fmt.Errorf("shardnet: unexpected control frame type %d", byte(f.Type))
+	}
+}
+
+// readBlobFirst collects a chunked transfer whose first frame was already
+// read.
+func (w *Worker) readBlobFirst(conn net.Conn, msgType collector.MsgType, first collector.Frame) ([]byte, error) {
+	var acc bytes.Buffer
+	last, err := appendBlobChunk(&acc, first.Payload)
+	if err != nil {
+		return nil, err
+	}
+	for !last {
+		f, err := collector.ReadFrame(conn)
+		if err != nil {
+			return nil, err
+		}
+		if f.Type != msgType {
+			return nil, fmt.Errorf("shardnet: expected type %d chunk, got %d", byte(msgType), byte(f.Type))
+		}
+		if last, err = appendBlobChunk(&acc, f.Payload); err != nil {
+			return nil, err
+		}
+	}
+	return acc.Bytes(), nil
+}
+
+func (w *Worker) done(sess *session, st *shardState, errMsg string) error {
+	return writeGob(sess.conn, MsgShardDone, doneMsg{PlanVersion: st.planVersion, Err: errMsg})
+}
+
+// handleRow scores one streamed row and returns its packed outcome set
+// through the reliable agent. Rows arrive in sequence; a replay of the
+// single possibly-unacked row re-sends its cached payload instead of
+// re-stepping the models, which is what keeps the merged trajectory
+// bit-identical across reconnects.
+func (w *Worker) handleRow(sess *session, st *shardState, payload []byte) error {
+	if err := decodeRowFrame(payload, &st.frame); err != nil {
+		return err
+	}
+	seq := st.frame.Seq
+	switch {
+	case seq <= st.ackedSeq:
+		// Already merged by the coordinator; nothing to do.
+		return nil
+	case seq == st.scoredSeq && st.lastPacked != nil:
+		// Scored but possibly unacked: resend the cached payload.
+		return w.sendOutcome(sess, st, seq, st.lastTime, st.lastPacked)
+	case seq != st.scoredSeq+1:
+		return fmt.Errorf("shardnet: row gap: got seq %d, applied %d", seq, st.scoredSeq)
+	}
+
+	clear(st.values)
+	for i, idx := range st.frame.Idx {
+		if int(idx) >= len(st.ids) {
+			return fmt.Errorf("shardnet: row measurement index %d out of range", idx)
+		}
+		st.values[st.ids[idx]] = math.Float64frombits(st.frame.Bits[i])
+	}
+	row := manager.Row{Time: st.frame.Time, Values: st.values}
+	n := st.mgr.PairCount()
+	if cap(st.dst) < n {
+		st.dst = make([]manager.Outcome, n)
+	}
+	st.dst = st.dst[:n]
+	st.mgr.ScoreInto(row, nil, st.dst)
+	obsWorkerRows.Add(1)
+
+	var packed []string
+	packed, st.packBuf = packOutcomes(st.packBuf, st.planVersion, st.dst)
+	st.scoredSeq = seq
+	st.lastPacked = packed
+	st.lastTime = st.frame.Time
+	return w.sendOutcome(sess, st, seq, st.frame.Time, packed)
+}
+
+// sendOutcome delivers one row's packed outcome chunks, retrying until
+// the coordinator acks or the session is superseded. A nil return means
+// the row is acked and safe to checkpoint past.
+func (w *Worker) sendOutcome(sess *session, st *shardState, seq uint64, t time.Time, packed []string) error {
+	if cap(st.sampleBuf) < len(packed) {
+		st.sampleBuf = make([]tsdb.Sample, len(packed))
+	}
+	samples := st.sampleBuf[:len(packed)]
+	for i, chunk := range packed {
+		samples[i] = tsdb.Sample{
+			ID:    timeseries.MeasurementID{Machine: st.machine, Metric: chunk},
+			Time:  t,
+			Value: float64(seq),
+		}
+	}
+	err := st.agent.Send(samples)
+	for err != nil || st.agent.Pending() > 0 {
+		if sess.gone.Load() {
+			return fmt.Errorf("shardnet: session superseded with row %d in flight", seq)
+		}
+		if err != nil {
+			w.log.Info("outcome delivery retrying", "seq", seq, "err", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+		err = st.agent.Flush()
+	}
+	st.ackedSeq = seq
+	st.lastPacked = nil
+	st.rowsSinceCkpt++
+	if st.rowsSinceCkpt >= st.ckptEvery {
+		return w.checkpoint(st)
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ import (
 	"mcorr/internal/mathx"
 	"mcorr/internal/obs"
 	"mcorr/internal/shard"
+	"mcorr/internal/shardnet"
 	"mcorr/internal/timeseries"
 	"mcorr/internal/tsdb"
 )
@@ -123,7 +124,34 @@ type (
 	// partitioned across N manager shards with centrally merged,
 	// bit-identical Q^a/Q aggregation (see WithShards).
 	ShardCoordinator = shard.Coordinator
+	// ShardNetCoordinator is the networked scoring fabric: the same
+	// partition fanned out to worker processes over TCP, with outcomes
+	// returned through the collector's exactly-once delivery and merged
+	// by the same central aggregator (see NewShardNetFleet).
+	ShardNetCoordinator = shardnet.Coordinator
+	// ShardNetConfig configures the networked fabric.
+	ShardNetConfig = shardnet.Config
+	// ShardNetWorkerConfig configures one networked shard worker process.
+	ShardNetWorkerConfig = shardnet.WorkerConfig
+	// ShardNetWorker is a networked shard scoring worker (see mcshard).
+	ShardNetWorker = shardnet.Worker
 )
+
+// NewShardNetFleet trains the pair graph, partitions it across the
+// configured worker processes (same rendezvous assignment as WithShards),
+// ships each worker its models, and returns the coordinator. The merged
+// Q^a/Q trajectory is bit-identical to the in-process fabrics for any
+// worker count.
+func NewShardNetFleet(history *Dataset, cfg ShardNetConfig) (*ShardNetCoordinator, error) {
+	return shardnet.New(history, cfg)
+}
+
+// ListenShardNetWorker binds a networked shard worker to addr (":0"
+// picks a free port). Call Serve on the result to accept coordinator
+// sessions; see cmd/mcshard for the standalone binary.
+func ListenShardNetWorker(addr string, cfg ShardNetWorkerConfig) (*ShardNetWorker, error) {
+	return shardnet.ListenWorker(addr, cfg)
+}
 
 // Fleet is the scoring surface shared by the single Manager and the
 // sharded ShardCoordinator: everything a monitor needs to score rows,
@@ -160,6 +188,7 @@ type Fleet interface {
 var (
 	_ Fleet = (*Manager)(nil)
 	_ Fleet = (*ShardCoordinator)(nil)
+	_ Fleet = (*ShardNetCoordinator)(nil)
 )
 
 // ShardFor returns the shard in [0, shards) that owns the given pair

@@ -22,7 +22,7 @@ func TestOperationsDocCoverage(t *testing.T) {
 	text := string(doc)
 
 	flagDecl := regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Float64|Duration)\(\s*"([a-z][a-z-]*)"`)
-	for _, src := range []string{"cmd/mcdetect/main.go", "cmd/mccollect/main.go"} {
+	for _, src := range []string{"cmd/mcdetect/main.go", "cmd/mccollect/main.go", "cmd/mcshard/main.go"} {
 		b, err := os.ReadFile(src)
 		if err != nil {
 			t.Fatalf("read %s: %v", src, err)

@@ -165,7 +165,11 @@ type Registry struct {
 
 	mu      sync.RWMutex
 	tenants map[string]*Tenant
-	closed  bool
+	// collectors are the collector servers routing through this registry
+	// (registered by NewTenantCollectorServer); closing a tenant tears
+	// its per-tenant/per-agent flow series and limiter state out of each.
+	collectors []*CollectorServer
+	closed     bool
 }
 
 // NewTenantRegistry returns an empty registry. dataDir is the root for
@@ -368,7 +372,9 @@ func (r *Registry) CloseTenant(name string) error {
 		return fmt.Errorf("mcorr: unknown tenant %q", name)
 	}
 	obsTenantCount.Set(float64(n))
-	return t.Close()
+	err := t.Close()
+	r.forgetTenantSeries(name)
+	return err
 }
 
 // Close closes every tenant. The registry cannot be reused.
@@ -391,6 +397,7 @@ func (r *Registry) Close() error {
 		if err := t.Close(); err != nil && first == nil {
 			first = err
 		}
+		r.forgetTenantSeries(t.name)
 	}
 	obsTenantCount.Set(0)
 	return first
@@ -424,7 +431,25 @@ func (r *Registry) TenantLimit(name string) (rate float64, burst int) {
 // agent connection to the registry's tenants by the tenant field of the
 // agent's hello (legacy hellos land on the default tenant).
 func NewTenantCollectorServer(r *Registry) (*CollectorServer, error) {
-	return collector.NewTenantServer(r, nil)
+	srv, err := collector.NewTenantServer(r, nil)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, srv)
+	r.mu.Unlock()
+	return srv, nil
+}
+
+// forgetTenantSeries removes a closed tenant's footprint from every
+// collector server routed by this registry.
+func (r *Registry) forgetTenantSeries(name string) {
+	r.mu.RLock()
+	collectors := append([]*CollectorServer(nil), r.collectors...)
+	r.mu.RUnlock()
+	for _, srv := range collectors {
+		srv.ForgetTenant(name)
+	}
 }
 
 // Name returns the tenant's name.
